@@ -1,0 +1,93 @@
+/// \file bench_ablation_coloring.cpp
+/// \brief Ablation of the planner's König-coloring strategy: Euler
+///        split (the paper's constructive Theorem 6 specialised to
+///        power-of-two degrees) vs matching peel vs alternating path.
+///
+/// The planner defaults to Euler split; this bench justifies that
+/// choice with end-to-end plan-build times per strategy.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/plan.hpp"
+#include "graph/coloring.hpp"
+#include "perm/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hmm;
+
+graph::BipartiteMultigraph random_regular(std::uint32_t nodes, std::uint32_t degree,
+                                          std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  graph::BipartiteMultigraph g(nodes, nodes);
+  std::vector<std::uint32_t> perm(nodes);
+  for (std::uint32_t k = 0; k < degree; ++k) {
+    std::iota(perm.begin(), perm.end(), 0u);
+    for (std::uint32_t i = nodes - 1; i > 0; --i) {
+      std::swap(perm[i], perm[rng.bounded(i + 1)]);
+    }
+    for (std::uint32_t u = 0; u < nodes; ++u) g.add_edge(u, perm[u]);
+  }
+  return g;
+}
+
+void BM_ColorGraph(benchmark::State& state, graph::ColoringAlgorithm algo) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto degree = static_cast<std::uint32_t>(state.range(1));
+  graph::BipartiteMultigraph g = random_regular(nodes, degree, nodes + degree);
+  for (auto _ : state) {
+    auto c = graph::color_edges(g, algo);
+    benchmark::DoNotOptimize(c.color.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * g.edge_count()));
+}
+
+void BM_EulerSplit(benchmark::State& state) {
+  BM_ColorGraph(state, graph::ColoringAlgorithm::kEulerSplit);
+}
+void BM_MatchingPeel(benchmark::State& state) {
+  BM_ColorGraph(state, graph::ColoringAlgorithm::kMatchingPeel);
+}
+void BM_AlternatingPath(benchmark::State& state) {
+  BM_ColorGraph(state, graph::ColoringAlgorithm::kAlternatingPath);
+}
+
+// (nodes, degree) grid matching the planner's two graph shapes:
+// bank graphs (w x w, degree len/w) and row graphs (r x r, degree m).
+void ColoringArgs(benchmark::internal::Benchmark* b) {
+  b->Args({32, 32})->Args({32, 128})->Args({256, 64})->Args({1024, 64})->Args({1024, 256});
+}
+
+BENCHMARK(BM_EulerSplit)->Apply(ColoringArgs);
+BENCHMARK(BM_MatchingPeel)->Apply(ColoringArgs);
+BENCHMARK(BM_AlternatingPath)->Apply(ColoringArgs);
+
+// End-to-end: full plan build per strategy (Euler split vs matching
+// peel; alternating path omitted — identical output, strictly slower).
+void BM_PlanBuild(benchmark::State& state, graph::ColoringAlgorithm algo) {
+  const std::uint64_t n = state.range(0);
+  const model::MachineParams mp = model::MachineParams::gtx680();
+  const perm::Permutation p = perm::bit_reversal(n);
+  for (auto _ : state) {
+    auto plan = core::ScheduledPlan::build(p, mp, algo);
+    benchmark::DoNotOptimize(plan.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+
+void BM_PlanBuildEuler(benchmark::State& state) {
+  BM_PlanBuild(state, graph::ColoringAlgorithm::kEulerSplit);
+}
+void BM_PlanBuildPeel(benchmark::State& state) {
+  BM_PlanBuild(state, graph::ColoringAlgorithm::kMatchingPeel);
+}
+
+BENCHMARK(BM_PlanBuildEuler)->Arg(1 << 14)->Arg(1 << 16)->Arg(1 << 18);
+BENCHMARK(BM_PlanBuildPeel)->Arg(1 << 14)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+/// \file bench_ablation_omega.cpp
+/// \brief Ablation of the MMU idealization: the DMM/UMM model charges a
+///        conflict-free warp ONE pipeline stage — implicitly a full
+///        crossbar. The paper's own architectural remark points at a
+///        multistage interconnection network instead; a real omega
+///        network BLOCKS on most permutations even when banks are
+///        distinct. This bench measures the gap: passes needed per warp
+///        pattern, for the paper's families and for the scheduled
+///        algorithm's actual conflict-free schedules.
+///
+/// Usage: bench_ablation_omega [--width 32] [--samples 200] [--csv]
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/row_schedule.hpp"
+#include "sim/omega.hpp"
+
+namespace {
+
+using namespace hmm;
+
+/// Average passes the omega network needs over every warp of a
+/// permutation's bank pattern (dest bank = P(i) mod w per warp of w).
+double average_passes(const sim::OmegaNetwork& net, const perm::Permutation& p) {
+  const std::uint32_t w = net.width();
+  std::vector<std::uint64_t> dest(w);
+  std::uint64_t total = 0;
+  const std::uint64_t warps = p.size() / w;
+  for (std::uint64_t warp = 0; warp < warps; ++warp) {
+    for (std::uint32_t k = 0; k < w; ++k) dest[k] = p(warp * w + k) % w;
+    total += net.route(dest).passes;
+  }
+  return static_cast<double>(total) / static_cast<double>(warps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto width = static_cast<std::uint32_t>(cli.get_int("width", 32));
+  const int samples = static_cast<int>(cli.get_int("samples", 200));
+  const bool csv = cli.get_bool("csv");
+
+  bench::print_header("Ablation — crossbar MMU vs a blocking omega network",
+                      "Section I architectural remark (multistage interconnection)");
+  sim::OmegaNetwork net(width);
+  std::cout << "omega network: " << width << " ports, " << net.stages()
+            << " stages of 2x2 switches; the abstract model charges every\n"
+               "bank-distinct warp 1 stage (crossbar assumption).\n\n";
+
+  util::Table table({"warp pattern", "avg passes", "vs crossbar", "note"});
+  const std::uint64_t n = 4096;
+  for (const auto& name : bench::paper_families()) {
+    const perm::Permutation p = perm::by_name(name, n, 42);
+    const double passes = average_passes(net, p);
+    table.add_row({name + " (bank pattern)", util::format_double(passes, 2),
+                   util::format_double(passes, 2) + "x",
+                   passes <= 1.01 ? "omega-routable" : "blocks"});
+  }
+
+  // Random bank-distinct warps: the pattern class the scheduled
+  // algorithm's König schedules produce (all banks distinct).
+  {
+    util::Xoshiro256 rng(7);
+    double total = 0;
+    std::uint32_t one_pass = 0;
+    std::vector<std::uint64_t> dest(width);
+    for (int s = 0; s < samples; ++s) {
+      const perm::Permutation p = perm::random(width, rng);
+      for (std::uint32_t k = 0; k < width; ++k) dest[k] = p(k);
+      const auto r = net.route(dest);
+      total += r.passes;
+      one_pass += (r.passes == 1);
+    }
+    table.add_separator();
+    table.add_row({"random bank-distinct warps", util::format_double(total / samples, 2),
+                   util::format_double(total / samples, 2) + "x",
+                   util::format_double(100.0 * one_pass / samples, 1) +
+                       "% omega-routable"});
+  }
+
+  // The scheduled algorithm's actual conflict-free schedule warps.
+  {
+    util::Xoshiro256 rng(9);
+    std::vector<std::uint16_t> g(1024);
+    for (std::uint64_t j = 0; j < g.size(); ++j) g[j] = static_cast<std::uint16_t>(j);
+    for (std::uint64_t j = g.size() - 1; j > 0; --j) {
+      std::swap(g[j], g[rng.bounded(j + 1)]);
+    }
+    std::vector<std::uint16_t> phat(g.size()), q(g.size());
+    core::build_row_schedule(g, width, phat, q);
+    std::vector<std::uint64_t> dest(width);
+    double total = 0;
+    const std::uint64_t warps = g.size() / width;
+    for (std::uint64_t warp = 0; warp < warps; ++warp) {
+      for (std::uint32_t k = 0; k < width; ++k) dest[k] = q[warp * width + k] % width;
+      total += net.route(dest).passes;
+    }
+    table.add_row({"scheduled q-warps (Konig CF)", util::format_double(total / warps, 2),
+                   util::format_double(total / warps, 2) + "x",
+                   "conflict-free != omega-routable"});
+  }
+
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout
+      << "\nReading: the model's 1-stage charge for conflict-free warps assumes a\n"
+         "crossbar; through an omega network the same warps average the factor\n"
+         "shown. GPUs implement per-bank crossbars for shared memory, so the\n"
+         "paper's idealization is the right one for its target — this ablation\n"
+         "bounds how much a cheaper NoC would cost the scheduled algorithm.\n";
+  return 0;
+}

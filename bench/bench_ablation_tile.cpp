@@ -1,0 +1,57 @@
+/// \file bench_ablation_tile.cpp
+/// \brief Tile-size ablation for the host transpose — the CPU analogue
+///        of the paper's w x w shared-memory tile (Section V). The
+///        paper's diagonal arrangement fixes bank conflicts; on a CPU
+///        the tile instead bounds the strided-write working set, and
+///        this bench locates the sweet spot (typically near the
+///        cacheline-per-way budget, 16-64).
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/kernels.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hmm;
+
+util::ThreadPool& pool() {
+  static util::ThreadPool p;
+  return p;
+}
+
+void BM_TransposeTile(benchmark::State& state) {
+  const std::uint64_t m = state.range(0);
+  const std::uint64_t tile = state.range(1);
+  util::aligned_vector<float> a(m * m, 1.f), b(m * m);
+  for (auto _ : state) {
+    cpu::transpose_blocked<float>(pool(), a, b, m, m, tile);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * m * m * sizeof(float) * 2));
+}
+
+void TileArgs(benchmark::internal::Benchmark* b) {
+  for (std::int64_t m : {512, 1024, 2048}) {
+    for (std::int64_t tile : {4, 8, 16, 32, 64, 128}) b->Args({m, tile});
+  }
+}
+BENCHMARK(BM_TransposeTile)->Apply(TileArgs);
+
+void BM_TransposeNaiveRef(benchmark::State& state) {
+  const std::uint64_t m = state.range(0);
+  util::aligned_vector<float> a(m * m, 1.f), b(m * m);
+  for (auto _ : state) {
+    cpu::transpose_naive<float>(pool(), a, b, m, m);
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * m * m * sizeof(float) * 2));
+}
+BENCHMARK(BM_TransposeNaiveRef)->Arg(512)->Arg(1024)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

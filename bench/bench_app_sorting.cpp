@@ -1,0 +1,143 @@
+/// \file bench_app_sorting.cpp
+/// \brief Application study: Batcher's bitonic sorting network executed
+///        on the simulated HMM (paper Section I: "sorting networks such
+///        as bitonic sorting also involve permutation in each stage").
+///
+/// Each of the log^2(n)/2 stages is one exec kernel: two paired global
+/// reads, a compare-exchange compute step, two writes. With the natural
+/// thread -> pair assignment, stages at distance j >= w are perfectly
+/// coalesced and stages at j < w read with stride 2 (exactly 2 address
+/// groups per warp) — mildly casual, bounded by 2x. A deliberately
+/// scrambled assignment (bit-reversed pair ids) destroys the alignment
+/// entirely (w groups per warp), multiplying the model time ~6-9x: the
+/// measured version of the paper's point that network stages are
+/// permutations whose *layout* decides the cost.
+///
+/// Usage: bench_app_sorting [--n 16K] [--csv]
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exec/kernel.hpp"
+
+namespace {
+
+using namespace hmm;
+
+/// One compare-exchange stage (distance j, direction blocks of k) on
+/// the exec machine. `scramble` remaps thread->pair assignment through
+/// a bit-reversed ordering, destroying warp alignment (the casual
+/// variant) without changing the sorting semantics.
+std::uint64_t bitonic_stage_exec(exec::Machine& m, exec::GlobalArray<float> data,
+                                 std::uint64_t k, std::uint64_t j, bool scramble,
+                                 std::uint64_t block_size) {
+  const std::uint64_t n = data.size;
+  const std::uint64_t pairs = n / 2;
+  const unsigned pair_bits = static_cast<unsigned>(util::log2_exact(pairs));
+
+  struct Regs {
+    float lo = 0, hi = 0;
+    std::uint64_t i = 0;  // low partner index
+  };
+  // Thread t owns pair p(t): insert bit log2(j) as zero into the pair id.
+  auto pair_low_index = [j, scramble, pair_bits](const exec::ThreadCtx& c) {
+    std::uint64_t t = c.global_id();
+    if (scramble) t = util::bit_reverse(t, pair_bits);
+    const std::uint64_t low_mask = j - 1;
+    return ((t & ~low_mask) << 1) | (t & low_mask);
+  };
+
+  exec::Kernel<Regs> kern("bitonic k" + std::to_string(k) + " j" + std::to_string(j));
+  // Declare casual and let the simulator observe the true class — the
+  // point of the experiment.
+  const auto declared = model::AccessClass::kCasual;
+  kern.compute([pair_low_index](const exec::ThreadCtx& c, Regs& r) {
+        r.i = pair_low_index(c);
+      })
+      .read_global<float>(data,
+                          [](const exec::ThreadCtx&, const Regs& r) { return r.i; },
+                          [](Regs& r, float v) { r.lo = v; }, declared, "read lo")
+      .read_global<float>(data,
+                          [j](const exec::ThreadCtx&, const Regs& r) { return r.i + j; },
+                          [](Regs& r, float v) { r.hi = v; }, declared, "read hi")
+      .compute([k](const exec::ThreadCtx&, Regs& r) {
+        const bool up = (r.i & k) == 0;
+        if ((up && r.lo > r.hi) || (!up && r.lo < r.hi)) std::swap(r.lo, r.hi);
+      })
+      .write_global<float>(data,
+                           [](const exec::ThreadCtx&, const Regs& r) { return r.i; },
+                           [](const exec::ThreadCtx&, const Regs& r) { return r.lo; },
+                           declared, "write lo")
+      .write_global<float>(data,
+                           [j](const exec::ThreadCtx&, const Regs& r) { return r.i + j; },
+                           [](const exec::ThreadCtx&, const Regs& r) { return r.hi; },
+                           declared, "write hi");
+  return m.launch(exec::LaunchConfig{pairs / block_size, block_size}, kern);
+}
+
+struct SortRun {
+  std::uint64_t time_units = 0;
+  std::uint64_t casual_rounds = 0;
+  bool sorted = false;
+};
+
+SortRun sort_on_hmm(const model::MachineParams& mp, std::uint64_t n, bool scramble) {
+  util::Xoshiro256 rng(17);
+  util::aligned_vector<float> host(n);
+  for (auto& v : host) v = static_cast<float>(rng.uniform01());
+
+  exec::Machine m(mp);
+  auto data = m.alloc_global<float>(std::span<const float>{host.data(), n});
+  const std::uint64_t block = std::min<std::uint64_t>(1024, n / 2);
+
+  SortRun run;
+  for (std::uint64_t k = 2; k <= n; k <<= 1) {
+    for (std::uint64_t j = k >> 1; j > 0; j >>= 1) {
+      run.time_units += bitonic_stage_exec(m, data, k, j, scramble, block);
+    }
+  }
+  const auto counts = m.sim().stats().observed_counts();
+  run.casual_rounds = counts.casual_read_global + counts.casual_write_global;
+
+  util::aligned_vector<float> out(n);
+  m.read_back(data, std::span<float>{out.data(), n});
+  run.sorted = std::is_sorted(out.begin(), out.end());
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 16 << 10);
+  const bool csv = cli.get_bool("csv");
+
+  const model::MachineParams mp = model::MachineParams::gtx680();
+  bench::print_header("Application — bitonic sorting network on the simulated HMM",
+                      "Section I motivation (sorting networks)");
+
+  util::Table table({"n", "variant", "time units", "casual rounds", "sorted"});
+  for (std::uint64_t size = 4 << 10; size <= n; size <<= 1) {
+    const SortRun aligned = sort_on_hmm(mp, size, /*scramble=*/false);
+    const SortRun scrambled = sort_on_hmm(mp, size, /*scramble=*/true);
+    table.add_row({bench::size_label(size), "warp-aligned pairs",
+                   util::format_count(aligned.time_units),
+                   util::format_count(aligned.casual_rounds), aligned.sorted ? "yes" : "NO"});
+    table.add_row({"", "scrambled pairs", util::format_count(scrambled.time_units),
+                   util::format_count(scrambled.casual_rounds),
+                   scrambled.sorted ? "yes" : "NO"});
+    table.add_separator();
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nNatural pairing: j >= w stages fully coalesced, j < w stages stride-2\n"
+               "(2 groups per warp, the mild 'casual' rounds counted above). Scrambled\n"
+               "pairing: every stage scatters across w groups — the model time blows up\n"
+               "by the same w/2 factor that separates the conventional and scheduled\n"
+               "permutation algorithms.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+/// \file bench_machine_sweep.cpp
+/// \brief Design-space sweep: where does the scheduled algorithm win as
+///        the machine changes? The paper evaluates one GPU (w=32, d=8);
+///        the closed forms answer the question for any (w, l, d) —
+///        including the modern-GPU direction (more SMs, longer
+///        latencies) and the narrow-SIMD direction where the 16-round
+///        constant can never pay.
+///
+/// The break-even condition (docs/MODEL.md §5): scheduled beats the
+/// worst-case conventional iff 14/w + 16/(dw) < 1.
+///
+/// Usage: bench_machine_sweep [--n 4M] [--csv]
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace hmm;
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 4096ull << 10);
+  const bool csv = cli.get_bool("csv");
+
+  bench::print_header("Design-space sweep — scheduled vs conventional across machines",
+                      "Theorem 9 / Lemma 4 asymptotics");
+  std::cout << "n = " << bench::size_label(n)
+            << ", worst-case distribution d_w(P) = n (bit-reversal-like).\n"
+               "Break-even: 14/w + 16/(dw) < 1.\n\n";
+
+  util::Table table({"width", "dmms", "latency", "conventional", "scheduled", "speedup",
+                     "winner"});
+  for (std::uint32_t w : {8u, 16u, 32u, 64u}) {
+    for (std::uint32_t d : {1u, 8u, 64u}) {
+      for (std::uint32_t l : {100u, 300u, 1000u}) {
+        model::MachineParams mp;
+        mp.width = w;
+        mp.dmms = d;
+        mp.latency = l;
+        mp.shared_bytes = 256 * 1024;
+        const std::uint64_t conv = model::d_designated_time(n, n, mp);
+        const std::uint64_t sched = model::scheduled_time(n, mp);
+        table.add_row({util::format_count(w), util::format_count(d), util::format_count(l),
+                       util::format_count(conv), util::format_count(sched),
+                       util::format_double(static_cast<double>(conv) /
+                                               static_cast<double>(sched),
+                                           2) +
+                           "x",
+                       sched < conv ? "scheduled" : "conventional"});
+      }
+      table.add_separator();
+    }
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout
+      << "\nReading: width is everything. At w=8/16 the 16-round pipeline can never\n"
+         "amortize (14/w > 0.8); at w=32 (the paper's GPU) it wins ~1.9x; at w=64\n"
+         "(modern warps x wider groups) ~3.5x. More DMMs help only the shared term;\n"
+         "latency shifts nothing asymptotically — it cancels between the algorithms.\n";
+  return 0;
+}

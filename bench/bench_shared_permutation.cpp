@@ -1,0 +1,81 @@
+/// \file bench_shared_permutation.cpp
+/// \brief Reproduces the prior-work experiment the paper builds on
+///        (Section I, refs [8]/[9]): conflict-free offline permutation
+///        on ONE DMM's shared memory vs the conventional bank-conflicted
+///        one. The paper quotes 246ns vs 165ns (1.5x) for a random
+///        permutation of 1024 floats on one GTX-680 SM.
+///
+/// Usage: bench_shared_permutation [--n 1024] [--samples 20] [--csv]
+
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "core/shared_permute.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmm;
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1024);
+  const int samples = static_cast<int>(cli.get_int("samples", 20));
+  const bool csv = cli.get_bool("csv");
+
+  bench::print_header("Shared-memory (single-DMM) permutation: conflict-free vs conventional",
+                      "Section I prior work [8], [9]");
+  const model::MachineParams mp{
+      .width = 32, .latency = 1, .dmms = 1, .shared_bytes = 48 * 1024};
+  std::cout << "n = " << n << " elements on one DMM (w=" << mp.width
+            << "); paper hardware: 246ns conventional vs 165ns conflict-free (1.5x).\n\n";
+
+  util::Table table({"permutation", "conv stages", "cf stages", "speedup",
+                     "conv time", "cf time"});
+  auto run_one = [&](const std::string& name, const perm::Permutation& p) {
+    sim::HmmSim conv(mp);
+    const std::uint64_t t_conv = core::shared_conventional_sim_rounds(conv, p);
+    const core::SharedPermutation sp(p, mp.width);
+    sim::HmmSim cf(mp);
+    const std::uint64_t t_cf = sp.sim_rounds(cf);
+    table.add_row({name, util::format_count(core::bank_conflict_stages(p, mp.width)),
+                   util::format_count(2 * n / mp.width),
+                   util::format_double(static_cast<double>(t_conv) /
+                                           static_cast<double>(t_cf),
+                                       2) +
+                       "x",
+                   util::format_count(t_conv), util::format_count(t_cf)});
+  };
+
+  for (const auto& name : bench::paper_families()) {
+    run_one(name, perm::by_name(name, n, 42));
+  }
+  table.add_separator();
+
+  // Random-sample statistics (the paper's experiment).
+  double min_speedup = 1e9, sum = 0, max_speedup = 0;
+  for (int s = 0; s < samples; ++s) {
+    const perm::Permutation p = perm::by_name("random", n, 300 + s);
+    sim::HmmSim conv(mp);
+    const auto t_conv = core::shared_conventional_sim_rounds(conv, p);
+    const core::SharedPermutation sp(p, mp.width);
+    sim::HmmSim cf(mp);
+    const auto t_cf = sp.sim_rounds(cf);
+    const double sp_ratio = static_cast<double>(t_conv) / static_cast<double>(t_cf);
+    min_speedup = std::min(min_speedup, sp_ratio);
+    max_speedup = std::max(max_speedup, sp_ratio);
+    sum += sp_ratio;
+  }
+  table.add_row({"random x" + std::to_string(samples) + " (min/avg/max)", "", "",
+                 util::format_double(min_speedup, 2) + "/" +
+                     util::format_double(sum / samples, 2) + "/" +
+                     util::format_double(max_speedup, 2) + "x",
+                 "", ""});
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nModel note: random 32-thread warps over 32 banks average ~"
+            << util::format_double(sum / samples, 2)
+            << "x conflict serialization — the paper's measured 1.5x sits inside the\n"
+               "band once fixed kernel overheads are added on real silicon.\n";
+  return 0;
+}

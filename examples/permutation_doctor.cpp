@@ -1,0 +1,40 @@
+/// \file permutation_doctor.cpp
+/// \brief CLI diagnosis of any permutation family on any machine:
+///        everything the paper's cost theory predicts — distribution,
+///        cycle structure, plan feasibility, per-strategy time, and the
+///        model's recommendation.
+///
+/// Run: ./permutation_doctor [--family bit-reversal] [--n 1M]
+///      [--width 32] [--latency 300] [--dmms 8] [--all]
+
+#include <iostream>
+
+#include "core/diagnose.hpp"
+#include "perm/generators.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hmm;
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 1 << 20);
+  model::MachineParams mp;
+  mp.width = static_cast<std::uint32_t>(cli.get_int("width", 32));
+  mp.latency = static_cast<std::uint32_t>(cli.get_int("latency", 300));
+  mp.dmms = static_cast<std::uint32_t>(cli.get_int("dmms", 8));
+  mp.validate();
+
+  std::vector<std::string> families;
+  if (cli.get_bool("all")) {
+    families = perm::family_names();
+  } else {
+    families.push_back(cli.get("family", "bit-reversal"));
+  }
+
+  for (const auto& family : families) {
+    std::cout << "=== " << family << " ===\n";
+    const perm::Permutation p = perm::by_name(family, n, 42);
+    core::print_diagnosis(std::cout, core::diagnose(p, mp));
+    std::cout << "\n";
+  }
+  return 0;
+}

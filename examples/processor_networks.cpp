@@ -1,0 +1,92 @@
+/// \file processor_networks.cpp
+/// \brief Domain example: emulating processor-network communication by
+///        offline permutation (paper Section I: "communication on
+///        processor networks such as hypercubes, meshes, and so on can
+///        be emulated by permutation").
+///
+/// Builds the communication permutations of classic topologies —
+/// hypercube dimension exchanges, 2-D mesh/torus shifts, the
+/// shuffle-exchange network — and runs the paper's cost analysis on
+/// each. The punchline the model makes quantitative: *structured*
+/// network traffic has minimal distribution (d_w = n/w..2n/w, the
+/// conventional algorithm is optimal), while *general* routing (a
+/// random destination per node) is the d_w ≈ n regime where the
+/// scheduled algorithm earns its 2x.
+///
+/// Run: ./processor_networks [--n 64K]
+
+#include <iostream>
+
+#include "core/diagnose.hpp"
+#include "perm/distribution.hpp"
+#include "perm/generators.hpp"
+#include "util/bits.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmm;
+
+/// Torus shift on a rows x cols processor grid: every node sends to
+/// (row + dr, col + dc) with wraparound.
+perm::Permutation torus_shift(std::uint64_t rows, std::uint64_t cols, std::uint64_t dr,
+                              std::uint64_t dc) {
+  util::aligned_vector<std::uint32_t> map(rows * cols);
+  for (std::uint64_t r = 0; r < rows; ++r) {
+    for (std::uint64_t c = 0; c < cols; ++c) {
+      const std::uint64_t tr = (r + dr) % rows;
+      const std::uint64_t tc = (c + dc) % cols;
+      map[r * cols + c] = static_cast<std::uint32_t>(tr * cols + tc);
+    }
+  }
+  return perm::Permutation(std::move(map));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 64 << 10);
+  const model::MachineParams mp = model::MachineParams::gtx680();
+  const std::uint64_t mesh = util::isqrt_exact(n);
+
+  struct Net {
+    std::string name;
+    perm::Permutation p;
+  };
+  std::vector<Net> nets;
+  const unsigned bits = util::log2_exact(n);
+  nets.push_back({"hypercube dim 0 (i ^ 1)", perm::xor_mask(n, 1)});
+  nets.push_back({"hypercube dim " + std::to_string(bits / 2),
+                  perm::xor_mask(n, 1ull << (bits / 2))});
+  nets.push_back({"hypercube dim " + std::to_string(bits - 1),
+                  perm::xor_mask(n, 1ull << (bits - 1))});
+  nets.push_back({"mesh row shift (east)", torus_shift(mesh, mesh, 0, 1)});
+  nets.push_back({"mesh col shift (south)", torus_shift(mesh, mesh, 1, 0)});
+  nets.push_back({"torus diagonal shift", torus_shift(mesh, mesh, 1, 1)});
+  nets.push_back({"shuffle-exchange", perm::shuffle(n)});
+  nets.push_back({"mesh transpose (corner turn)", perm::transpose(mesh, mesh)});
+  nets.push_back({"general routing (random)", perm::by_name("random", n, 3)});
+
+  std::cout << "Processor-network traffic as offline permutations, n = " << n
+            << " nodes (mesh " << mesh << "x" << mesh << "), HMM w=" << mp.width
+            << " l=" << mp.latency << "\n\n";
+
+  util::Table table(
+      {"network pattern", "d_w(P)/n", "conventional", "scheduled", "best strategy"});
+  for (const auto& net : nets) {
+    const core::Diagnosis d = core::diagnose(net.p, mp);
+    table.add_row({net.name, util::format_double(d.dist_forward_ratio, 4),
+                   util::format_count(std::min(d.time_d_designated, d.time_s_designated)),
+                   d.plan_supported ? util::format_count(d.time_scheduled) : "n/a",
+                   d.recommendation});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nStructured topologies (hypercube, mesh, torus, shuffle) generate\n"
+               "minimal-distribution traffic — the 3-round conventional copy is already\n"
+               "optimal for them. The corner turn (transpose) and general routing hit\n"
+               "d_w ~= n, where the paper's scheduled algorithm wins ~2x.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+/// \file sort_by_permutation.cpp
+/// \brief Domain example: reorder heavy payloads by a *computed*
+///        permutation — the classic offline-permutation use case
+///        (think database column reordering or argsort-then-gather).
+///
+/// Sort records by key three ways and compare:
+///  1. `std::sort` on (key, payload) pairs — moves the payload at every
+///     comparison swap;
+///  2. argsort the keys, then move each payload once via the
+///     conventional gather;
+///  3. argsort, compile the sorting permutation into a ScheduledPlan,
+///     then move each payload once with the scheduled executor —
+///     worthwhile when the same ordering is applied to many payload
+///     columns (the plan and the argsort amortize).
+///
+/// Run: ./sort_by_permutation [--n 256K] [--columns 4]
+
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/conventional.hpp"
+#include "core/plan.hpp"
+#include "core/scheduled.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// A fat payload record (64 bytes — a cacheline per element).
+struct Record {
+  double fields[8];
+  bool operator==(const Record& o) const {
+    return std::equal(std::begin(fields), std::end(fields), std::begin(o.fields));
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmm;
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 256 << 10);
+  const std::uint64_t columns = cli.get_int("columns", 4);
+
+  util::Xoshiro256 rng(11);
+  std::vector<float> keys(n);
+  for (auto& k : keys) k = static_cast<float>(rng.uniform01());
+  util::aligned_vector<Record> payload(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    for (double& f : payload[i].fields) f = static_cast<double>(i);
+  }
+
+  util::ThreadPool pool;
+  util::Stopwatch sw;
+
+  // 1. Baseline: sort pairs, payload dragged through the comparator sort.
+  std::vector<std::pair<float, Record>> pairs(n);
+  for (std::uint64_t i = 0; i < n; ++i) pairs[i] = {keys[i], payload[i]};
+  sw.reset();
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& x, const auto& y) { return x.first < y.first; });
+  const double ms_pairs = sw.millis();
+
+  // 2/3. Argsort once: order[r] = index of the r-th smallest key, i.e.
+  //      the permutation P with P(order[r]) = r sends sources to ranks.
+  sw.reset();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t x, std::uint32_t y) { return keys[x] < keys[y]; });
+  util::aligned_vector<std::uint32_t> rank(n);
+  for (std::uint64_t r = 0; r < n; ++r) rank[order[r]] = static_cast<std::uint32_t>(r);
+  const perm::Permutation p{std::move(rank)};
+  const double ms_argsort = sw.millis();
+
+  // 2. Conventional gather per payload column.
+  util::aligned_vector<Record> out_conv(n);
+  sw.reset();
+  for (std::uint64_t c = 0; c < columns; ++c) {
+    core::d_designated_cpu<Record>(pool, payload, out_conv, p);
+  }
+  const double ms_conv = sw.millis() / static_cast<double>(columns);
+
+  // 3. Scheduled plan per payload column (plan built once).
+  sw.reset();
+  const core::ScheduledPlan plan = core::ScheduledPlan::build(p, model::MachineParams::gtx680());
+  const double ms_plan = sw.millis();
+  util::aligned_vector<Record> out_sched(n), scratch(n);
+  sw.reset();
+  for (std::uint64_t c = 0; c < columns; ++c) {
+    core::scheduled_cpu_lean<Record>(pool, plan, payload, out_sched, scratch);
+  }
+  const double ms_sched = sw.millis() / static_cast<double>(columns);
+
+  // Verify all three agree.
+  bool ok = (out_conv == out_sched);
+  for (std::uint64_t r = 0; r < n && ok; ++r) ok = (out_conv[r] == pairs[r].second);
+
+  util::Table table({"method", "ms/column", "one-time cost", "notes"});
+  table.add_row({"std::stable_sort on pairs", util::format_ms(ms_pairs), "-",
+                 "payload moved O(n log n) times"});
+  table.add_row({"argsort + conventional gather", util::format_ms(ms_conv),
+                 util::format_ms(ms_argsort) + " (argsort)", "payload moved once"});
+  table.add_row({"argsort + scheduled plan", util::format_ms(ms_sched),
+                 util::format_ms(ms_argsort + ms_plan) + " (argsort+plan)",
+                 "amortizes over columns"});
+  std::cout << "Sorting " << n << " 64-byte records by key, " << columns
+            << " payload columns\n";
+  table.print(std::cout);
+  std::cout << "all methods agree: " << (ok ? "yes" : "NO") << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+/// \file stencil_jacobi.cpp
+/// \brief A non-permutation workload on the exec:: machine: 1-D
+///        3-point Jacobi smoothing, the "hello world" of
+///        memory-model analysis.
+///
+/// Each sweep reads x[i-1], x[i], x[i+1] and writes the average. The
+/// neighbour reads are shifted streams — at most 2 address groups per
+/// warp — so the simulator prices a sweep at ~4 coalesced rounds:
+/// stencils are bandwidth-, not scatter-, bound, and need none of the
+/// permutation machinery. The point of the example is that the
+/// library's machine answers such questions *quantitatively* for any
+/// kernel you write.
+///
+/// Run: ./stencil_jacobi [--n 64K] [--sweeps 5]
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "exec/kernel.hpp"
+#include "model/cost.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace hmm;
+
+/// One Jacobi sweep: y[i] = (x[i-1] + x[i] + x[i+1]) / 3 with clamped
+/// boundaries. Returns time units.
+std::uint64_t jacobi_sweep(exec::Machine& m, exec::GlobalArray<float> x,
+                           exec::GlobalArray<float> y, std::uint64_t block) {
+  const std::uint64_t n = x.size;
+  struct Regs {
+    float sum = 0;
+    float count = 0;
+  };
+  exec::Kernel<Regs> k("jacobi");
+  k.read_global<float>(
+       x, [](const exec::ThreadCtx& c, const Regs&) { return c.global_id(); },
+       [](Regs& r, float v) {
+         r.sum = v;
+         r.count = 1;
+       },
+       model::AccessClass::kCoalesced, "center")
+      .read_global<float>(
+          x,
+          [](const exec::ThreadCtx& c, const Regs&) {
+            const std::uint64_t i = c.global_id();
+            return i >= 1 ? i - 1 : model::kNoAccess;
+          },
+          [](Regs& r, float v) {
+            r.sum += v;
+            r.count += 1;
+          },
+          model::AccessClass::kCasual, "left")
+      .read_global<float>(
+          x,
+          [n](const exec::ThreadCtx& c, const Regs&) {
+            const std::uint64_t i = c.global_id();
+            return i + 1 < n ? i + 1 : model::kNoAccess;
+          },
+          [](Regs& r, float v) {
+            r.sum += v;
+            r.count += 1;
+          },
+          model::AccessClass::kCasual, "right")
+      .write_global<float>(
+          y, [](const exec::ThreadCtx& c, const Regs&) { return c.global_id(); },
+          [](const exec::ThreadCtx&, const Regs& r) { return r.sum / r.count; },
+          model::AccessClass::kCoalesced, "write");
+  return m.launch(exec::LaunchConfig{n / block, block}, k);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = cli.get_int("n", 64 << 10);
+  const std::uint64_t sweeps = cli.get_int("sweeps", 5);
+  const model::MachineParams mp = model::MachineParams::gtx680();
+
+  // Host reference for correctness.
+  std::vector<float> ref(n);
+  for (std::uint64_t i = 0; i < n; ++i) ref[i] = static_cast<float>((i * 2654435761u) % 1000);
+
+  exec::Machine m(mp);
+  auto x = m.alloc_global<float>(std::span<const float>{ref.data(), n});
+  auto y = m.alloc_global<float>(n);
+
+  std::uint64_t total = 0;
+  for (std::uint64_t s = 0; s < sweeps; ++s) {
+    total += jacobi_sweep(m, x, y, 1024);
+    std::swap(x, y);
+    // Host reference sweep.
+    std::vector<float> next(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      float sum = ref[i];
+      float cnt = 1;
+      if (i >= 1) {
+        sum += ref[i - 1];
+        cnt += 1;
+      }
+      if (i + 1 < n) {
+        sum += ref[i + 1];
+        cnt += 1;
+      }
+      next[i] = sum / cnt;
+    }
+    ref = std::move(next);
+  }
+
+  std::vector<float> got(n);
+  m.read_back(x, std::span<float>{got.data(), n});
+  float max_err = 0;
+  for (std::uint64_t i = 0; i < n; ++i) max_err = std::max(max_err, std::abs(got[i] - ref[i]));
+
+  const std::uint64_t per_sweep = total / sweeps;
+  const std::uint64_t coalesced = model::coalesced_round_time(n, mp);
+  std::cout << "1-D Jacobi on the simulated HMM: n = " << n << ", " << sweeps
+            << " sweeps\n"
+            << "  max |err| vs host reference: " << max_err
+            << (max_err < 1e-4f ? "  [OK]\n" : "  [FAIL]\n")
+            << "  time per sweep: " << per_sweep << " units ("
+            << util::format_double(static_cast<double>(per_sweep) /
+                                       static_cast<double>(coalesced),
+                                   2)
+            << "x one coalesced round; the shifted reads cost ~1 extra group per warp)\n"
+            << "  verdict: stencils are stream-bound — no permutation machinery needed,\n"
+            << "  and the simulator proves it per kernel rather than by folklore.\n";
+  return max_err < 1e-4f ? 0 : 1;
+}

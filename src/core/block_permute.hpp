@@ -1,0 +1,121 @@
+#pragma once
+/// \file block_permute.hpp
+/// \brief Batched small permutations: many independent block-sized
+///        permutations applied in one launch, each inside a DMM's
+///        shared memory — the per-tile reorder pattern (e.g. the
+///        bit-reversal of every row of a batch-of-FFTs, or per-page
+///        record shuffles).
+///
+/// Each block stages its slice in shared memory and applies its own
+/// conflict-free SharedPermutation schedule (the prior-work machinery
+/// of shared_permute.hpp); globally everything is coalesced, so the
+/// whole batch costs `2(n/w + l - 1) + 2 n/(dw)` — the theoretical
+/// floor — no matter what the per-block permutations are.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/shared_permute.hpp"
+#include "model/cost.hpp"
+#include "perm/permutation.hpp"
+#include "sim/hmm_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::core {
+
+class BlockPermuter {
+ public:
+  /// Compile one schedule per block. All permutations must share one
+  /// size (the block length, a multiple of the width, <= 2^16).
+  BlockPermuter(std::vector<perm::Permutation> per_block, std::uint32_t width,
+                graph::ColoringAlgorithm algo = graph::ColoringAlgorithm::kAuto) {
+    HMM_CHECK_MSG(!per_block.empty(), "need at least one block");
+    block_n_ = per_block.front().size();
+    for (const auto& p : per_block) {
+      HMM_CHECK_MSG(p.size() == block_n_, "all blocks must share one size");
+      schedules_.emplace_back(p, width, algo);
+    }
+    perms_ = std::move(per_block);
+  }
+
+  [[nodiscard]] std::uint64_t blocks() const noexcept { return schedules_.size(); }
+  [[nodiscard]] std::uint64_t block_size() const noexcept { return block_n_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return blocks() * block_n_; }
+  [[nodiscard]] const perm::Permutation& permutation(std::uint64_t b) const {
+    return perms_[b];
+  }
+
+  /// Host execution: block b's slice is permuted by its own schedule.
+  template <class T>
+  void apply(util::ThreadPool& pool, std::span<const T> a, std::span<T> out) const {
+    HMM_CHECK(a.size() == size() && out.size() == size());
+    pool.parallel_for_chunks(0, blocks(), [&](std::uint64_t lo, std::uint64_t hi) {
+      for (std::uint64_t b = lo; b < hi; ++b) {
+        schedules_[b].apply<T>(a.subspan(b * block_n_, block_n_),
+                               out.subspan(b * block_n_, block_n_));
+      }
+    });
+  }
+
+  /// Simulator execution: 6 rounds — coalesced load, conflict-free
+  /// stage into shared `s`, conflict-free gather `s[p̂]` / scatter
+  /// `d[q]`, conflict-free read-back, coalesced store. Returns time
+  /// units; permutation-independent by construction.
+  [[nodiscard]] std::uint64_t sim_rounds(sim::HmmSim& sim) const {
+    const std::uint64_t n = size();
+    const std::uint64_t base_in = sim.alloc_global(n);
+    const std::uint64_t base_out = sim.alloc_global(n);
+    std::vector<std::uint64_t> addrs(n);
+    std::uint64_t t = 0;
+
+    auto lane = [&] {
+      for (std::uint64_t b = 0; b < blocks(); ++b) {
+        for (std::uint64_t k = 0; k < block_n_; ++k) addrs[b * block_n_ + k] = k;
+      }
+    };
+
+    for (std::uint64_t i = 0; i < n; ++i) addrs[i] = base_in + i;
+    t += sim.global_round("batch:read", addrs, model::Dir::kRead,
+                          model::AccessClass::kCoalesced);
+    lane();
+    t += sim.shared_round("batch:stage s", addrs, block_n_, model::Dir::kWrite,
+                          model::AccessClass::kConflictFree);
+    for (std::uint64_t b = 0; b < blocks(); ++b) {
+      const auto phat = schedules_[b].phat();
+      for (std::uint64_t k = 0; k < block_n_; ++k) addrs[b * block_n_ + k] = phat[k];
+    }
+    t += sim.shared_round("batch:smem read", addrs, block_n_, model::Dir::kRead,
+                          model::AccessClass::kConflictFree);
+    for (std::uint64_t b = 0; b < blocks(); ++b) {
+      const auto q = schedules_[b].q();
+      for (std::uint64_t k = 0; k < block_n_; ++k) {
+        addrs[b * block_n_ + k] = block_n_ + q[k];
+      }
+    }
+    t += sim.shared_round("batch:smem write", addrs, block_n_, model::Dir::kWrite,
+                          model::AccessClass::kConflictFree);
+    lane();
+    for (std::uint64_t i = 0; i < n; ++i) addrs[i] += block_n_;
+    t += sim.shared_round("batch:read d", addrs, block_n_, model::Dir::kRead,
+                          model::AccessClass::kConflictFree);
+    for (std::uint64_t i = 0; i < n; ++i) addrs[i] = base_out + i;
+    t += sim.global_round("batch:write", addrs, model::Dir::kWrite,
+                          model::AccessClass::kCoalesced);
+    return t;
+  }
+
+  /// The theoretical floor this batch achieves on the machine:
+  /// 2 coalesced global + 4 conflict-free shared rounds.
+  [[nodiscard]] std::uint64_t predicted_time_units(const model::MachineParams& p) const {
+    return 2 * model::coalesced_round_time(size(), p) +
+           4 * model::conflict_free_round_time(size(), p);
+  }
+
+ private:
+  std::uint64_t block_n_ = 0;
+  std::vector<perm::Permutation> perms_;
+  std::vector<SharedPermutation> schedules_;
+};
+
+}  // namespace hmm::core

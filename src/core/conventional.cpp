@@ -1,0 +1,59 @@
+#include "core/conventional.hpp"
+
+#include <vector>
+
+namespace hmm::core {
+
+using model::AccessClass;
+using model::Dir;
+
+namespace {
+
+/// Fill `addrs[i] = base + i` (the coalesced identity stream).
+void identity_stream(std::vector<std::uint64_t>& addrs, std::uint64_t base, std::uint64_t n) {
+  addrs.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = base + i;
+}
+
+}  // namespace
+
+std::uint64_t d_designated_sim_rounds(sim::HmmSim& sim, const perm::Permutation& p,
+                                      std::uint32_t words) {
+  const std::uint64_t n = p.size();
+  const std::uint64_t base_a = sim.alloc_global(n * words);
+  const std::uint64_t base_b = sim.alloc_global(n * words);
+  const std::uint64_t base_p = sim.alloc_global(n);
+
+  std::vector<std::uint64_t> addrs;
+  std::uint64_t t = 0;
+  identity_stream(addrs, base_p, n);
+  t += sim.global_round("read p", addrs, Dir::kRead, AccessClass::kCoalesced);
+  identity_stream(addrs, base_a / words, n);
+  t += sim.global_round("read a", addrs, Dir::kRead, AccessClass::kCoalesced, words);
+  const auto map = p.data();
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = base_b / words + map[i];
+  t += sim.global_round("scatter b", addrs, Dir::kWrite, AccessClass::kCasual, words);
+  return t;
+}
+
+std::uint64_t s_designated_sim_rounds(sim::HmmSim& sim, const perm::Permutation& pinv,
+                                      std::uint32_t words) {
+  const std::uint64_t n = pinv.size();
+  const std::uint64_t base_a = sim.alloc_global(n * words);
+  const std::uint64_t base_b = sim.alloc_global(n * words);
+  const std::uint64_t base_pinv = sim.alloc_global(n);
+
+  std::vector<std::uint64_t> addrs;
+  std::uint64_t t = 0;
+  identity_stream(addrs, base_pinv, n);
+  t += sim.global_round("read pinv", addrs, Dir::kRead, AccessClass::kCoalesced);
+  const auto inv = pinv.data();
+  addrs.resize(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = base_a / words + inv[i];
+  t += sim.global_round("gather a", addrs, Dir::kRead, AccessClass::kCasual, words);
+  identity_stream(addrs, base_b / words, n);
+  t += sim.global_round("write b", addrs, Dir::kWrite, AccessClass::kCoalesced, words);
+  return t;
+}
+
+}  // namespace hmm::core

@@ -1,0 +1,64 @@
+#pragma once
+/// \file conventional.hpp
+/// \brief The paper's baseline algorithms (Section IV): D-designated
+///        (`b[p[i]] = a[i]`) and S-designated (`b[i] = a[p̄[i]]`).
+///
+/// Both run in 3 memory-access rounds; their casual round costs
+/// `d_w(P)` (resp. `d_w(P⁻¹)`) pipeline stages on the HMM — the cost
+/// the scheduled algorithm eliminates.
+
+#include <cstdint>
+#include <span>
+
+#include "cpu/kernels.hpp"
+#include "perm/permutation.hpp"
+#include "sim/hmm_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::core {
+
+/// D-designated on the host backend.
+template <class T>
+void d_designated_cpu(util::ThreadPool& pool, std::span<const T> a, std::span<T> b,
+                      const perm::Permutation& p) {
+  cpu::scatter(pool, a, b, p.data());
+}
+
+/// S-designated on the host backend. `pinv` must be `P^-1` (the paper
+/// precomputes it offline, like the plan).
+template <class T>
+void s_designated_cpu(util::ThreadPool& pool, std::span<const T> a, std::span<T> b,
+                      const perm::Permutation& pinv) {
+  cpu::gather(pool, a, b, pinv.data());
+}
+
+/// Issue the D-designated rounds on the simulator (addresses only);
+/// returns the elapsed time units. `words` is the data element width
+/// in machine words (model::words_of<T>()); the index array is 32-bit.
+std::uint64_t d_designated_sim_rounds(sim::HmmSim& sim, const perm::Permutation& p,
+                                      std::uint32_t words = 1);
+
+/// Issue the S-designated rounds on the simulator; `pinv` is `P^-1`.
+std::uint64_t s_designated_sim_rounds(sim::HmmSim& sim, const perm::Permutation& pinv,
+                                      std::uint32_t words = 1);
+
+/// D-designated on the simulator backend: moves the data (reference
+/// semantics) and accounts the model time. Returns elapsed time units.
+template <class T>
+std::uint64_t d_designated_sim(sim::HmmSim& sim, std::span<const T> a, std::span<T> b,
+                               const perm::Permutation& p) {
+  p.apply(a, b);
+  return d_designated_sim_rounds(sim, p, model::words_of<T>());
+}
+
+/// S-designated on the simulator backend (`pinv` = `P^-1`).
+template <class T>
+std::uint64_t s_designated_sim(sim::HmmSim& sim, std::span<const T> a, std::span<T> b,
+                               const perm::Permutation& pinv) {
+  HMM_CHECK(a.size() == b.size() && a.size() == pinv.size());
+  const auto inv = pinv.data();
+  for (std::uint64_t i = 0; i < b.size(); ++i) b[i] = a[inv[i]];
+  return s_designated_sim_rounds(sim, pinv, model::words_of<T>());
+}
+
+}  // namespace hmm::core

@@ -1,0 +1,30 @@
+#include "core/in_place.hpp"
+
+#include <algorithm>
+
+namespace hmm::core {
+
+CycleStats analyze_cycles(const perm::Permutation& p) {
+  CycleStats stats;
+  std::vector<bool> visited(p.size(), false);
+  for (std::uint64_t start = 0; start < p.size(); ++start) {
+    if (visited[start]) continue;
+    std::uint64_t len = 0;
+    std::uint64_t pos = start;
+    do {
+      visited[pos] = true;
+      pos = p(pos);
+      ++len;
+    } while (pos != start);
+    ++stats.cycles;
+    if (len == 1) {
+      ++stats.fixed_points;
+    } else {
+      stats.moved += len;
+    }
+    stats.longest = std::max(stats.longest, len);
+  }
+  return stats;
+}
+
+}  // namespace hmm::core

@@ -1,0 +1,89 @@
+#pragma once
+/// \file in_place.hpp
+/// \brief In-place offline permutation by cycle following — the
+///        memory-frugal extension of the paper's out-of-place setting.
+///
+/// The paper's algorithms use distinct `a` and `b` (plus two scratch
+/// buffers for the scheduled pipeline). When memory is the constraint,
+/// a permutation can be applied in place by walking its cycles:
+/// `O(n)` time, `n` bits of scratch (visited bitmap), and — relevant to
+/// the paper's cost lens — an inherently *casual* access pattern (each
+/// cycle hops across the whole array), so on the HMM it costs
+/// `Θ(n + l)` like the conventional algorithm's worst case. The
+/// `bench_ablation_passes` family quantifies the time/space trade.
+///
+/// Also provides cycle-structure analysis (used to pick strategies:
+/// an identity-heavy permutation moves few elements).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "perm/permutation.hpp"
+
+namespace hmm::core {
+
+/// Cycle statistics of a permutation.
+struct CycleStats {
+  std::uint64_t cycles = 0;        ///< number of cycles, fixed points included
+  std::uint64_t fixed_points = 0;  ///< cycles of length 1
+  std::uint64_t longest = 0;       ///< longest cycle length
+  std::uint64_t moved = 0;         ///< elements not fixed (n - fixed_points)
+};
+
+/// One O(n) pass over the cycle structure.
+CycleStats analyze_cycles(const perm::Permutation& p);
+
+/// Apply `b[P(i)] = a[i]` semantics to a single buffer in place:
+/// after the call, `data[P(i)]` holds the value that was at `data[i]`.
+/// O(n) time, n bits of scratch.
+template <class T>
+void permute_in_place(std::span<T> data, const perm::Permutation& p) {
+  HMM_CHECK(data.size() == p.size());
+  std::vector<bool> visited(data.size(), false);
+  for (std::uint64_t start = 0; start < data.size(); ++start) {
+    if (visited[start] || p(start) == start) {
+      visited[start] = true;
+      continue;
+    }
+    // Walk the cycle starting at `start`, carrying the displaced value.
+    T carry = data[start];
+    std::uint64_t pos = start;
+    do {
+      visited[pos] = true;
+      const std::uint64_t next = p(pos);
+      std::swap(carry, data[next]);
+      pos = next;
+    } while (pos != start);
+  }
+}
+
+/// Invert a permutation in place over a data buffer: after the call,
+/// `data[i]` holds the value that was at `data[P(i)]` (gather
+/// semantics). Equivalent to `permute_in_place(data, p.inverse())`
+/// without materializing the inverse.
+template <class T>
+void unpermute_in_place(std::span<T> data, const perm::Permutation& p) {
+  HMM_CHECK(data.size() == p.size());
+  std::vector<bool> visited(data.size(), false);
+  for (std::uint64_t start = 0; start < data.size(); ++start) {
+    if (visited[start] || p(start) == start) {
+      visited[start] = true;
+      continue;
+    }
+    // Follow the cycle in the forward direction, but shift values the
+    // other way: data[pos] <- data[P(pos)].
+    const T first = data[start];
+    std::uint64_t pos = start;
+    for (;;) {
+      visited[pos] = true;
+      const std::uint64_t next = p(pos);
+      if (next == start) break;
+      data[pos] = data[next];
+      pos = next;
+    }
+    data[pos] = first;
+  }
+}
+
+}  // namespace hmm::core

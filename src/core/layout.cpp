@@ -1,0 +1,29 @@
+#include "core/layout.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace hmm::core {
+
+MatrixShape shape_for(std::uint64_t n, std::uint32_t width) {
+  HMM_CHECK_MSG(util::is_pow2(n), "scheduled permutation requires a power-of-two size");
+  const unsigned k = util::log2_exact(n);
+  const unsigned wk = util::log2_exact(width);
+  // cols gets the ceiling half of the bits so cols >= rows.
+  const unsigned col_bits = (k + 1) / 2;
+  const unsigned row_bits = k - col_bits;
+  HMM_CHECK_MSG(row_bits >= wk,
+                "array too small for the scheduled algorithm: need n >= width^2 "
+                "(2*width^2 for odd log2 n)");
+  return MatrixShape{.rows = 1ull << row_bits, .cols = 1ull << col_bits};
+}
+
+std::uint64_t row_pass_shared_bytes(std::uint64_t len, std::uint64_t elem_size) {
+  return 2 * len * elem_size + 2 * len * sizeof(std::uint16_t);
+}
+
+std::uint64_t transpose_shared_bytes(std::uint32_t width, std::uint64_t elem_size) {
+  return static_cast<std::uint64_t>(width) * width * elem_size;
+}
+
+}  // namespace hmm::core

@@ -1,0 +1,48 @@
+#pragma once
+/// \file layout.hpp
+/// \brief Matrix view of a linear array (Section VII).
+///
+/// The scheduled algorithm regards the size-n arrays as rows x cols
+/// matrices in row-major order. The paper uses √n x √n "for simplicity"
+/// but notes the algorithm is not restricted to squares; we support any
+/// power-of-two n >= 2 * width^2 via a near-square rectangle
+/// (cols = rows or cols = 2 * rows).
+
+#include <cstdint>
+
+#include "model/machine.hpp"
+
+namespace hmm::core {
+
+/// Geometry of the matrix view.
+struct MatrixShape {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return rows * cols; }
+
+  /// Row index of element e.
+  [[nodiscard]] std::uint64_t row_of(std::uint64_t e) const noexcept { return e / cols; }
+  /// Column index of element e.
+  [[nodiscard]] std::uint64_t col_of(std::uint64_t e) const noexcept { return e % cols; }
+
+  friend bool operator==(const MatrixShape&, const MatrixShape&) = default;
+};
+
+/// Choose the matrix view for an array of size n on a machine of the
+/// given width: rows and cols are powers of two, rows <= cols <= 2*rows,
+/// and both are multiples of the width (required by the per-row bank
+/// schedules and the w x w transpose tiling). Aborts if n is not a
+/// power of two or is too small (n >= width^2, and for odd log2(n),
+/// n >= 2 * width^2).
+MatrixShape shape_for(std::uint64_t n, std::uint32_t width);
+
+/// Shared memory one block needs for a row-wise pass over rows of
+/// length `len`: two data buffers of `len` elements plus the two
+/// schedule arrays of 16-bit indices staged per block.
+std::uint64_t row_pass_shared_bytes(std::uint64_t len, std::uint64_t elem_size);
+
+/// Shared memory one block needs for a w x w transpose tile.
+std::uint64_t transpose_shared_bytes(std::uint32_t width, std::uint64_t elem_size);
+
+}  // namespace hmm::core

@@ -1,0 +1,285 @@
+#include "core/ops.hpp"
+
+#include <string>
+#include <vector>
+
+namespace hmm::core {
+
+using model::AccessClass;
+using model::Dir;
+
+std::uint64_t row_wise_sim_rounds(sim::HmmSim& sim, const std::string& label,
+                                  const RowScheduleSet& set, const RowPassBases& bases,
+                                  std::uint32_t words) {
+  const std::uint64_t rows = set.rows;
+  const std::uint64_t cols = set.cols;
+  const std::uint64_t n = rows * cols;
+  std::vector<std::uint64_t> addrs(n);
+  std::uint64_t t = 0;
+
+  auto identity = [&](std::uint64_t base) {
+    for (std::uint64_t i = 0; i < n; ++i) addrs[i] = base + i;
+  };
+
+  // Step 1: s[j] <- a[row][j].
+  identity(bases.in);
+  t += sim.global_round(label + ":read in", addrs, Dir::kRead, AccessClass::kCoalesced,
+                        words);
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    for (std::uint64_t j = 0; j < cols; ++j) addrs[row * cols + j] = j;
+  }
+  t += sim.shared_round(label + ":write s", addrs, cols, Dir::kWrite,
+                        AccessClass::kConflictFree, words);
+
+  // Step 2: load the schedule entries (registers x, y).
+  identity(bases.phat);
+  t += sim.global_round(label + ":read phat", addrs, Dir::kRead, AccessClass::kCoalesced);
+  identity(bases.q);
+  t += sim.global_round(label + ":read q", addrs, Dir::kRead, AccessClass::kCoalesced);
+
+  // Step 3: d[q(k)] <- s[p̂(k)] — the conflict-free scatter.
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    const auto phat = set.phat_row(row);
+    for (std::uint64_t k = 0; k < cols; ++k) addrs[row * cols + k] = phat[k];
+  }
+  t += sim.shared_round(label + ":read s", addrs, cols, Dir::kRead,
+                        AccessClass::kConflictFree, words);
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    const auto q = set.q_row(row);
+    for (std::uint64_t k = 0; k < cols; ++k) addrs[row * cols + k] = cols + q[k];
+  }
+  t += sim.shared_round(label + ":write d", addrs, cols, Dir::kWrite,
+                        AccessClass::kConflictFree, words);
+
+  // Step 4: b[row][j] <- d[j].
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    for (std::uint64_t j = 0; j < cols; ++j) addrs[row * cols + j] = cols + j;
+  }
+  t += sim.shared_round(label + ":read d", addrs, cols, Dir::kRead,
+                        AccessClass::kConflictFree, words);
+  identity(bases.out);
+  t += sim.global_round(label + ":write out", addrs, Dir::kWrite, AccessClass::kCoalesced,
+                        words);
+  return t;
+}
+
+std::uint64_t row_wise_sim_rounds(sim::HmmSim& sim, const RowScheduleSet& set,
+                                  std::uint32_t words) {
+  const std::uint64_t n = set.rows * set.cols;
+  RowPassBases bases;
+  bases.in = sim.alloc_global(n * words) / words;
+  bases.out = sim.alloc_global(n * words) / words;
+  bases.phat = sim.alloc_global(n);
+  bases.q = sim.alloc_global(n);
+  return row_wise_sim_rounds(sim, "row-wise", set, bases, words);
+}
+
+std::uint64_t row_wise_sim_rounds_capped(sim::HmmSim& sim, const std::string& label,
+                                         const RowScheduleSet& set,
+                                         const RowPassBases& bases, std::uint32_t words,
+                                         std::uint64_t cap) {
+  HMM_CHECK(cap % sim.params().width == 0);
+  const std::uint64_t rows = set.rows;
+  const std::uint64_t cols = set.cols;
+  const std::uint64_t slice = std::min(cols, cap);
+  const std::uint64_t waves = util::ceil_div(cols, slice);
+  const std::uint64_t wave_threads = rows * slice;
+  std::vector<std::uint64_t> addrs(wave_threads);
+  std::uint64_t t = 0;
+
+  // One full 8-round pass per wave; wave v serves columns
+  // [v*slice, (v+1)*slice). Shared arrays span the whole row, so bank
+  // properties are those of the original schedule warps (slice is a
+  // multiple of w, so schedule warps never straddle waves).
+  for (std::uint64_t v = 0; v < waves; ++v) {
+    auto global_slice = [&](std::uint64_t base) {
+      for (std::uint64_t r = 0; r < rows; ++r) {
+        for (std::uint64_t k = 0; k < slice; ++k) {
+          addrs[r * slice + k] = base + r * cols + v * slice + k;
+        }
+      }
+    };
+    auto wave_label = [&](const char* step) {
+      return label + ":w" + std::to_string(v) + ":" + step;
+    };
+
+    global_slice(bases.in);
+    t += sim.global_round(wave_label("read in"), addrs, Dir::kRead,
+                          AccessClass::kCoalesced, words);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      for (std::uint64_t k = 0; k < slice; ++k) addrs[r * slice + k] = v * slice + k;
+    }
+    t += sim.shared_round(wave_label("write s"), addrs, slice, Dir::kWrite,
+                          AccessClass::kConflictFree, words);
+    global_slice(bases.phat);
+    t += sim.global_round(wave_label("read phat"), addrs, Dir::kRead,
+                          AccessClass::kCoalesced);
+    global_slice(bases.q);
+    t += sim.global_round(wave_label("read q"), addrs, Dir::kRead, AccessClass::kCoalesced);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      const auto phat = set.phat_row(r);
+      for (std::uint64_t k = 0; k < slice; ++k) {
+        addrs[r * slice + k] = phat[v * slice + k];
+      }
+    }
+    t += sim.shared_round(wave_label("read s"), addrs, slice, Dir::kRead,
+                          AccessClass::kConflictFree, words);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      const auto q = set.q_row(r);
+      for (std::uint64_t k = 0; k < slice; ++k) {
+        addrs[r * slice + k] = cols + q[v * slice + k];
+      }
+    }
+    t += sim.shared_round(wave_label("write d"), addrs, slice, Dir::kWrite,
+                          AccessClass::kConflictFree, words);
+    for (std::uint64_t r = 0; r < rows; ++r) {
+      for (std::uint64_t k = 0; k < slice; ++k) {
+        addrs[r * slice + k] = cols + v * slice + k;
+      }
+    }
+    t += sim.shared_round(wave_label("read d"), addrs, slice, Dir::kRead,
+                          AccessClass::kConflictFree, words);
+    global_slice(bases.out);
+    t += sim.global_round(wave_label("write out"), addrs, Dir::kWrite,
+                          AccessClass::kCoalesced, words);
+  }
+  return t;
+}
+
+std::uint64_t transpose_sim_rounds(sim::HmmSim& sim, const std::string& label,
+                                   std::uint64_t rows, std::uint64_t cols,
+                                   std::uint64_t base_in, std::uint64_t base_out,
+                                   std::uint32_t words) {
+  const std::uint32_t w = sim.params().width;
+  HMM_CHECK_MSG(rows % w == 0 && cols % w == 0,
+                "transpose requires dimensions that are multiples of the width");
+  const std::uint64_t n = rows * cols;
+  const std::uint64_t tiles_r = rows / w;
+  const std::uint64_t tiles_c = cols / w;
+  std::vector<std::uint64_t> addrs(n);
+  std::uint64_t t = 0;
+
+  // Round 1: coalesced read of the input tile row-by-row.
+  for (std::uint64_t tile = 0; tile < tiles_r * tiles_c; ++tile) {
+    const std::uint64_t tr = tile / tiles_c;
+    const std::uint64_t tc = tile % tiles_c;
+    std::uint64_t tid = tile * w * w;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      for (std::uint32_t j = 0; j < w; ++j) {
+        addrs[tid++] = base_in + (tr * w + i) * cols + tc * w + j;
+      }
+    }
+  }
+  t += sim.global_round(label + ":read in", addrs, Dir::kRead, AccessClass::kCoalesced,
+                        words);
+
+  // Round 2: conflict-free write into the diagonal arrangement
+  // s[i][(i+j) mod w] (Fig. 4).
+  for (std::uint64_t tile = 0; tile < tiles_r * tiles_c; ++tile) {
+    std::uint64_t tid = tile * w * w;
+    for (std::uint32_t i = 0; i < w; ++i) {
+      for (std::uint32_t j = 0; j < w; ++j) {
+        addrs[tid++] = static_cast<std::uint64_t>(i) * w + ((i + j) & (w - 1));
+      }
+    }
+  }
+  t += sim.shared_round(label + ":write diag", addrs, static_cast<std::uint64_t>(w) * w,
+                        Dir::kWrite, AccessClass::kConflictFree, words);
+
+  // Round 3: conflict-free read along transposed coordinates —
+  // thread (u, v) of the output tile reads s[v][(v+u) mod w] = a[v][u].
+  for (std::uint64_t tile = 0; tile < tiles_r * tiles_c; ++tile) {
+    std::uint64_t tid = tile * w * w;
+    for (std::uint32_t u = 0; u < w; ++u) {
+      for (std::uint32_t v = 0; v < w; ++v) {
+        addrs[tid++] = static_cast<std::uint64_t>(v) * w + ((v + u) & (w - 1));
+      }
+    }
+  }
+  t += sim.shared_round(label + ":read diag", addrs, static_cast<std::uint64_t>(w) * w,
+                        Dir::kRead, AccessClass::kConflictFree, words);
+
+  // Round 4: coalesced write of the transposed tile.
+  for (std::uint64_t tile = 0; tile < tiles_r * tiles_c; ++tile) {
+    const std::uint64_t tr = tile / tiles_c;
+    const std::uint64_t tc = tile % tiles_c;
+    std::uint64_t tid = tile * w * w;
+    for (std::uint32_t u = 0; u < w; ++u) {
+      for (std::uint32_t v = 0; v < w; ++v) {
+        addrs[tid++] = base_out + (tc * w + u) * rows + tr * w + v;
+      }
+    }
+  }
+  t += sim.global_round(label + ":write out", addrs, Dir::kWrite, AccessClass::kCoalesced,
+                        words);
+  return t;
+}
+
+std::uint64_t transpose_sim_rounds(sim::HmmSim& sim, std::uint64_t rows, std::uint64_t cols,
+                                   std::uint32_t words) {
+  const std::uint64_t n = rows * cols;
+  const std::uint64_t base_in = sim.alloc_global(n * words) / words;
+  const std::uint64_t base_out = sim.alloc_global(n * words) / words;
+  return transpose_sim_rounds(sim, "transpose", rows, cols, base_in, base_out, words);
+}
+
+std::uint64_t column_wise_sim_rounds(sim::HmmSim& sim, const std::string& label,
+                                     const RowScheduleSet& set, std::uint64_t rows,
+                                     std::uint64_t cols, std::uint32_t words) {
+  HMM_CHECK(set.rows == cols && set.cols == rows);
+  const std::uint64_t n = rows * cols;
+  const std::uint64_t base_in = sim.alloc_global(n * words) / words;
+  const std::uint64_t base_mid = sim.alloc_global(n * words) / words;
+  const std::uint64_t base_out = sim.alloc_global(n * words) / words;
+  RowPassBases bases;
+  bases.in = base_mid;
+  bases.out = base_in;  // ping-pong back into the first buffer
+  bases.phat = sim.alloc_global(n);
+  bases.q = sim.alloc_global(n);
+
+  std::uint64_t t = 0;
+  t += transpose_sim_rounds(sim, label + ":T1", rows, cols, base_in, base_mid, words);
+  t += row_wise_sim_rounds(sim, label + ":rw", set, bases, words);
+  t += transpose_sim_rounds(sim, label + ":T2", cols, rows, base_in, base_out, words);
+  return t;
+}
+
+std::uint64_t column_wise_naive_sim_rounds(sim::HmmSim& sim, const std::string& label,
+                                           std::span<const std::uint16_t> h,
+                                           std::uint64_t rows, std::uint64_t cols) {
+  HMM_CHECK(h.size() == rows * cols);
+  const std::uint64_t n = rows * cols;
+  const std::uint64_t base_in = sim.alloc_global(n);
+  const std::uint64_t base_out = sim.alloc_global(n);
+
+  // Thread tid = c * rows + i walks column c: reads (i, c), writes
+  // (h_c(i), c). Both strided by `cols` in memory — casual.
+  std::vector<std::uint64_t> addrs(n);
+  std::uint64_t t = 0;
+  for (std::uint64_t c = 0; c < cols; ++c) {
+    for (std::uint64_t i = 0; i < rows; ++i) {
+      addrs[c * rows + i] = base_in + i * cols + c;
+    }
+  }
+  t += sim.global_round(label + ":strided read", addrs, model::Dir::kRead,
+                        model::AccessClass::kCasual);
+  for (std::uint64_t c = 0; c < cols; ++c) {
+    for (std::uint64_t i = 0; i < rows; ++i) {
+      addrs[c * rows + i] = base_out + static_cast<std::uint64_t>(h[c * rows + i]) * cols + c;
+    }
+  }
+  t += sim.global_round(label + ":strided write", addrs, model::Dir::kWrite,
+                        model::AccessClass::kCasual);
+  return t;
+}
+
+RowScheduleSet build_column_schedules(std::span<const std::uint16_t> h, std::uint64_t rows,
+                                      std::uint64_t cols, std::uint32_t width,
+                                      graph::ColoringAlgorithm algo) {
+  HMM_CHECK(h.size() == rows * cols);
+  // On the transposed view, column c becomes row c of length `rows`,
+  // and the column permutation h_c is exactly its row permutation.
+  return build_row_schedules(h, cols, rows, width, algo);
+}
+
+}  // namespace hmm::core

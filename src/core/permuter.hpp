@@ -1,0 +1,149 @@
+#pragma once
+/// \file permuter.hpp
+/// \brief `OfflinePermuter<T>` — the one-stop downstream API.
+///
+/// Wraps the paper's decision problem for the user: given a permutation
+/// known in advance, pick the best algorithm for this machine (the
+/// scheduled plan when the permutation's distribution is high and the
+/// size supports it; the conventional gather otherwise), own the
+/// scratch buffers, and expose a single `permute(a, b)` call that can
+/// be invoked any number of times.
+///
+/// The selection rule mirrors Lemma 4 vs Theorem 9: scheduled wins when
+///   16(n/w + l - 1) + 16 n/(dw)  <  2(n/w + l - 1) + d_w(P) + l - 1,
+/// evaluated with the actual machine parameters and measured d_w(P).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "core/conventional.hpp"
+#include "core/plan.hpp"
+#include "core/scheduled.hpp"
+#include "model/cost.hpp"
+#include "perm/distribution.hpp"
+#include "util/bits.hpp"
+
+namespace hmm::core {
+
+/// Execution strategy of an OfflinePermuter.
+enum class Strategy {
+  kAuto,           ///< pick by model cost (default)
+  kScheduled,      ///< force the paper's scheduled algorithm
+  kSDesignated,    ///< force conventional gather  (b[i] = a[p̄[i]])
+  kDDesignated,    ///< force conventional scatter (b[p[i]] = a[i])
+};
+
+std::string_view to_string(Strategy s) noexcept;
+
+template <class T>
+class OfflinePermuter {
+ public:
+  /// Compile the permuter. The permutation is copied (it defines the
+  /// object); plan/inverse construction is the offline phase.
+  explicit OfflinePermuter(perm::Permutation p,
+                           model::MachineParams machine = model::MachineParams::gtx680(),
+                           Strategy strategy = Strategy::kAuto)
+      : perm_(std::move(p)), machine_(machine) {
+    const std::uint64_t n = perm_.size();
+    const bool plannable = util::is_pow2(n) && plan_supported(n, machine_);
+
+    chosen_ = strategy;
+    if (strategy == Strategy::kAuto) {
+      if (plannable) {
+        const std::uint64_t t_sched = model::scheduled_time(n, machine_);
+        const std::uint64_t t_conv = model::s_designated_time(
+            n, perm::inverse_distribution(perm_, machine_.width), machine_);
+        chosen_ = t_sched < t_conv ? Strategy::kScheduled : Strategy::kSDesignated;
+      } else {
+        chosen_ = Strategy::kSDesignated;
+      }
+    }
+    HMM_CHECK_MSG(chosen_ != Strategy::kScheduled || plannable,
+                  "scheduled strategy requires power-of-two n >= width^2");
+
+    switch (chosen_) {
+      case Strategy::kScheduled:
+        plan_.emplace(ScheduledPlan::build(perm_, machine_));
+        scratch_.resize(n);
+        HMM_CHECK_MSG(plan_->fits_shared(sizeof(T)),
+                      "plan does not fit this machine's shared memory for T");
+        break;
+      case Strategy::kSDesignated:
+        inverse_.emplace(perm_.inverse());
+        break;
+      case Strategy::kDDesignated:
+        break;
+      case Strategy::kAuto:
+        break;  // unreachable; resolved above
+    }
+  }
+
+  /// The strategy actually in use (after kAuto resolution).
+  [[nodiscard]] Strategy strategy() const noexcept { return chosen_; }
+  [[nodiscard]] const perm::Permutation& permutation() const noexcept { return perm_; }
+  [[nodiscard]] const model::MachineParams& machine() const noexcept { return machine_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return perm_.size(); }
+
+  /// The compiled plan, when the scheduled strategy is active.
+  [[nodiscard]] const ScheduledPlan* plan() const noexcept {
+    return plan_ ? &*plan_ : nullptr;
+  }
+
+  /// Online phase: b[P(i)] = a[i]. Reusable; `a` and `b` must not alias.
+  void permute(std::span<const T> a, std::span<T> b) {
+    HMM_CHECK(a.size() == size() && b.size() == size());
+    auto& pool = util::ThreadPool::global();
+    switch (chosen_) {
+      case Strategy::kScheduled:
+        scheduled_cpu_lean<T>(pool, *plan_, a, b, scratch_);
+        return;
+      case Strategy::kSDesignated:
+        s_designated_cpu<T>(pool, a, b, *inverse_);
+        return;
+      case Strategy::kDDesignated:
+        d_designated_cpu<T>(pool, a, b, perm_);
+        return;
+      case Strategy::kAuto:
+        break;
+    }
+    HMM_CHECK_MSG(false, "unresolved strategy");
+  }
+
+  /// Predicted HMM running time of the active strategy (time units).
+  [[nodiscard]] std::uint64_t predicted_time_units() const {
+    const std::uint64_t n = size();
+    switch (chosen_) {
+      case Strategy::kScheduled:
+        return model::scheduled_time(n, machine_);
+      case Strategy::kSDesignated:
+        return model::s_designated_time(
+            n, perm::inverse_distribution(perm_, machine_.width), machine_);
+      case Strategy::kDDesignated:
+        return model::d_designated_time(n, perm::distribution(perm_, machine_.width),
+                                        machine_);
+      case Strategy::kAuto:
+        break;
+    }
+    return 0;
+  }
+
+  /// True iff the scheduled plan is usable for (n, machine).
+  static bool plan_supported(std::uint64_t n, const model::MachineParams& machine) {
+    if (!util::is_pow2(n)) return false;
+    const unsigned k = util::log2_floor(n);
+    const unsigned wk = util::log2_floor(machine.width);
+    return (k - (k + 1) / 2) >= wk;  // rows >= width (layout.cpp's rule)
+  }
+
+ private:
+  perm::Permutation perm_;
+  model::MachineParams machine_;
+  Strategy chosen_;
+  std::optional<ScheduledPlan> plan_;
+  std::optional<perm::Permutation> inverse_;
+  util::aligned_vector<T> scratch_;
+};
+
+}  // namespace hmm::core

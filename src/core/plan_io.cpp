@@ -1,0 +1,103 @@
+#include "core/plan_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace hmm::core {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'M', 'M', 'P', 'L', 'A', 'N', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+bool read_u64(std::istream& is, std::uint64_t& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+
+void write_u16s(std::ostream& os, const util::aligned_vector<std::uint16_t>& v) {
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(std::uint16_t)));
+}
+
+bool read_u16s(std::istream& is, util::aligned_vector<std::uint16_t>& v, std::uint64_t count) {
+  v.resize(count);
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(v.data()),
+                                   static_cast<std::streamsize>(count * sizeof(std::uint16_t))));
+}
+
+}  // namespace
+
+bool save_plan(std::ostream& os, const ScheduledPlan& plan) {
+  os.write(kMagic, sizeof kMagic);
+  write_u64(os, plan.shape().rows);
+  write_u64(os, plan.shape().cols);
+  write_u64(os, plan.params().width);
+  write_u64(os, plan.params().latency);
+  write_u64(os, plan.params().dmms);
+  write_u64(os, plan.params().shared_bytes);
+  for (const RowScheduleSet* set : {&plan.pass1(), &plan.pass2(), &plan.pass3()}) {
+    write_u16s(os, set->phat);
+    write_u16s(os, set->q);
+  }
+  auto write_span = [&](std::span<const std::uint16_t> s) {
+    os.write(reinterpret_cast<const char*>(s.data()),
+             static_cast<std::streamsize>(s.size() * sizeof(std::uint16_t)));
+  };
+  write_span(plan.direct1());
+  write_span(plan.direct2());
+  write_span(plan.direct3());
+  return static_cast<bool>(os);
+}
+
+std::optional<ScheduledPlan> load_plan(std::istream& is) {
+  char magic[8];
+  if (!is.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return std::nullopt;
+  }
+  std::uint64_t rows = 0, cols = 0, width = 0, latency = 0, dmms = 0, shared = 0;
+  if (!read_u64(is, rows) || !read_u64(is, cols) || !read_u64(is, width) ||
+      !read_u64(is, latency) || !read_u64(is, dmms) || !read_u64(is, shared)) {
+    return std::nullopt;
+  }
+  // Bound sanity before allocating anything.
+  if (rows == 0 || cols == 0 || rows > (1ull << 16) || cols > (1ull << 16) ||
+      width == 0 || width > 64 || !util::is_pow2(width) || dmms == 0 ||
+      !util::is_pow2(dmms) || latency == 0) {
+    return std::nullopt;
+  }
+  const std::uint64_t n = rows * cols;
+  model::MachineParams params;
+  params.width = static_cast<std::uint32_t>(width);
+  params.latency = static_cast<std::uint32_t>(latency);
+  params.dmms = static_cast<std::uint32_t>(dmms);
+  params.shared_bytes = shared;
+
+  RowScheduleSet p1{.rows = rows, .cols = cols, .phat = {}, .q = {}};
+  RowScheduleSet p2{.rows = cols, .cols = rows, .phat = {}, .q = {}};
+  RowScheduleSet p3{.rows = rows, .cols = cols, .phat = {}, .q = {}};
+  util::aligned_vector<std::uint16_t> g1, g2, g3;
+  if (!read_u16s(is, p1.phat, n) || !read_u16s(is, p1.q, n) || !read_u16s(is, p2.phat, n) ||
+      !read_u16s(is, p2.q, n) || !read_u16s(is, p3.phat, n) || !read_u16s(is, p3.q, n) ||
+      !read_u16s(is, g1, n) || !read_u16s(is, g2, n) || !read_u16s(is, g3, n)) {
+    return std::nullopt;
+  }
+  return ScheduledPlan::restore(MatrixShape{rows, cols}, params, std::move(p1), std::move(p2),
+                                std::move(p3), std::move(g1), std::move(g2), std::move(g3));
+}
+
+bool save_plan_file(const std::string& path, const ScheduledPlan& plan) {
+  std::ofstream os(path, std::ios::binary);
+  return os && save_plan(os, plan);
+}
+
+std::optional<ScheduledPlan> load_plan_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  return load_plan(is);
+}
+
+}  // namespace hmm::core

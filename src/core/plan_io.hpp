@@ -1,0 +1,31 @@
+#pragma once
+/// \file plan_io.hpp
+/// \brief Binary serialization of compiled ScheduledPlans.
+///
+/// Plan construction (König coloring + per-row schedules) costs ~1 µs
+/// per element; in the offline setting it pays to persist the compiled
+/// plan next to the data it reorders (e.g. an FFT reorder plan for a
+/// fixed size) and load it in O(read) at run time. The format stores
+/// the machine parameters and all six schedule arrays plus the direct
+/// per-row permutations; a loaded plan is bit-identical to the built
+/// one (asserted by tests via validate()).
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/plan.hpp"
+
+namespace hmm::core {
+
+/// Write the plan. Returns false on stream failure.
+bool save_plan(std::ostream& os, const ScheduledPlan& plan);
+
+/// Read a plan written by `save_plan`; nullopt on malformed input.
+/// The loaded plan carries the machine parameters it was built for.
+std::optional<ScheduledPlan> load_plan(std::istream& is);
+
+bool save_plan_file(const std::string& path, const ScheduledPlan& plan);
+std::optional<ScheduledPlan> load_plan_file(const std::string& path);
+
+}  // namespace hmm::core

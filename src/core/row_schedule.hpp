@@ -1,0 +1,68 @@
+#pragma once
+/// \file row_schedule.hpp
+/// \brief Conflict-free schedules for row-wise permutation (Section VI).
+///
+/// Given a row permutation g over `len` positions, the schedule is a
+/// pair of index arrays (p̂, q) with `g = q ∘ p̂⁻¹`, built from a König
+/// coloring of the bank multigraph (source banks x destination banks,
+/// one edge per position j: `j mod w -> g(j) mod w`, regular of degree
+/// `len / w`): warp t consists of schedule slots [t*w, (t+1)*w) and its
+/// p̂ entries hit w distinct banks, as do its q entries — so the shared
+/// memory scatter `d[q(k)] = s[p̂(k)]` is conflict-free.
+
+#include <cstdint>
+#include <span>
+
+#include "graph/coloring.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::core {
+
+/// Build the (p̂, q) schedule of one row permutation.
+/// \param g      the row permutation: position j moves to g[j]; len = g.size().
+/// \param width  machine width w; len must be a multiple of w and
+///               len/w a power of two for the Euler-split default.
+/// \param phat   output, len entries.
+/// \param q      output, len entries.
+void build_row_schedule(std::span<const std::uint16_t> g, std::uint32_t width,
+                        std::span<std::uint16_t> phat, std::span<std::uint16_t> q,
+                        graph::ColoringAlgorithm algo = graph::ColoringAlgorithm::kAuto);
+
+/// Schedules for every row of a rows x cols matrix, flattened row-major.
+struct RowScheduleSet {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  util::aligned_vector<std::uint16_t> phat;
+  util::aligned_vector<std::uint16_t> q;
+
+  [[nodiscard]] std::span<const std::uint16_t> phat_row(std::uint64_t r) const {
+    return {phat.data() + r * cols, cols};
+  }
+  [[nodiscard]] std::span<const std::uint16_t> q_row(std::uint64_t r) const {
+    return {q.data() + r * cols, cols};
+  }
+  [[nodiscard]] std::uint64_t bytes() const noexcept {
+    return (phat.size() + q.size()) * sizeof(std::uint16_t);
+  }
+};
+
+/// Build schedules for all rows; `g` holds the row permutations
+/// flattened row-major (rows*cols entries).
+RowScheduleSet build_row_schedules(std::span<const std::uint16_t> g, std::uint64_t rows,
+                                   std::uint64_t cols, std::uint32_t width,
+                                   graph::ColoringAlgorithm algo = graph::ColoringAlgorithm::kAuto);
+
+/// Parallel overload: rows are independent, so their bank colorings run
+/// on the pool. Deterministic — identical output to the serial build.
+RowScheduleSet build_row_schedules(util::ThreadPool& pool, std::span<const std::uint16_t> g,
+                                   std::uint64_t rows, std::uint64_t cols, std::uint32_t width,
+                                   graph::ColoringAlgorithm algo = graph::ColoringAlgorithm::kAuto);
+
+/// Verify the schedule invariants for one row (used by tests and
+/// `ScheduledPlan::validate`): p̂ and q are permutations, `g = q ∘ p̂⁻¹`,
+/// and every schedule warp touches w distinct banks on both sides.
+bool row_schedule_valid(std::span<const std::uint16_t> g, std::span<const std::uint16_t> phat,
+                        std::span<const std::uint16_t> q, std::uint32_t width);
+
+}  // namespace hmm::core

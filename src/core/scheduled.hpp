@@ -1,0 +1,121 @@
+#pragma once
+/// \file scheduled.hpp
+/// \brief Online phase of the scheduled permutation (Section VII):
+///        execute a compiled ScheduledPlan as five kernels —
+///        row-wise, transpose, row-wise, transpose, row-wise —
+///        exactly the paper's five sequential kernel launches.
+
+#include <cstdint>
+#include <span>
+
+#include "core/plan.hpp"
+#include "cpu/kernels.hpp"
+#include "sim/hmm_sim.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::core {
+
+/// Execute the plan on the host backend. `scratch1`/`scratch2` are
+/// caller-provided ping-pong buffers of size n (kept out of the timed
+/// region by the benchmarks, like device buffers allocated once).
+template <class T>
+void scheduled_cpu(util::ThreadPool& pool, const ScheduledPlan& plan, std::span<const T> a,
+                   std::span<T> b, std::span<T> scratch1, std::span<T> scratch2) {
+  const std::uint64_t n = plan.size();
+  HMM_CHECK(a.size() == n && b.size() == n && scratch1.size() == n && scratch2.size() == n);
+  const std::uint64_t r = plan.shape().rows;
+  const std::uint64_t m = plan.shape().cols;
+  const std::uint64_t tile = plan.params().width;
+
+  cpu::row_wise_pass<T>(pool, a, scratch1, r, m, plan.pass1().phat, plan.pass1().q);
+  cpu::transpose_blocked<T>(pool, scratch1, scratch2, r, m, tile);
+  cpu::row_wise_pass<T>(pool, scratch2, scratch1, m, r, plan.pass2().phat, plan.pass2().q);
+  cpu::transpose_blocked<T>(pool, scratch1, scratch2, m, r, tile);
+  cpu::row_wise_pass<T>(pool, scratch2, b, r, m, plan.pass3().phat, plan.pass3().q);
+}
+
+/// Memory-lean host variant: ping-pongs through the output buffer so a
+/// single scratch array suffices (the 2-scratch overload predates the
+/// observation that `b` can serve as one leg of the ping-pong).
+/// `a` must not alias `b` or `scratch`.
+template <class T>
+void scheduled_cpu_lean(util::ThreadPool& pool, const ScheduledPlan& plan,
+                        std::span<const T> a, std::span<T> b, std::span<T> scratch) {
+  const std::uint64_t n = plan.size();
+  HMM_CHECK(a.size() == n && b.size() == n && scratch.size() == n);
+  const std::uint64_t r = plan.shape().rows;
+  const std::uint64_t m = plan.shape().cols;
+  const std::uint64_t tile = plan.params().width;
+
+  cpu::row_wise_pass<T>(pool, a, b, r, m, plan.pass1().phat, plan.pass1().q);
+  cpu::transpose_blocked<T>(pool, b, scratch, r, m, tile);
+  cpu::row_wise_pass<T>(pool, scratch, b, m, r, plan.pass2().phat, plan.pass2().q);
+  cpu::transpose_blocked<T>(pool, b, scratch, m, r, tile);
+  cpu::row_wise_pass<T>(pool, scratch, b, r, m, plan.pass3().phat, plan.pass3().q);
+}
+
+/// Host variant that applies the per-row permutations directly instead
+/// of reading the (p̂, q) schedule arrays — one indirection per element
+/// instead of two. Used by `bench_ablation_coloring`'s schedule-read
+/// overhead comparison; the GPU-faithful `scheduled_cpu` is what the
+/// paper's implementation does.
+template <class T>
+void scheduled_cpu_direct(util::ThreadPool& pool, const ScheduledPlan& plan,
+                          std::span<const T> a, std::span<T> b, std::span<T> scratch1,
+                          std::span<T> scratch2) {
+  const std::uint64_t n = plan.size();
+  HMM_CHECK(a.size() == n && b.size() == n && scratch1.size() == n && scratch2.size() == n);
+  const std::uint64_t r = plan.shape().rows;
+  const std::uint64_t m = plan.shape().cols;
+  const std::uint64_t tile = plan.params().width;
+
+  cpu::row_wise_pass_direct<T>(pool, a, scratch1, r, m, plan.direct1());
+  cpu::transpose_blocked<T>(pool, scratch1, scratch2, r, m, tile);
+  cpu::row_wise_pass_direct<T>(pool, scratch2, scratch1, m, r, plan.direct2());
+  cpu::transpose_blocked<T>(pool, scratch1, scratch2, m, r, tile);
+  cpu::row_wise_pass_direct<T>(pool, scratch2, b, r, m, plan.direct3());
+}
+
+/// Issue every memory-access round of the scheduled algorithm on the
+/// simulator (16 coalesced global + 16 conflict-free shared rounds);
+/// returns the elapsed time units. Addresses only — pair with
+/// `scheduled_sim` for data movement. `words` is the data element
+/// width in machine words (model::words_of<T>()).
+std::uint64_t scheduled_sim_rounds(sim::HmmSim& sim, const ScheduledPlan& plan,
+                                   std::uint32_t words = 1);
+
+/// Execute the plan on the simulator backend: moves the data through
+/// the same five passes (serially) and accounts the model time.
+template <class T>
+std::uint64_t scheduled_sim(sim::HmmSim& sim, const ScheduledPlan& plan, std::span<const T> a,
+                            std::span<T> b) {
+  const std::uint64_t n = plan.size();
+  HMM_CHECK(a.size() == n && b.size() == n);
+  const std::uint64_t r = plan.shape().rows;
+  const std::uint64_t m = plan.shape().cols;
+
+  std::vector<T> t1(n), t2(n);
+  auto row_pass = [&](const RowScheduleSet& set, const T* in, T* out) {
+    for (std::uint64_t row = 0; row < set.rows; ++row) {
+      const auto phat = set.phat_row(row);
+      const auto q = set.q_row(row);
+      const std::uint64_t base = row * set.cols;
+      for (std::uint64_t k = 0; k < set.cols; ++k) out[base + q[k]] = in[base + phat[k]];
+    }
+  };
+  auto transpose_pass = [&](std::uint64_t rows, std::uint64_t cols, const T* in, T* out) {
+    for (std::uint64_t i = 0; i < rows; ++i) {
+      for (std::uint64_t j = 0; j < cols; ++j) out[j * rows + i] = in[i * cols + j];
+    }
+  };
+
+  row_pass(plan.pass1(), a.data(), t1.data());
+  transpose_pass(r, m, t1.data(), t2.data());
+  row_pass(plan.pass2(), t2.data(), t1.data());
+  transpose_pass(m, r, t1.data(), t2.data());
+  row_pass(plan.pass3(), t2.data(), b.data());
+
+  return scheduled_sim_rounds(sim, plan, model::words_of<T>());
+}
+
+}  // namespace hmm::core

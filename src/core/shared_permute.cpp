@@ -1,0 +1,59 @@
+#include "core/shared_permute.hpp"
+
+#include <vector>
+
+namespace hmm::core {
+
+using model::AccessClass;
+using model::Dir;
+
+SharedPermutation::SharedPermutation(const perm::Permutation& p, std::uint32_t width,
+                                     graph::ColoringAlgorithm algo)
+    : width_(width) {
+  const std::uint64_t n = p.size();
+  HMM_CHECK_MSG(n <= (1ull << 16), "shared permutation indices must fit 16 bits");
+  HMM_CHECK_MSG(n % width == 0, "size must be a multiple of the width");
+  std::vector<std::uint16_t> g(n);
+  for (std::uint64_t j = 0; j < n; ++j) g[j] = static_cast<std::uint16_t>(p(j));
+  phat_.resize(n);
+  q_.resize(n);
+  build_row_schedule(g, width, {phat_.data(), n}, {q_.data(), n}, algo);
+}
+
+std::uint64_t SharedPermutation::sim_rounds(sim::HmmSim& sim) const {
+  const std::uint64_t n = size();
+  std::vector<std::uint64_t> addrs(n);
+  std::uint64_t t = 0;
+  // Read a[p̂(k)] (source buffer at shared offset 0).
+  for (std::uint64_t k = 0; k < n; ++k) addrs[k] = phat_[k];
+  t += sim.shared_round("cf-perm:read", addrs, n, Dir::kRead, AccessClass::kConflictFree);
+  // Write b[q(k)] (destination buffer at shared offset n; n is a
+  // multiple of w so bank(q) is preserved).
+  for (std::uint64_t k = 0; k < n; ++k) addrs[k] = n + q_[k];
+  t += sim.shared_round("cf-perm:write", addrs, n, Dir::kWrite, AccessClass::kConflictFree);
+  return t;
+}
+
+std::uint64_t shared_conventional_sim_rounds(sim::HmmSim& sim, const perm::Permutation& p) {
+  const std::uint64_t n = p.size();
+  std::vector<std::uint64_t> addrs(n);
+  std::uint64_t t = 0;
+  for (std::uint64_t j = 0; j < n; ++j) addrs[j] = j;
+  t += sim.shared_round("conv-perm:read", addrs, n, Dir::kRead, AccessClass::kConflictFree);
+  for (std::uint64_t j = 0; j < n; ++j) addrs[j] = n + p(j);
+  t += sim.shared_round("conv-perm:write", addrs, n, Dir::kWrite, AccessClass::kCasual);
+  return t;
+}
+
+std::uint64_t bank_conflict_stages(const perm::Permutation& p, std::uint32_t width) {
+  HMM_CHECK(p.size() % width == 0);
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> warp(width);
+  for (std::uint64_t base = 0; base < p.size(); base += width) {
+    for (std::uint32_t k = 0; k < width; ++k) warp[k] = p(base + k);
+    total += model::dmm_stages(warp, width);
+  }
+  return total;
+}
+
+}  // namespace hmm::core

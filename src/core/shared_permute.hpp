@@ -1,0 +1,66 @@
+#pragma once
+/// \file shared_permute.hpp
+/// \brief The prior-work baseline the paper builds on (its refs [8],
+///        [9]): *conflict-free offline permutation inside one DMM's
+///        shared memory*, for arrays small enough to fit one SM
+///        (<= 4096 floats on the GTX-680, per the paper's Section I).
+///
+/// The conventional shared-memory permutation `b[p[j]] = a[j]` suffers
+/// bank conflicts (up to w-way serialization). The conflict-free
+/// variant is exactly one row-wise schedule (row_schedule.hpp) applied
+/// to the whole array: read at p̂(k), write at q(k) — both rounds hit w
+/// distinct banks per warp. The paper reports 246ns vs 165ns (1.5x) for
+/// 1024 floats on one SM; `bench_shared_permutation` reproduces the
+/// shape on the simulator.
+
+#include <cstdint>
+#include <span>
+
+#include "core/row_schedule.hpp"
+#include "perm/permutation.hpp"
+#include "sim/hmm_sim.hpp"
+
+namespace hmm::core {
+
+/// Offline-compiled conflict-free shared-memory permutation of one
+/// block-sized array.
+class SharedPermutation {
+ public:
+  /// Compile for permutation `p` (|p| a multiple of width, |p| <= 2^16).
+  SharedPermutation(const perm::Permutation& p, std::uint32_t width,
+                    graph::ColoringAlgorithm algo = graph::ColoringAlgorithm::kAuto);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return phat_.size(); }
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+  [[nodiscard]] std::span<const std::uint16_t> phat() const noexcept { return phat_; }
+  [[nodiscard]] std::span<const std::uint16_t> q() const noexcept { return q_; }
+
+  /// Apply on the host: b[p(j)] = a[j] via the schedule.
+  template <class T>
+  void apply(std::span<const T> a, std::span<T> b) const {
+    HMM_CHECK(a.size() == size() && b.size() == size());
+    for (std::uint64_t k = 0; k < size(); ++k) b[q_[k]] = a[phat_[k]];
+  }
+
+  /// Issue the two conflict-free shared rounds on the simulator
+  /// (1 CF read + 1 CF write); returns time units.
+  [[nodiscard]] std::uint64_t sim_rounds(sim::HmmSim& sim) const;
+
+ private:
+  std::uint32_t width_;
+  util::aligned_vector<std::uint16_t> phat_;
+  util::aligned_vector<std::uint16_t> q_;
+};
+
+/// The conventional shared-memory permutation's rounds: one
+/// conflict-free read of a (thread j reads a[j]) and one *casual* write
+/// of b at p(j) — pays the bank-conflict serialization the paper's
+/// refs [8]/[9] eliminate. Returns time units.
+std::uint64_t shared_conventional_sim_rounds(sim::HmmSim& sim, const perm::Permutation& p);
+
+/// Worst-case bank-conflict distribution of a shared permutation: the
+/// total DMM stage count of the casual write round (the analogue of
+/// d_w(P) for banks). Between n/w (conflict-free) and n (one bank).
+std::uint64_t bank_conflict_stages(const perm::Permutation& p, std::uint32_t width);
+
+}  // namespace hmm::core

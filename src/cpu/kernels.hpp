@@ -1,0 +1,116 @@
+#pragma once
+/// \file kernels.hpp
+/// \brief Host (CPU) kernels standing in for the paper's CUDA kernels.
+///
+/// On a GPU, the conventional algorithm's weakness is non-coalesced
+/// global traffic; on a CPU the same weakness appears as random
+/// cacheline/TLB misses, while the scheduled algorithm's three passes
+/// stream memory row-by-row (each row fits in L1/L2). These kernels
+/// keep the exact pass structure of the paper's five sequential kernel
+/// launches so the wall-clock benchmarks compare the same algorithms.
+
+#include <cstdint>
+#include <span>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::cpu {
+
+/// D-designated conventional permutation: b[p[i]] = a[i] (casual writes).
+template <class T>
+void scatter(util::ThreadPool& pool, std::span<const T> a, std::span<T> b,
+             std::span<const std::uint32_t> p) {
+  HMM_CHECK(a.size() == b.size() && a.size() == p.size());
+  pool.parallel_for_chunks(0, a.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) b[p[i]] = a[i];
+  });
+}
+
+/// S-designated conventional permutation: b[i] = a[pinv[i]] (casual reads).
+template <class T>
+void gather(util::ThreadPool& pool, std::span<const T> a, std::span<T> b,
+            std::span<const std::uint32_t> pinv) {
+  HMM_CHECK(a.size() == b.size() && a.size() == pinv.size());
+  pool.parallel_for_chunks(0, a.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+    for (std::uint64_t i = lo; i < hi; ++i) b[i] = a[pinv[i]];
+  });
+}
+
+/// One row-wise permutation pass over a rows x cols row-major matrix,
+/// using the per-row conflict-free schedules `phat`, `q` (flattened
+/// row-major, `cols` entries per row): out[r][q(k)] = in[r][phat(k)],
+/// i.e. out[r][g(j)] = in[r][j] for the row permutation g = q ∘ phat^-1.
+template <class T>
+void row_wise_pass(util::ThreadPool& pool, std::span<const T> in, std::span<T> out,
+                   std::uint64_t rows, std::uint64_t cols,
+                   std::span<const std::uint16_t> phat, std::span<const std::uint16_t> q) {
+  HMM_CHECK(in.size() == rows * cols && out.size() == rows * cols);
+  HMM_CHECK(phat.size() == rows * cols && q.size() == rows * cols);
+  pool.parallel_for_chunks(0, rows, [&](std::uint64_t r0, std::uint64_t r1) {
+    for (std::uint64_t r = r0; r < r1; ++r) {
+      const T* src = in.data() + r * cols;
+      T* dst = out.data() + r * cols;
+      const std::uint16_t* ph = phat.data() + r * cols;
+      const std::uint16_t* qq = q.data() + r * cols;
+      for (std::uint64_t k = 0; k < cols; ++k) dst[qq[k]] = src[ph[k]];
+    }
+  });
+}
+
+/// Row-wise pass applying the row permutations directly (no schedule
+/// arrays): out[r][g[r][j]] = in[r][j]. Used by the ablation bench to
+/// measure the overhead of reading schedules.
+template <class T>
+void row_wise_pass_direct(util::ThreadPool& pool, std::span<const T> in, std::span<T> out,
+                          std::uint64_t rows, std::uint64_t cols,
+                          std::span<const std::uint16_t> g) {
+  HMM_CHECK(in.size() == rows * cols && out.size() == rows * cols && g.size() == rows * cols);
+  pool.parallel_for_chunks(0, rows, [&](std::uint64_t r0, std::uint64_t r1) {
+    for (std::uint64_t r = r0; r < r1; ++r) {
+      const T* src = in.data() + r * cols;
+      T* dst = out.data() + r * cols;
+      const std::uint16_t* gr = g.data() + r * cols;
+      for (std::uint64_t j = 0; j < cols; ++j) dst[gr[j]] = src[j];
+    }
+  });
+}
+
+/// Blocked matrix transpose: out (cols x rows) = in (rows x cols)^T.
+/// `tile` plays the role of the paper's w x w shared-memory tile.
+template <class T>
+void transpose_blocked(util::ThreadPool& pool, std::span<const T> in, std::span<T> out,
+                       std::uint64_t rows, std::uint64_t cols, std::uint64_t tile = 32) {
+  HMM_CHECK(in.size() == rows * cols && out.size() == rows * cols);
+  HMM_CHECK(tile > 0);
+  const std::uint64_t tile_rows = (rows + tile - 1) / tile;
+  const std::uint64_t tile_cols = (cols + tile - 1) / tile;
+  pool.parallel_for_chunks(0, tile_rows * tile_cols, [&](std::uint64_t t0, std::uint64_t t1) {
+    for (std::uint64_t t = t0; t < t1; ++t) {
+      const std::uint64_t tr = (t / tile_cols) * tile;
+      const std::uint64_t tc = (t % tile_cols) * tile;
+      const std::uint64_t rmax = std::min(rows, tr + tile);
+      const std::uint64_t cmax = std::min(cols, tc + tile);
+      for (std::uint64_t i = tr; i < rmax; ++i) {
+        for (std::uint64_t j = tc; j < cmax; ++j) {
+          out[j * rows + i] = in[i * cols + j];
+        }
+      }
+    }
+  });
+}
+
+/// Naive (row-streaming read, strided write) transpose for the tile
+/// ablation baseline.
+template <class T>
+void transpose_naive(util::ThreadPool& pool, std::span<const T> in, std::span<T> out,
+                     std::uint64_t rows, std::uint64_t cols) {
+  HMM_CHECK(in.size() == rows * cols && out.size() == rows * cols);
+  pool.parallel_for_chunks(0, rows, [&](std::uint64_t r0, std::uint64_t r1) {
+    for (std::uint64_t i = r0; i < r1; ++i) {
+      for (std::uint64_t j = 0; j < cols; ++j) out[j * rows + i] = in[i * cols + j];
+    }
+  });
+}
+
+}  // namespace hmm::cpu

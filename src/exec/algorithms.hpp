@@ -1,0 +1,233 @@
+#pragma once
+/// \file algorithms.hpp
+/// \brief Classic data-parallel algorithms written against the exec::
+///        kernel DSL — the library's proof that the substrate supports
+///        more than permutation. `inclusive_scan` follows the
+///        memory-machine prefix-sums line of work the paper cites (its
+///        ref [12], same authors), `reduce_sum` is the standard
+///        two-level GPU reduction; both run with fully coalesced global
+///        rounds and conflict-free shared rounds, which the simulator
+///        verifies.
+
+#include <cstdint>
+
+#include "exec/kernel.hpp"
+
+namespace hmm::exec {
+
+/// Result of an algorithm run on the machine.
+template <class T>
+struct AlgoResult {
+  T value{};                     ///< scalar result (reduce)
+  std::uint64_t time_units = 0;  ///< total model time of all launches
+};
+
+/// Two-level tree reduction under any associative, commutative `op`
+/// with identity `init`: kernel 1 reduces each block in shared memory
+/// (conflict-free halving tree), kernel 2 (a single block) reduces the
+/// per-block partials. Requires n a multiple of the block size and
+/// blocks <= block size.
+template <class T, class Op = std::plus<T>>
+AlgoResult<T> reduce(Machine& m, GlobalArray<T> data, std::uint64_t block_size, Op op = {},
+                     T init = T{}) {
+  const std::uint64_t n = data.size;
+  HMM_CHECK(n % block_size == 0);
+  const std::uint64_t blocks = n / block_size;
+  HMM_CHECK_MSG(blocks <= block_size,
+                "second-level reduction must fit one block (raise block_size)");
+
+  auto partials = m.alloc_global<T>(blocks);
+  std::uint64_t t = 0;
+
+  struct Regs {
+    T v{};
+  };
+
+  // Level 1: one block per slice; shared-memory halving tree.
+  {
+    Kernel<Regs> k("reduce1");
+    auto s = k.template shared_alloc<T>(block_size);
+    k.template read_global<T>(
+        data, [](const ThreadCtx& c, const Regs&) { return c.global_id(); },
+        [](Regs& r, T v) { r.v = v; }, model::AccessClass::kCoalesced, "load");
+    k.template write_shared<T>(
+        s, [](const ThreadCtx& c, const Regs&) { return c.thread; },
+        [](const ThreadCtx&, const Regs& r) { return r.v; },
+        model::AccessClass::kConflictFree, "stage");
+    for (std::uint64_t stride = block_size / 2; stride >= 1; stride /= 2) {
+      // Active threads t < stride read s[t + stride], add, write s[t].
+      k.template read_shared<T>(
+          s,
+          [stride](const ThreadCtx& c, const Regs&) {
+            return c.thread < stride ? c.thread + stride : model::kNoAccess;
+          },
+          [op](Regs& r, T v) { r.v = op(r.v, v); }, model::AccessClass::kConflictFree,
+          "tree read");
+      k.template write_shared<T>(
+          s,
+          [stride](const ThreadCtx& c, const Regs&) {
+            return c.thread < stride ? c.thread : model::kNoAccess;
+          },
+          [](const ThreadCtx&, const Regs& r) { return r.v; },
+          model::AccessClass::kConflictFree, "tree write");
+      if (stride == 1) break;
+    }
+    k.template write_global<T>(
+        partials,
+        [](const ThreadCtx& c, const Regs&) {
+          return c.thread == 0 ? c.block : model::kNoAccess;
+        },
+        [](const ThreadCtx&, const Regs& r) { return r.v; },
+        model::AccessClass::kCasual, "partials");
+    t += m.launch(LaunchConfig{blocks, block_size}, k);
+  }
+
+  // Level 2: single block reduces the partials the same way.
+  {
+    const std::uint64_t width = m.params().width;
+    const std::uint64_t block2 = std::max<std::uint64_t>(width, blocks);
+    Kernel<Regs> k("reduce2");
+    auto s = k.template shared_alloc<T>(block2);
+    k.template read_global<T>(
+        partials,
+        [blocks](const ThreadCtx& c, const Regs&) {
+          return c.thread < blocks ? c.thread : model::kNoAccess;
+        },
+        [](Regs& r, T v) { r.v = v; }, model::AccessClass::kCoalesced, "load");
+    k.compute([blocks, init](const ThreadCtx& c, Regs& r) {
+      if (c.thread >= blocks) r.v = init;
+    });
+    k.template write_shared<T>(
+        s, [](const ThreadCtx& c, const Regs&) { return c.thread; },
+        [](const ThreadCtx&, const Regs& r) { return r.v; },
+        model::AccessClass::kConflictFree, "stage");
+    for (std::uint64_t stride = block2 / 2; stride >= 1; stride /= 2) {
+      k.template read_shared<T>(
+          s,
+          [stride](const ThreadCtx& c, const Regs&) {
+            return c.thread < stride ? c.thread + stride : model::kNoAccess;
+          },
+          [op](Regs& r, T v) { r.v = op(r.v, v); }, model::AccessClass::kConflictFree,
+          "tree read");
+      k.template write_shared<T>(
+          s,
+          [stride](const ThreadCtx& c, const Regs&) {
+            return c.thread < stride ? c.thread : model::kNoAccess;
+          },
+          [](const ThreadCtx&, const Regs& r) { return r.v; },
+          model::AccessClass::kConflictFree, "tree write");
+      if (stride == 1) break;
+    }
+    k.template write_global<T>(
+        partials,
+        [](const ThreadCtx& c, const Regs&) {
+          return c.thread == 0 ? 0 : model::kNoAccess;
+        },
+        [](const ThreadCtx&, const Regs& r) { return r.v; },
+        model::AccessClass::kCasual, "total");
+    t += m.launch(LaunchConfig{1, block2}, k);
+  }
+
+  AlgoResult<T> result;
+  result.time_units = t;
+  std::vector<T> host(partials.size);
+  m.read_back(partials, std::span<T>{host.data(), host.size()});
+  result.value = host[0];
+  return result;
+}
+
+/// The sum reduction (the common case).
+template <class T>
+AlgoResult<T> reduce_sum(Machine& m, GlobalArray<T> data, std::uint64_t block_size) {
+  return reduce<T>(m, data, block_size);
+}
+
+/// Kogge–Stone inclusive scan (prefix "sums" under any associative
+/// `op`), the memory-machine prefix-sums algorithm shape of the
+/// paper's ref [12]: log2(n) rounds, each a coalesced shifted read +
+/// coalesced write, ping-ponging between two buffers. Returns the
+/// output array handle and the model time.
+template <class T, class Op = std::plus<T>>
+std::pair<GlobalArray<T>, std::uint64_t> inclusive_scan(Machine& m, GlobalArray<T> input,
+                                                        std::uint64_t block_size, Op op = {}) {
+  const std::uint64_t n = input.size;
+  HMM_CHECK(n % block_size == 0);
+
+  GlobalArray<T> bufs[2] = {m.alloc_global<T>(n), m.alloc_global<T>(n)};
+  std::uint64_t t = 0;
+
+  struct Regs {
+    T v{};
+  };
+
+  // Copy input into buffer 0 (one coalesced read+write kernel).
+  {
+    Kernel<Regs> k("scan-init");
+    k.template read_global<T>(
+        input, [](const ThreadCtx& c, const Regs&) { return c.global_id(); },
+        [](Regs& r, T v) { r.v = v; }, model::AccessClass::kCoalesced, "load");
+    k.template write_global<T>(
+        bufs[0], [](const ThreadCtx& c, const Regs&) { return c.global_id(); },
+        [](const ThreadCtx&, const Regs& r) { return r.v; },
+        model::AccessClass::kCoalesced, "store");
+    t += m.launch(LaunchConfig{n / block_size, block_size}, k);
+  }
+
+  int cur = 0;
+  for (std::uint64_t dist = 1; dist < n; dist <<= 1) {
+    Kernel<Regs> k("scan-d" + std::to_string(dist));
+    k.template read_global<T>(
+        bufs[cur], [](const ThreadCtx& c, const Regs&) { return c.global_id(); },
+        [](Regs& r, T v) { r.v = v; }, model::AccessClass::kCoalesced, "read self");
+    // Shifted read: i - dist for i >= dist; the shifted warp touches at
+    // most 2 groups — declared casual, observed near-coalesced.
+    k.template read_global<T>(
+        bufs[cur],
+        [dist](const ThreadCtx& c, const Regs&) {
+          const std::uint64_t i = c.global_id();
+          return i >= dist ? i - dist : model::kNoAccess;
+        },
+        [op](Regs& r, T v) { r.v = op(r.v, v); }, model::AccessClass::kCasual,
+        "read shifted");
+    k.template write_global<T>(
+        bufs[1 - cur], [](const ThreadCtx& c, const Regs&) { return c.global_id(); },
+        [](const ThreadCtx&, const Regs& r) { return r.v; },
+        model::AccessClass::kCoalesced, "write");
+    t += m.launch(LaunchConfig{n / block_size, block_size}, k);
+    cur = 1 - cur;
+  }
+  return {bufs[cur], t};
+}
+
+/// Exclusive scan: out[0] = init, out[i] = fold of input[0..i) under
+/// `op`. One shifted-copy kernel on top of the inclusive scan.
+template <class T, class Op = std::plus<T>>
+std::pair<GlobalArray<T>, std::uint64_t> exclusive_scan(Machine& m, GlobalArray<T> input,
+                                                        std::uint64_t block_size, Op op = {},
+                                                        T init = T{}) {
+  auto [inc, t] = inclusive_scan<T, Op>(m, input, block_size, op);
+  auto out = m.alloc_global<T>(input.size);
+  struct Regs {
+    T v{};
+  };
+  Kernel<Regs> k("scan-shift");
+  k.template read_global<T>(
+       inc,
+       [](const ThreadCtx& c, const Regs&) {
+         const std::uint64_t i = c.global_id();
+         return i >= 1 ? i - 1 : model::kNoAccess;
+       },
+       [](Regs& r, T v) { r.v = v; }, model::AccessClass::kCasual, "read shifted")
+      .compute([init, op](const ThreadCtx& c, Regs& r) {
+        // Fold the seed in front (std::exclusive_scan semantics).
+        r.v = c.global_id() == 0 ? init : op(init, r.v);
+      })
+      .template write_global<T>(
+          out, [](const ThreadCtx& c, const Regs&) { return c.global_id(); },
+          [](const ThreadCtx&, const Regs& r) { return r.v; },
+          model::AccessClass::kCoalesced, "store");
+  t += m.launch(LaunchConfig{input.size / block_size, block_size}, k);
+  return {out, t};
+}
+
+}  // namespace hmm::exec

@@ -1,0 +1,271 @@
+#pragma once
+/// \file kernel.hpp
+/// \brief Kernel description DSL for exec::Machine.
+///
+/// A `Kernel<Regs>` is a straight-line sequence of *steps*; `Regs` is
+/// the user-defined per-thread register file. Memory steps carry an
+/// address functor `(ThreadCtx, Regs) -> element index` (or
+/// `kNoAccess`) and a data functor (a sink for reads, a source for
+/// writes); each becomes exactly one memory-access round. `compute`
+/// steps are register-only and free (matching the paper's pure
+/// memory-cost accounting). Shared arrays are allocated per kernel via
+/// `shared_alloc<U>` and live in each block's shared memory; within a
+/// launch all shared arrays must share one element size (bank indices
+/// are element-granular, like the model's).
+///
+/// Example — the conventional D-designated permutation:
+/// \code
+///   struct Regs { std::uint32_t t; float v; };
+///   Kernel<Regs> k;
+///   k.read_global(p,  idx_fn,  [](Regs& r, std::uint32_t t) { r.t = t; })
+///    .read_global(a,  idx_fn,  [](Regs& r, float v) { r.v = v; })
+///    .write_global(b, [](const ThreadCtx&, const Regs& r) { return r.t; },
+///                     [](const ThreadCtx&, const Regs& r) { return r.v; },
+///                     model::AccessClass::kCasual);
+///   machine.launch({n / 1024, 1024}, k);
+/// \endcode
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/machine.hpp"
+#include "model/access.hpp"
+
+namespace hmm::exec {
+
+/// Handle to a per-block shared array (element offset within the
+/// block's shared space).
+template <class U>
+struct SharedArray {
+  std::uint64_t offset = 0;  ///< in elements, width-aligned
+  std::uint64_t size = 0;
+};
+
+template <class Regs>
+class Kernel {
+ public:
+  /// Address functor: element index to access, or model::kNoAccess.
+  using AddrFn = std::function<std::uint64_t(const ThreadCtx&, const Regs&)>;
+
+  /// Per-block shared memory image for one launch.
+  struct SharedMem {
+    std::vector<std::byte> bytes;
+    std::uint64_t per_block_elems = 0;
+    std::uint64_t elem_size = 0;
+
+    template <class U>
+    [[nodiscard]] U load(std::uint64_t block, std::uint64_t elem) const {
+      HMM_DCHECK(sizeof(U) == elem_size && elem < per_block_elems);
+      U v;
+      std::memcpy(&v, bytes.data() + (block * per_block_elems + elem) * elem_size,
+                  sizeof(U));
+      return v;
+    }
+    template <class U>
+    void store(std::uint64_t block, std::uint64_t elem, U v) {
+      HMM_DCHECK(sizeof(U) == elem_size && elem < per_block_elems);
+      std::memcpy(bytes.data() + (block * per_block_elems + elem) * elem_size, &v,
+                  sizeof(U));
+    }
+  };
+
+  using Step = std::function<void(Machine&, const LaunchConfig&, std::vector<Regs>&,
+                                  SharedMem&, std::uint64_t&)>;
+
+  /// Name the kernel (prefixes every round label in the sim stats).
+  explicit Kernel(std::string name = "kernel") : name_(std::move(name)) {}
+
+  /// Allocate a shared array of n elements of U per block. All shared
+  /// arrays of one kernel must have the same sizeof(U). Offsets are
+  /// rounded up to a multiple of 64 elements so bank phase is preserved
+  /// for any machine width up to 64.
+  template <class U>
+  SharedArray<U> shared_alloc(std::uint64_t n) {
+    HMM_CHECK_MSG(shared_elem_size_ == 0 || shared_elem_size_ == sizeof(U),
+                  "all shared arrays in a kernel must share one element size");
+    shared_elem_size_ = sizeof(U);
+    SharedArray<U> arr{shared_elems_, n};
+    shared_elems_ += util::ceil_div(n, 64) * 64;
+    return arr;
+  }
+
+  [[nodiscard]] std::uint64_t shared_elems() const noexcept { return shared_elems_; }
+  [[nodiscard]] std::uint64_t shared_elem_size() const noexcept { return shared_elem_size_; }
+  [[nodiscard]] std::uint64_t shared_bytes_per_block() const noexcept {
+    return shared_elems_ * shared_elem_size_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept { return steps_; }
+
+  /// One coalesced/casual global read round: `sink(regs, value)` runs
+  /// for every participating thread after the round completes.
+  template <class U>
+  Kernel& read_global(GlobalArray<U> arr, AddrFn addr, std::function<void(Regs&, U)> sink,
+                      model::AccessClass declared = model::AccessClass::kCoalesced,
+                      std::string label = "read") {
+    steps_.push_back(make_global_step<U>(arr, std::move(addr), std::move(sink), nullptr,
+                                         model::Dir::kRead, declared, std::move(label)));
+    return *this;
+  }
+
+  /// One global write round: `src(ctx, regs)` supplies each value.
+  template <class U>
+  Kernel& write_global(GlobalArray<U> arr, AddrFn addr,
+                       std::function<U(const ThreadCtx&, const Regs&)> src,
+                       model::AccessClass declared = model::AccessClass::kCoalesced,
+                       std::string label = "write") {
+    steps_.push_back(make_global_step<U>(arr, std::move(addr), nullptr, std::move(src),
+                                         model::Dir::kWrite, declared, std::move(label)));
+    return *this;
+  }
+
+  /// One shared read round (per-block address space).
+  template <class U>
+  Kernel& read_shared(SharedArray<U> arr, AddrFn addr, std::function<void(Regs&, U)> sink,
+                      model::AccessClass declared = model::AccessClass::kConflictFree,
+                      std::string label = "smem read") {
+    steps_.push_back(make_shared_step<U>(arr, std::move(addr), std::move(sink), nullptr,
+                                         model::Dir::kRead, declared, std::move(label)));
+    return *this;
+  }
+
+  /// One shared write round.
+  template <class U>
+  Kernel& write_shared(SharedArray<U> arr, AddrFn addr,
+                       std::function<U(const ThreadCtx&, const Regs&)> src,
+                       model::AccessClass declared = model::AccessClass::kConflictFree,
+                       std::string label = "smem write") {
+    steps_.push_back(make_shared_step<U>(arr, std::move(addr), nullptr, std::move(src),
+                                         model::Dir::kWrite, declared, std::move(label)));
+    return *this;
+  }
+
+  /// Register-only step; free in the model.
+  Kernel& compute(std::function<void(const ThreadCtx&, Regs&)> fn) {
+    steps_.push_back([fn = std::move(fn)](Machine&, const LaunchConfig& cfg,
+                                          std::vector<Regs>& regs, SharedMem&,
+                                          std::uint64_t&) {
+      for (std::uint64_t b = 0; b < cfg.blocks; ++b) {
+        for (std::uint64_t t = 0; t < cfg.threads_per_block; ++t) {
+          const ThreadCtx ctx{b, t, cfg.threads_per_block};
+          fn(ctx, regs[ctx.global_id()]);
+        }
+      }
+    });
+    return *this;
+  }
+
+ private:
+  template <class U>
+  Step make_global_step(GlobalArray<U> arr, AddrFn addr, std::function<void(Regs&, U)> sink,
+                        std::function<U(const ThreadCtx&, const Regs&)> src, model::Dir dir,
+                        model::AccessClass declared, std::string label) {
+    label = name_ + ":" + label;
+    return [=](Machine& m, const LaunchConfig& cfg, std::vector<Regs>& regs,
+                     SharedMem&, std::uint64_t& elapsed) {
+      const std::uint64_t total = cfg.total_threads();
+      std::vector<std::uint64_t> addrs(total);
+      std::vector<std::uint64_t> local(total);
+      for (std::uint64_t b = 0; b < cfg.blocks; ++b) {
+        for (std::uint64_t t = 0; t < cfg.threads_per_block; ++t) {
+          const ThreadCtx ctx{b, t, cfg.threads_per_block};
+          const std::uint64_t tid = ctx.global_id();
+          const std::uint64_t a = addr(ctx, regs[tid]);
+          local[tid] = a;
+          if (a == model::kNoAccess) {
+            addrs[tid] = model::kNoAccess;
+          } else {
+            HMM_DCHECK(a < arr.size);
+            addrs[tid] = arr.base + a;
+          }
+        }
+      }
+      // Writes hit memory "during" the round; reads deliver afterwards.
+      if (dir == model::Dir::kWrite) {
+        for (std::uint64_t b = 0; b < cfg.blocks; ++b) {
+          for (std::uint64_t t = 0; t < cfg.threads_per_block; ++t) {
+            const ThreadCtx ctx{b, t, cfg.threads_per_block};
+            const std::uint64_t tid = ctx.global_id();
+            if (local[tid] == model::kNoAccess) continue;
+            m.store(arr, local[tid], src(ctx, regs[tid]));
+          }
+        }
+      }
+      elapsed += m.sim().global_round(label, addrs, dir, declared, model::words_of<U>());
+      if (dir == model::Dir::kRead) {
+        for (std::uint64_t tid = 0; tid < total; ++tid) {
+          if (local[tid] == model::kNoAccess) continue;
+          sink(regs[tid], m.load(arr, local[tid]));
+        }
+      }
+    };
+  }
+
+  template <class U>
+  Step make_shared_step(SharedArray<U> arr, AddrFn addr, std::function<void(Regs&, U)> sink,
+                        std::function<U(const ThreadCtx&, const Regs&)> src, model::Dir dir,
+                        model::AccessClass declared, std::string label) {
+    label = name_ + ":" + label;
+    return [=](Machine& m, const LaunchConfig& cfg, std::vector<Regs>& regs,
+                     SharedMem& smem, std::uint64_t& elapsed) {
+      const std::uint64_t total = cfg.total_threads();
+      std::vector<std::uint64_t> addrs(total);
+      std::vector<std::uint64_t> local(total);
+      for (std::uint64_t b = 0; b < cfg.blocks; ++b) {
+        for (std::uint64_t t = 0; t < cfg.threads_per_block; ++t) {
+          const ThreadCtx ctx{b, t, cfg.threads_per_block};
+          const std::uint64_t tid = ctx.global_id();
+          const std::uint64_t a = addr(ctx, regs[tid]);
+          local[tid] = a;
+          if (a == model::kNoAccess) {
+            addrs[tid] = model::kNoAccess;
+          } else {
+            HMM_DCHECK(a < arr.size);
+            addrs[tid] = arr.offset + a;
+          }
+          if (dir == model::Dir::kWrite && a != model::kNoAccess) {
+            smem.template store<U>(b, arr.offset + a, src(ctx, regs[tid]));
+          }
+        }
+      }
+      elapsed += m.sim().shared_round(label, addrs, cfg.threads_per_block, dir, declared,
+                                      model::words_of<U>());
+      if (dir == model::Dir::kRead) {
+        for (std::uint64_t b = 0; b < cfg.blocks; ++b) {
+          for (std::uint64_t t = 0; t < cfg.threads_per_block; ++t) {
+            const ThreadCtx ctx{b, t, cfg.threads_per_block};
+            const std::uint64_t tid = ctx.global_id();
+            if (local[tid] == model::kNoAccess) continue;
+            sink(regs[tid], smem.template load<U>(b, arr.offset + local[tid]));
+          }
+        }
+      }
+    };
+  }
+
+  std::string name_;
+  std::vector<Step> steps_;
+  std::uint64_t shared_elems_ = 0;
+  std::uint64_t shared_elem_size_ = 0;
+};
+
+template <class Regs>
+std::uint64_t Machine::launch(const LaunchConfig& cfg, const Kernel<Regs>& kernel) {
+  HMM_CHECK_MSG(cfg.threads_per_block % params().width == 0,
+                "block size must be a multiple of the machine width");
+  HMM_CHECK_MSG(kernel.shared_bytes_per_block() <= params().shared_bytes,
+                "kernel's shared arrays exceed the DMM shared memory");
+  std::vector<Regs> regs(cfg.total_threads());
+  typename Kernel<Regs>::SharedMem smem;
+  smem.per_block_elems = kernel.shared_elems();
+  smem.elem_size = std::max<std::uint64_t>(1, kernel.shared_elem_size());
+  smem.bytes.resize(cfg.blocks * kernel.shared_elems() * smem.elem_size);
+  std::uint64_t elapsed = 0;
+  for (const auto& step : kernel.steps()) {
+    step(*this, cfg, regs, smem, elapsed);
+  }
+  return elapsed;
+}
+
+}  // namespace hmm::exec

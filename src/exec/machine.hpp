@@ -1,0 +1,126 @@
+#pragma once
+/// \file machine.hpp
+/// \brief `exec::Machine` — a CUDA-like execution layer over the HMM
+///        simulator. Algorithms are written as kernels (kernel.hpp):
+///        a grid of blocks of threads whose memory steps are replayed
+///        round-synchronously, moving real data through typed global
+///        arrays and per-block shared memory while the simulator
+///        accounts the exact model time of every round.
+///
+/// This is the "write your own HMM algorithm" substrate: the paper's
+/// five kernels are re-expressed in it (paper_kernels.hpp) and the
+/// tests pin them, round for round and time unit for time unit, to the
+/// hand-rolled executors in core/.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "sim/hmm_sim.hpp"
+#include "util/check.hpp"
+
+namespace hmm::exec {
+
+/// Handle to a typed array in the machine's global memory.
+template <class U>
+struct GlobalArray {
+  std::uint32_t id = ~0u;
+  std::uint64_t base = 0;  ///< element address of element 0 (group-aligned)
+  std::uint64_t size = 0;
+};
+
+/// Grid geometry of a launch.
+struct LaunchConfig {
+  std::uint64_t blocks = 1;
+  std::uint64_t threads_per_block = 1;
+  [[nodiscard]] std::uint64_t total_threads() const noexcept {
+    return blocks * threads_per_block;
+  }
+};
+
+/// Per-thread coordinates, passed to every address/compute functor.
+struct ThreadCtx {
+  std::uint64_t block = 0;
+  std::uint64_t thread = 0;       ///< index within the block
+  std::uint64_t block_dim = 0;    ///< threads per block
+  [[nodiscard]] std::uint64_t global_id() const noexcept {
+    return block * block_dim + thread;
+  }
+};
+
+template <class Regs>
+class Kernel;
+
+/// The machine: owns global-memory buffers (real data) and the
+/// simulator (model time). One Machine per experiment.
+class Machine {
+ public:
+  explicit Machine(model::MachineParams params) : sim_(params) {}
+
+  [[nodiscard]] sim::HmmSim& sim() noexcept { return sim_; }
+  [[nodiscard]] const sim::HmmSim& sim() const noexcept { return sim_; }
+  [[nodiscard]] const model::MachineParams& params() const noexcept { return sim_.params(); }
+
+  /// Allocate an uninitialized (zeroed) global array of n elements.
+  template <class U>
+  GlobalArray<U> alloc_global(std::uint64_t n) {
+    GlobalArray<U> arr;
+    arr.id = static_cast<std::uint32_t>(buffers_.size());
+    arr.base = sim_.alloc_global(n);
+    arr.size = n;
+    buffers_.push_back(Buffer{std::vector<std::byte>(n * sizeof(U)), sizeof(U)});
+    return arr;
+  }
+
+  /// Allocate and initialize from host data (the cudaMemcpy H2D analogue;
+  /// not charged — the paper's accounting starts with data resident).
+  template <class U>
+  GlobalArray<U> alloc_global(std::span<const U> init) {
+    GlobalArray<U> arr = alloc_global<U>(init.size());
+    std::memcpy(buffers_[arr.id].bytes.data(), init.data(), init.size_bytes());
+    return arr;
+  }
+
+  /// Copy an array's contents back to the host (D2H analogue).
+  template <class U>
+  void read_back(const GlobalArray<U>& arr, std::span<U> out) const {
+    HMM_CHECK(out.size() == arr.size);
+    HMM_CHECK(arr.id < buffers_.size() && buffers_[arr.id].elem_size == sizeof(U));
+    std::memcpy(out.data(), buffers_[arr.id].bytes.data(), out.size_bytes());
+  }
+
+  /// Element access used by the kernel replay (bounds-checked).
+  template <class U>
+  [[nodiscard]] U load(const GlobalArray<U>& arr, std::uint64_t index) const {
+    HMM_DCHECK(arr.id < buffers_.size() && index < arr.size);
+    U v;
+    std::memcpy(&v, buffers_[arr.id].bytes.data() + index * sizeof(U), sizeof(U));
+    return v;
+  }
+
+  template <class U>
+  void store(const GlobalArray<U>& arr, std::uint64_t index, U value) {
+    HMM_DCHECK(arr.id < buffers_.size() && index < arr.size);
+    std::memcpy(buffers_[arr.id].bytes.data() + index * sizeof(U), &value, sizeof(U));
+  }
+
+  /// Run a kernel over the grid: each recorded step becomes one memory
+  /// round (or a free compute step), executed for every thread before
+  /// the next begins — the model's round-synchronous semantics.
+  /// Returns the time units the launch took.
+  template <class Regs>
+  std::uint64_t launch(const LaunchConfig& cfg, const Kernel<Regs>& kernel);
+
+ private:
+  struct Buffer {
+    std::vector<std::byte> bytes;
+    std::size_t elem_size;
+  };
+  sim::HmmSim sim_;
+  std::vector<Buffer> buffers_;
+};
+
+}  // namespace hmm::exec

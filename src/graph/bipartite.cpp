@@ -1,0 +1,88 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmm::graph {
+
+BipartiteMultigraph::BipartiteMultigraph(std::uint32_t left_count, std::uint32_t right_count)
+    : left_(left_count), right_(right_count) {
+  HMM_CHECK(left_count > 0 && right_count > 0);
+}
+
+std::uint32_t BipartiteMultigraph::add_edge(std::uint32_t u, std::uint32_t v) {
+  HMM_DCHECK(u < left_ && v < right_);
+  edges_.push_back(Edge{u, v});
+  return static_cast<std::uint32_t>(edges_.size() - 1);
+}
+
+void BipartiteMultigraph::reserve(std::size_t count) { edges_.reserve(count); }
+
+std::uint32_t BipartiteMultigraph::left_degree(std::uint32_t u) const {
+  std::uint32_t deg = 0;
+  for (const Edge& e : edges_) deg += (e.u == u);
+  return deg;
+}
+
+std::uint32_t BipartiteMultigraph::right_degree(std::uint32_t v) const {
+  std::uint32_t deg = 0;
+  for (const Edge& e : edges_) deg += (e.v == v);
+  return deg;
+}
+
+std::optional<std::uint32_t> BipartiteMultigraph::regular_degree() const {
+  std::vector<std::uint32_t> ldeg(left_, 0), rdeg(right_, 0);
+  for (const Edge& e : edges_) {
+    ++ldeg[e.u];
+    ++rdeg[e.v];
+  }
+  if (edges_.empty()) return 0;
+  const std::uint32_t k = ldeg[0];
+  for (std::uint32_t d : ldeg) {
+    if (d != k) return std::nullopt;
+  }
+  for (std::uint32_t d : rdeg) {
+    if (d != k) return std::nullopt;
+  }
+  if (k > 0 && left_ != right_) return std::nullopt;
+  return k;
+}
+
+bool is_proper_coloring(const BipartiteMultigraph& g, const EdgeColoring& c) {
+  if (c.color.size() != g.edge_count()) return false;
+  // seen[node][color] via a flat timestamped table to avoid O(V*C) memory
+  // churn: one pass per side.
+  for (int side = 0; side < 2; ++side) {
+    const std::uint32_t nodes = side == 0 ? g.left_count() : g.right_count();
+    std::vector<std::uint64_t> stamp(static_cast<std::size_t>(nodes) * c.colors, ~0ull);
+    for (std::uint32_t e = 0; e < g.edge_count(); ++e) {
+      const std::uint32_t col = c.color[e];
+      if (col >= c.colors) return false;
+      const std::uint32_t node = side == 0 ? g.edge(e).u : g.edge(e).v;
+      auto& cell = stamp[static_cast<std::size_t>(node) * c.colors + col];
+      if (cell != ~0ull) return false;  // two same-colored edges at a node
+      cell = e;
+    }
+  }
+  return true;
+}
+
+bool is_konig_coloring(const BipartiteMultigraph& g, const EdgeColoring& c) {
+  if (!is_proper_coloring(g, c)) return false;
+  const auto deg = g.regular_degree();
+  if (!deg || c.colors != *deg) return false;
+  std::vector<std::uint32_t> class_size(c.colors, 0);
+  for (std::uint32_t col : c.color) ++class_size[col];
+  return std::all_of(class_size.begin(), class_size.end(),
+                     [&](std::uint32_t s) { return s == g.left_count(); });
+}
+
+std::vector<std::vector<std::uint32_t>> color_classes(const BipartiteMultigraph& g,
+                                                      const EdgeColoring& c) {
+  std::vector<std::vector<std::uint32_t>> classes(c.colors);
+  for (std::uint32_t e = 0; e < g.edge_count(); ++e) classes[c.color[e]].push_back(e);
+  return classes;
+}
+
+}  // namespace hmm::graph

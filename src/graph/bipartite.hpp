@@ -1,0 +1,80 @@
+#pragma once
+/// \file bipartite.hpp
+/// \brief Bipartite multigraph: the combinatorial substrate of the
+///        scheduled permutation planner.
+///
+/// The planner builds two families of regular bipartite multigraphs:
+/// * the *row graph* (source rows x destination rows, one edge per
+///   element, degree = row length), whose König coloring assigns each
+///   element its routing column; and
+/// * per-row *bank graphs* (source banks x destination banks, degree =
+///   row length / width), whose coloring yields conflict-free
+///   shared-memory schedules.
+///
+/// Parallel edges are essential — two elements of a row may share both
+/// source and destination bank — hence a multigraph with stable edge ids.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hmm::graph {
+
+/// An edge of a bipartite multigraph (left endpoint `u`, right `v`).
+struct Edge {
+  std::uint32_t u;
+  std::uint32_t v;
+};
+
+/// Bipartite multigraph with stable edge indices.
+class BipartiteMultigraph {
+ public:
+  BipartiteMultigraph(std::uint32_t left_count, std::uint32_t right_count);
+
+  /// Append an edge and return its id (ids are dense, in insertion order).
+  std::uint32_t add_edge(std::uint32_t u, std::uint32_t v);
+
+  /// Reserve storage for `count` edges.
+  void reserve(std::size_t count);
+
+  [[nodiscard]] std::uint32_t left_count() const noexcept { return left_; }
+  [[nodiscard]] std::uint32_t right_count() const noexcept { return right_; }
+  [[nodiscard]] std::uint32_t edge_count() const noexcept {
+    return static_cast<std::uint32_t>(edges_.size());
+  }
+  [[nodiscard]] const Edge& edge(std::uint32_t id) const { return edges_[id]; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Degree of left node `u` / right node `v`.
+  [[nodiscard]] std::uint32_t left_degree(std::uint32_t u) const;
+  [[nodiscard]] std::uint32_t right_degree(std::uint32_t v) const;
+
+  /// If every node (both sides) has the same degree k, returns k.
+  /// Requires left_count == right_count for k > 0.
+  [[nodiscard]] std::optional<std::uint32_t> regular_degree() const;
+
+ private:
+  std::uint32_t left_;
+  std::uint32_t right_;
+  std::vector<Edge> edges_;
+};
+
+/// A proper edge coloring: `color[e]` in `[0, colors)` such that no two
+/// edges sharing a node have the same color.
+struct EdgeColoring {
+  std::uint32_t colors = 0;
+  std::vector<std::uint32_t> color;  ///< indexed by edge id
+};
+
+/// True iff `c` is a proper edge coloring of `g`.
+bool is_proper_coloring(const BipartiteMultigraph& g, const EdgeColoring& c);
+
+/// True iff `c` is a König coloring of a k-regular graph: proper AND
+/// every color class is a perfect matching (size == left_count).
+bool is_konig_coloring(const BipartiteMultigraph& g, const EdgeColoring& c);
+
+/// Group edge ids by color (index = color).
+std::vector<std::vector<std::uint32_t>> color_classes(const BipartiteMultigraph& g,
+                                                      const EdgeColoring& c);
+
+}  // namespace hmm::graph

@@ -1,0 +1,39 @@
+#pragma once
+/// \file coloring.hpp
+/// \brief General König edge-coloring algorithms and the dispatching
+///        entry point used by the permutation planner.
+///
+/// Three interchangeable implementations (compared by
+/// `bench_ablation_coloring`):
+/// * `color_euler_split`  — O(E log k), power-of-two degree only (euler_split.hpp);
+/// * `color_matching_peel` — O(k E sqrt(V)), any regular degree, peels
+///   one perfect matching (= one color class) per round via Hopcroft–Karp;
+/// * `color_alternating_path` — the textbook constructive proof of
+///   König's theorem: insert edges one by one, resolving color clashes
+///   by flipping an alternating (two-colored) path.
+
+#include "graph/bipartite.hpp"
+
+namespace hmm::graph {
+
+/// Available König-coloring strategies.
+enum class ColoringAlgorithm {
+  kEulerSplit,       ///< fastest; requires power-of-two regular degree
+  kMatchingPeel,     ///< any regular degree
+  kAlternatingPath,  ///< any (even irregular) bipartite multigraph
+  kAuto,             ///< Euler split when applicable, else matching peel
+};
+
+/// Peel perfect matchings from a k-regular bipartite multigraph.
+EdgeColoring color_matching_peel(const BipartiteMultigraph& g);
+
+/// Classical alternating-path (Vizing-style for bipartite) coloring.
+/// Works for any bipartite multigraph; uses max-degree many colors.
+EdgeColoring color_alternating_path(const BipartiteMultigraph& g);
+
+/// Dispatch on `algo`; `kAuto` picks Euler split for power-of-two
+/// regular degrees and matching peel otherwise.
+EdgeColoring color_edges(const BipartiteMultigraph& g,
+                         ColoringAlgorithm algo = ColoringAlgorithm::kAuto);
+
+}  // namespace hmm::graph

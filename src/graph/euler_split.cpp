@@ -1,0 +1,138 @@
+#include "graph/euler_split.hpp"
+
+#include <numeric>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace hmm::graph {
+namespace {
+
+/// CSR adjacency over (left + right) nodes for the subgraph formed by a
+/// group of edges. Slots hold *group-local* edge indices so all scratch
+/// is proportional to the group, not the whole graph.
+struct LevelAdjacency {
+  std::vector<std::uint32_t> offset;  // per node, into slots
+  std::vector<std::uint32_t> slots;   // group-local edge indices
+  std::vector<std::uint32_t> cursor;  // next unexplored slot per node
+
+  LevelAdjacency(const BipartiteMultigraph& g, const std::vector<std::uint32_t>& edge_ids) {
+    const std::uint32_t nodes = g.left_count() + g.right_count();
+    offset.assign(nodes + 1, 0);
+    for (std::uint32_t id : edge_ids) {
+      const Edge& e = g.edge(id);
+      ++offset[e.u + 1];
+      ++offset[g.left_count() + e.v + 1];
+    }
+    std::partial_sum(offset.begin(), offset.end(), offset.begin());
+    slots.resize(offset.back());
+    std::vector<std::uint32_t> fill(offset.begin(), offset.end() - 1);
+    for (std::uint32_t k = 0; k < edge_ids.size(); ++k) {
+      const Edge& e = g.edge(edge_ids[k]);
+      slots[fill[e.u]++] = k;
+      slots[fill[g.left_count() + e.v]++] = k;
+    }
+    cursor.assign(offset.begin(), offset.end() - 1);
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> euler_split_once(const BipartiteMultigraph& g,
+                                           const std::vector<std::uint32_t>& edge_ids) {
+  std::vector<std::uint8_t> used(edge_ids.size(), 0);
+  std::vector<std::uint8_t> half(edge_ids.size(), 0);
+
+  LevelAdjacency adj(g, edge_ids);
+  const std::uint32_t left = g.left_count();
+
+  auto other_end = [&](std::uint32_t local, std::uint32_t node) -> std::uint32_t {
+    const Edge& e = g.edge(edge_ids[local]);
+    return node < left ? left + e.v : e.u;
+  };
+  auto next_edge = [&](std::uint32_t node) -> std::uint32_t {
+    std::uint32_t& cur = adj.cursor[node];
+    while (cur < adj.offset[node + 1]) {
+      const std::uint32_t local = adj.slots[cur];
+      if (!used[local]) return local;
+      ++cur;
+    }
+    return ~0u;
+  };
+
+  // Hierholzer over each connected component: the pop order yields the
+  // Eulerian circuit (reversed, still a closed walk); assigning
+  // alternate walk edges to halves 0/1 balances every node because
+  // bipartite circuits have even length.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack;  // (node, incoming local edge)
+  std::vector<std::uint32_t> circuit;                          // local edge ids in walk order
+  for (std::uint32_t seed = 0; seed < edge_ids.size(); ++seed) {
+    if (used[seed]) continue;
+    const std::uint32_t start = g.edge(edge_ids[seed]).u;
+    circuit.clear();
+    stack.clear();
+    stack.emplace_back(start, ~0u);
+    while (!stack.empty()) {
+      const std::uint32_t node = stack.back().first;
+      const std::uint32_t e = next_edge(node);
+      if (e == ~0u) {
+        if (stack.back().second != ~0u) circuit.push_back(stack.back().second);
+        stack.pop_back();
+      } else {
+        used[e] = 1;
+        stack.emplace_back(other_end(e, node), e);
+      }
+    }
+    HMM_DCHECK(circuit.size() % 2 == 0);
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+      half[circuit[i]] = static_cast<std::uint8_t>(i & 1u);
+    }
+  }
+  return half;
+}
+
+EdgeColoring color_euler_split(const BipartiteMultigraph& g) {
+  const auto degree = g.regular_degree();
+  HMM_CHECK_MSG(degree.has_value(), "euler-split coloring requires a regular graph");
+  HMM_CHECK_MSG(*degree == 0 || util::is_pow2(*degree),
+                "euler-split coloring requires a power-of-two degree");
+
+  EdgeColoring result;
+  result.colors = *degree == 0 ? 1 : *degree;
+  result.color.assign(g.edge_count(), 0);
+  if (*degree <= 1) return result;
+
+  // Iterative halving: one group of edge ids per color prefix.
+  std::vector<std::vector<std::uint32_t>> groups;
+  {
+    std::vector<std::uint32_t> all(g.edge_count());
+    std::iota(all.begin(), all.end(), 0u);
+    groups.push_back(std::move(all));
+  }
+  std::uint32_t group_degree = *degree;
+  while (group_degree > 1) {
+    std::vector<std::vector<std::uint32_t>> next;
+    next.reserve(groups.size() * 2);
+    for (auto& group : groups) {
+      const auto half = euler_split_once(g, group);
+      std::vector<std::uint32_t> a, b;
+      a.reserve(group.size() / 2);
+      b.reserve(group.size() / 2);
+      for (std::uint32_t k = 0; k < group.size(); ++k) {
+        (half[k] ? b : a).push_back(group[k]);
+      }
+      next.push_back(std::move(a));
+      next.push_back(std::move(b));
+    }
+    groups = std::move(next);
+    group_degree /= 2;
+  }
+
+  HMM_DCHECK(groups.size() == *degree);
+  for (std::uint32_t c = 0; c < groups.size(); ++c) {
+    for (std::uint32_t id : groups[c]) result.color[id] = c;
+  }
+  return result;
+}
+
+}  // namespace hmm::graph

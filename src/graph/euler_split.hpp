@@ -1,0 +1,30 @@
+#pragma once
+/// \file euler_split.hpp
+/// \brief König edge coloring by recursive Euler splitting — the fast
+///        path used by the permutation planner.
+///
+/// For a k-regular bipartite multigraph with k a power of two, every
+/// node has even degree, so the graph decomposes into Eulerian circuits;
+/// assigning alternate circuit edges to two halves yields two
+/// (k/2)-regular subgraphs (every circuit in a bipartite graph has even
+/// length). Recursing log2(k) times produces a proper k-edge-coloring in
+/// O(E log k) time — this is the constructive König's theorem (Thm. 6 of
+/// the paper) specialised to the planner's power-of-two degrees.
+
+#include "graph/bipartite.hpp"
+
+namespace hmm::graph {
+
+/// Color a k-regular bipartite multigraph, k a power of two.
+/// Aborts if the graph is not regular with power-of-two degree.
+EdgeColoring color_euler_split(const BipartiteMultigraph& g);
+
+/// One Euler split of the subgraph formed by `edge_ids`: partition it
+/// into two halves such that every node has exactly half its subgraph
+/// degree in each (requires even subgraph degrees). Returns the half
+/// assignment (0/1) indexed by *position in `edge_ids`*.
+/// Exposed for tests and the coloring ablation bench.
+std::vector<std::uint8_t> euler_split_once(const BipartiteMultigraph& g,
+                                           const std::vector<std::uint32_t>& edge_ids);
+
+}  // namespace hmm::graph

@@ -1,0 +1,123 @@
+#include "graph/hopcroft_karp.hpp"
+
+#include <limits>
+#include <numeric>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace hmm::graph {
+namespace {
+
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+
+/// Working state for one Hopcroft–Karp run over a subgraph.
+struct HkState {
+  const BipartiteMultigraph& g;
+  // CSR adjacency: left node -> (slot -> group-local edge index)
+  std::vector<std::uint32_t> offset;
+  std::vector<std::uint32_t> slots;
+  const std::vector<std::uint32_t>& edge_ids;
+
+  std::vector<std::uint32_t> match_left;   // left -> local edge or kInf
+  std::vector<std::uint32_t> match_right;  // right -> local edge or kInf
+  std::vector<std::uint32_t> dist;
+
+  HkState(const BipartiteMultigraph& graph, const std::vector<std::uint32_t>& ids)
+      : g(graph), edge_ids(ids) {
+    offset.assign(g.left_count() + 1, 0);
+    for (std::uint32_t id : edge_ids) ++offset[g.edge(id).u + 1];
+    std::partial_sum(offset.begin(), offset.end(), offset.begin());
+    slots.resize(offset.back());
+    std::vector<std::uint32_t> fill(offset.begin(), offset.end() - 1);
+    for (std::uint32_t k = 0; k < edge_ids.size(); ++k) {
+      slots[fill[g.edge(edge_ids[k]).u]++] = k;
+    }
+    match_left.assign(g.left_count(), kInf);
+    match_right.assign(g.right_count(), kInf);
+    dist.assign(g.left_count(), kInf);
+  }
+
+  [[nodiscard]] std::uint32_t right_of(std::uint32_t local) const {
+    return g.edge(edge_ids[local]).v;
+  }
+
+  bool bfs() {
+    std::queue<std::uint32_t> q;
+    for (std::uint32_t u = 0; u < g.left_count(); ++u) {
+      if (match_left[u] == kInf) {
+        dist[u] = 0;
+        q.push(u);
+      } else {
+        dist[u] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop();
+      for (std::uint32_t s = offset[u]; s < offset[u + 1]; ++s) {
+        const std::uint32_t v = right_of(slots[s]);
+        const std::uint32_t back = match_right[v];
+        if (back == kInf) {
+          found_free_right = true;
+        } else {
+          const std::uint32_t u2 = g.edge(edge_ids[back]).u;
+          if (dist[u2] == kInf) {
+            dist[u2] = dist[u] + 1;
+            q.push(u2);
+          }
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  bool dfs(std::uint32_t u) {
+    for (std::uint32_t s = offset[u]; s < offset[u + 1]; ++s) {
+      const std::uint32_t local = slots[s];
+      const std::uint32_t v = right_of(local);
+      const std::uint32_t back = match_right[v];
+      if (back == kInf ||
+          (dist[g.edge(edge_ids[back]).u] == dist[u] + 1 && dfs(g.edge(edge_ids[back]).u))) {
+        match_left[u] = local;
+        match_right[v] = local;
+        return true;
+      }
+    }
+    dist[u] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching hopcroft_karp(const BipartiteMultigraph& g, const std::vector<std::uint32_t>& edge_ids) {
+  HkState st(g, edge_ids);
+  std::uint32_t matched = 0;
+  while (st.bfs()) {
+    for (std::uint32_t u = 0; u < g.left_count(); ++u) {
+      if (st.match_left[u] == kInf && st.dfs(u)) ++matched;
+    }
+  }
+
+  Matching m;
+  m.size = matched;
+  m.left_edge.assign(g.left_count(), Matching::kUnmatched);
+  m.right_edge.assign(g.right_count(), Matching::kUnmatched);
+  for (std::uint32_t u = 0; u < g.left_count(); ++u) {
+    if (st.match_left[u] != kInf) m.left_edge[u] = edge_ids[st.match_left[u]];
+  }
+  for (std::uint32_t v = 0; v < g.right_count(); ++v) {
+    if (st.match_right[v] != kInf) m.right_edge[v] = edge_ids[st.match_right[v]];
+  }
+  return m;
+}
+
+Matching hopcroft_karp(const BipartiteMultigraph& g) {
+  std::vector<std::uint32_t> all(g.edge_count());
+  std::iota(all.begin(), all.end(), 0u);
+  return hopcroft_karp(g, all);
+}
+
+}  // namespace hmm::graph

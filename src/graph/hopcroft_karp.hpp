@@ -1,0 +1,36 @@
+#pragma once
+/// \file hopcroft_karp.hpp
+/// \brief Hopcroft–Karp maximum matching on bipartite multigraphs.
+///
+/// Used by the matching-peel König coloring (arbitrary regular degree)
+/// and directly testable: a k-regular bipartite graph always has a
+/// perfect matching (Hall/König), which the peel relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+
+namespace hmm::graph {
+
+/// Result of a maximum-matching computation.
+struct Matching {
+  /// For each left node: matched edge id, or kUnmatched.
+  std::vector<std::uint32_t> left_edge;
+  /// For each right node: matched edge id, or kUnmatched.
+  std::vector<std::uint32_t> right_edge;
+  /// Number of matched pairs.
+  std::uint32_t size = 0;
+
+  static constexpr std::uint32_t kUnmatched = ~0u;
+};
+
+/// Maximum matching of the subgraph formed by `edge_ids` (all edges if
+/// empty-vector semantics are needed, pass the full id range).
+/// O(E sqrt(V)).
+Matching hopcroft_karp(const BipartiteMultigraph& g, const std::vector<std::uint32_t>& edge_ids);
+
+/// Convenience overload over every edge of `g`.
+Matching hopcroft_karp(const BipartiteMultigraph& g);
+
+}  // namespace hmm::graph

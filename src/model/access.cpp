@@ -1,0 +1,67 @@
+#include "model/access.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hmm::model {
+
+std::string_view to_string(Dir d) noexcept { return d == Dir::kRead ? "read" : "write"; }
+
+std::string_view to_string(Space s) noexcept {
+  return s == Space::kGlobal ? "global" : "shared";
+}
+
+std::string_view to_string(AccessClass c) noexcept {
+  switch (c) {
+    case AccessClass::kCoalesced: return "coalesced";
+    case AccessClass::kConflictFree: return "conflict-free";
+    case AccessClass::kCasual: return "casual";
+  }
+  return "?";
+}
+
+std::uint32_t umm_stages(std::span<const std::uint64_t> warp_addrs, std::uint32_t width) {
+  // Bounded by width x element words (<= 256 in practice); a tiny
+  // insertion set beats hashing at this scale.
+  std::array<std::uint64_t, 256> groups{};
+  HMM_DCHECK(warp_addrs.size() <= groups.size());
+  std::uint32_t count = 0;
+  for (std::uint64_t addr : warp_addrs) {
+    if (addr == kNoAccess) continue;
+    const std::uint64_t g = group_of(addr, width);
+    bool seen = false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (groups[i] == g) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      HMM_DCHECK(count < groups.size());
+      groups[count++] = g;
+    }
+  }
+  return count;
+}
+
+std::uint32_t dmm_stages(std::span<const std::uint64_t> warp_addrs, std::uint32_t width) {
+  std::array<std::uint32_t, 64> load{};
+  HMM_DCHECK(width <= load.size());
+  std::uint32_t max_load = 0;
+  for (std::uint64_t addr : warp_addrs) {
+    if (addr == kNoAccess) continue;
+    const std::uint32_t b = static_cast<std::uint32_t>(bank_of(addr, width));
+    max_load = std::max(max_load, ++load[b]);
+  }
+  return max_load;
+}
+
+bool is_coalesced(std::span<const std::uint64_t> warp_addrs, std::uint32_t width) {
+  return umm_stages(warp_addrs, width) <= 1;
+}
+
+bool is_conflict_free(std::span<const std::uint64_t> warp_addrs, std::uint32_t width) {
+  return dmm_stages(warp_addrs, width) <= 1;
+}
+
+}  // namespace hmm::model

@@ -1,0 +1,51 @@
+#pragma once
+/// \file access.hpp
+/// \brief Classification of memory-access rounds (ICPP 2013, Section III).
+///
+/// A *round* is one memory access per thread. A warp's round is
+/// - **coalesced** (global memory) if all its addresses fall in a single
+///   address group,
+/// - **conflict-free** (shared memory) if its addresses hit pairwise
+///   distinct banks,
+/// - **casual** otherwise — no guarantee, pays one pipeline stage per
+///   distinct address group (UMM) or per bank-conflict level (DMM).
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "model/machine.hpp"
+
+namespace hmm::model {
+
+/// Direction of a memory round (only affects bookkeeping/labels).
+enum class Dir : std::uint8_t { kRead, kWrite };
+
+/// Memory space a round targets.
+enum class Space : std::uint8_t { kGlobal, kShared };
+
+/// Static classification of a round (what the algorithm *guarantees*).
+enum class AccessClass : std::uint8_t { kCoalesced, kConflictFree, kCasual };
+
+std::string_view to_string(Dir d) noexcept;
+std::string_view to_string(Space s) noexcept;
+std::string_view to_string(AccessClass c) noexcept;
+
+/// Sentinel for "this thread does not participate in the round".
+inline constexpr std::uint64_t kNoAccess = ~0ull;
+
+/// Number of UMM pipeline stages a warp's addresses occupy: the number
+/// of distinct address groups touched (paper: Fig. 3 bottom).
+std::uint32_t umm_stages(std::span<const std::uint64_t> warp_addrs, std::uint32_t width);
+
+/// Number of DMM pipeline stages a warp's addresses occupy: the maximum
+/// number of requests aimed at a single bank (paper: Fig. 3 top).
+std::uint32_t dmm_stages(std::span<const std::uint64_t> warp_addrs, std::uint32_t width);
+
+/// True iff the warp's global round is coalesced (<= 1 address group).
+bool is_coalesced(std::span<const std::uint64_t> warp_addrs, std::uint32_t width);
+
+/// True iff the warp's shared round is conflict-free (distinct banks).
+bool is_conflict_free(std::span<const std::uint64_t> warp_addrs, std::uint32_t width);
+
+}  // namespace hmm::model

@@ -1,0 +1,100 @@
+#include "model/cost.hpp"
+
+#include <algorithm>
+
+namespace hmm::model {
+namespace {
+
+std::uint64_t warps(std::uint64_t n, const MachineParams& p) {
+  HMM_CHECK_MSG(n % p.width == 0, "thread count must be a multiple of the width");
+  return n / p.width;
+}
+
+}  // namespace
+
+std::uint64_t coalesced_round_time(std::uint64_t n, const MachineParams& p,
+                                   std::uint32_t words) {
+  // words*n/w pipeline stages, each one time unit, then the last
+  // request drains through the remaining l-1 pipeline registers.
+  return words * warps(n, p) + p.latency - 1;
+}
+
+std::uint64_t casual_round_time(std::uint64_t distribution, const MachineParams& p) {
+  return distribution + p.latency - 1;
+}
+
+std::uint64_t conflict_free_round_time(std::uint64_t n, const MachineParams& p,
+                                       std::uint32_t words) {
+  // The d DMMs work concurrently on n/d threads each; the last stage
+  // drains through the shared pipeline's remaining L-1 registers
+  // (L = 1 in the paper's simplification, making this just the stages).
+  const std::uint64_t per_dmm = util::ceil_div(n, p.dmms);
+  return words * util::ceil_div(per_dmm, p.width) + p.shared_latency - 1;
+}
+
+std::uint64_t d_designated_time(std::uint64_t n, std::uint64_t distribution,
+                                const MachineParams& p, std::uint32_t words) {
+  // Coalesced index read (32-bit, words=1) + coalesced data read +
+  // casual data write.
+  return coalesced_round_time(n, p, 1) + coalesced_round_time(n, p, words) +
+         casual_round_time(distribution, p);
+}
+
+std::uint64_t s_designated_time(std::uint64_t n, std::uint64_t inv_distribution,
+                                const MachineParams& p, std::uint32_t words) {
+  return coalesced_round_time(n, p, 1) + coalesced_round_time(n, p, words) +
+         casual_round_time(inv_distribution, p);
+}
+
+std::uint64_t transpose_time(std::uint64_t n, const MachineParams& p, std::uint32_t words) {
+  return 2 * coalesced_round_time(n, p, words) + 2 * conflict_free_round_time(n, p, words);
+}
+
+std::uint64_t row_wise_time(std::uint64_t n, const MachineParams& p, std::uint32_t words) {
+  // Global: data in + data out at `words`, the two 16-bit schedule
+  // arrays at words = 1. Shared: 4 conflict-free data rounds.
+  return 2 * coalesced_round_time(n, p, words) + 2 * coalesced_round_time(n, p, 1) +
+         4 * conflict_free_round_time(n, p, words);
+}
+
+std::uint64_t column_wise_time(std::uint64_t n, const MachineParams& p, std::uint32_t words) {
+  return 2 * transpose_time(n, p, words) + row_wise_time(n, p, words);
+}
+
+std::uint64_t scheduled_time(std::uint64_t n, const MachineParams& p, std::uint32_t words) {
+  return 2 * row_wise_time(n, p, words) + column_wise_time(n, p, words);
+}
+
+std::uint64_t lower_bound(std::uint64_t n, const MachineParams& p) {
+  return std::max<std::uint64_t>(2 * warps(n, p), p.latency);
+}
+
+std::uint64_t row_wise_time_capped(std::uint64_t rows, std::uint64_t cols,
+                                   const MachineParams& p, std::uint32_t words,
+                                   std::uint64_t block_cap) {
+  HMM_CHECK(block_cap % p.width == 0);
+  const std::uint64_t waves = util::ceil_div(cols, block_cap);
+  const std::uint64_t threads = rows * std::min(cols, block_cap);
+  auto per_global = [&](std::uint32_t w_words) {
+    return waves * (w_words * threads / p.width + p.latency - 1);
+  };
+  auto per_shared = [&](std::uint32_t w_words) {
+    return waves * (w_words * util::ceil_div(util::ceil_div(threads, p.dmms), p.width) +
+                    p.shared_latency - 1);
+  };
+  return 2 * per_global(words) + 2 * per_global(1) + 4 * per_shared(words);
+}
+
+std::uint64_t scheduled_time_capped(std::uint64_t n, const MachineParams& p,
+                                    std::uint32_t words, std::uint64_t block_cap) {
+  // Matrix shape per layout.cpp's rule: cols gets the ceiling half.
+  const unsigned k = util::log2_exact(n);
+  const std::uint64_t cols = 1ull << ((k + 1) / 2);
+  const std::uint64_t rows = n / cols;
+  return row_wise_time_capped(rows, cols, p, words, block_cap) +
+         row_wise_time_capped(cols, rows, p, words, block_cap) +
+         row_wise_time_capped(rows, cols, p, words, block_cap) +
+         2 * transpose_time(n, p, words);
+}
+
+}  // namespace hmm::model

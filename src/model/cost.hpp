@@ -1,0 +1,145 @@
+#pragma once
+/// \file cost.hpp
+/// \brief Closed-form running times on the HMM (ICPP 2013, Table I,
+///        Lemmas 1–4, Theorem 9) and memory-access round inventories.
+///
+/// Conventions used throughout (matching the paper's accounting):
+/// * `n` threads, one element per thread per round, `n` a multiple of
+///   `w`; rounds are globally synchronized and pipelined internally.
+/// * A **coalesced global** round by `n` threads sends `n/w` pipeline
+///   stages and completes after the last warp's latency:
+///   `n/w + l - 1` time units (Lemma 1).
+/// * A **casual global** round whose warps collectively occupy `D`
+///   pipeline stages (its *distribution*) takes `D + l - 1` time units.
+/// * A **conflict-free shared** round is executed concurrently by the
+///   `d` DMMs, each handling `n/d` threads with latency 1:
+///   `n/(d*w)` time units (Lemma 1 with the HMM's per-DMM thread share).
+
+#include <cstdint>
+
+#include "model/machine.hpp"
+
+namespace hmm::model {
+
+/// Memory-access round inventory of an algorithm — one row of Table I.
+struct RoundCounts {
+  std::uint32_t casual_read_global = 0;
+  std::uint32_t casual_write_global = 0;
+  std::uint32_t coalesced_read = 0;
+  std::uint32_t coalesced_write = 0;
+  std::uint32_t conflict_free_read = 0;
+  std::uint32_t conflict_free_write = 0;
+
+  /// Total rounds touching the global memory.
+  [[nodiscard]] constexpr std::uint32_t global_rounds() const noexcept {
+    return casual_read_global + casual_write_global + coalesced_read + coalesced_write;
+  }
+  /// Total rounds touching shared memories.
+  [[nodiscard]] constexpr std::uint32_t shared_rounds() const noexcept {
+    return conflict_free_read + conflict_free_write;
+  }
+  /// Every memory-access round (the paper's "32 rounds" for scheduled).
+  [[nodiscard]] constexpr std::uint32_t total_rounds() const noexcept {
+    return global_rounds() + shared_rounds();
+  }
+
+  friend constexpr bool operator==(const RoundCounts&, const RoundCounts&) = default;
+  friend constexpr RoundCounts operator+(RoundCounts a, const RoundCounts& b) noexcept {
+    a.casual_read_global += b.casual_read_global;
+    a.casual_write_global += b.casual_write_global;
+    a.coalesced_read += b.coalesced_read;
+    a.coalesced_write += b.coalesced_write;
+    a.conflict_free_read += b.conflict_free_read;
+    a.conflict_free_write += b.conflict_free_write;
+    return a;
+  }
+};
+
+/// Table I round inventories.
+namespace rounds {
+inline constexpr RoundCounts d_designated{.casual_write_global = 1, .coalesced_read = 2};
+inline constexpr RoundCounts s_designated{
+    .casual_read_global = 1, .coalesced_read = 1, .coalesced_write = 1};
+inline constexpr RoundCounts transpose{.coalesced_read = 1,
+                                       .coalesced_write = 1,
+                                       .conflict_free_read = 1,
+                                       .conflict_free_write = 1};
+inline constexpr RoundCounts row_wise{.coalesced_read = 3,
+                                      .coalesced_write = 1,
+                                      .conflict_free_read = 2,
+                                      .conflict_free_write = 2};
+inline constexpr RoundCounts column_wise = transpose + row_wise + transpose;
+inline constexpr RoundCounts scheduled = row_wise + column_wise + row_wise;
+}  // namespace rounds
+
+/// `words` below is the element width in machine words (1 = 32-bit
+/// elements, the paper's float case; 2 = double; 4 = complex<double>).
+/// A coalesced warp touches `words` address groups; a scattering warp
+/// touches one group per element regardless (each aligned element sits
+/// inside one group), so the casual stage count for e-word elements is
+/// the distribution at the *effective width* w/e: d_{w/e}(P).
+
+/// Time units of one coalesced global round by `n` threads (Lemma 1):
+/// `words*n/w + l - 1`.
+std::uint64_t coalesced_round_time(std::uint64_t n, const MachineParams& p,
+                                   std::uint32_t words = 1);
+
+/// Time units of one casual global round whose total stage count
+/// (distribution at the effective width) is `D` (Lemma 4's accounting).
+std::uint64_t casual_round_time(std::uint64_t distribution, const MachineParams& p);
+
+/// Time units of one conflict-free shared round by `n` threads spread
+/// over the machine's `d` DMMs (Lemma 1, latency 1): `words*n/(dw)`.
+std::uint64_t conflict_free_round_time(std::uint64_t n, const MachineParams& p,
+                                       std::uint32_t words = 1);
+
+/// Lemma 4: D-designated time — coalesced read of the 32-bit index
+/// array, coalesced read of the data, casual write of the data.
+/// `distribution` must be d_{w/words}(P).
+std::uint64_t d_designated_time(std::uint64_t n, std::uint64_t distribution,
+                                const MachineParams& p, std::uint32_t words = 1);
+
+/// Lemma 4 (mirror): S-designated time; `inv_distribution` = d_{w/words}(P^-1).
+std::uint64_t s_designated_time(std::uint64_t n, std::uint64_t inv_distribution,
+                                const MachineParams& p, std::uint32_t words = 1);
+
+/// Lemma 5: transpose time `2(words*n/w + l - 1) + 2 words*n/(dw)`.
+std::uint64_t transpose_time(std::uint64_t n, const MachineParams& p,
+                             std::uint32_t words = 1);
+
+/// Lemma 7: row-wise permutation time — 2 data + 2 schedule coalesced
+/// global rounds plus 4 conflict-free shared rounds (schedule arrays
+/// are 16-bit, modeled at words = 1).
+std::uint64_t row_wise_time(std::uint64_t n, const MachineParams& p, std::uint32_t words = 1);
+
+/// Lemma 8: column-wise permutation time (transpose + row-wise + transpose).
+std::uint64_t column_wise_time(std::uint64_t n, const MachineParams& p,
+                               std::uint32_t words = 1);
+
+/// Theorem 9: scheduled permutation time — independent of the
+/// permutation; `16(n/w + l - 1) + 16 n/(dw)` at words = 1.
+std::uint64_t scheduled_time(std::uint64_t n, const MachineParams& p,
+                             std::uint32_t words = 1);
+
+/// The paper's lower bound: any permutation of `n` elements takes at
+/// least `max(2n/w, l)` time units on the HMM (all elements read and
+/// written, `w` per time unit; plus one full latency).
+std::uint64_t lower_bound(std::uint64_t n, const MachineParams& p);
+
+/// Row-wise pass time under a CUDA-style block-size cap (the paper's
+/// Section VIII note: blocks hold at most 1024 threads, so for rows
+/// longer than the cap each thread serves m/cap elements in sequential
+/// waves, and — because the model forbids a thread from issuing its
+/// next request before the previous completes — every wave pays the
+/// full latency).
+std::uint64_t row_wise_time_capped(std::uint64_t rows, std::uint64_t cols,
+                                   const MachineParams& p, std::uint32_t words,
+                                   std::uint64_t block_cap);
+
+/// Scheduled permutation time under the block cap: the three row-wise
+/// passes wave-serialize; the transpose's w^2-thread tiles are always
+/// under the cap.
+std::uint64_t scheduled_time_capped(std::uint64_t n, const MachineParams& p,
+                                    std::uint32_t words, std::uint64_t block_cap);
+
+}  // namespace hmm::model

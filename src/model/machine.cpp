@@ -1,0 +1,17 @@
+#include "util/table.hpp"
+#include "model/machine.hpp"
+
+#include <sstream>
+#include <string>
+
+namespace hmm::model {
+
+/// Human-readable one-line summary (used by example binaries).
+std::string describe(const MachineParams& p) {
+  std::ostringstream os;
+  os << "HMM{width=" << p.width << ", latency=" << p.latency << ", dmms=" << p.dmms
+     << ", shared=" << hmm::util::format_bytes(p.shared_bytes) << "/DMM}";
+  return os.str();
+}
+
+}  // namespace hmm::model

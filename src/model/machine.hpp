@@ -1,0 +1,82 @@
+#pragma once
+/// \file machine.hpp
+/// \brief Parameters of the DMM / UMM / HMM memory-machine models
+///        (Kasagi, Nakano, Ito, ICPP 2013, Section II).
+///
+/// The Hierarchical Memory Machine consists of `d` DMMs (streaming
+/// multiprocessors with `w`-bank shared memories, latency 1) and a
+/// single UMM (the global memory with `w`-wide address groups and
+/// latency `l`). Threads are grouped into warps of `w`.
+
+#include <cstdint>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace hmm::model {
+
+/// Model parameters shared by the analytical cost model and the
+/// operational simulator.
+struct MachineParams {
+  /// Width: number of shared-memory banks, number of cells per global
+  /// address group, and number of threads per warp. Power of two.
+  std::uint32_t width = 32;
+
+  /// Global-memory (UMM) access latency in time units.
+  std::uint32_t latency = 200;
+
+  /// Shared-memory (DMM) access latency in time units. The paper fixes
+  /// this to 1 "for simplicity, although we may use parameter L to
+  /// denote the latency of the shared memory" — this is that L.
+  std::uint32_t shared_latency = 1;
+
+  /// Number of DMMs (streaming multiprocessors). Power of two.
+  std::uint32_t dmms = 8;
+
+  /// Shared-memory capacity per DMM in bytes (GTX-680: 48 KiB).
+  std::uint64_t shared_bytes = 48 * 1024;
+
+  /// Validate invariants; aborts on nonsense configurations.
+  void validate() const {
+    HMM_CHECK_MSG(util::is_pow2(width), "width must be a power of two");
+    HMM_CHECK_MSG(util::is_pow2(dmms), "dmms must be a power of two");
+    HMM_CHECK_MSG(latency >= 1, "latency must be >= 1");
+    HMM_CHECK_MSG(shared_latency >= 1, "shared latency must be >= 1");
+    HMM_CHECK_MSG(shared_bytes >= static_cast<std::uint64_t>(width) * sizeof(double),
+                  "shared memory must hold at least one row tile");
+  }
+
+  /// GTX-680-like configuration used throughout the paper's evaluation:
+  /// width 32 (warp size / bank count), 8 SMX units, 48 KiB shared
+  /// memory, and a few-hundred-cycle global latency.
+  static constexpr MachineParams gtx680() {
+    return MachineParams{.width = 32, .latency = 300, .dmms = 8, .shared_bytes = 48 * 1024};
+  }
+
+  /// A tiny configuration for exhaustive unit tests and the Fig. 3 demo.
+  static constexpr MachineParams tiny(std::uint32_t w = 4, std::uint32_t l = 5,
+                                      std::uint32_t d = 2) {
+    return MachineParams{.width = w, .latency = l, .dmms = d, .shared_bytes = 64 * 1024};
+  }
+
+  friend bool operator==(const MachineParams&, const MachineParams&) = default;
+};
+
+/// Element width in machine words (the model's word is 32-bit, the
+/// paper's float): 1 for <= 4-byte elements, sizeof(T)/4 above.
+template <class T>
+constexpr std::uint32_t words_of() noexcept {
+  return sizeof(T) <= 4 ? 1u : static_cast<std::uint32_t>(sizeof(T) / 4);
+}
+
+/// Shared-memory bank of element address \p addr (DMM): `addr mod w`.
+constexpr std::uint64_t bank_of(std::uint64_t addr, std::uint32_t width) noexcept {
+  return addr & (width - 1);
+}
+
+/// Global-memory address group of element address \p addr (UMM): `addr / w`.
+constexpr std::uint64_t group_of(std::uint64_t addr, std::uint32_t width) noexcept {
+  return addr >> util::log2_floor(width);
+}
+
+}  // namespace hmm::model

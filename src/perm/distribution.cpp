@@ -1,0 +1,85 @@
+#include "perm/distribution.hpp"
+
+#include <array>
+
+namespace hmm::perm {
+namespace {
+
+/// Count distinct address groups (of `group_width` elements) among one
+/// warp's `warp_width` targets.
+template <class TargetOf>
+std::uint64_t count_warp_groups(std::uint64_t warp_begin, std::uint32_t warp_width,
+                                std::uint32_t group_width, const TargetOf& target_of) {
+  std::array<std::uint64_t, 64> groups{};
+  std::uint32_t count = 0;
+  for (std::uint32_t t = 0; t < warp_width; ++t) {
+    const std::uint64_t g = target_of(warp_begin + t) / group_width;
+    bool seen = false;
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (groups[i] == g) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) groups[count++] = g;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::uint64_t distribution(const Permutation& p, std::uint32_t width) {
+  return distribution_groups(p, width, width);
+}
+
+std::uint64_t distribution_groups(const Permutation& p, std::uint32_t warp_width,
+                                  std::uint32_t group_width) {
+  HMM_CHECK(p.size() % warp_width == 0);
+  HMM_CHECK(warp_width <= 64 && group_width >= 1);
+  std::uint64_t total = 0;
+  const auto map = p.data();
+  for (std::uint64_t warp = 0; warp < p.size(); warp += warp_width) {
+    total += count_warp_groups(warp, warp_width, group_width,
+                               [&](std::uint64_t i) { return map[i]; });
+  }
+  return total;
+}
+
+std::uint64_t inverse_distribution_groups(const Permutation& p, std::uint32_t warp_width,
+                                          std::uint32_t group_width) {
+  HMM_CHECK(p.size() % warp_width == 0);
+  const auto map = p.data();
+  std::vector<std::uint32_t> inv(p.size());
+  for (std::uint64_t j = 0; j < p.size(); ++j) inv[map[j]] = static_cast<std::uint32_t>(j);
+  std::uint64_t total = 0;
+  for (std::uint64_t warp = 0; warp < p.size(); warp += warp_width) {
+    total += count_warp_groups(warp, warp_width, group_width,
+                               [&](std::uint64_t i) { return inv[i]; });
+  }
+  return total;
+}
+
+std::uint64_t inverse_distribution(const Permutation& p, std::uint32_t width) {
+  // d_w(P^-1) counts, per warp of *destination* indices i, the distinct
+  // source groups ⌊P^-1(i)/w⌋ — the S-designated algorithm's casual
+  // read cost. Build the inverse index table once, then reuse the same
+  // per-warp counting as the forward metric.
+  return inverse_distribution_groups(p, width, width);
+}
+
+std::uint64_t expected_distribution_identical(std::uint64_t n, std::uint32_t width) {
+  return n / width;
+}
+
+std::uint64_t expected_distribution_shuffle(std::uint64_t n, std::uint32_t width) {
+  // Warp k holds indices kw..kw+w-1, differing only in the low log2(w)
+  // bits; the shuffle moves those bits up by one, so targets 2i and
+  // 2i+1 coincide in group while the rotated-in top bit splits the warp
+  // across exactly 2 groups (for n > w^2 ... >= 2 groups); the exact
+  // value is 2n/w for n >= 2w.
+  return 2 * (n / width);
+}
+
+std::uint64_t expected_distribution_scatter(std::uint64_t n) { return n; }
+
+}  // namespace hmm::perm

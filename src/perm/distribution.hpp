@@ -1,0 +1,44 @@
+#pragma once
+/// \file distribution.hpp
+/// \brief The distribution metric d_w(P) of a permutation (Section IV).
+///
+/// `d_w(P) = Σ_k |{ ⌊P(i)/w⌋ : kw <= i < (k+1)w }|` — the total number
+/// of global-memory address groups the D-designated algorithm's warps
+/// write to. It ranges from n/w (identical: one group per warp) to n
+/// (every thread of every warp hits a different group), and Lemma 4
+/// makes it *the* cost driver of the conventional algorithms.
+
+#include <cstdint>
+
+#include "model/machine.hpp"
+#include "perm/permutation.hpp"
+
+namespace hmm::perm {
+
+/// d_w(P) for the machine width `width`. O(n).
+std::uint64_t distribution(const Permutation& p, std::uint32_t width);
+
+/// Generalized distribution: warps of `warp_width` consecutive sources,
+/// destination groups of `group_width` elements. Equal widths give
+/// d_w(P); for e-word elements the casual stage count is
+/// `distribution_groups(P, w, w/e)` (each element group holds w/e
+/// elements while warps stay w threads wide).
+std::uint64_t distribution_groups(const Permutation& p, std::uint32_t warp_width,
+                                  std::uint32_t group_width);
+
+/// Generalized inverse distribution (see distribution_groups).
+std::uint64_t inverse_distribution_groups(const Permutation& p, std::uint32_t warp_width,
+                                          std::uint32_t group_width);
+
+/// d_w(P) of the *inverse* permutation without materializing it —
+/// the S-designated algorithm's cost driver. O(n) time, O(n) bits.
+std::uint64_t inverse_distribution(const Permutation& p, std::uint32_t width);
+
+/// Closed forms used as test oracles (all require n >= w^2, powers of two):
+/// identical -> n/w; bit-reversal, transpose -> n (every warp scatters
+/// across w groups); shuffle -> 2n/w (each warp covers exactly 2 groups).
+std::uint64_t expected_distribution_identical(std::uint64_t n, std::uint32_t width);
+std::uint64_t expected_distribution_shuffle(std::uint64_t n, std::uint32_t width);
+std::uint64_t expected_distribution_scatter(std::uint64_t n);  // bit-reversal / transpose
+
+}  // namespace hmm::perm

@@ -1,0 +1,253 @@
+#include "perm/generators.hpp"
+
+#include <numeric>
+
+#include "util/bits.hpp"
+
+namespace hmm::perm {
+namespace {
+
+using util::aligned_vector;
+
+Permutation from_map(aligned_vector<std::uint32_t> map) { return Permutation(std::move(map)); }
+
+}  // namespace
+
+Permutation identical(std::uint64_t n) { return Permutation(n); }
+
+Permutation shuffle(std::uint64_t n) {
+  HMM_CHECK_MSG(util::is_pow2(n), "shuffle requires a power-of-two size");
+  const unsigned bits = util::log2_exact(n);
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(util::rotate_left_bits(i, bits));
+  }
+  return from_map(std::move(map));
+}
+
+Permutation unshuffle(std::uint64_t n) {
+  HMM_CHECK_MSG(util::is_pow2(n), "unshuffle requires a power-of-two size");
+  const unsigned bits = util::log2_exact(n);
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(util::rotate_right_bits(i, bits));
+  }
+  return from_map(std::move(map));
+}
+
+Permutation bit_reversal(std::uint64_t n) {
+  HMM_CHECK_MSG(util::is_pow2(n), "bit-reversal requires a power-of-two size");
+  const unsigned bits = util::log2_exact(n);
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(util::bit_reverse(i, bits));
+  }
+  return from_map(std::move(map));
+}
+
+Permutation transpose(std::uint64_t rows, std::uint64_t cols) {
+  const std::uint64_t n = rows * cols;
+  HMM_CHECK(n > 0);
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    for (std::uint64_t j = 0; j < cols; ++j) {
+      map[i * cols + j] = static_cast<std::uint32_t>(j * rows + i);
+    }
+  }
+  return from_map(std::move(map));
+}
+
+Permutation transpose_square(std::uint64_t n) {
+  const std::uint64_t m = util::isqrt_exact(n);
+  return transpose(m, m);
+}
+
+Permutation random(std::uint64_t n, util::Xoshiro256& rng) {
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) map[i] = static_cast<std::uint32_t>(i);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    const std::uint64_t j = rng.bounded(i + 1);
+    std::swap(map[i], map[j]);
+  }
+  return from_map(std::move(map));
+}
+
+Permutation rotation(std::uint64_t n, std::uint64_t shift) {
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>((i + shift) % n);
+  }
+  return from_map(std::move(map));
+}
+
+Permutation gray(std::uint64_t n) {
+  HMM_CHECK_MSG(util::is_pow2(n), "gray requires a power-of-two size");
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(util::gray_code(i));
+  }
+  return from_map(std::move(map));
+}
+
+Permutation butterfly(std::uint64_t n) {
+  HMM_CHECK_MSG(util::is_pow2(n) && util::log2_exact(n) % 2 == 0,
+                "butterfly requires an even power-of-two size");
+  const unsigned half = util::log2_exact(n) / 2;
+  const std::uint64_t mask = (1ull << half) - 1;
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(((i & mask) << half) | (i >> half));
+  }
+  return from_map(std::move(map));
+}
+
+Permutation block_swap(std::uint64_t n, std::uint64_t block) {
+  HMM_CHECK(block > 0 && n % (2 * block) == 0);
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t pair = i / (2 * block);
+    const std::uint64_t off = i % (2 * block);
+    const std::uint64_t flipped = off < block ? off + block : off - block;
+    map[i] = static_cast<std::uint32_t>(pair * 2 * block + flipped);
+  }
+  return from_map(std::move(map));
+}
+
+Permutation bit_complement(std::uint64_t n) {
+  HMM_CHECK_MSG(util::is_pow2(n), "bit-complement requires a power-of-two size");
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) map[i] = static_cast<std::uint32_t>(n - 1 - i);
+  return from_map(std::move(map));
+}
+
+Permutation stride(std::uint64_t n, std::uint64_t stride_value) {
+  HMM_CHECK_MSG(std::gcd(n, stride_value) == 1, "stride must be coprime with n");
+  aligned_vector<std::uint32_t> map(n);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(pos);
+    pos += stride_value;
+    if (pos >= n) pos -= n;
+  }
+  return from_map(std::move(map));
+}
+
+Permutation segment_reverse(std::uint64_t n, std::uint64_t segment) {
+  HMM_CHECK(segment > 0 && n % segment == 0);
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t seg = i / segment;
+    const std::uint64_t off = i % segment;
+    map[i] = static_cast<std::uint32_t>(seg * segment + (segment - 1 - off));
+  }
+  return from_map(std::move(map));
+}
+
+Permutation random_involution(std::uint64_t n, util::Xoshiro256& rng) {
+  // Shuffle indices, then pair them up: (v[0] v[1]) (v[2] v[3]) ...;
+  // an odd leftover becomes a fixed point.
+  std::vector<std::uint32_t> order(n);
+  for (std::uint64_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  for (std::uint64_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.bounded(i + 1)]);
+  }
+  aligned_vector<std::uint32_t> map(n);
+  std::uint64_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    map[order[i]] = order[i + 1];
+    map[order[i + 1]] = order[i];
+  }
+  if (i < n) map[order[i]] = order[i];
+  return from_map(std::move(map));
+}
+
+Permutation tensor_axes(const std::array<std::uint64_t, 3>& dims,
+                        const std::array<int, 3>& axes) {
+  HMM_CHECK_MSG(((1 << axes[0]) | (1 << axes[1]) | (1 << axes[2])) == 0b111,
+                "axes must be a permutation of {0,1,2}");
+  const std::uint64_t n = dims[0] * dims[1] * dims[2];
+  HMM_CHECK(n > 0);
+  const std::uint64_t out_d1 = dims[axes[1]];
+  const std::uint64_t out_d2 = dims[axes[2]];
+
+  aligned_vector<std::uint32_t> map(n);
+  std::uint64_t src = 0;
+  std::uint64_t coord[3];
+  for (coord[0] = 0; coord[0] < dims[0]; ++coord[0]) {
+    for (coord[1] = 0; coord[1] < dims[1]; ++coord[1]) {
+      for (coord[2] = 0; coord[2] < dims[2]; ++coord[2], ++src) {
+        const std::uint64_t dst =
+            (coord[axes[0]] * out_d1 + coord[axes[1]]) * out_d2 + coord[axes[2]];
+        map[src] = static_cast<std::uint32_t>(dst);
+      }
+    }
+  }
+  return from_map(std::move(map));
+}
+
+Permutation interleave(std::uint64_t n, std::uint64_t ways) {
+  HMM_CHECK(ways > 0 && n % ways == 0);
+  const std::uint64_t per = n / ways;
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t s = 0; s < ways; ++s) {
+    for (std::uint64_t i = 0; i < per; ++i) {
+      map[s * per + i] = static_cast<std::uint32_t>(i * ways + s);
+    }
+  }
+  return from_map(std::move(map));
+}
+
+Permutation deinterleave(std::uint64_t n, std::uint64_t ways) {
+  // interleave(n, ways)^-1 == interleave(n, n/ways): parsing the AoS
+  // index i*ways + s as (record s', lane i') of an (n/ways)-way
+  // interleave sends it straight back to s*(n/ways) + i.
+  return interleave(n, n / ways);
+}
+
+Permutation xor_mask(std::uint64_t n, std::uint64_t mask) {
+  HMM_CHECK_MSG(util::is_pow2(n) && mask < n, "xor_mask requires mask < n, n a power of two");
+  aligned_vector<std::uint32_t> map(n);
+  for (std::uint64_t i = 0; i < n; ++i) map[i] = static_cast<std::uint32_t>(i ^ mask);
+  return from_map(std::move(map));
+}
+
+const std::vector<std::string>& family_names() {
+  static const std::vector<std::string> names = {
+      "identical", "shuffle",  "random", "bit-reversal",   "transpose",
+      "unshuffle", "rotation", "gray",   "butterfly",      "block-swap",
+      "bit-complement", "stride", "segment-reverse", "involution"};
+  return names;
+}
+
+Permutation by_name(const std::string& name, std::uint64_t n, std::uint64_t seed) {
+  if (name == "identical") return identical(n);
+  if (name == "shuffle") return shuffle(n);
+  if (name == "unshuffle") return unshuffle(n);
+  if (name == "bit-reversal") return bit_reversal(n);
+  if (name == "transpose") {
+    // Near-square transpose; falls back to rows x 2*rows for odd log2(n)
+    // (the paper evaluates "transpose" at every power-of-two size).
+    HMM_CHECK_MSG(util::is_pow2(n), "transpose requires a power-of-two size");
+    const std::uint64_t rows = 1ull << (util::log2_exact(n) / 2);
+    return transpose(rows, n / rows);
+  }
+  if (name == "rotation") return rotation(n, n / 3 + 1);
+  if (name == "gray") return gray(n);
+  if (name == "butterfly") return butterfly(n);
+  if (name == "block-swap") return block_swap(n, 8);
+  if (name == "bit-complement") return bit_complement(n);
+  if (name == "stride") return stride(n, 33);  // w+1: the classic conflict stride
+  if (name == "segment-reverse") return segment_reverse(n, 64);
+  if (name == "involution") {
+    util::Xoshiro256 rng(seed);
+    return random_involution(n, rng);
+  }
+  if (name == "random") {
+    util::Xoshiro256 rng(seed);
+    return random(n, rng);
+  }
+  HMM_CHECK_MSG(false, ("unknown permutation family: " + name).c_str());
+  return identical(n);
+}
+
+}  // namespace hmm::perm

@@ -1,0 +1,107 @@
+#pragma once
+/// \file generators.hpp
+/// \brief The permutation families evaluated in the paper (Section IV)
+///        plus extras used by the extended benchmarks.
+///
+/// Paper families: identical, shuffle, random, bit-reversal, transpose.
+/// Extras: unshuffle (shuffle^-1), rotation, gray-code, butterfly and
+/// block-swap — all with widely differing distributions d_w(P), used by
+/// `bench_distribution` to sweep the conventional algorithms' cost.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perm/permutation.hpp"
+#include "util/rng.hpp"
+
+namespace hmm::perm {
+
+/// P(i) = i.
+Permutation identical(std::uint64_t n);
+
+/// Perfect shuffle: one left-rotation of the index bits
+/// (b_{k-1} ... b_0 -> b_{k-2} ... b_0 b_{k-1}); n must be a power of two.
+Permutation shuffle(std::uint64_t n);
+
+/// Inverse perfect shuffle (right bit rotation).
+Permutation unshuffle(std::uint64_t n);
+
+/// FFT bit-reversal: P(b_{k-1} ... b_0) = b_0 ... b_{k-1}; n power of two.
+Permutation bit_reversal(std::uint64_t n);
+
+/// Matrix transpose of a rows x cols row-major matrix
+/// (element (i,j) -> (j,i)): P(i*cols + j) = j*rows + i.
+Permutation transpose(std::uint64_t rows, std::uint64_t cols);
+
+/// Square transpose of n = m*m elements.
+Permutation transpose_square(std::uint64_t n);
+
+/// Uniformly random permutation (Fisher–Yates with the given engine).
+Permutation random(std::uint64_t n, util::Xoshiro256& rng);
+
+/// Cyclic rotation by `shift`: P(i) = (i + shift) mod n.
+Permutation rotation(std::uint64_t n, std::uint64_t shift);
+
+/// Binary-reflected Gray code relabeling: P(i) = gray(i); n power of two.
+Permutation gray(std::uint64_t n);
+
+/// Butterfly: swap the top and bottom halves of the index bits
+/// (b_{k-1}..b_{k/2} b_{k/2-1}..b_0 -> b_{k/2-1}..b_0 b_{k-1}..b_{k/2});
+/// n must be an even power of two. Equals the square transpose.
+Permutation butterfly(std::uint64_t n);
+
+/// Swap consecutive blocks of `block` elements pairwise; n a multiple of
+/// 2*block. Small, tunable distribution: d_w grows as block shrinks
+/// below the width.
+Permutation block_swap(std::uint64_t n, std::uint64_t block);
+
+/// Bit complement: P(i) = ~i mod n (= n-1-i for power-of-two n). The
+/// full reversal — a classic cache-adversarial access pattern with
+/// minimal distribution (reversed warps still fill whole groups).
+Permutation bit_complement(std::uint64_t n);
+
+/// Stride permutation: P(i) = (i * stride) mod n, gcd(stride, n) = 1.
+/// For odd stride >= w this is a maximal-distribution family, the
+/// classic bank-conflict generator on vector machines.
+Permutation stride(std::uint64_t n, std::uint64_t stride_value);
+
+/// Reverse each consecutive segment of `segment` elements; n a multiple
+/// of segment. distribution = n/w for segment >= w.
+Permutation segment_reverse(std::uint64_t n, std::uint64_t segment);
+
+/// Uniformly random involution (P(P(i)) = i): pairs indices randomly,
+/// possibly with fixed points. Exercises self-inverse plan paths.
+Permutation random_involution(std::uint64_t n, util::Xoshiro256& rng);
+
+/// XOR with a fixed mask: P(i) = i ^ mask (mask < n, n a power of two).
+/// The hypercube dimension-exchange pattern; an involution with minimal
+/// distribution d_w = n/w for every mask (aligned group swap).
+Permutation xor_mask(std::uint64_t n, std::uint64_t mask);
+
+/// 3-D tensor axis permutation: the element at coordinates
+/// (i0, i1, i2) of a dims[0] x dims[1] x dims[2] row-major tensor moves
+/// to coordinates (i_axes[0], i_axes[1], i_axes[2]) of the permuted
+/// tensor (whose shape is dims[axes[k]]). axes must be a permutation of
+/// {0,1,2}. Covers layout conversions like HWC -> CHW (axes {2,0,1}).
+Permutation tensor_axes(const std::array<std::uint64_t, 3>& dims,
+                        const std::array<int, 3>& axes);
+
+/// Interleave `ways` equal streams (SoA -> AoS): element i of stream s
+/// (source index s*(n/ways) + i) moves to i*ways + s. Equals the
+/// rectangular transpose of a ways x (n/ways) matrix.
+Permutation interleave(std::uint64_t n, std::uint64_t ways);
+
+/// De-interleave (AoS -> SoA): the inverse of `interleave`.
+Permutation deinterleave(std::uint64_t n, std::uint64_t ways);
+
+/// Names accepted by `by_name` (the bench CLI vocabulary).
+const std::vector<std::string>& family_names();
+
+/// Build a permutation family by name ("identical", "shuffle", "random",
+/// "bit-reversal", "transpose", "unshuffle", "rotation", "gray",
+/// "butterfly", "block-swap"). `seed` only affects "random".
+Permutation by_name(const std::string& name, std::uint64_t n, std::uint64_t seed = 42);
+
+}  // namespace hmm::perm

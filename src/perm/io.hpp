@@ -1,0 +1,28 @@
+#pragma once
+/// \file io.hpp
+/// \brief Binary serialization of permutations.
+///
+/// The offline setting means permutations (and their compiled plans,
+/// core/plan_io.hpp) are artifacts worth persisting: generate/color
+/// once, ship the file, load at run time. Format: little-endian,
+/// magic + version header, 64-bit size, dense 32-bit mapping.
+
+#include <iosfwd>
+#include <optional>
+
+#include "perm/permutation.hpp"
+
+namespace hmm::perm {
+
+/// Write `p` to `os`. Returns false on stream failure.
+bool save(std::ostream& os, const Permutation& p);
+
+/// Read a permutation written by `save`. Returns std::nullopt on a
+/// malformed header, truncated payload, or non-bijective mapping.
+std::optional<Permutation> load(std::istream& is);
+
+/// File-path convenience wrappers.
+bool save_file(const std::string& path, const Permutation& p);
+std::optional<Permutation> load_file(const std::string& path);
+
+}  // namespace hmm::perm

@@ -1,0 +1,66 @@
+#pragma once
+/// \file permutation.hpp
+/// \brief The `Permutation` value type: a bijection on [0, n).
+///
+/// Offline permutation (the paper's task): given arrays `a`, `b` of
+/// size `n` and a permutation `P`, copy `a[i]` into `b[P(i)]` for every
+/// `i`. This type stores `P` densely (`p[i] = P(i)`, 32-bit — the same
+/// representation the paper's kernels read from global memory).
+
+#include <cstdint>
+#include <span>
+
+#include "util/aligned_vector.hpp"
+#include "util/check.hpp"
+
+namespace hmm::perm {
+
+class Permutation {
+ public:
+  /// Identity permutation of size n.
+  explicit Permutation(std::uint64_t n);
+
+  /// Adopt a mapping; aborts unless it is a bijection on [0, size).
+  explicit Permutation(util::aligned_vector<std::uint32_t> mapping);
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return map_.size(); }
+
+  /// P(i).
+  std::uint32_t operator()(std::uint64_t i) const {
+    HMM_DCHECK(i < map_.size());
+    return map_[i];
+  }
+
+  /// Read-only view of the dense mapping (what the kernels load).
+  [[nodiscard]] std::span<const std::uint32_t> data() const noexcept {
+    return {map_.data(), map_.size()};
+  }
+
+  /// P^-1 (P^-1(P(i)) == i).
+  [[nodiscard]] Permutation inverse() const;
+
+  /// (this ∘ other)(i) = this(other(i)).
+  [[nodiscard]] Permutation compose(const Permutation& other) const;
+
+  [[nodiscard]] bool is_identity() const;
+
+  friend bool operator==(const Permutation& a, const Permutation& b) {
+    return a.map_ == b.map_;
+  }
+
+  /// True iff `mapping` is a bijection on [0, mapping.size()).
+  static bool is_valid(std::span<const std::uint32_t> mapping);
+
+  /// Apply offline: b[P(i)] = a[i]. Reference (serial) semantics used by
+  /// every test as ground truth.
+  template <class T>
+  void apply(std::span<const T> a, std::span<T> b) const {
+    HMM_CHECK(a.size() == size() && b.size() == size());
+    for (std::uint64_t i = 0; i < size(); ++i) b[map_[i]] = a[i];
+  }
+
+ private:
+  util::aligned_vector<std::uint32_t> map_;
+};
+
+}  // namespace hmm::perm

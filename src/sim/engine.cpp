@@ -1,0 +1,79 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace hmm::sim {
+
+PipelineEngine::PipelineEngine(model::MachineParams params, model::Space space)
+    : params_(params),
+      space_(space),
+      latency_(space == model::Space::kShared ? params.shared_latency : params.latency) {
+  params_.validate();
+}
+
+EngineRound PipelineEngine::run_round(std::span<const std::uint64_t> addrs) {
+  const std::uint32_t w = params_.width;
+
+  // Pack every warp into its stage sequence (dispatch order).
+  struct PendingStage {
+    std::uint32_t warp;
+    Stage stage;
+  };
+  std::deque<PendingStage> pending;
+  for (std::size_t base = 0, warp = 0; base < addrs.size(); base += w, ++warp) {
+    const auto warp_addrs =
+        addrs.subspan(base, std::min<std::size_t>(w, addrs.size() - base));
+    WarpTrace trace = space_ == model::Space::kShared ? pack_dmm(warp_addrs, w)
+                                                      : pack_umm(warp_addrs, w);
+    for (auto& stage : trace.stages) {
+      // Thread ids inside the stage are warp-local; globalize them.
+      for (auto& req : stage.requests) {
+        req.thread += static_cast<std::uint32_t>(base);
+      }
+      pending.push_back({static_cast<std::uint32_t>(warp), std::move(stage)});
+    }
+  }
+
+  EngineRound round;
+  round.start_cycle = clock_;
+  round.stages = pending.size();
+  if (pending.empty()) {
+    round.finish_cycle = clock_;
+    return round;
+  }
+
+  // In-flight stages retire `latency` cycles after insertion. Step the
+  // clock one cycle at a time: each cycle inserts at most one stage.
+  struct InFlight {
+    std::uint64_t exit_cycle;
+    Stage stage;
+  };
+  std::deque<InFlight> in_flight;
+
+  while (!pending.empty() || !in_flight.empty()) {
+    ++clock_;
+    // Insert the next stage (one per cycle); with latency 1 it retires
+    // within this same cycle, so insertion precedes retirement.
+    if (!pending.empty()) {
+      in_flight.push_back(InFlight{clock_ + latency_ - 1, std::move(pending.front().stage)});
+      pending.pop_front();
+    }
+    // Retire whatever exits this cycle (FIFO).
+    while (!in_flight.empty() && in_flight.front().exit_cycle == clock_) {
+      for (const auto& req : in_flight.front().stage.requests) {
+        round.requests.push_back(RequestTiming{
+            .thread = req.thread,
+            .addr = req.addr,
+            .issue_cycle = in_flight.front().exit_cycle - (latency_ - 1),
+            .finish_cycle = in_flight.front().exit_cycle,
+        });
+      }
+      round.finish_cycle = clock_;
+      in_flight.pop_front();
+    }
+  }
+  return round;
+}
+
+}  // namespace hmm::sim

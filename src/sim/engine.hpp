@@ -1,0 +1,70 @@
+#pragma once
+/// \file engine.hpp
+/// \brief Cycle-stepped pipeline engine: an *operational* model of the
+///        MMU that advances a clock one time unit at a time, inserting
+///        one pipeline stage per cycle and retiring requests `latency`
+///        cycles later (exactly the paper's Fig. 3 machinery).
+///
+/// The analytic accounting in hmm_sim.hpp computes round times in one
+/// shot (`stages + latency - 1`); this engine *derives* that number by
+/// actually streaming stages through an l-deep pipeline, and reports
+/// per-request completion times. Tests cross-validate the two, which
+/// pins the model's timing rule operationally rather than by fiat.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/access.hpp"
+#include "model/machine.hpp"
+#include "sim/pipeline.hpp"
+
+namespace hmm::sim {
+
+/// Completion record of one memory request.
+struct RequestTiming {
+  std::uint32_t thread = 0;   ///< global thread index within the round
+  std::uint64_t addr = 0;
+  std::uint64_t issue_cycle = 0;   ///< cycle its stage entered the pipeline
+  std::uint64_t finish_cycle = 0;  ///< cycle it retired (issue + latency - 1)
+};
+
+/// Result of running one round through the engine.
+struct EngineRound {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t finish_cycle = 0;  ///< when the last request retired
+  std::uint64_t stages = 0;
+  std::vector<RequestTiming> requests;
+
+  [[nodiscard]] std::uint64_t duration() const noexcept {
+    return finish_cycle - start_cycle;
+  }
+};
+
+/// Cycle-stepped engine for one memory (a DMM's shared memory or the
+/// UMM). Rounds are synchronous: a new round starts only after the
+/// previous one fully drained, matching the paper's accounting.
+class PipelineEngine {
+ public:
+  /// \param space  kShared packs stages by bank (DMM), kGlobal by
+  ///               address group (UMM).
+  PipelineEngine(model::MachineParams params, model::Space space);
+
+  [[nodiscard]] std::uint64_t now() const noexcept { return clock_; }
+  [[nodiscard]] std::uint32_t latency() const noexcept { return latency_; }
+
+  /// Run a full round: `addrs[i]` is thread i's address (kNoAccess to
+  /// sit out); warps are consecutive chunks of `width`, dispatched
+  /// round-robin. Advances the clock cycle by cycle.
+  EngineRound run_round(std::span<const std::uint64_t> addrs);
+
+  void reset() noexcept { clock_ = 0; }
+
+ private:
+  model::MachineParams params_;
+  model::Space space_;
+  std::uint32_t latency_;
+  std::uint64_t clock_ = 0;
+};
+
+}  // namespace hmm::sim

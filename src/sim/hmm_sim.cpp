@@ -1,0 +1,199 @@
+#include "sim/hmm_sim.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hmm::sim {
+
+using model::AccessClass;
+using model::Dir;
+using model::Space;
+
+model::RoundCounts SimStats::observed_counts() const {
+  model::RoundCounts c;
+  for (const RoundStat& r : rounds) {
+    const bool read = r.dir == Dir::kRead;
+    if (r.space == Space::kGlobal) {
+      if (r.observed == AccessClass::kCoalesced) {
+        (read ? c.coalesced_read : c.coalesced_write) += 1;
+      } else {
+        (read ? c.casual_read_global : c.casual_write_global) += 1;
+      }
+    } else {
+      // Shared rounds are conflict-free or casual; Table I only has a
+      // conflict-free column, so casual shared rounds are counted there
+      // too and flagged via declarations_hold().
+      (read ? c.conflict_free_read : c.conflict_free_write) += 1;
+    }
+  }
+  return c;
+}
+
+std::uint64_t SimStats::rounds_of(model::Space space) const {
+  return static_cast<std::uint64_t>(
+      std::count_if(rounds.begin(), rounds.end(),
+                    [space](const RoundStat& r) { return r.space == space; }));
+}
+
+bool SimStats::declarations_hold() const {
+  auto rank = [](AccessClass c) {
+    switch (c) {
+      case AccessClass::kCoalesced: return 2;
+      case AccessClass::kConflictFree: return 1;
+      case AccessClass::kCasual: return 0;
+    }
+    return 0;
+  };
+  return std::all_of(rounds.begin(), rounds.end(), [&](const RoundStat& r) {
+    return rank(r.observed) >= rank(r.declared);
+  });
+}
+
+HmmSim::HmmSim(model::MachineParams params) : params_(params) { params_.validate(); }
+
+void HmmSim::reset() {
+  stats_ = SimStats{};
+  next_global_ = 0;
+}
+
+std::uint64_t HmmSim::alloc_global(std::uint64_t elements) {
+  const std::uint64_t base = next_global_;
+  next_global_ += util::ceil_div(elements, params_.width) * params_.width;
+  return base;
+}
+
+std::uint64_t HmmSim::global_round(std::string label, std::span<const std::uint64_t> addrs,
+                                   Dir dir, AccessClass declared, std::uint32_t words) {
+  HMM_CHECK(words >= 1 && (words == 1 || params_.width % words == 0));
+  const std::uint32_t w = params_.width;
+  std::uint64_t stages = 0;
+  bool coalesced = true;
+  // An e-word element occupies word addresses [a*e, (a+1)*e); the warp
+  // pays one stage per distinct word-address group it touches. A fully
+  // coalesced warp touches exactly `words` groups; a scattering warp
+  // touches up to w (each element inside one group since e | w) — the
+  // Table II float-vs-double asymmetry (coalesced doubles cost 2x,
+  // scattered doubles barely more).
+  std::vector<std::uint64_t> word_addrs;
+  word_addrs.reserve(static_cast<std::size_t>(w) * words);
+  for (std::size_t base = 0; base < addrs.size(); base += w) {
+    const auto warp = addrs.subspan(base, std::min<std::size_t>(w, addrs.size() - base));
+    word_addrs.clear();
+    for (std::uint64_t a : warp) {
+      if (a == model::kNoAccess) continue;
+      for (std::uint32_t j = 0; j < words; ++j) word_addrs.push_back(a * words + j);
+    }
+    const std::uint32_t s = model::umm_stages(word_addrs, w);
+    stages += s;
+    coalesced &= (s <= words);
+  }
+
+  std::uint64_t effective = stages;
+  if (!coalesced && l2_.enabled) {
+    // First touch of a group in this round misses; re-touches hit and
+    // cost 1/hit_speedup — but only when the round's footprint fits.
+    // Group footprint is counted in word addresses (element_bytes is
+    // the machine word size, 4 B by default).
+    std::unordered_set<std::uint64_t> groups;
+    for (std::uint64_t a : addrs) {
+      if (a == model::kNoAccess) continue;
+      for (std::uint32_t j = 0; j < words; ++j) {
+        groups.insert(model::group_of(a * words + j, w));
+      }
+    }
+    const std::uint64_t footprint = groups.size() * w * l2_.element_bytes;
+    if (footprint <= l2_.capacity_bytes && stages > groups.size()) {
+      const std::uint64_t hits = stages - groups.size();
+      effective = groups.size() + util::ceil_div(hits, l2_.hit_speedup);
+    }
+  }
+
+  RoundStat stat;
+  stat.label = std::move(label);
+  stat.space = Space::kGlobal;
+  stat.dir = dir;
+  stat.declared = declared;
+  stat.observed = coalesced ? AccessClass::kCoalesced : AccessClass::kCasual;
+  stat.stages = effective;
+  stat.time = round_time(effective, params_.latency);
+  stats_.total_time += stat.time;
+  const std::uint64_t t = stat.time;
+  stats_.rounds.push_back(std::move(stat));
+  return t;
+}
+
+std::uint64_t HmmSim::global_round_packed(std::string label,
+                                          std::span<const std::uint64_t> addrs, Dir dir,
+                                          AccessClass declared, std::uint32_t pack) {
+  HMM_CHECK(pack >= 1);
+  const std::uint32_t w = params_.width;
+  std::uint64_t stages = 0;
+  bool coalesced = true;
+  std::vector<std::uint64_t> word_addrs;
+  word_addrs.reserve(w);
+  for (std::size_t base = 0; base < addrs.size(); base += w) {
+    const auto warp = addrs.subspan(base, std::min<std::size_t>(w, addrs.size() - base));
+    word_addrs.clear();
+    for (std::uint64_t a : warp) {
+      if (a != model::kNoAccess) word_addrs.push_back(a / pack);
+    }
+    const std::uint32_t s = model::umm_stages(word_addrs, w);
+    stages += s;
+    coalesced &= (s <= 1);
+  }
+
+  RoundStat stat;
+  stat.label = std::move(label);
+  stat.space = Space::kGlobal;
+  stat.dir = dir;
+  stat.declared = declared;
+  stat.observed = coalesced ? AccessClass::kCoalesced : AccessClass::kCasual;
+  stat.stages = stages;
+  stat.time = round_time(stages, params_.latency);
+  stats_.total_time += stat.time;
+  const std::uint64_t t = stat.time;
+  stats_.rounds.push_back(std::move(stat));
+  return t;
+}
+
+std::uint64_t HmmSim::shared_round(std::string label, std::span<const std::uint64_t> addrs,
+                                   std::uint64_t block_size, Dir dir, AccessClass declared,
+                                   std::uint32_t words) {
+  HMM_CHECK(words >= 1);
+  const std::uint32_t w = params_.width;
+  HMM_CHECK_MSG(block_size % w == 0, "block size must be a multiple of the width");
+  HMM_CHECK_MSG(addrs.size() % block_size == 0, "thread count must be a multiple of block size");
+
+  // Banks are element-wide (the paper's model; GPUs call it 64-bit
+  // bank mode for doubles): the bank pattern is that of the element
+  // addresses, and a wider element simply takes `words` waves through
+  // the same banks.
+  std::vector<std::uint64_t> dmm_stages_total(params_.dmms, 0);
+  bool conflict_free = true;
+  const std::uint64_t blocks = addrs.size() / block_size;
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    std::uint64_t block_stages = 0;
+    for (std::uint64_t base = b * block_size; base < (b + 1) * block_size; base += w) {
+      const auto warp = addrs.subspan(base, w);
+      const std::uint32_t s = model::dmm_stages(warp, w);
+      block_stages += static_cast<std::uint64_t>(s) * words;
+      conflict_free &= (s <= 1);
+    }
+    dmm_stages_total[b % params_.dmms] += block_stages;
+  }
+
+  RoundStat stat;
+  stat.label = std::move(label);
+  stat.space = Space::kShared;
+  stat.dir = dir;
+  stat.declared = declared;
+  stat.observed = conflict_free ? AccessClass::kConflictFree : AccessClass::kCasual;
+  stat.stages = *std::max_element(dmm_stages_total.begin(), dmm_stages_total.end());
+  stat.time = round_time(stat.stages, params_.shared_latency);
+  stats_.total_time += stat.time;
+  const std::uint64_t t = stat.time;
+  stats_.rounds.push_back(std::move(stat));
+  return t;
+}
+
+}  // namespace hmm::sim

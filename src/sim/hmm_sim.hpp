@@ -1,0 +1,117 @@
+#pragma once
+/// \file hmm_sim.hpp
+/// \brief The round-synchronous HMM simulator: accounts the exact model
+///        time of every memory-access round an algorithm performs.
+///
+/// Executors drive the simulator by reporting, for each round, the
+/// element address every thread touches. The simulator
+/// * packs each warp's requests into pipeline stages (pipeline.hpp),
+/// * advances the clock by `stages + latency - 1` (global) or by the
+///   busiest DMM's stages (shared, latency 1, DMMs run concurrently),
+/// * classifies the round as coalesced / conflict-free / casual and
+///   cross-checks the executor's declared guarantee, and
+/// * optionally applies a small L2-cache model to casual global rounds
+///   (ablation for the paper's small-n observation, Section VIII).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/access.hpp"
+#include "model/cost.hpp"
+#include "model/machine.hpp"
+#include "sim/pipeline.hpp"
+
+namespace hmm::sim {
+
+/// Statistics of one executed round.
+struct RoundStat {
+  std::string label;
+  model::Space space = model::Space::kGlobal;
+  model::Dir dir = model::Dir::kRead;
+  model::AccessClass declared = model::AccessClass::kCasual;
+  model::AccessClass observed = model::AccessClass::kCasual;
+  std::uint64_t stages = 0;  ///< total pipeline stages (global) or max per DMM (shared)
+  std::uint64_t time = 0;    ///< time units this round took
+};
+
+/// Aggregated counters over a whole simulated run.
+struct SimStats {
+  std::vector<RoundStat> rounds;
+  std::uint64_t total_time = 0;
+
+  [[nodiscard]] model::RoundCounts observed_counts() const;
+  [[nodiscard]] std::uint64_t rounds_of(model::Space space) const;
+  /// True iff no executed round degraded below its declared class.
+  [[nodiscard]] bool declarations_hold() const;
+};
+
+/// Optional L2 model: a casual global round's stage count shrinks when
+/// the round's footprint fits in the cache (the GTX-680's 512 KiB L2 is
+/// the paper's explanation for the conventional algorithm winning at
+/// small n). When the touched groups all fit, repeated groups hit and a
+/// stage costs a fraction of a miss.
+struct L2Model {
+  bool enabled = false;
+  std::uint64_t capacity_bytes = 512 * 1024;
+  std::uint64_t element_bytes = 4;
+  /// A cached stage costs 1/`hit_speedup` of a miss stage (DRAM burst
+  /// vs on-chip SRAM); GTX-680 L2 is roughly 4x the DRAM bandwidth.
+  std::uint32_t hit_speedup = 4;
+};
+
+class HmmSim {
+ public:
+  explicit HmmSim(model::MachineParams params);
+
+  [[nodiscard]] const model::MachineParams& params() const noexcept { return params_; }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t now() const noexcept { return stats_.total_time; }
+
+  void set_l2(const L2Model& l2) noexcept { l2_ = l2; }
+  void reset();
+
+  /// Allocate `elements` cells of global memory; the returned base is
+  /// address-group aligned (like cudaMalloc) so executors can reason
+  /// about coalescing. Only addresses are modelled, not contents.
+  std::uint64_t alloc_global(std::uint64_t elements);
+
+  /// Execute one global round: `addrs[i]` is thread i's element address
+  /// (model::kNoAccess to sit out). Returns the round's time units.
+  ///
+  /// `words` models the element width in machine words (1 for 32-bit
+  /// elements, 2 for 64-bit, 4 for complex<double>): element k occupies
+  /// word addresses [k*words, (k+1)*words) and each thread's access
+  /// becomes `words` request waves, pipelined within the one round —
+  /// a coalesced round costs `words*n/w + l - 1` (the paper's
+  /// float-vs-double Table II gap).
+  std::uint64_t global_round(std::string label, std::span<const std::uint64_t> addrs,
+                             model::Dir dir, model::AccessClass declared,
+                             std::uint32_t words = 1);
+
+  /// Sub-word variant: `pack` elements share one machine word (pack = 2
+  /// for the paper's 16-bit schedule arrays). A coalesced warp then
+  /// touches ceil(w/pack) words — fewer groups per n, i.e. a coalesced
+  /// round costs n/(w*pack) + l - 1. Mutually exclusive with words > 1.
+  std::uint64_t global_round_packed(std::string label, std::span<const std::uint64_t> addrs,
+                                    model::Dir dir, model::AccessClass declared,
+                                    std::uint32_t pack);
+
+  /// Execute one shared round: threads are grouped into blocks of
+  /// `block_size` (a multiple of width); block b runs on DMM `b mod d`;
+  /// addresses are block-local shared offsets. DMMs run concurrently:
+  /// the round costs the busiest DMM's total stages (latency 1).
+  /// `words` as in global_round (wider elements hit `words` banks).
+  std::uint64_t shared_round(std::string label, std::span<const std::uint64_t> addrs,
+                             std::uint64_t block_size, model::Dir dir,
+                             model::AccessClass declared, std::uint32_t words = 1);
+
+ private:
+  model::MachineParams params_;
+  SimStats stats_;
+  L2Model l2_;
+  std::uint64_t next_global_ = 0;
+};
+
+}  // namespace hmm::sim

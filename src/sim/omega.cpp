@@ -1,0 +1,93 @@
+#include "sim/omega.hpp"
+
+#include <algorithm>
+
+namespace hmm::sim {
+
+OmegaNetwork::OmegaNetwork(std::uint32_t width)
+    : width_(width), stages_(util::log2_exact(width)) {
+  HMM_CHECK_MSG(width >= 2, "omega network needs at least 2 ports");
+}
+
+OmegaRouting OmegaNetwork::route(std::span<const std::uint64_t> dest) const {
+  HMM_CHECK(dest.size() <= width_);
+  OmegaRouting result;
+  result.pass_of.assign(dest.size(), 0);
+
+  // Pending request indices (into `dest`).
+  std::vector<std::uint32_t> pending;
+  for (std::uint32_t i = 0; i < dest.size(); ++i) {
+    if (dest[i] != model::kNoAccess) {
+      HMM_CHECK_MSG(dest[i] < width_, "destination out of range");
+      pending.push_back(i);
+    }
+  }
+  if (pending.empty()) return result;
+
+  // occupant[p] = request index at wire position p, or kEmpty.
+  constexpr std::uint32_t kEmpty = ~0u;
+  std::vector<std::uint32_t> occupant(width_), next(width_);
+
+  while (!pending.empty()) {
+    ++result.passes;
+    std::fill(occupant.begin(), occupant.end(), kEmpty);
+    // Inject this pass's requests at their input ports, lower index
+    // first (the winner rule also applies to same-input reuse, which
+    // cannot happen here since inputs are distinct).
+    for (std::uint32_t req : pending) occupant[req] = req;
+
+    std::vector<std::uint32_t> deflected;
+    for (std::uint32_t s = 0; s < stages_; ++s) {
+      // Perfect-shuffle wiring into the stage: position p moves to
+      // rotate_left(p) over log2(w) bits.
+      std::fill(next.begin(), next.end(), kEmpty);
+      for (std::uint32_t p = 0; p < width_; ++p) {
+        if (occupant[p] != kEmpty) {
+          next[util::rotate_left_bits(p, stages_)] = occupant[p];
+        }
+      }
+      std::swap(occupant, next);
+
+      // 2x2 switches on position pairs (2k, 2k+1): requested output
+      // port is destination bit (stages-1-s); collisions deflect the
+      // higher input index out of this pass.
+      std::fill(next.begin(), next.end(), kEmpty);
+      for (std::uint32_t k = 0; k < width_ / 2; ++k) {
+        std::uint32_t contenders[2] = {occupant[2 * k], occupant[2 * k + 1]};
+        for (int leg = 0; leg < 2; ++leg) {
+          const std::uint32_t req = contenders[leg];
+          if (req == kEmpty) continue;
+          const std::uint32_t bit =
+              (dest[req] >> (stages_ - 1 - s)) & 1u;
+          std::uint32_t& slot = next[2 * k + bit];
+          if (slot == kEmpty) {
+            slot = req;
+          } else if (req < slot) {
+            deflected.push_back(slot);
+            ++result.switch_conflicts;
+            slot = req;
+          } else {
+            deflected.push_back(req);
+            ++result.switch_conflicts;
+          }
+        }
+      }
+      std::swap(occupant, next);
+    }
+
+    // Delivered requests exit at their destination port by construction
+    // of destination-tag routing; record their pass.
+    for (std::uint32_t p = 0; p < width_; ++p) {
+      if (occupant[p] != kEmpty) {
+        HMM_DCHECK(dest[occupant[p]] == p);
+        result.pass_of[occupant[p]] = result.passes;
+      }
+    }
+    std::sort(deflected.begin(), deflected.end());
+    pending = std::move(deflected);
+    HMM_CHECK_MSG(result.passes <= width_ * 2, "routing failed to converge");
+  }
+  return result;
+}
+
+}  // namespace hmm::sim

@@ -1,0 +1,64 @@
+#pragma once
+/// \file omega.hpp
+/// \brief An omega (shuffle-exchange) multistage interconnection
+///        network — the concrete realization of the paper's MMU remark
+///        ("we can think that it is a multistage interconnection
+///        network in which memory access requests are moved to
+///        destination memory banks in a pipeline fashion", Section I,
+///        citing Hsiao & Chen).
+///
+/// A w-input omega network has log2(w) stages of w/2 two-by-two
+/// switches with perfect-shuffle wiring between stages; requests
+/// self-route by destination tag (stage s consumes destination bit
+/// log2(w)-1-s). The network *blocks*: two requests can collide at a
+/// switch even when their destination banks are distinct, so a
+/// bank-conflict-free warp may still need several passes. The abstract
+/// DMM/UMM model charges one stage for any conflict-free warp — i.e.
+/// it assumes a full crossbar. `bench_ablation_omega` measures how
+/// optimistic that idealization is; the classic positive cases
+/// (identity, uniform shifts, bit-reversal) route in one pass.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/access.hpp"
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace hmm::sim {
+
+/// Outcome of routing one warp's requests through the network.
+struct OmegaRouting {
+  std::uint32_t passes = 0;              ///< passes until every request delivered
+  std::vector<std::uint32_t> pass_of;    ///< per input: 1-based pass it was served in
+  std::uint64_t switch_conflicts = 0;    ///< total deflections across all passes
+};
+
+class OmegaNetwork {
+ public:
+  /// \param width number of inputs/outputs (= banks); power of two >= 2.
+  explicit OmegaNetwork(std::uint32_t width);
+
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+  [[nodiscard]] std::uint32_t stages() const noexcept { return stages_; }
+
+  /// Route one warp: `dest[i]` is input i's destination output
+  /// (model::kNoAccess to sit out). Repeats passes until every request
+  /// is delivered; on a collision the lower input index wins and the
+  /// loser retries next pass. Destinations need not be distinct — same-
+  /// destination requests serialize across passes like bank conflicts.
+  [[nodiscard]] OmegaRouting route(std::span<const std::uint64_t> dest) const;
+
+  /// True iff the request pattern passes in a single sweep (the
+  /// "omega-routable" property).
+  [[nodiscard]] bool routable_in_one_pass(std::span<const std::uint64_t> dest) const {
+    return route(dest).passes <= 1;
+  }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t stages_;
+};
+
+}  // namespace hmm::sim

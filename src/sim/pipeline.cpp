@@ -1,0 +1,63 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hmm::sim {
+
+using model::kNoAccess;
+
+WarpTrace pack_dmm(std::span<const std::uint64_t> warp_addrs, std::uint32_t width) {
+  WarpTrace trace;
+  // Stage of a request to bank b = number of earlier same-bank requests.
+  std::array<std::uint32_t, 64> bank_load{};
+  HMM_CHECK(width <= bank_load.size());
+  for (std::uint32_t t = 0; t < warp_addrs.size(); ++t) {
+    const std::uint64_t addr = warp_addrs[t];
+    if (addr == kNoAccess) continue;
+    const auto b = static_cast<std::uint32_t>(model::bank_of(addr, width));
+    const std::uint32_t stage = bank_load[b]++;
+    if (stage >= trace.stages.size()) trace.stages.resize(stage + 1);
+    trace.stages[stage].requests.push_back({t, addr});
+  }
+  return trace;
+}
+
+WarpTrace pack_umm(std::span<const std::uint64_t> warp_addrs, std::uint32_t width) {
+  WarpTrace trace;
+  std::array<std::uint64_t, 64> group_of_stage{};
+  std::uint32_t stage_count = 0;
+  for (std::uint32_t t = 0; t < warp_addrs.size(); ++t) {
+    const std::uint64_t addr = warp_addrs[t];
+    if (addr == kNoAccess) continue;
+    const std::uint64_t g = model::group_of(addr, width);
+    std::uint32_t stage = stage_count;
+    for (std::uint32_t s = 0; s < stage_count; ++s) {
+      if (group_of_stage[s] == g) {
+        stage = s;
+        break;
+      }
+    }
+    if (stage == stage_count) {
+      HMM_CHECK(stage_count < group_of_stage.size());
+      group_of_stage[stage_count++] = g;
+      trace.stages.emplace_back();
+    }
+    trace.stages[stage].requests.push_back({t, addr});
+  }
+  return trace;
+}
+
+std::uint64_t round_stages(std::span<const std::uint64_t> addrs, std::uint32_t width,
+                           model::Space space) {
+  std::uint64_t stages = 0;
+  for (std::size_t base = 0; base < addrs.size(); base += width) {
+    const std::size_t len = std::min<std::size_t>(width, addrs.size() - base);
+    const auto warp = addrs.subspan(base, len);
+    stages += space == model::Space::kShared ? model::dmm_stages(warp, width)
+                                             : model::umm_stages(warp, width);
+  }
+  return stages;
+}
+
+}  // namespace hmm::sim

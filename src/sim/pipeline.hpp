@@ -1,0 +1,58 @@
+#pragma once
+/// \file pipeline.hpp
+/// \brief The MMU pipeline-stage model (ICPP 2013, Section II, Fig. 3).
+///
+/// A warp's `w` simultaneous requests are packed into pipeline stages:
+/// * DMM (shared memory): each stage may hold at most one request per
+///   *bank* — a warp occupies `max_bank_multiplicity` stages;
+/// * UMM (global memory): each stage holds the requests of one
+///   *address group* — a warp occupies `#distinct_groups` stages.
+///
+/// Warps are dispatched round-robin; stages stream through the MMU one
+/// per time unit and a request completes `latency` units after entering,
+/// so a round occupying `S` stages in total finishes at time
+/// `S + latency - 1`.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/access.hpp"
+#include "model/machine.hpp"
+
+namespace hmm::sim {
+
+/// One pipeline stage: the (thread, address) requests it carries.
+struct Stage {
+  struct Request {
+    std::uint32_t thread;
+    std::uint64_t addr;
+  };
+  std::vector<Request> requests;
+};
+
+/// Full stage-level trace of one warp's round (for Fig. 3 and tests).
+struct WarpTrace {
+  std::vector<Stage> stages;
+};
+
+/// Pack one warp's requests into DMM stages (distinct banks per stage).
+/// Requests to the same bank go to successive stages in thread order.
+WarpTrace pack_dmm(std::span<const std::uint64_t> warp_addrs, std::uint32_t width);
+
+/// Pack one warp's requests into UMM stages (one address group per
+/// stage, groups in first-touch order).
+WarpTrace pack_umm(std::span<const std::uint64_t> warp_addrs, std::uint32_t width);
+
+/// Total stage count of a full round: all warps of `addrs` (consecutive
+/// chunks of `width`), packed per `space`. `addrs[i] == kNoAccess` means
+/// thread `i` sits out; fully idle warps are not dispatched.
+std::uint64_t round_stages(std::span<const std::uint64_t> addrs, std::uint32_t width,
+                           model::Space space);
+
+/// Completion time of a round with `stages` total pipeline stages.
+constexpr std::uint64_t round_time(std::uint64_t stages, std::uint32_t latency) noexcept {
+  return stages == 0 ? 0 : stages + latency - 1;
+}
+
+}  // namespace hmm::sim

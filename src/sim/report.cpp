@@ -1,0 +1,53 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace hmm::sim {
+
+void write_rounds_csv(std::ostream& os, const SimStats& stats) {
+  os << "index,label,space,dir,declared,observed,stages,time\n";
+  for (std::size_t i = 0; i < stats.rounds.size(); ++i) {
+    const RoundStat& r = stats.rounds[i];
+    os << i << ',' << r.label << ',' << model::to_string(r.space) << ','
+       << model::to_string(r.dir) << ',' << model::to_string(r.declared) << ','
+       << model::to_string(r.observed) << ',' << r.stages << ',' << r.time << '\n';
+  }
+}
+
+void write_summary(std::ostream& os, const SimStats& stats) {
+  const auto counts = stats.observed_counts();
+  std::uint64_t global_time = 0, shared_time = 0;
+  for (const RoundStat& r : stats.rounds) {
+    (r.space == model::Space::kGlobal ? global_time : shared_time) += r.time;
+  }
+  os << "rounds: " << stats.rounds.size() << " (global " << counts.global_rounds()
+     << ", shared " << counts.shared_rounds() << ")\n"
+     << "  coalesced reads/writes:      " << counts.coalesced_read << "/"
+     << counts.coalesced_write << "\n"
+     << "  casual reads/writes:         " << counts.casual_read_global << "/"
+     << counts.casual_write_global << "\n"
+     << "  conflict-free reads/writes:  " << counts.conflict_free_read << "/"
+     << counts.conflict_free_write << "\n"
+     << "total time: " << stats.total_time << " units (global " << global_time
+     << ", shared " << shared_time << ")\n"
+     << "declared guarantees held: " << (stats.declarations_hold() ? "yes" : "NO") << "\n";
+}
+
+void write_engine_timeline(std::ostream& os, const EngineRound& round) {
+  // Group requests by issue cycle (= stage).
+  std::map<std::uint64_t, std::vector<const RequestTiming*>> by_issue;
+  for (const auto& req : round.requests) by_issue[req.issue_cycle].push_back(&req);
+  os << "round: start=" << round.start_cycle << " finish=" << round.finish_cycle
+     << " stages=" << round.stages << "\n";
+  for (const auto& [issue, reqs] : by_issue) {
+    os << "  cycle " << issue << " -> " << reqs.front()->finish_cycle << " :";
+    for (const auto* req : reqs) {
+      os << " t" << req->thread << "@" << req->addr;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace hmm::sim

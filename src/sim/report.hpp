@@ -1,0 +1,26 @@
+#pragma once
+/// \file report.hpp
+/// \brief Exporters for simulator statistics: per-round CSV (for
+///        plotting/regression baselines) and a human-readable summary.
+
+#include <iosfwd>
+
+#include "sim/engine.hpp"
+#include "sim/hmm_sim.hpp"
+
+namespace hmm::sim {
+
+/// One CSV row per executed round:
+/// `index,label,space,dir,declared,observed,stages,time`.
+void write_rounds_csv(std::ostream& os, const SimStats& stats);
+
+/// Aggregate summary: counts per class, total time, share of time per
+/// space, and whether every declaration held.
+void write_summary(std::ostream& os, const SimStats& stats);
+
+/// ASCII timeline of one engine round: one line per pipeline stage
+/// showing issue/retire cycles and the requests it carried. Intended
+/// for small rounds (Fig. 3-scale debugging).
+void write_engine_timeline(std::ostream& os, const EngineRound& round);
+
+}  // namespace hmm::sim

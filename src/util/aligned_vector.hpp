@@ -1,0 +1,48 @@
+#pragma once
+/// \file aligned_vector.hpp
+/// \brief Cache-line/“memory-row” aligned storage for kernel buffers.
+///
+/// Kernel arrays are aligned to 128 bytes so that element 0 begins a
+/// cacheline (host backend) and an address group (simulator backend):
+/// the coalescing analysis assumes array base addresses are
+/// group-aligned exactly like `cudaMalloc` guarantees on real GPUs.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace hmm::util {
+
+/// Minimal over-aligned allocator.
+template <class T, std::size_t Align = 128>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t alignment{Align};
+
+  /// Explicit rebind: the automatic one does not apply because `Align`
+  /// is a non-type template parameter.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), alignment));
+  }
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, alignment); }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// 128-byte-aligned vector; the standard buffer type for kernel data.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace hmm::util

@@ -1,0 +1,81 @@
+#pragma once
+/// \file bits.hpp
+/// \brief Bit-manipulation helpers for power-of-two address arithmetic.
+///
+/// The memory-machine models index banks and address groups with
+/// power-of-two widths, so every module leans on these helpers.
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace hmm::util {
+
+/// True iff \p x is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)); requires x > 0.
+constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// log2 of an exact power of two.
+constexpr unsigned log2_exact(std::uint64_t x) {
+  HMM_CHECK_MSG(is_pow2(x), "log2_exact requires a power of two");
+  return log2_floor(x);
+}
+
+/// Smallest power of two >= x (x <= 2^63).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) noexcept {
+  return x <= 1 ? 1 : std::bit_ceil(x);
+}
+
+/// ceil(a / b) for positive b.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Reverse the low \p bits bits of \p x (the FFT bit-reversal index map).
+constexpr std::uint64_t bit_reverse(std::uint64_t x, unsigned bits) noexcept {
+  std::uint64_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | ((x >> i) & 1u);
+  }
+  return r;
+}
+
+/// Left-rotate the low \p bits bits of \p x by one position
+/// (the "shuffle" index map: b_{k-1} b_{k-2} ... b_0 -> b_{k-2} ... b_0 b_{k-1}).
+constexpr std::uint64_t rotate_left_bits(std::uint64_t x, unsigned bits) noexcept {
+  if (bits == 0) return x;
+  const std::uint64_t mask = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+  const std::uint64_t body = x & mask;
+  return ((body << 1) | (body >> (bits - 1))) & mask;
+}
+
+/// Right-rotate the low \p bits bits of \p x by one position (unshuffle).
+constexpr std::uint64_t rotate_right_bits(std::uint64_t x, unsigned bits) noexcept {
+  if (bits == 0) return x;
+  const std::uint64_t mask = (bits >= 64) ? ~0ull : ((1ull << bits) - 1);
+  const std::uint64_t body = x & mask;
+  return ((body >> 1) | ((body & 1u) << (bits - 1))) & mask;
+}
+
+/// Binary-reflected Gray code.
+constexpr std::uint64_t gray_code(std::uint64_t x) noexcept { return x ^ (x >> 1); }
+
+/// Integer square root of a perfect square; checked.
+constexpr std::uint64_t isqrt_exact(std::uint64_t n) {
+  std::uint64_t r = 0;
+  // For the power-of-two sizes we use, log2/2 is exact; fall back to a scan.
+  if (is_pow2(n) && log2_floor(n) % 2 == 0) {
+    r = 1ull << (log2_floor(n) / 2);
+  } else {
+    while ((r + 1) * (r + 1) <= n) ++r;
+  }
+  HMM_CHECK_MSG(r * r == n, "isqrt_exact requires a perfect square");
+  return r;
+}
+
+}  // namespace hmm::util

@@ -1,0 +1,38 @@
+#pragma once
+/// \file check.hpp
+/// \brief Lightweight runtime check macros used throughout the library.
+///
+/// `HMM_CHECK` is always on (argument validation on public entry points);
+/// `HMM_DCHECK` compiles away in release builds and guards internal
+/// invariants on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hmm::util {
+
+/// Print a diagnostic and abort. Out-of-line so the macro stays tiny.
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "[hmm] check failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace hmm::util
+
+#define HMM_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) ::hmm::util::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define HMM_CHECK_MSG(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr)) ::hmm::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define HMM_DCHECK(expr) ((void)0)
+#else
+#define HMM_DCHECK(expr) HMM_CHECK(expr)
+#endif

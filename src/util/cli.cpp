@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace hmm::util {
+
+Cli::Cli(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return flags_.count(key) != 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  // Accept suffixes K/M/G (binary).
+  const std::string& v = it->second;
+  char* end = nullptr;
+  std::int64_t base = std::strtoll(v.c_str(), &end, 0);
+  if (end && *end) {
+    switch (*end) {
+      case 'k': case 'K': base <<= 10; break;
+      case 'm': case 'M': base <<= 20; break;
+      case 'g': case 'G': base <<= 30; break;
+      default: break;
+    }
+  }
+  return base;
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes" ||
+         it->second == "on" || it->second.empty();
+}
+
+}  // namespace hmm::util

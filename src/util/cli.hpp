@@ -1,0 +1,34 @@
+#pragma once
+/// \file cli.hpp
+/// \brief Minimal `--flag value` command-line parser for the bench and
+///        example binaries (keeps them dependency-free).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hmm::util {
+
+/// Parses `--key value` and `--key=value` pairs; bare `--key` is "true".
+/// Positional arguments are collected in order.
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key, const std::string& def = "") const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def = false) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept { return positional_; }
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hmm::util

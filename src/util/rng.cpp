@@ -1,0 +1,71 @@
+#include "util/rng.hpp"
+
+namespace hmm::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::bounded(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's multiply-shift rejection sampler.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+void Xoshiro256::long_jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull,
+                                            0x77710069854ee241ull, 0x39109bb02acbe635ull};
+  std::uint64_t t[4] = {0, 0, 0, 0};
+  for (std::uint64_t jump : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ull << b)) {
+        t[0] ^= s_[0];
+        t[1] ^= s_[1];
+        t[2] ^= s_[2];
+        t[3] ^= s_[3];
+      }
+      next();
+    }
+  }
+  s_[0] = t[0];
+  s_[1] = t[1];
+  s_[2] = t[2];
+  s_[3] = t[3];
+}
+
+}  // namespace hmm::util

@@ -1,0 +1,33 @@
+#pragma once
+/// \file stopwatch.hpp
+/// \brief Wall-clock stopwatch for the benchmark harnesses.
+
+#include <chrono>
+
+namespace hmm::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Elapsed time in seconds.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+  /// Elapsed time in nanoseconds.
+  [[nodiscard]] double nanos() const noexcept { return seconds() * 1e9; }
+
+ private:
+  clock::time_point start_;
+};
+
+}  // namespace hmm::util

@@ -1,0 +1,126 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace hmm::util {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != 'E' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row, bool align_right) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      const std::size_t pad = width[c] - cell.size();
+      const bool right = align_right && looks_numeric(cell);
+      os << ' ' << (right ? std::string(pad, ' ') + cell : cell + std::string(pad, ' '))
+         << ' ' << '|';
+    }
+    os << '\n';
+  };
+
+  rule();
+  emit(header_, false);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      emit(row, true);
+    }
+  }
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c) os << ',';
+      if (c < row.size()) os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+}
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_ms(double ms) {
+  char buf[64];
+  if (ms < 0.1) {
+    std::snprintf(buf, sizeof buf, "%.4f", ms);
+  } else if (ms < 10) {
+    std::snprintf(buf, sizeof buf, "%.3f", ms);
+  } else if (ms < 1000) {
+    std::snprintf(buf, sizeof buf, "%.1f", ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", ms);
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= (1ull << 30)) {
+    std::snprintf(buf, sizeof buf, "%.1fGiB", static_cast<double>(bytes) / (1ull << 30));
+  } else if (bytes >= (1ull << 20)) {
+    std::snprintf(buf, sizeof buf, "%.1fMiB", static_cast<double>(bytes) / (1ull << 20));
+  } else if (bytes >= (1ull << 10)) {
+    std::snprintf(buf, sizeof buf, "%.1fKiB", static_cast<double>(bytes) / (1ull << 10));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace hmm::util

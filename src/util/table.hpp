@@ -1,0 +1,45 @@
+#pragma once
+/// \file table.hpp
+/// \brief ASCII table / CSV printers used by the benchmark harnesses to
+///        render the paper's tables.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmm::util {
+
+/// A simple column-aligned table. Rows are vectors of preformatted
+/// cells; the printer right-aligns numeric-looking cells and
+/// left-aligns text.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; it may be shorter than the header (padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator row.
+  void add_separator();
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (no quoting of commas; cells are plain).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+/// Format helpers (GCC 12 lacks std::format; keep these centralized).
+std::string format_double(double v, int precision = 2);
+std::string format_ms(double ms);      ///< milliseconds with adaptive precision
+std::string format_count(std::uint64_t v);
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace hmm::util

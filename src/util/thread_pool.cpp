@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace hmm::util {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(Task{std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
+                                     const std::function<void(std::uint64_t, std::uint64_t)>& fn,
+                                     unsigned chunks_per_thread) {
+  if (begin >= end) return;
+  const std::uint64_t total = end - begin;
+  const std::uint64_t max_chunks =
+      static_cast<std::uint64_t>(size()) * std::max(1u, chunks_per_thread);
+  const std::uint64_t chunks = std::min<std::uint64_t>(total, std::max<std::uint64_t>(1, max_chunks));
+
+  if (chunks == 1 || size() <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  std::atomic<std::uint64_t> remaining{chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::uint64_t step = (total + chunks - 1) / chunks;
+  for (std::uint64_t c = 0; c < chunks; ++c) {
+    const std::uint64_t lo = begin + c * step;
+    const std::uint64_t hi = std::min(end, lo + step);
+    if (lo >= hi) {
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    submit([&, lo, hi] {
+      fn(lo, hi);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,
+                              const std::function<void(std::uint64_t)>& fn,
+                              unsigned chunks_per_thread) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) fn(i);
+      },
+      chunks_per_thread);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace hmm::util

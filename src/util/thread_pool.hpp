@@ -1,0 +1,62 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief Small fixed-size thread pool with a blocking parallel_for.
+///
+/// The CPU backend launches its "CUDA blocks" through this pool. The
+/// pool is deliberately simple (single mutex-protected deque): kernel
+/// granularity here is whole matrix rows or tile strips, so queue
+/// contention is negligible compared to the work item cost.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmm::util {
+
+class ThreadPool {
+ public:
+  /// \param num_threads 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(i) for i in [begin, end), split into ~`chunks_per_thread`
+  /// contiguous chunks per worker; blocks until every index is done.
+  /// With a single worker (or a tiny range) this degrades to a serial
+  /// loop on the calling thread — no task overhead.
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    const std::function<void(std::uint64_t)>& fn,
+                    unsigned chunks_per_thread = 4);
+
+  /// Run fn(chunk_begin, chunk_end) over a blocked partition of the range.
+  void parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
+                           const std::function<void(std::uint64_t, std::uint64_t)>& fn,
+                           unsigned chunks_per_thread = 4);
+
+  /// Global pool shared by the CPU backend (constructed on first use).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  void submit(std::function<void()> fn);
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hmm::util

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "exec/algorithms.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace hmm::exec {
+namespace {
+
+using model::MachineParams;
+
+TEST(ReduceSum, MatchesSerialSum) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1024;
+  util::Xoshiro256 rng(3);
+  util::aligned_vector<std::uint64_t> host(n);
+  for (auto& v : host) v = rng.bounded(1000);
+  const std::uint64_t expected = std::accumulate(host.begin(), host.end(), 0ull);
+
+  Machine m(mp);
+  auto data = m.alloc_global<std::uint64_t>(std::span<const std::uint64_t>{host.data(), n});
+  const auto result = reduce_sum<std::uint64_t>(m, data, 64);
+  EXPECT_EQ(result.value, expected);
+  EXPECT_GT(result.time_units, 0u);
+}
+
+TEST(ReduceSum, SharedRoundsConflictFree) {
+  const MachineParams mp = MachineParams::tiny(8, 20, 2);
+  const std::uint64_t n = 4096;
+  Machine m(mp);
+  auto data = m.alloc_global<std::uint32_t>(n);
+  reduce_sum<std::uint32_t>(m, data, 128);
+  EXPECT_TRUE(m.sim().stats().declarations_hold());
+  for (const auto& r : m.sim().stats().rounds) {
+    if (r.space == model::Space::kShared) {
+      EXPECT_EQ(r.observed, model::AccessClass::kConflictFree) << r.label;
+    }
+  }
+}
+
+TEST(ReduceSum, SingleBlock) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  Machine m(mp);
+  const auto host = test::iota_data<std::uint64_t>(64);
+  auto data = m.alloc_global<std::uint64_t>(std::span<const std::uint64_t>{host.data(), 64});
+  const auto result = reduce_sum<std::uint64_t>(m, data, 64);
+  EXPECT_EQ(result.value, 64ull * 63 / 2);
+}
+
+TEST(Reduce, MaxOperator) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 512;
+  util::Xoshiro256 rng(13);
+  util::aligned_vector<std::uint32_t> host(n);
+  for (auto& v : host) v = static_cast<std::uint32_t>(rng.bounded(1 << 20));
+  const std::uint32_t expected = *std::max_element(host.begin(), host.end());
+
+  Machine m(mp);
+  auto data = m.alloc_global<std::uint32_t>(std::span<const std::uint32_t>{host.data(), n});
+  const auto result = reduce<std::uint32_t>(
+      m, data, 64, [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); }, 0u);
+  EXPECT_EQ(result.value, expected);
+}
+
+TEST(ExclusiveScan, MatchesStdExclusiveScan) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 512;
+  util::Xoshiro256 rng(21);
+  util::aligned_vector<std::uint64_t> host(n);
+  for (auto& v : host) v = rng.bounded(50);
+  std::vector<std::uint64_t> expected(n);
+  std::exclusive_scan(host.begin(), host.end(), expected.begin(), 7ull);
+
+  Machine m(mp);
+  auto input = m.alloc_global<std::uint64_t>(std::span<const std::uint64_t>{host.data(), n});
+  const auto [out, time] = exclusive_scan<std::uint64_t>(m, input, 64, std::plus<>{}, 7ull);
+  std::vector<std::uint64_t> got(n);
+  m.read_back(out, std::span<std::uint64_t>{got.data(), n});
+  EXPECT_EQ(got, expected);
+  (void)time;
+}
+
+TEST(InclusiveScan, MaxScan) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  util::Xoshiro256 rng(30);
+  util::aligned_vector<std::uint32_t> host(n);
+  for (auto& v : host) v = static_cast<std::uint32_t>(rng.bounded(1000));
+  Machine m(mp);
+  auto input = m.alloc_global<std::uint32_t>(std::span<const std::uint32_t>{host.data(), n});
+  const auto [out, time] = inclusive_scan<std::uint32_t>(
+      m, input, 64, [](std::uint32_t a, std::uint32_t b) { return std::max(a, b); });
+  std::vector<std::uint32_t> got(n);
+  m.read_back(out, std::span<std::uint32_t>{got.data(), n});
+  std::uint32_t running = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    running = std::max(running, host[i]);
+    EXPECT_EQ(got[i], running) << i;
+  }
+  (void)time;
+}
+
+TEST(InclusiveScan, MatchesStdScan) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 2048;
+  util::Xoshiro256 rng(5);
+  util::aligned_vector<std::uint64_t> host(n);
+  for (auto& v : host) v = rng.bounded(100);
+  std::vector<std::uint64_t> expected(n);
+  std::inclusive_scan(host.begin(), host.end(), expected.begin());
+
+  Machine m(mp);
+  auto input = m.alloc_global<std::uint64_t>(std::span<const std::uint64_t>{host.data(), n});
+  const auto [out, time] = inclusive_scan<std::uint64_t>(m, input, 64);
+  std::vector<std::uint64_t> got(n);
+  m.read_back(out, std::span<std::uint64_t>{got.data(), n});
+  EXPECT_EQ(got, expected);
+  EXPECT_GT(time, 0u);
+}
+
+TEST(InclusiveScan, ConstantInputGivesRamp) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  util::aligned_vector<std::uint32_t> host(n, 1u);
+  Machine m(mp);
+  auto input = m.alloc_global<std::uint32_t>(std::span<const std::uint32_t>{host.data(), n});
+  const auto [out, time] = inclusive_scan<std::uint32_t>(m, input, 64);
+  std::vector<std::uint32_t> got(n);
+  m.read_back(out, std::span<std::uint32_t>{got.data(), n});
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(got[i], i + 1);
+  (void)time;
+}
+
+TEST(InclusiveScan, TimeIsLogDepthOfCoalescedRounds) {
+  // log2(n)+1 kernels, 3 global rounds each (bounded casual shifted
+  // read): total time O(log n * (n/w + l)).
+  const MachineParams mp = MachineParams::tiny(8, 50, 2);
+  const std::uint64_t n = 4096;
+  Machine m(mp);
+  auto input = m.alloc_global<float>(n);
+  const auto [out, time] = inclusive_scan<float>(m, input, 128);
+  (void)out;
+  const std::uint64_t coalesced = model::coalesced_round_time(n, mp);
+  const std::uint64_t rounds_upper = (2 + 3 * 12) * (2 * coalesced);
+  EXPECT_LT(time, rounds_upper);
+  // The shifted reads at dist >= w are observed coalesced.
+  std::uint64_t casual = 0;
+  for (const auto& r : m.sim().stats().rounds) {
+    casual += (r.observed == model::AccessClass::kCasual);
+  }
+  // Only the shifts with dist < w (log2(w) = 3 of them) may degrade,
+  // and they cost at most 2 groups per warp.
+  EXPECT_LE(casual, 3u);
+}
+
+}  // namespace
+}  // namespace hmm::exec

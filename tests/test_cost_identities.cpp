@@ -1,0 +1,163 @@
+/// Closed-form identity sweeps: the algebra of Section 2-5 of
+/// docs/MODEL.md, pinned across machine shapes and element widths.
+
+#include <gtest/gtest.h>
+
+#include "model/cost.hpp"
+
+namespace hmm::model {
+namespace {
+
+struct Shape {
+  std::uint32_t width;
+  std::uint32_t latency;
+  std::uint32_t shared_latency;
+  std::uint32_t dmms;
+  std::uint64_t n;
+  std::uint32_t words;
+};
+
+class CostSweep : public ::testing::TestWithParam<Shape> {
+ protected:
+  [[nodiscard]] MachineParams machine() const {
+    const Shape& s = GetParam();
+    MachineParams p;
+    p.width = s.width;
+    p.latency = s.latency;
+    p.shared_latency = s.shared_latency;
+    p.dmms = s.dmms;
+    return p;
+  }
+};
+
+TEST_P(CostSweep, CompositionIdentities) {
+  const auto& s = GetParam();
+  const MachineParams p = machine();
+  // scheduled = 2 row + column; column = 2 transpose + row.
+  EXPECT_EQ(scheduled_time(s.n, p, s.words),
+            2 * row_wise_time(s.n, p, s.words) + column_wise_time(s.n, p, s.words));
+  EXPECT_EQ(column_wise_time(s.n, p, s.words),
+            2 * transpose_time(s.n, p, s.words) + row_wise_time(s.n, p, s.words));
+}
+
+TEST_P(CostSweep, RoundDecompositions) {
+  const auto& s = GetParam();
+  const MachineParams p = machine();
+  EXPECT_EQ(transpose_time(s.n, p, s.words),
+            2 * coalesced_round_time(s.n, p, s.words) +
+                2 * conflict_free_round_time(s.n, p, s.words));
+  EXPECT_EQ(row_wise_time(s.n, p, s.words),
+            2 * coalesced_round_time(s.n, p, s.words) + 2 * coalesced_round_time(s.n, p, 1) +
+                4 * conflict_free_round_time(s.n, p, s.words));
+}
+
+TEST_P(CostSweep, ConventionalBounds) {
+  const auto& s = GetParam();
+  const MachineParams p = machine();
+  const std::uint32_t group = p.width / s.words;
+  // Distribution range [n*words/w, n] bounds the conventional cost.
+  const std::uint64_t d_min = s.n / group;
+  const std::uint64_t d_max = s.n;
+  EXPECT_LE(d_designated_time(s.n, d_min, p, s.words),
+            d_designated_time(s.n, d_max, p, s.words));
+  // The best conventional case (fully coalesced writes, d = n*words/w)
+  // equals three coalesced rounds: index read + data read + data write.
+  EXPECT_EQ(d_designated_time(s.n, d_min, p, s.words),
+            coalesced_round_time(s.n, p, 1) + 2 * coalesced_round_time(s.n, p, s.words));
+}
+
+TEST_P(CostSweep, LowerBoundDominatedByEverything) {
+  const auto& s = GetParam();
+  const MachineParams p = machine();
+  const std::uint64_t lb = lower_bound(s.n, p);
+  EXPECT_LE(lb, scheduled_time(s.n, p, s.words));
+  EXPECT_LE(lb, d_designated_time(s.n, s.n, p, s.words));
+  EXPECT_LE(lb, transpose_time(s.n, p, s.words) * 8);  // scheduled >= transpose costs
+}
+
+TEST_P(CostSweep, WordsMonotone) {
+  const auto& s = GetParam();
+  const MachineParams p = machine();
+  if (s.words * 2 > p.width) GTEST_SKIP();
+  EXPECT_LT(scheduled_time(s.n, p, s.words), scheduled_time(s.n, p, s.words * 2));
+  EXPECT_LT(coalesced_round_time(s.n, p, s.words),
+            coalesced_round_time(s.n, p, s.words * 2));
+}
+
+TEST_P(CostSweep, LatencyAffectsGlobalOnly) {
+  const auto& s = GetParam();
+  MachineParams lo = machine(), hi = machine();
+  hi.latency = lo.latency + 100;
+  // 16 global rounds -> the latency delta appears exactly 16 times.
+  EXPECT_EQ(scheduled_time(s.n, hi, s.words) - scheduled_time(s.n, lo, s.words), 16u * 100);
+  // 3 global rounds for the conventional algorithms.
+  EXPECT_EQ(d_designated_time(s.n, s.n, hi, s.words) -
+                d_designated_time(s.n, s.n, lo, s.words),
+            3u * 100);
+}
+
+TEST_P(CostSweep, SharedLatencyAffectsSharedOnly) {
+  const auto& s = GetParam();
+  MachineParams lo = machine(), hi = machine();
+  hi.shared_latency = lo.shared_latency + 10;
+  // 16 shared rounds in the scheduled pipeline.
+  EXPECT_EQ(scheduled_time(s.n, hi, s.words) - scheduled_time(s.n, lo, s.words), 16u * 10);
+  // Conventional algorithms never touch shared memory.
+  EXPECT_EQ(d_designated_time(s.n, s.n, hi, s.words),
+            d_designated_time(s.n, s.n, lo, s.words));
+}
+
+TEST_P(CostSweep, MoreDmmsNeverSlower) {
+  const auto& s = GetParam();
+  MachineParams few = machine(), many = machine();
+  many.dmms = few.dmms * 2;
+  EXPECT_GE(scheduled_time(s.n, few, s.words), scheduled_time(s.n, many, s.words));
+}
+
+TEST(BlockCap, UncappedWhenRowsFit) {
+  const MachineParams p = MachineParams::gtx680();
+  // cols <= cap: the capped formula must reduce to the uncapped one.
+  for (std::uint64_t n : {1ull << 16, 1ull << 20}) {
+    EXPECT_EQ(scheduled_time_capped(n, p, 1, 1024), scheduled_time(n, p, 1)) << n;
+  }
+}
+
+TEST(BlockCap, OverheadIsWavesTimesLatency) {
+  const MachineParams p = MachineParams::gtx680();
+  const std::uint64_t n = 1ull << 22;  // 2048 x 2048: 2 waves per row pass
+  const std::uint64_t capped = scheduled_time_capped(n, p, 1, 1024);
+  const std::uint64_t base = scheduled_time(n, p, 1);
+  EXPECT_GT(capped, base);
+  // Each of the 3 row passes has 4 global rounds and 4 shared rounds;
+  // one extra wave adds (l-1) per global and (L-1) per shared round:
+  // 3 * 4 * (l-1) extra (L = 1 contributes nothing).
+  EXPECT_EQ(capped - base, 3ull * 4 * (p.latency - 1));
+}
+
+TEST(BlockCap, TighterCapsCostMore) {
+  const MachineParams p = MachineParams::gtx680();
+  const std::uint64_t n = 1ull << 22;
+  EXPECT_GT(scheduled_time_capped(n, p, 1, 256), scheduled_time_capped(n, p, 1, 1024));
+}
+
+std::vector<Shape> sweep_shapes() {
+  std::vector<Shape> shapes;
+  for (std::uint32_t w : {4u, 8u, 32u}) {
+    for (std::uint32_t l : {1u, 17u, 300u}) {
+      for (std::uint32_t sl : {1u, 4u}) {
+        for (std::uint32_t d : {1u, 8u}) {
+          for (std::uint32_t words : {1u, 2u}) {
+            if (words >= w) continue;
+            shapes.push_back(Shape{w, l, sl, d, 1ull << 14, words});
+          }
+        }
+      }
+    }
+  }
+  return shapes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CostSweep, ::testing::ValuesIn(sweep_shapes()));
+
+}  // namespace
+}  // namespace hmm::model

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "model/cost.hpp"
+#include "perm/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace hmm::sim {
+namespace {
+
+using model::MachineParams;
+using model::Space;
+
+TEST(Engine, CoalescedRoundMatchesAnalyticFormula) {
+  const MachineParams p = MachineParams::tiny(4, 7, 2);
+  PipelineEngine eng(p, Space::kGlobal);
+  std::vector<std::uint64_t> addrs(64);
+  for (std::uint64_t i = 0; i < addrs.size(); ++i) addrs[i] = i;
+  const EngineRound round = eng.run_round(addrs);
+  EXPECT_EQ(round.stages, 16u);
+  EXPECT_EQ(round.duration(), model::coalesced_round_time(addrs.size(), p));
+}
+
+TEST(Engine, SharedLatencyOneRetiresImmediately) {
+  const MachineParams p = MachineParams::tiny(4, 7, 2);
+  PipelineEngine eng(p, Space::kShared);
+  std::vector<std::uint64_t> addrs = {0, 1, 2, 3};
+  const EngineRound round = eng.run_round(addrs);
+  EXPECT_EQ(round.stages, 1u);
+  EXPECT_EQ(round.duration(), 1u);
+  ASSERT_EQ(round.requests.size(), 4u);
+  for (const auto& req : round.requests) {
+    EXPECT_EQ(req.issue_cycle, req.finish_cycle);  // latency 1
+  }
+}
+
+TEST(Engine, Fig3UmmExample) {
+  // Fig. 3: warps {7,5,15,0} and {10,11,12,15} on the UMM with w=4:
+  // 3 + 2 = 5 stages, completion at 5 + l - 1.
+  const MachineParams p = MachineParams::tiny(4, 10, 2);
+  PipelineEngine eng(p, Space::kGlobal);
+  std::vector<std::uint64_t> addrs = {7, 5, 15, 0, 10, 11, 12, 15};
+  const EngineRound round = eng.run_round(addrs);
+  EXPECT_EQ(round.stages, 5u);
+  EXPECT_EQ(round.duration(), 5u + 10 - 1);
+  EXPECT_EQ(round.requests.size(), 8u);
+}
+
+TEST(Engine, PerRequestLatencyInvariant) {
+  const MachineParams p = MachineParams::tiny(8, 13, 2);
+  PipelineEngine eng(p, Space::kGlobal);
+  std::vector<std::uint64_t> addrs(128);
+  const perm::Permutation perm = perm::by_name("random", addrs.size(), 5);
+  for (std::uint64_t i = 0; i < addrs.size(); ++i) addrs[i] = perm(i);
+  const EngineRound round = eng.run_round(addrs);
+  for (const auto& req : round.requests) {
+    EXPECT_EQ(req.finish_cycle - req.issue_cycle, p.latency - 1);
+  }
+  // Every request retired, exactly once.
+  EXPECT_EQ(round.requests.size(), addrs.size());
+  std::vector<bool> seen(addrs.size(), false);
+  for (const auto& req : round.requests) {
+    EXPECT_FALSE(seen[req.thread]);
+    seen[req.thread] = true;
+    EXPECT_EQ(req.addr, addrs[req.thread]);
+  }
+}
+
+TEST(Engine, StagesInsertedOnePerCycle) {
+  const MachineParams p = MachineParams::tiny(4, 3, 2);
+  PipelineEngine eng(p, Space::kGlobal);
+  std::vector<std::uint64_t> addrs = {0, 4, 8, 12};  // 4 stages, one warp
+  const EngineRound round = eng.run_round(addrs);
+  EXPECT_EQ(round.stages, 4u);
+  std::vector<std::uint64_t> issues;
+  for (const auto& req : round.requests) issues.push_back(req.issue_cycle);
+  std::sort(issues.begin(), issues.end());
+  for (std::size_t i = 0; i < issues.size(); ++i) {
+    EXPECT_EQ(issues[i], round.start_cycle + 1 + i);
+  }
+}
+
+TEST(Engine, ConsecutiveRoundsAccumulateClock) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  PipelineEngine eng(p, Space::kGlobal);
+  std::vector<std::uint64_t> addrs = {0, 1, 2, 3};
+  const EngineRound r1 = eng.run_round(addrs);
+  const EngineRound r2 = eng.run_round(addrs);
+  EXPECT_EQ(r2.start_cycle, r1.finish_cycle);
+  EXPECT_EQ(r2.duration(), r1.duration());
+  eng.reset();
+  EXPECT_EQ(eng.now(), 0u);
+}
+
+TEST(Engine, EmptyRoundCostsNothing) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  PipelineEngine eng(p, Space::kGlobal);
+  std::vector<std::uint64_t> addrs(8, model::kNoAccess);
+  const EngineRound round = eng.run_round(addrs);
+  EXPECT_EQ(round.stages, 0u);
+  EXPECT_EQ(round.duration(), 0u);
+}
+
+/// Property: the engine's duration equals the analytic rule
+/// `stages + latency - 1` for random rounds across machines.
+class EngineSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, int>> {};
+
+TEST_P(EngineSweep, DurationMatchesRule) {
+  const auto [width, latency, seed] = GetParam();
+  MachineParams p = MachineParams::tiny(width, latency, 2);
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> addrs(width * 8);
+  for (auto& a : addrs) a = rng.bounded(1024);
+  for (Space space : {Space::kGlobal, Space::kShared}) {
+    PipelineEngine eng(p, space);
+    const EngineRound round = eng.run_round(addrs);
+    const std::uint32_t lat = space == Space::kShared ? 1 : latency;
+    EXPECT_EQ(round.duration(), sim::round_time(round.stages, lat));
+    EXPECT_EQ(round.stages, sim::round_stages(addrs, width, space));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, EngineSweep,
+                         ::testing::Combine(::testing::Values(4u, 8u, 16u),
+                                            ::testing::Values(1u, 2u, 17u, 100u),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace hmm::sim

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "core/conventional.hpp"
+#include "core/plan.hpp"
+#include "core/scheduled.hpp"
+#include "model/cost.hpp"
+#include "perm/distribution.hpp"
+#include "perm/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm::core {
+namespace {
+
+using model::MachineParams;
+
+template <class T>
+void expect_permuted(const perm::Permutation& p, std::span<const T> a, std::span<const T> b) {
+  for (std::uint64_t i = 0; i < p.size(); ++i) {
+    ASSERT_EQ(b[p(i)], a[i]) << "element " << i;
+  }
+}
+
+TEST(ConventionalCpu, DDesignatedCorrect) {
+  util::ThreadPool pool(2);
+  const std::uint64_t n = 1 << 12;
+  const perm::Permutation p = perm::by_name("random", n, 1);
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n, -1.f);
+  d_designated_cpu<float>(pool, a, b, p);
+  expect_permuted<float>(p, a, b);
+}
+
+TEST(ConventionalCpu, SDesignatedCorrect) {
+  util::ThreadPool pool(2);
+  const std::uint64_t n = 1 << 12;
+  const perm::Permutation p = perm::by_name("random", n, 2);
+  const auto a = test::iota_data<double>(n);
+  util::aligned_vector<double> b(n, -1.0);
+  s_designated_cpu<double>(pool, a, b, p.inverse());
+  expect_permuted<double>(p, a, b);
+}
+
+TEST(ConventionalSim, DDesignatedTimeMatchesLemma4) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n);
+    sim::HmmSim sim(mp);
+    const auto a = test::iota_data<float>(n);
+    util::aligned_vector<float> b(n, -1.f);
+    const std::uint64_t t = d_designated_sim<float>(sim, a, b, p);
+    expect_permuted<float>(p, a, b);
+    EXPECT_EQ(t, model::d_designated_time(n, perm::distribution(p, mp.width), mp)) << name;
+    EXPECT_TRUE(sim.stats().declarations_hold()) << name;
+  }
+}
+
+TEST(ConventionalSim, SDesignatedTimeMatchesLemma4) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n);
+    sim::HmmSim sim(mp);
+    const auto a = test::iota_data<float>(n);
+    util::aligned_vector<float> b(n, -1.f);
+    const std::uint64_t t = s_designated_sim<float>(sim, a, b, p.inverse());
+    expect_permuted<float>(p, a, b);
+    EXPECT_EQ(t, model::s_designated_time(n, perm::inverse_distribution(p, mp.width), mp))
+        << name;
+  }
+}
+
+TEST(ConventionalSim, RoundInventoryMatchesTable1) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const perm::Permutation p = perm::bit_reversal(256);
+  sim::HmmSim sim(mp);
+  const auto a = test::iota_data<float>(256);
+  util::aligned_vector<float> b(256);
+  d_designated_sim<float>(sim, a, b, p);
+  const auto counts = sim.stats().observed_counts();
+  EXPECT_EQ(counts.coalesced_read, model::rounds::d_designated.coalesced_read);
+  EXPECT_EQ(counts.casual_write_global, model::rounds::d_designated.casual_write_global);
+  EXPECT_EQ(counts.total_rounds(), 3u);
+}
+
+TEST(ScheduledCpu, CorrectForAllFamilies) {
+  util::ThreadPool pool(2);
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n);
+    const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+    const auto a = test::iota_data<float>(n);
+    util::aligned_vector<float> b(n, -1.f), s1(n), s2(n);
+    scheduled_cpu<float>(pool, plan, a, b, s1, s2);
+    expect_permuted<float>(p, a, b);
+  }
+}
+
+TEST(ScheduledCpu, LeanVariantMatchesTwoScratch) {
+  util::ThreadPool pool(2);
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n);
+    const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+    const auto a = test::iota_data<float>(n);
+    util::aligned_vector<float> b1(n, -1.f), b2(n, -1.f), s1(n), s2(n);
+    scheduled_cpu<float>(pool, plan, a, b1, s1, s2);
+    scheduled_cpu_lean<float>(pool, plan, a, b2, s1);
+    EXPECT_EQ(b1, b2) << name;
+    expect_permuted<float>(p, a, b2);
+  }
+}
+
+TEST(ScheduledCpu, DoubleElements) {
+  util::ThreadPool pool(2);
+  const MachineParams mp = MachineParams::tiny(8, 9, 4);
+  const std::uint64_t n = 1 << 12;
+  const perm::Permutation p = perm::by_name("random", n, 3);
+  const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+  const auto a = test::iota_data<double>(n);
+  util::aligned_vector<double> b(n, -1.0), s1(n), s2(n);
+  scheduled_cpu<double>(pool, plan, a, b, s1, s2);
+  expect_permuted<double>(p, a, b);
+}
+
+TEST(ScheduledSim, CorrectAndFullyCoalesced) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n);
+    const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+    sim::HmmSim sim(mp);
+    const auto a = test::iota_data<float>(n);
+    util::aligned_vector<float> b(n, -1.f);
+    scheduled_sim<float>(sim, plan, a, b);
+    expect_permuted<float>(p, a, b);
+
+    // The paper's key structural claim: all 16 global rounds coalesced,
+    // all 16 shared rounds conflict-free, zero casual rounds.
+    const auto counts = sim.stats().observed_counts();
+    EXPECT_EQ(counts.coalesced_read, 11u) << name;
+    EXPECT_EQ(counts.coalesced_write, 5u) << name;
+    EXPECT_EQ(counts.conflict_free_read, 8u) << name;
+    EXPECT_EQ(counts.conflict_free_write, 8u) << name;
+    EXPECT_EQ(counts.casual_read_global + counts.casual_write_global, 0u) << name;
+    EXPECT_TRUE(sim.stats().declarations_hold()) << name;
+  }
+}
+
+TEST(ScheduledSim, TimeIndependentOfPermutation) {
+  // Theorem 9 empirically: same n => exactly the same simulated time,
+  // whatever the permutation.
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;
+  std::uint64_t reference_time = 0;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n);
+    const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+    sim::HmmSim sim(mp);
+    const std::uint64_t t = scheduled_sim_rounds(sim, plan);
+    if (reference_time == 0) {
+      reference_time = t;
+    } else {
+      EXPECT_EQ(t, reference_time) << name;
+    }
+  }
+}
+
+TEST(ScheduledSim, TimeMatchesTheorem9ForSquare) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;  // 32 x 32: square, rows divisible by dmms
+  const perm::Permutation p = perm::bit_reversal(n);
+  const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+  sim::HmmSim sim(mp);
+  const std::uint64_t t = scheduled_sim_rounds(sim, plan);
+  EXPECT_EQ(t, model::scheduled_time(n, mp));
+}
+
+TEST(ScheduledSim, BeatsConventionalOnHighDistribution) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 16;
+  const perm::Permutation p = perm::bit_reversal(n);
+  const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+
+  sim::HmmSim sim_sched(mp);
+  const std::uint64_t t_sched = scheduled_sim_rounds(sim_sched, plan);
+  sim::HmmSim sim_conv(mp);
+  const std::uint64_t t_conv = d_designated_sim_rounds(sim_conv, p);
+  EXPECT_LT(t_sched, t_conv);
+}
+
+TEST(ScheduledSim, LosesToConventionalOnIdentical) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 16;
+  const perm::Permutation p = perm::identical(n);
+  const ScheduledPlan plan = ScheduledPlan::build(p, mp);
+
+  sim::HmmSim sim_sched(mp);
+  const std::uint64_t t_sched = scheduled_sim_rounds(sim_sched, plan);
+  sim::HmmSim sim_conv(mp);
+  const std::uint64_t t_conv = d_designated_sim_rounds(sim_conv, p);
+  EXPECT_GT(t_sched, t_conv);
+}
+
+}  // namespace
+}  // namespace hmm::core

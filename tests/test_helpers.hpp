@@ -1,0 +1,49 @@
+#pragma once
+/// Shared fixtures/utilities for the test suites.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "model/machine.hpp"
+#include "perm/generators.hpp"
+#include "perm/permutation.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/rng.hpp"
+
+namespace hmm::test {
+
+/// Machines exercised by the parameterized integration suites: a tiny
+/// one (exhaustive checking feasible), a medium one, and the paper's
+/// GTX-680-like configuration.
+inline std::vector<model::MachineParams> machines() {
+  return {
+      model::MachineParams::tiny(4, 5, 2),
+      model::MachineParams{.width = 8, .latency = 20, .dmms = 4, .shared_bytes = 48 * 1024},
+      model::MachineParams::gtx680(),
+  };
+}
+
+/// Sequential payload 0..n-1 (value == original index; after applying P,
+/// b[P(i)] == i, which makes mismatches self-describing).
+template <class T>
+util::aligned_vector<T> iota_data(std::uint64_t n) {
+  util::aligned_vector<T> v(n);
+  std::iota(v.begin(), v.end(), T(0));
+  return v;
+}
+
+/// All paper permutation families valid for a given n.
+inline std::vector<std::string> families_for(std::uint64_t n) {
+  std::vector<std::string> fams = {"identical", "shuffle", "random", "bit-reversal"};
+  // transpose/butterfly require an even power of two.
+  if ((63 - __builtin_clzll(n)) % 2 == 0) {
+    fams.emplace_back("transpose");
+    fams.emplace_back("butterfly");
+  }
+  fams.emplace_back("rotation");
+  fams.emplace_back("gray");
+  return fams;
+}
+
+}  // namespace hmm::test

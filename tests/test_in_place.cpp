@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/in_place.hpp"
+#include "perm/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm::core {
+namespace {
+
+TEST(InPlace, MatchesOutOfPlaceForAllFamilies) {
+  const std::uint64_t n = 1 << 12;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n, 5);
+    auto data = test::iota_data<std::uint32_t>(n);
+    util::aligned_vector<std::uint32_t> expected(n);
+    p.apply<std::uint32_t>(data, expected);
+    permute_in_place<std::uint32_t>(data, p);
+    EXPECT_EQ(data, expected) << name;
+  }
+}
+
+TEST(InPlace, UnpermuteInverts) {
+  const std::uint64_t n = 1 << 10;
+  const perm::Permutation p = perm::by_name("random", n, 21);
+  auto data = test::iota_data<double>(n);
+  const auto original = data;
+  permute_in_place<double>(data, p);
+  unpermute_in_place<double>(data, p);
+  EXPECT_EQ(data, original);
+}
+
+TEST(InPlace, UnpermuteEqualsInverseApply) {
+  const std::uint64_t n = 1 << 10;
+  const perm::Permutation p = perm::by_name("random", n, 22);
+  auto a = test::iota_data<float>(n);
+  auto b = a;
+  unpermute_in_place<float>(a, p);
+  permute_in_place<float>(b, p.inverse());
+  EXPECT_EQ(a, b);
+}
+
+TEST(InPlace, IdentityIsNoop) {
+  auto data = test::iota_data<float>(256);
+  const auto original = data;
+  permute_in_place<float>(data, perm::identical(256));
+  EXPECT_EQ(data, original);
+}
+
+TEST(InPlace, SingleSwap) {
+  util::aligned_vector<std::uint32_t> map = {1, 0, 2, 3};
+  const perm::Permutation p(std::move(map));
+  util::aligned_vector<int> data = {10, 20, 30, 40};
+  permute_in_place<int>(data, p);
+  EXPECT_EQ(data, (util::aligned_vector<int>{20, 10, 30, 40}));
+}
+
+TEST(CycleStats, Identity) {
+  const auto s = analyze_cycles(perm::identical(100));
+  EXPECT_EQ(s.cycles, 100u);
+  EXPECT_EQ(s.fixed_points, 100u);
+  EXPECT_EQ(s.longest, 1u);
+  EXPECT_EQ(s.moved, 0u);
+}
+
+TEST(CycleStats, SingleNCycle) {
+  const auto s = analyze_cycles(perm::rotation(64, 1));
+  EXPECT_EQ(s.cycles, 1u);
+  EXPECT_EQ(s.fixed_points, 0u);
+  EXPECT_EQ(s.longest, 64u);
+  EXPECT_EQ(s.moved, 64u);
+}
+
+TEST(CycleStats, InvolutionHasShortCycles) {
+  util::Xoshiro256 rng(7);
+  const perm::Permutation p = perm::random_involution(1 << 10, rng);
+  const auto s = analyze_cycles(p);
+  EXPECT_LE(s.longest, 2u);
+  EXPECT_EQ(s.moved + s.fixed_points, 1u << 10);
+  // It really is an involution.
+  EXPECT_TRUE(p.compose(p).is_identity());
+}
+
+TEST(CycleStats, BitReversalIsInvolution) {
+  const auto s = analyze_cycles(perm::bit_reversal(1 << 12));
+  EXPECT_LE(s.longest, 2u);
+  // Palindromic indices are fixed: 2^(ceil(12/2)) = 64 of them.
+  EXPECT_EQ(s.fixed_points, 64u);
+}
+
+TEST(CycleStats, CountsAreConsistent) {
+  const std::uint64_t n = 1 << 12;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation p = perm::by_name(name, n, 3);
+    const auto s = analyze_cycles(p);
+    EXPECT_EQ(s.fixed_points + s.moved, n) << name;
+    EXPECT_GE(s.cycles, 1u) << name;
+    EXPECT_LE(s.longest, n) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hmm::core

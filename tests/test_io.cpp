@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/plan_io.hpp"
+#include "core/scheduled.hpp"
+#include "perm/generators.hpp"
+#include "perm/io.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm {
+namespace {
+
+using model::MachineParams;
+
+TEST(PermIo, RoundTrip) {
+  const perm::Permutation p = perm::by_name("random", 4096, 13);
+  std::stringstream ss;
+  ASSERT_TRUE(perm::save(ss, p));
+  const auto loaded = perm::load(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, p);
+}
+
+TEST(PermIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOTAPERM12345678901234567890";
+  EXPECT_FALSE(perm::load(ss).has_value());
+}
+
+TEST(PermIo, RejectsTruncatedPayload) {
+  const perm::Permutation p = perm::identical(1024);
+  std::stringstream ss;
+  ASSERT_TRUE(perm::save(ss, p));
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream cut(bytes);
+  EXPECT_FALSE(perm::load(cut).has_value());
+}
+
+TEST(PermIo, RejectsCorruptedMapping) {
+  const perm::Permutation p = perm::identical(64);
+  std::stringstream ss;
+  ASSERT_TRUE(perm::save(ss, p));
+  std::string bytes = ss.str();
+  // Duplicate one mapping entry (last 4 bytes := preceding 4 bytes).
+  std::copy(bytes.end() - 8, bytes.end() - 4, bytes.end() - 4);
+  std::stringstream bad(bytes);
+  EXPECT_FALSE(perm::load(bad).has_value());
+}
+
+TEST(PermIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hmm_perm_io_test.bin";
+  const perm::Permutation p = perm::bit_reversal(2048);
+  ASSERT_TRUE(perm::save_file(path, p));
+  const auto loaded = perm::load_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, p);
+  std::remove(path.c_str());
+  EXPECT_FALSE(perm::load_file(path).has_value());
+}
+
+TEST(PlanIo, RoundTripPreservesEverything) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const perm::Permutation p = perm::by_name("random", 1024, 3);
+  const core::ScheduledPlan plan = core::ScheduledPlan::build(p, mp);
+
+  std::stringstream ss;
+  ASSERT_TRUE(core::save_plan(ss, plan));
+  const auto loaded = core::load_plan(ss);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->size(), plan.size());
+  EXPECT_EQ(loaded->shape(), plan.shape());
+  EXPECT_EQ(loaded->params(), plan.params());
+  EXPECT_EQ(loaded->pass1().phat, plan.pass1().phat);
+  EXPECT_EQ(loaded->pass2().q, plan.pass2().q);
+  EXPECT_TRUE(std::equal(loaded->direct3().begin(), loaded->direct3().end(),
+                         plan.direct3().begin()));
+  // Deep check: the loaded plan still realizes exactly P.
+  EXPECT_TRUE(loaded->validate(p));
+}
+
+TEST(PlanIo, LoadedPlanExecutes) {
+  const MachineParams mp = MachineParams::tiny(8, 20, 4);
+  const std::uint64_t n = 1 << 12;
+  const perm::Permutation p = perm::bit_reversal(n);
+  std::stringstream ss;
+  ASSERT_TRUE(core::save_plan(ss, core::ScheduledPlan::build(p, mp)));
+  const auto plan = core::load_plan(ss);
+  ASSERT_TRUE(plan.has_value());
+
+  util::ThreadPool pool(2);
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n), s1(n), s2(n);
+  core::scheduled_cpu<float>(pool, *plan, a, b, s1, s2);
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(b[p(i)], a[i]);
+}
+
+TEST(PlanIo, RejectsGarbageHeaders) {
+  {
+    std::stringstream ss;
+    ss << "HMMPLAN1";  // magic but nothing else
+    EXPECT_FALSE(core::load_plan(ss).has_value());
+  }
+  {
+    std::stringstream ss;
+    ss << "WRONGMAG" << std::string(200, '\0');
+    EXPECT_FALSE(core::load_plan(ss).has_value());
+  }
+}
+
+TEST(PlanIo, RejectsInsaneDimensions) {
+  // Craft a header with width = 7 (not a power of two).
+  std::stringstream ss;
+  ss.write("HMMPLAN1", 8);
+  auto w64 = [&](std::uint64_t v) { ss.write(reinterpret_cast<const char*>(&v), 8); };
+  w64(16);  // rows
+  w64(16);  // cols
+  w64(7);   // width: invalid
+  w64(100);
+  w64(2);
+  w64(48 * 1024);
+  EXPECT_FALSE(core::load_plan(ss).has_value());
+}
+
+TEST(PlanIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/hmm_plan_io_test.bin";
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const perm::Permutation p = perm::shuffle(256);
+  const core::ScheduledPlan plan = core::ScheduledPlan::build(p, mp);
+  ASSERT_TRUE(core::save_plan_file(path, plan));
+  const auto loaded = core::load_plan_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->validate(p));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hmm

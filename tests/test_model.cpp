@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/access.hpp"
+#include "model/cost.hpp"
+#include "model/machine.hpp"
+
+namespace hmm::model {
+namespace {
+
+TEST(Machine, BankAndGroup) {
+  EXPECT_EQ(bank_of(0, 32), 0u);
+  EXPECT_EQ(bank_of(33, 32), 1u);
+  EXPECT_EQ(bank_of(31, 32), 31u);
+  EXPECT_EQ(group_of(0, 32), 0u);
+  EXPECT_EQ(group_of(31, 32), 0u);
+  EXPECT_EQ(group_of(32, 32), 1u);
+  EXPECT_EQ(group_of(100, 4), 25u);
+}
+
+TEST(Machine, PresetsValidate) {
+  MachineParams::gtx680().validate();
+  MachineParams::tiny().validate();
+}
+
+TEST(Access, UmmStagesCoalesced) {
+  // All addresses in one group -> 1 stage.
+  std::vector<std::uint64_t> warp = {64, 65, 66, 67};
+  EXPECT_EQ(umm_stages(warp, 4), 1u);
+  EXPECT_TRUE(is_coalesced(warp, 4));
+}
+
+TEST(Access, UmmStagesScattered) {
+  std::vector<std::uint64_t> warp = {0, 4, 8, 12};  // four groups with w=4
+  EXPECT_EQ(umm_stages(warp, 4), 4u);
+  EXPECT_FALSE(is_coalesced(warp, 4));
+}
+
+TEST(Access, UmmStagesFig3TopWarp) {
+  // Fig. 3 example, w=4: warp accesses 7,5,15,0 -> groups {1,1,3,0} = 3.
+  std::vector<std::uint64_t> warp = {7, 5, 15, 0};
+  EXPECT_EQ(umm_stages(warp, 4), 3u);
+}
+
+TEST(Access, UmmStagesFig3BottomWarp) {
+  // Fig. 3 example: warp accesses 10,11,12,15 -> groups {2,2,3,3} = 2.
+  std::vector<std::uint64_t> warp = {10, 11, 12, 15};
+  EXPECT_EQ(umm_stages(warp, 4), 2u);
+}
+
+TEST(Access, DmmStagesConflictFree) {
+  std::vector<std::uint64_t> warp = {0, 1, 2, 3};
+  EXPECT_EQ(dmm_stages(warp, 4), 1u);
+  EXPECT_TRUE(is_conflict_free(warp, 4));
+}
+
+TEST(Access, DmmStagesFig3TopWarp) {
+  // Fig. 3, w=4: 7,5,15,0 -> banks {3,1,3,0}: bank 3 twice -> 2 stages.
+  std::vector<std::uint64_t> warp = {7, 5, 15, 0};
+  EXPECT_EQ(dmm_stages(warp, 4), 2u);
+  EXPECT_FALSE(is_conflict_free(warp, 4));
+}
+
+TEST(Access, DmmStagesSecondWarp) {
+  // 10,11,12,15 -> banks {2,3,0,3}: bank 3 collides -> 2 stages.
+  std::vector<std::uint64_t> warp = {10, 11, 12, 15};
+  EXPECT_EQ(dmm_stages(warp, 4), 2u);
+}
+
+TEST(Access, WorstCaseSameBank) {
+  std::vector<std::uint64_t> warp = {0, 4, 8, 12};  // all bank 0 with w=4
+  EXPECT_EQ(dmm_stages(warp, 4), 4u);
+}
+
+TEST(Access, NoAccessThreadsIgnored) {
+  std::vector<std::uint64_t> warp = {kNoAccess, 1, kNoAccess, 3};
+  EXPECT_EQ(umm_stages(warp, 4), 1u);
+  EXPECT_EQ(dmm_stages(warp, 4), 1u);
+  std::vector<std::uint64_t> idle = {kNoAccess, kNoAccess};
+  EXPECT_EQ(umm_stages(idle, 4), 0u);
+  EXPECT_EQ(dmm_stages(idle, 4), 0u);
+}
+
+TEST(RoundCounts, TableOne) {
+  EXPECT_EQ(rounds::d_designated.global_rounds(), 3u);
+  EXPECT_EQ(rounds::d_designated.shared_rounds(), 0u);
+  EXPECT_EQ(rounds::s_designated.global_rounds(), 3u);
+
+  EXPECT_EQ(rounds::transpose.coalesced_read, 1u);
+  EXPECT_EQ(rounds::transpose.conflict_free_write, 1u);
+  EXPECT_EQ(rounds::transpose.total_rounds(), 4u);
+
+  EXPECT_EQ(rounds::row_wise.coalesced_read, 3u);
+  EXPECT_EQ(rounds::row_wise.coalesced_write, 1u);
+  EXPECT_EQ(rounds::row_wise.conflict_free_read, 2u);
+  EXPECT_EQ(rounds::row_wise.conflict_free_write, 2u);
+
+  EXPECT_EQ(rounds::column_wise.coalesced_read, 5u);
+  EXPECT_EQ(rounds::column_wise.coalesced_write, 3u);
+  EXPECT_EQ(rounds::column_wise.conflict_free_read, 4u);
+  EXPECT_EQ(rounds::column_wise.conflict_free_write, 4u);
+
+  // The abstract's headline: 32 rounds total, 16 global all coalesced.
+  EXPECT_EQ(rounds::scheduled.coalesced_read, 11u);
+  EXPECT_EQ(rounds::scheduled.coalesced_write, 5u);
+  EXPECT_EQ(rounds::scheduled.conflict_free_read, 8u);
+  EXPECT_EQ(rounds::scheduled.conflict_free_write, 8u);
+  EXPECT_EQ(rounds::scheduled.global_rounds(), 16u);
+  EXPECT_EQ(rounds::scheduled.total_rounds(), 32u);
+  EXPECT_EQ(rounds::scheduled.casual_read_global + rounds::scheduled.casual_write_global, 0u);
+}
+
+TEST(Cost, CoalescedRound) {
+  const MachineParams p{.width = 32, .latency = 100, .dmms = 8};
+  // n/w stages + l - 1.
+  EXPECT_EQ(coalesced_round_time(3200, p), 100u + 100 - 1);
+}
+
+TEST(Cost, ConflictFreeRoundSplitsAcrossDmms) {
+  const MachineParams p{.width = 32, .latency = 100, .dmms = 8};
+  EXPECT_EQ(conflict_free_round_time(32 * 8 * 10, p), 10u);
+}
+
+TEST(Cost, DDesignatedMatchesLemma4) {
+  const MachineParams p{.width = 32, .latency = 100, .dmms = 8};
+  const std::uint64_t n = 1 << 20;
+  const std::uint64_t d = n;  // worst-case distribution
+  EXPECT_EQ(d_designated_time(n, d, p), 2 * (n / 32 + 99) + (n + 99));
+}
+
+TEST(Cost, ScheduledIndependentOfDistribution) {
+  const MachineParams p = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 20;
+  // 16 coalesced global rounds + 16 conflict-free shared rounds.
+  EXPECT_EQ(scheduled_time(n, p),
+            16 * coalesced_round_time(n, p) + 16 * conflict_free_round_time(n, p));
+  EXPECT_EQ(scheduled_time(n, p), 2 * row_wise_time(n, p) + column_wise_time(n, p));
+}
+
+TEST(Cost, ScheduledBeatsConventionalForLargeDistribution) {
+  const MachineParams p = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 22;
+  // Bit-reversal-like distribution d_w(P) = n: conventional pays ~n
+  // while scheduled pays ~16 n/w = n/2.
+  EXPECT_LT(scheduled_time(n, p), d_designated_time(n, n, p));
+  // Identity distribution n/w: conventional wins.
+  EXPECT_GT(scheduled_time(n, p), d_designated_time(n, n / p.width, p));
+}
+
+TEST(Cost, LowerBoundAndOptimality) {
+  const MachineParams p = MachineParams::gtx680();
+  for (std::uint64_t n : {1ull << 16, 1ull << 20, 1ull << 24}) {
+    const std::uint64_t lb = lower_bound(n, p);
+    EXPECT_EQ(lb, std::max<std::uint64_t>(2 * n / p.width, p.latency));
+    // Scheduled is within a constant factor (~16x) of the lower bound:
+    // O(n/w + l) — the optimality claim of Theorem 9.
+    EXPECT_LE(scheduled_time(n, p), 17 * lb + 32 * p.latency);
+  }
+}
+
+}  // namespace
+}  // namespace hmm::model

@@ -1,0 +1,178 @@
+/// End-to-end assertions of the paper's headline claims on the model —
+/// the executable form of EXPERIMENTS.md. Each test names the claim and
+/// the place in the paper it comes from.
+
+#include <gtest/gtest.h>
+
+#include "core/conventional.hpp"
+#include "core/plan.hpp"
+#include "core/scheduled.hpp"
+#include "core/shared_permute.hpp"
+#include "model/cost.hpp"
+#include "perm/distribution.hpp"
+#include "perm/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm {
+namespace {
+
+using model::MachineParams;
+
+// Abstract: "our optimal offline permutation algorithm runs in
+// 16n/w + 16l(+...) time units ... although it performs 32 rounds of
+// memory access", and all 16 global rounds are coalesced.
+TEST(PaperClaims, ThirtyTwoRoundsSixteenCoalesced) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 16;
+  const core::ScheduledPlan plan = core::ScheduledPlan::build(perm::bit_reversal(n), mp);
+  sim::HmmSim sim(mp);
+  core::scheduled_sim_rounds(sim, plan);
+  EXPECT_EQ(sim.stats().rounds.size(), 32u);
+  EXPECT_EQ(sim.stats().rounds_of(model::Space::kGlobal), 16u);
+  EXPECT_EQ(sim.stats().rounds_of(model::Space::kShared), 16u);
+  const auto counts = sim.stats().observed_counts();
+  EXPECT_EQ(counts.casual_read_global + counts.casual_write_global, 0u);
+}
+
+// Section VIII: "the running time of our scheduled offline permutation
+// algorithm ... is independent of permutation P" — exactly, in time units.
+TEST(PaperClaims, ScheduledTimePermutationIndependent) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 14;
+  std::uint64_t expected = 0;
+  for (const auto& name : test::families_for(n)) {
+    const core::ScheduledPlan plan = core::ScheduledPlan::build(perm::by_name(name, n), mp);
+    sim::HmmSim sim(mp);
+    const std::uint64_t t = core::scheduled_sim_rounds(sim, plan);
+    if (expected == 0) expected = t;
+    EXPECT_EQ(t, expected) << name;
+  }
+}
+
+// Theorem 9 + the lower bound: the scheduled algorithm is optimal up to
+// a constant: time = 16(n/w + l - 1) + 16 n/(dw), lower bound max(2n/w, l).
+TEST(PaperClaims, Theorem9Optimality) {
+  const MachineParams mp = MachineParams::gtx680();
+  for (std::uint64_t n : {1ull << 14, 1ull << 18, 1ull << 22}) {
+    const std::uint64_t t = model::scheduled_time(n, mp);
+    EXPECT_EQ(t, 16 * (n / mp.width + mp.latency - 1) +
+                     16 * (n / (static_cast<std::uint64_t>(mp.dmms) * mp.width)));
+    // Constant-factor optimality: <= 9x the lower bound asymptotically
+    // (16/w per element vs 2/w, plus the shared term).
+    EXPECT_LE(t, 9 * model::lower_bound(n, mp) + 16 * mp.latency);
+  }
+}
+
+// Section I: "the bit-reversal permutation for 4M float numbers can be
+// completed in 780ms by our optimal permutation algorithm, while the
+// conventional algorithm takes 2328ms" — ratio ~3.0. In the model the
+// ratio at 4M is ~2x (the hardware adds casual-write overheads the
+// model undercounts); we assert the direction and a sane band.
+TEST(PaperClaims, BitReversal4MSpeedupBand) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 4096ull << 10;
+  const perm::Permutation p = perm::bit_reversal(n);
+  const std::uint64_t t_conv =
+      model::d_designated_time(n, perm::distribution(p, mp.width), mp);
+  const std::uint64_t t_sched = model::scheduled_time(n, mp);
+  const double ratio = static_cast<double>(t_conv) / static_cast<double>(t_sched);
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 4.0);
+}
+
+// Table III: over random permutations, d_w(P)/n concentrates near 1
+// (paper at 4M: [0.99987, 0.99990]) and the scheduled algorithm is
+// ~2.45x faster on average than D-designated.
+TEST(PaperClaims, Table3RandomPermutationStatistics) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 20;
+  double ratio_min = 1e9, ratio_max = 0;
+  double speedup_sum = 0;
+  const int samples = 5;
+  for (int s = 0; s < samples; ++s) {
+    const perm::Permutation p = perm::by_name("random", n, 100 + s);
+    const double r = static_cast<double>(perm::distribution(p, mp.width)) /
+                     static_cast<double>(n);
+    ratio_min = std::min(ratio_min, r);
+    ratio_max = std::max(ratio_max, r);
+    speedup_sum += static_cast<double>(model::d_designated_time(
+                       n, perm::distribution(p, mp.width), mp)) /
+                   static_cast<double>(model::scheduled_time(n, mp));
+  }
+  EXPECT_GT(ratio_min, 0.995);  // concentration (looser than 4M's 0.9999)
+  EXPECT_LE(ratio_max, 1.0);
+  const double speedup = speedup_sum / samples;
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 3.0);
+}
+
+// Section VIII: "for permutations with large distribution, our scheduled
+// permutation algorithm runs faster than the conventional algorithm
+// whenever n >= 256K" — in the model (no L2), the scheduled algorithm
+// wins for bit-reversal at every size the plan supports with l=300;
+// with the L2 model, the conventional algorithm wins at small n.
+TEST(PaperClaims, SmallNInversionNeedsTheL2Cache) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t small_n = 16 << 10;
+  const perm::Permutation p = perm::bit_reversal(small_n);
+  const core::ScheduledPlan plan = core::ScheduledPlan::build(p, mp);
+
+  sim::HmmSim plain(mp);
+  const std::uint64_t conv_plain = core::d_designated_sim_rounds(plain, p);
+  sim::HmmSim sched_sim(mp);
+  const std::uint64_t sched = core::scheduled_sim_rounds(sched_sim, plan);
+  EXPECT_LT(sched, conv_plain) << "without a cache the scheduled algorithm wins even small";
+
+  sim::HmmSim cached(mp);
+  sim::L2Model l2;
+  l2.enabled = true;
+  l2.capacity_bytes = 512 * 1024;
+  l2.element_bytes = sizeof(float);
+  cached.set_l2(l2);
+  const std::uint64_t conv_cached = core::d_designated_sim_rounds(cached, p);
+  EXPECT_LT(conv_cached, sched) << "the 512KiB L2 explains the small-n inversion";
+}
+
+// Section VIII: "in most cases, the S-designated permutation algorithm
+// is more efficient than the D-designated" — in the model they tie
+// unless the permutation's inverse has lower distribution; check the
+// asymmetric families behave consistently.
+TEST(PaperClaims, SAndDDesignatedSymmetry) {
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 16;
+  for (const auto& name : {"bit-reversal", "transpose"}) {
+    const perm::Permutation p = perm::by_name(name, n);
+    // Both are involutions (bit-reversal) or have same-distribution
+    // inverses (transpose <-> transpose of the transposed shape).
+    EXPECT_EQ(model::d_designated_time(n, perm::distribution(p, mp.width), mp),
+              model::s_designated_time(n, perm::inverse_distribution(p, mp.width), mp))
+        << name;
+  }
+}
+
+// Section I (prior work [9]): the conflict-free shared-memory
+// permutation beats the conventional one on a single DMM; 1.5x on
+// hardware for random permutations of 1024 floats.
+TEST(PaperClaims, PriorWorkSharedMemorySpeedup) {
+  const MachineParams mp{.width = 32, .latency = 1, .dmms = 1, .shared_bytes = 48 * 1024};
+  const std::uint64_t n = 1024;
+  double speedup_sum = 0;
+  const int samples = 10;
+  for (int s = 0; s < samples; ++s) {
+    const perm::Permutation p = perm::by_name("random", n, 50 + s);
+    sim::HmmSim conv(mp);
+    const auto t_conv = core::shared_conventional_sim_rounds(conv, p);
+    const core::SharedPermutation sp(p, mp.width);
+    sim::HmmSim cf(mp);
+    const auto t_cf = sp.sim_rounds(cf);
+    speedup_sum += static_cast<double>(t_conv) / static_cast<double>(t_cf);
+  }
+  const double speedup = speedup_sum / samples;
+  // Random warps of 32 over 32 banks average ~2.2 stages of conflict;
+  // hardware measured 1.5x — accept a generous band around it.
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 3.0);
+}
+
+}  // namespace
+}  // namespace hmm

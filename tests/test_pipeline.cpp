@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "perm/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm::core {
+namespace {
+
+using model::MachineParams;
+
+TEST(Pipeline, FusesEverythingWithoutBarriers) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;
+  PermutationPipeline pipe(mp);
+  pipe.then(perm::shuffle(n)).then(perm::bit_reversal(n)).then(perm::by_name("random", n, 1));
+  pipe.compile();
+  EXPECT_EQ(pipe.stage_count(), 3u);
+  EXPECT_EQ(pipe.segment_count(), 1u);
+  EXPECT_EQ(pipe.active_segment_count(), 1u);
+  // Fusion buys exactly stage_count / active_segments.
+  EXPECT_EQ(pipe.predicted_unfused_time_units(), 3 * pipe.predicted_time_units());
+
+  // The fused permutation equals the composition.
+  const perm::Permutation expected =
+      perm::by_name("random", n, 1).compose(perm::bit_reversal(n)).compose(perm::shuffle(n));
+  ASSERT_NE(pipe.segment_permutation(0), nullptr);
+  EXPECT_EQ(*pipe.segment_permutation(0), expected);
+}
+
+TEST(Pipeline, BarriersSplitSegments) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  PermutationPipeline pipe(mp);
+  pipe.then(perm::shuffle(n)).then(perm::shuffle(n)).barrier().then(perm::bit_reversal(n));
+  pipe.compile();
+  EXPECT_EQ(pipe.segment_count(), 2u);
+  EXPECT_EQ(pipe.active_segment_count(), 2u);
+}
+
+TEST(Pipeline, IdentityCompositionsAreSkipped) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  // Two corner turns cancel; bit-reversal twice cancels.
+  PermutationPipeline pipe(mp);
+  pipe.then(perm::transpose_square(n)).then(perm::transpose_square(n));
+  pipe.compile();
+  EXPECT_EQ(pipe.segment_count(), 1u);
+  EXPECT_EQ(pipe.active_segment_count(), 0u);
+  EXPECT_EQ(pipe.predicted_time_units(), 0u);
+}
+
+TEST(Pipeline, ExecuteMatchesSequentialApplication) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;
+  util::ThreadPool pool(2);
+
+  const perm::Permutation p1 = perm::by_name("random", n, 2);
+  const perm::Permutation p2 = perm::shuffle(n);
+  const perm::Permutation p3 = perm::by_name("random", n, 3);
+
+  PermutationPipeline pipe(mp);
+  pipe.then(p1).then(p2).barrier().then(p3);
+  pipe.compile();
+
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n), scratch(n);
+  pipe.execute<float>(pool, a, b, scratch);
+
+  // Reference: apply the stages one by one.
+  util::aligned_vector<float> ref(n), tmp(n);
+  p1.apply<float>(a, tmp);
+  p2.apply<float>(tmp, ref);
+  p3.apply<float>(ref, tmp);
+  EXPECT_EQ(b, tmp);
+}
+
+TEST(Pipeline, IdentityPipelineIsCopy) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  util::ThreadPool pool(1);
+  PermutationPipeline pipe(mp);
+  pipe.then(perm::bit_reversal(n)).then(perm::bit_reversal(n));
+  pipe.compile();
+  const auto a = test::iota_data<double>(n);
+  util::aligned_vector<double> b(n), scratch(n);
+  pipe.execute<double>(pool, a, b, scratch);
+  EXPECT_EQ(b, a);
+}
+
+TEST(Pipeline, ManySegmentsOddCount) {
+  // Odd number of active segments exercises the final copy-back.
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 256;
+  util::ThreadPool pool(1);
+  PermutationPipeline pipe(mp);
+  pipe.then(perm::by_name("random", n, 5)).barrier();
+  pipe.then(perm::by_name("random", n, 6)).barrier();
+  pipe.then(perm::by_name("random", n, 7));
+  pipe.compile();
+  EXPECT_EQ(pipe.active_segment_count(), 3u);
+
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n), scratch(n), ref(n), tmp(n);
+  pipe.execute<float>(pool, a, b, scratch);
+  perm::by_name("random", n, 5).apply<float>(a, tmp);
+  perm::by_name("random", n, 6).apply<float>(tmp, ref);
+  perm::by_name("random", n, 7).apply<float>(ref, tmp);
+  EXPECT_EQ(b, tmp);
+}
+
+TEST(Pipeline, ApiMisuseDies) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  PermutationPipeline pipe(mp);
+  EXPECT_DEATH(pipe.barrier(), "preceding stage");
+  pipe.then(perm::identical(256));
+  EXPECT_DEATH(pipe.then(perm::identical(512)), "one size");
+  EXPECT_DEATH(pipe.predicted_time_units(), "compile");
+  pipe.compile();
+  EXPECT_DEATH(pipe.compile(), "already compiled");
+  EXPECT_DEATH(pipe.then(perm::identical(256)), "already compiled");
+}
+
+}  // namespace
+}  // namespace hmm::core

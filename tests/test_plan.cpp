@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "perm/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm::core {
+namespace {
+
+using model::MachineParams;
+
+TEST(Layout, SquareShapes) {
+  EXPECT_EQ(shape_for(16, 4), (MatrixShape{4, 4}));
+  EXPECT_EQ(shape_for(1 << 20, 32), (MatrixShape{1 << 10, 1 << 10}));
+}
+
+TEST(Layout, RectangularShapes) {
+  // Odd log2: cols = 2 * rows.
+  EXPECT_EQ(shape_for(32, 4), (MatrixShape{4, 8}));
+  EXPECT_EQ(shape_for(1 << 21, 32), (MatrixShape{1 << 10, 1 << 11}));
+}
+
+TEST(Layout, IndexHelpers) {
+  const MatrixShape s{4, 8};
+  EXPECT_EQ(s.size(), 32u);
+  EXPECT_EQ(s.row_of(17), 2u);
+  EXPECT_EQ(s.col_of(17), 1u);
+}
+
+TEST(Layout, SharedBytes) {
+  // Two data buffers + two 16-bit schedule arrays per block.
+  EXPECT_EQ(row_pass_shared_bytes(1024, 4), 2 * 1024 * 4 + 2 * 1024 * 2);
+  EXPECT_EQ(transpose_shared_bytes(32, 8), 32 * 32 * 8);
+}
+
+TEST(Plan, BuildsForTinyMachine) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  const perm::Permutation perm = perm::bit_reversal(64);
+  const ScheduledPlan plan = ScheduledPlan::build(perm, p);
+  EXPECT_EQ(plan.size(), 64u);
+  EXPECT_EQ(plan.shape().rows, 8u);
+  EXPECT_EQ(plan.shape().cols, 8u);
+  EXPECT_EQ(plan.build_stats().colors, 8u);
+  EXPECT_TRUE(plan.validate(perm));
+}
+
+TEST(Plan, ValidateRejectsWrongPermutation) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  const perm::Permutation perm = perm::bit_reversal(64);
+  const ScheduledPlan plan = ScheduledPlan::build(perm, p);
+  EXPECT_FALSE(plan.validate(perm::shuffle(64)));
+  EXPECT_FALSE(plan.validate(perm::identical(64)));
+}
+
+TEST(Plan, RectangularSize) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  const perm::Permutation perm = perm::shuffle(128);  // 8 x 16
+  const ScheduledPlan plan = ScheduledPlan::build(perm, p);
+  EXPECT_EQ(plan.shape().rows, 8u);
+  EXPECT_EQ(plan.shape().cols, 16u);
+  EXPECT_TRUE(plan.validate(perm));
+}
+
+TEST(Plan, ScheduleBytesMatchPaperLayout) {
+  // 3 passes x 2 arrays x n entries x 16-bit (the paper's short int 2-D
+  // arrays).
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  const ScheduledPlan plan = ScheduledPlan::build(perm::identical(256), p);
+  EXPECT_EQ(plan.schedule_bytes(), 3 * 2 * 256 * sizeof(std::uint16_t));
+}
+
+TEST(Plan, SharedCapacityCheck) {
+  MachineParams p = MachineParams::tiny(8, 5, 2);
+  p.shared_bytes = 48 * 1024;
+  const ScheduledPlan plan = ScheduledPlan::build(perm::identical(1 << 12), p);  // 64 x 64
+  EXPECT_TRUE(plan.fits_shared(4));
+  EXPECT_TRUE(plan.fits_shared(8));
+  // A pathological shared limit smaller than one row fails.
+  MachineParams tiny_shared = p;
+  tiny_shared.shared_bytes = 256;
+  const ScheduledPlan plan2 = ScheduledPlan::build(perm::identical(1 << 12), tiny_shared);
+  EXPECT_FALSE(plan2.fits_shared(8));
+}
+
+TEST(Plan, AllFamiliesValidate) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  const std::uint64_t n = 256;
+  for (const auto& name : test::families_for(n)) {
+    const perm::Permutation perm = perm::by_name(name, n);
+    const ScheduledPlan plan = ScheduledPlan::build(perm, p);
+    EXPECT_TRUE(plan.validate(perm)) << name;
+  }
+}
+
+TEST(Plan, ParallelBuildBitIdenticalToSerial) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  const perm::Permutation perm = perm::by_name("random", 1 << 12, 8);
+  const ScheduledPlan serial = ScheduledPlan::build(perm, p);
+  util::ThreadPool pool(3);
+  const ScheduledPlan parallel = ScheduledPlan::build(pool, perm, p);
+  EXPECT_EQ(parallel.pass1().phat, serial.pass1().phat);
+  EXPECT_EQ(parallel.pass1().q, serial.pass1().q);
+  EXPECT_EQ(parallel.pass2().phat, serial.pass2().phat);
+  EXPECT_EQ(parallel.pass3().q, serial.pass3().q);
+  EXPECT_TRUE(parallel.validate(perm));
+}
+
+TEST(Plan, MatchingPeelColoringAlsoWorks) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  const perm::Permutation perm = perm::by_name("random", 256, 7);
+  const ScheduledPlan plan =
+      ScheduledPlan::build(perm, p, graph::ColoringAlgorithm::kMatchingPeel);
+  EXPECT_TRUE(plan.validate(perm));
+}
+
+// Sweep: every machine x several sizes x random permutations.
+class PlanSweep : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(PlanSweep, RandomPermValidates) {
+  const auto [machine_idx, n] = GetParam();
+  const MachineParams p = test::machines()[machine_idx];
+  if (n < static_cast<std::uint64_t>(p.width) * p.width * 2) GTEST_SKIP();
+  const perm::Permutation perm = perm::by_name("random", n, n + machine_idx);
+  const ScheduledPlan plan = ScheduledPlan::build(perm, p);
+  EXPECT_TRUE(plan.validate(perm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PlanSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(1ull << 11, 1ull << 12,
+                                                              1ull << 14, 1ull << 16)));
+
+}  // namespace
+}  // namespace hmm::core

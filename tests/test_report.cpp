@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/plan.hpp"
+#include "core/scheduled.hpp"
+#include "perm/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/report.hpp"
+
+namespace hmm::sim {
+namespace {
+
+using model::MachineParams;
+
+SimStats scheduled_run_stats() {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const core::ScheduledPlan plan =
+      core::ScheduledPlan::build(perm::bit_reversal(256), mp);
+  HmmSim sim(mp);
+  core::scheduled_sim_rounds(sim, plan);
+  return sim.stats();
+}
+
+TEST(Report, CsvHasHeaderAndOneLinePerRound) {
+  const SimStats stats = scheduled_run_stats();
+  std::ostringstream os;
+  write_rounds_csv(os, stats);
+  const std::string out = os.str();
+  std::size_t lines = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(lines, stats.rounds.size() + 1);  // header + rounds
+  EXPECT_NE(out.find("index,label,space,dir"), std::string::npos);
+  EXPECT_NE(out.find("pass1:read in,global,read,coalesced,coalesced"), std::string::npos);
+}
+
+TEST(Report, SummaryContainsTotals) {
+  const SimStats stats = scheduled_run_stats();
+  std::ostringstream os;
+  write_summary(os, stats);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rounds: 32 (global 16, shared 16)"), std::string::npos);
+  EXPECT_NE(out.find("coalesced reads/writes:      11/5"), std::string::npos);
+  EXPECT_NE(out.find("conflict-free reads/writes:  8/8"), std::string::npos);
+  EXPECT_NE(out.find("declared guarantees held: yes"), std::string::npos);
+  EXPECT_NE(out.find(std::to_string(stats.total_time)), std::string::npos);
+}
+
+TEST(Report, EngineTimelineListsEveryStage) {
+  const MachineParams mp = MachineParams::tiny(4, 10, 2);
+  PipelineEngine eng(mp, model::Space::kGlobal);
+  std::vector<std::uint64_t> addrs = {7, 5, 15, 0, 10, 11, 12, 15};
+  const EngineRound round = eng.run_round(addrs);
+  std::ostringstream os;
+  write_engine_timeline(os, round);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("stages=5"), std::string::npos);
+  // Every request appears.
+  for (std::uint64_t a : addrs) {
+    EXPECT_NE(out.find("@" + std::to_string(a)), std::string::npos);
+  }
+  // 5 stage lines + 1 header.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+}  // namespace
+}  // namespace hmm::sim

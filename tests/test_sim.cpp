@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "model/cost.hpp"
+#include "sim/hmm_sim.hpp"
+#include "sim/pipeline.hpp"
+
+namespace hmm::sim {
+namespace {
+
+using model::AccessClass;
+using model::Dir;
+using model::MachineParams;
+using model::Space;
+
+TEST(Pipeline, PackDmmFig3) {
+  // Fig. 3, w=4, warp w0 accesses 7,5,15,0: banks 3,1,3,0 -> 2 stages;
+  // the two bank-3 requests (7 and 15) land in different stages.
+  std::vector<std::uint64_t> warp = {7, 5, 15, 0};
+  const WarpTrace t = pack_dmm(warp, 4);
+  ASSERT_EQ(t.stages.size(), 2u);
+  EXPECT_EQ(t.stages[0].requests.size(), 3u);  // 7, 5, 0
+  EXPECT_EQ(t.stages[1].requests.size(), 1u);  // 15
+  EXPECT_EQ(t.stages[1].requests[0].addr, 15u);
+}
+
+TEST(Pipeline, PackUmmFig3) {
+  // Fig. 3, w=4, warp w0 accesses 7,5,15,0: groups 1,1,3,0 -> 3 stages.
+  std::vector<std::uint64_t> warp = {7, 5, 15, 0};
+  const WarpTrace t = pack_umm(warp, 4);
+  ASSERT_EQ(t.stages.size(), 3u);
+  // First-touch order: group 1 (addrs 7,5), group 3 (15), group 0 (0).
+  EXPECT_EQ(t.stages[0].requests.size(), 2u);
+  EXPECT_EQ(t.stages[1].requests[0].addr, 15u);
+  EXPECT_EQ(t.stages[2].requests[0].addr, 0u);
+}
+
+TEST(Pipeline, RoundStagesSumsWarps) {
+  // Two warps on the UMM: {7,5,15,0} -> 3 stages, {10,11,12,15} -> 2.
+  std::vector<std::uint64_t> addrs = {7, 5, 15, 0, 10, 11, 12, 15};
+  EXPECT_EQ(round_stages(addrs, 4, Space::kGlobal), 5u);
+  // DMM: {7,5,15,0} -> 2 stages, {10,11,12,15} -> 2 (bank 3 conflict).
+  EXPECT_EQ(round_stages(addrs, 4, Space::kShared), 4u);
+}
+
+TEST(Pipeline, RoundTimePipelines) {
+  // S stages complete at S + l - 1 (Fig. 3's accounting).
+  EXPECT_EQ(round_time(5, 10), 14u);
+  EXPECT_EQ(round_time(1, 10), 10u);
+  EXPECT_EQ(round_time(0, 10), 0u);  // idle round costs nothing
+}
+
+TEST(HmmSim, AllocGroupAligned) {
+  HmmSim sim(MachineParams::tiny(4, 5, 2));
+  EXPECT_EQ(sim.alloc_global(3) % 4, 0u);
+  EXPECT_EQ(sim.alloc_global(5) % 4, 0u);
+  EXPECT_EQ(sim.alloc_global(1) % 4, 0u);
+}
+
+TEST(HmmSim, CoalescedGlobalRoundMatchesLemma1) {
+  const MachineParams p = MachineParams::tiny(4, 7, 2);
+  HmmSim sim(p);
+  const std::uint64_t n = 64;
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = i;
+  const std::uint64_t t =
+      sim.global_round("r", addrs, Dir::kRead, AccessClass::kCoalesced);
+  EXPECT_EQ(t, model::coalesced_round_time(n, p));
+  EXPECT_EQ(sim.stats().rounds[0].observed, AccessClass::kCoalesced);
+}
+
+TEST(HmmSim, CasualGlobalRoundCostsDistribution) {
+  const MachineParams p = MachineParams::tiny(4, 7, 2);
+  HmmSim sim(p);
+  // Every thread of every warp hits its own group: stages = n.
+  const std::uint64_t n = 16;
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = i * 4;
+  const std::uint64_t t = sim.global_round("w", addrs, Dir::kWrite, AccessClass::kCasual);
+  EXPECT_EQ(t, model::casual_round_time(n, p));
+  EXPECT_EQ(sim.stats().rounds[0].observed, AccessClass::kCasual);
+}
+
+TEST(HmmSim, SharedRoundConcurrentDmms) {
+  const MachineParams p = MachineParams::tiny(4, 7, 2);
+  HmmSim sim(p);
+  // 4 blocks of 8 threads (2 warps each), all conflict-free:
+  // per block 2 stages; 2 DMMs x 2 blocks -> 4 stages on each DMM.
+  const std::uint64_t n = 32;
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = i % 8;
+  const std::uint64_t t =
+      sim.shared_round("s", addrs, 8, Dir::kWrite, AccessClass::kConflictFree);
+  EXPECT_EQ(t, 4u);
+  EXPECT_EQ(t, model::conflict_free_round_time(n, p));
+}
+
+TEST(HmmSim, SharedLatencyParameterL) {
+  // The paper's footnote: shared latency L (default 1). A conflict-free
+  // round of S stages completes at S + L - 1.
+  MachineParams p = MachineParams::tiny(4, 7, 2);
+  p.shared_latency = 5;
+  HmmSim sim(p);
+  std::vector<std::uint64_t> addrs(16);
+  for (std::uint64_t i = 0; i < 16; ++i) addrs[i] = i % 8;
+  // 2 blocks of 8 (2 warps each) over 2 DMMs: 2 stages per DMM.
+  const std::uint64_t t =
+      sim.shared_round("s", addrs, 8, Dir::kRead, AccessClass::kConflictFree);
+  EXPECT_EQ(t, 2u + 5 - 1);
+  EXPECT_EQ(t, model::conflict_free_round_time(16, p));
+}
+
+TEST(HmmSim, SharedBankConflictDetected) {
+  HmmSim sim(MachineParams::tiny(4, 7, 2));
+  std::vector<std::uint64_t> addrs = {0, 4, 8, 12};  // all bank 0
+  sim.shared_round("s", addrs, 4, Dir::kRead, AccessClass::kConflictFree);
+  EXPECT_EQ(sim.stats().rounds[0].observed, AccessClass::kCasual);
+  EXPECT_FALSE(sim.stats().declarations_hold());
+}
+
+TEST(HmmSim, DeclarationViolationFlagged) {
+  HmmSim sim(MachineParams::tiny(4, 7, 2));
+  std::vector<std::uint64_t> addrs = {0, 4, 8, 12};  // four groups
+  sim.global_round("bad", addrs, Dir::kRead, AccessClass::kCoalesced);
+  EXPECT_FALSE(sim.stats().declarations_hold());
+}
+
+TEST(HmmSim, HonestCasualDeclarationHolds) {
+  HmmSim sim(MachineParams::tiny(4, 7, 2));
+  std::vector<std::uint64_t> addrs = {0, 4, 8, 12};
+  sim.global_round("ok", addrs, Dir::kRead, AccessClass::kCasual);
+  EXPECT_TRUE(sim.stats().declarations_hold());
+}
+
+TEST(HmmSim, TotalTimeAccumulates) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  HmmSim sim(p);
+  std::vector<std::uint64_t> addrs = {0, 1, 2, 3};
+  sim.global_round("r1", addrs, Dir::kRead, AccessClass::kCoalesced);
+  sim.global_round("r2", addrs, Dir::kRead, AccessClass::kCoalesced);
+  EXPECT_EQ(sim.now(), 2 * model::coalesced_round_time(4, p));
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.stats().rounds.empty());
+}
+
+TEST(HmmSim, IdleThreadsSkipped) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  HmmSim sim(p);
+  std::vector<std::uint64_t> addrs = {0, 1, model::kNoAccess, model::kNoAccess,
+                                      model::kNoAccess, model::kNoAccess,
+                                      model::kNoAccess, model::kNoAccess};
+  // Second warp fully idle: only 1 stage.
+  const std::uint64_t t = sim.global_round("r", addrs, Dir::kRead, AccessClass::kCoalesced);
+  EXPECT_EQ(t, 1 + p.latency - 1);
+}
+
+TEST(HmmSim, ObservedCountsClassify) {
+  const MachineParams p = MachineParams::tiny(4, 5, 2);
+  HmmSim sim(p);
+  std::vector<std::uint64_t> coal = {0, 1, 2, 3};
+  std::vector<std::uint64_t> scat = {0, 4, 8, 12};
+  sim.global_round("a", coal, Dir::kRead, AccessClass::kCoalesced);
+  sim.global_round("b", scat, Dir::kWrite, AccessClass::kCasual);
+  sim.shared_round("c", coal, 4, Dir::kRead, AccessClass::kConflictFree);
+  const auto counts = sim.stats().observed_counts();
+  EXPECT_EQ(counts.coalesced_read, 1u);
+  EXPECT_EQ(counts.casual_write_global, 1u);
+  EXPECT_EQ(counts.conflict_free_read, 1u);
+  EXPECT_EQ(counts.total_rounds(), 3u);
+}
+
+TEST(HmmSim, L2ModelShrinksSmallCasualRounds) {
+  MachineParams p = MachineParams::tiny(4, 100, 2);
+  HmmSim nocache(p);
+  HmmSim cached(p);
+  L2Model l2;
+  l2.enabled = true;
+  l2.capacity_bytes = 1 << 20;
+  l2.element_bytes = 4;
+  l2.hit_speedup = 4;
+  cached.set_l2(l2);
+
+  // 8 warps all scattering over the same 8 groups: heavy re-touching.
+  const std::uint64_t n = 32;
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = (i % 8) * 4;
+  const std::uint64_t t_miss = nocache.global_round("w", addrs, Dir::kWrite, AccessClass::kCasual);
+  const std::uint64_t t_hit = cached.global_round("w", addrs, Dir::kWrite, AccessClass::kCasual);
+  EXPECT_LT(t_hit, t_miss);
+}
+
+TEST(HmmSim, L2ModelNoEffectWhenFootprintTooLarge) {
+  MachineParams p = MachineParams::tiny(4, 100, 2);
+  HmmSim cached(p);
+  L2Model l2;
+  l2.enabled = true;
+  l2.capacity_bytes = 16;  // tiny cache
+  l2.element_bytes = 4;
+  cached.set_l2(l2);
+  HmmSim nocache(p);
+
+  std::vector<std::uint64_t> addrs(32);
+  for (std::uint64_t i = 0; i < 32; ++i) addrs[i] = (i % 8) * 4;
+  EXPECT_EQ(cached.global_round("w", addrs, Dir::kWrite, AccessClass::kCasual),
+            nocache.global_round("w", addrs, Dir::kWrite, AccessClass::kCasual));
+}
+
+}  // namespace
+}  // namespace hmm::sim

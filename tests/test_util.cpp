@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "util/aligned_vector.hpp"
+#include "util/bits.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::util {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2) {
+  EXPECT_EQ(log2_floor(1), 0u);
+  EXPECT_EQ(log2_floor(2), 1u);
+  EXPECT_EQ(log2_floor(3), 1u);
+  EXPECT_EQ(log2_floor(1024), 10u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(Bits, CeilHelpers) {
+  EXPECT_EQ(ceil_pow2(0), 1u);
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(1024), 1024u);
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+}
+
+TEST(Bits, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b110, 3), 0b011u);
+  // Involution: reverse twice is the identity.
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    EXPECT_EQ(bit_reverse(bit_reverse(x, 8), 8), x);
+  }
+}
+
+TEST(Bits, Rotations) {
+  EXPECT_EQ(rotate_left_bits(0b100, 3), 0b001u);
+  EXPECT_EQ(rotate_left_bits(0b011, 3), 0b110u);
+  EXPECT_EQ(rotate_right_bits(0b001, 3), 0b100u);
+  // rotate_left then rotate_right is the identity.
+  for (std::uint64_t x = 0; x < 1024; ++x) {
+    EXPECT_EQ(rotate_right_bits(rotate_left_bits(x, 10), 10), x);
+  }
+}
+
+TEST(Bits, GrayCodeAdjacentDifferByOneBit) {
+  for (std::uint64_t i = 0; i + 1 < 512; ++i) {
+    const std::uint64_t diff = gray_code(i) ^ gray_code(i + 1);
+    EXPECT_TRUE(is_pow2(diff)) << i;
+  }
+}
+
+TEST(Bits, IsqrtExact) {
+  EXPECT_EQ(isqrt_exact(1), 1u);
+  EXPECT_EQ(isqrt_exact(4), 2u);
+  EXPECT_EQ(isqrt_exact(1 << 20), 1u << 10);
+  EXPECT_EQ(isqrt_exact(9), 3u);
+}
+
+TEST(Rng, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedRoughlyUniform) {
+  Xoshiro256 rng(3);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, Uniform01Range) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, LongJumpDiverges) {
+  Xoshiro256 a(9), b(9);
+  b.long_jump();
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(AlignedVector, Alignment) {
+  aligned_vector<float> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % 128, 0u);
+  aligned_vector<double> w(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % 128, 0u);
+}
+
+TEST(Table, RendersAllRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, Csv) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(format_double(1.234, 2), "1.23");
+  EXPECT_EQ(format_count(42), "42");
+  EXPECT_EQ(format_bytes(48 * 1024), "48.0KiB");
+  EXPECT_EQ(format_bytes(100), "100B");
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::uint64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksDisjointCover) {
+  ThreadPool pool(3);
+  std::vector<int> hits(512, 0);
+  std::mutex m;
+  pool.parallel_for_chunks(0, hits.size(), [&](std::uint64_t lo, std::uint64_t hi) {
+    std::lock_guard g(m);
+    for (std::uint64_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, EmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleWorkerSerialFallback) {
+  ThreadPool pool(1);
+  std::uint64_t sum = 0;
+  pool.parallel_for(0, 100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(Cli, FlagsAndPositional) {
+  // NOTE: `--flag value` consumes the next token, so positionals come
+  // first or bare boolean flags go last / use `--flag=true`.
+  const char* argv[] = {"prog", "pos1", "--n", "1024", "--type=float", "--verbose"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 1024);
+  EXPECT_EQ(cli.get("type"), "float");
+  EXPECT_TRUE(cli.get_bool("verbose"));
+  EXPECT_FALSE(cli.get_bool("quiet"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, SizeSuffixes) {
+  const char* argv[] = {"prog", "--n", "4M", "--m=2K"};
+  Cli cli(4, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 4 << 20);
+  EXPECT_EQ(cli.get_int("m", 0), 2048);
+}
+
+}  // namespace
+}  // namespace hmm::util

@@ -1,0 +1,148 @@
+/// Wide-element (multi-word) model: the float-vs-double asymmetry of
+/// Table II — coalesced traffic scales with the element width, while
+/// scattered traffic hardly changes (each element still costs one
+/// transaction).
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "core/conventional.hpp"
+#include "core/plan.hpp"
+#include "core/scheduled.hpp"
+#include "model/cost.hpp"
+#include "perm/distribution.hpp"
+#include "perm/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm {
+namespace {
+
+using model::AccessClass;
+using model::Dir;
+using model::MachineParams;
+
+TEST(WideElements, WordsOf) {
+  EXPECT_EQ(model::words_of<float>(), 1u);
+  EXPECT_EQ(model::words_of<std::uint16_t>(), 1u);
+  EXPECT_EQ(model::words_of<double>(), 2u);
+  EXPECT_EQ(model::words_of<std::complex<float>>(), 2u);
+  EXPECT_EQ(model::words_of<std::complex<double>>(), 4u);
+}
+
+TEST(WideElements, CoalescedRoundScalesWithWords) {
+  const MachineParams mp = MachineParams::tiny(8, 50, 2);
+  const std::uint64_t n = 256;
+  std::vector<std::uint64_t> addrs(n);
+  for (std::uint64_t i = 0; i < n; ++i) addrs[i] = i;
+  for (std::uint32_t words : {1u, 2u, 4u}) {
+    sim::HmmSim sim(mp);
+    const std::uint64_t t =
+        sim.global_round("r", addrs, Dir::kRead, AccessClass::kCoalesced, words);
+    EXPECT_EQ(t, model::coalesced_round_time(n, mp, words)) << words;
+    EXPECT_EQ(sim.stats().rounds[0].observed, AccessClass::kCoalesced) << words;
+  }
+}
+
+TEST(WideElements, ScatterCostIsEffectiveWidthDistribution) {
+  const MachineParams mp = MachineParams::tiny(8, 50, 2);
+  const std::uint64_t n = 1024;
+  const perm::Permutation p = perm::by_name("random", n, 7);
+  for (std::uint32_t words : {1u, 2u, 4u}) {
+    std::vector<std::uint64_t> addrs(n);
+    for (std::uint64_t i = 0; i < n; ++i) addrs[i] = p(i);
+    sim::HmmSim sim(mp);
+    const std::uint64_t t =
+        sim.global_round("w", addrs, Dir::kWrite, AccessClass::kCasual, words);
+    // One stage per distinct word group: warps stay w threads wide but
+    // an element group holds only w/words elements.
+    EXPECT_EQ(t, model::casual_round_time(
+                     perm::distribution_groups(p, mp.width, mp.width / words), mp))
+        << words;
+  }
+}
+
+TEST(WideElements, SharedRoundScalesWithoutFakeConflicts) {
+  const MachineParams mp = MachineParams::tiny(8, 50, 2);
+  std::vector<std::uint64_t> addrs = {0, 1, 2, 3, 4, 5, 6, 7};
+  sim::HmmSim sim(mp);
+  const std::uint64_t t1 =
+      sim.shared_round("s", addrs, 8, Dir::kRead, AccessClass::kConflictFree, 1);
+  sim.reset();
+  const std::uint64_t t2 =
+      sim.shared_round("s", addrs, 8, Dir::kRead, AccessClass::kConflictFree, 2);
+  EXPECT_EQ(t2, 2 * t1);
+  // Element-wide banks: still observed conflict-free at words = 2.
+  EXPECT_EQ(sim.stats().rounds[0].observed, AccessClass::kConflictFree);
+}
+
+TEST(WideElements, ConventionalSimMatchesClosedFormForDoubles) {
+  const MachineParams mp = MachineParams::tiny(8, 50, 2);
+  const std::uint64_t n = 1 << 12;
+  const perm::Permutation p = perm::bit_reversal(n);
+  const std::uint32_t words = model::words_of<double>();
+
+  sim::HmmSim sim(mp);
+  const auto a = test::iota_data<double>(n);
+  util::aligned_vector<double> b(n);
+  const std::uint64_t t = core::d_designated_sim<double>(sim, a, b, p);
+  EXPECT_EQ(t, model::d_designated_time(
+                   n, perm::distribution_groups(p, mp.width, mp.width / words), mp, words));
+  EXPECT_TRUE(sim.stats().declarations_hold());
+}
+
+TEST(WideElements, ScheduledSimMatchesClosedFormForDoubles) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const std::uint64_t n = 1 << 10;  // 32 x 32
+  const perm::Permutation p = perm::bit_reversal(n);
+  const core::ScheduledPlan plan = core::ScheduledPlan::build(p, mp);
+
+  sim::HmmSim sim(mp);
+  const auto a = test::iota_data<double>(n);
+  util::aligned_vector<double> b(n);
+  const std::uint64_t t = core::scheduled_sim<double>(sim, plan, a, b);
+  EXPECT_EQ(t, model::scheduled_time(n, mp, model::words_of<double>()));
+  // Still zero casual rounds for doubles.
+  const auto counts = sim.stats().observed_counts();
+  EXPECT_EQ(counts.casual_read_global + counts.casual_write_global, 0u);
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(b[p(i)], a[i]);
+}
+
+TEST(WideElements, Table2FloatDoubleShape) {
+  // The paper's Table II: scheduled doubles ~1.6-2x floats at equal n;
+  // scattered conventional doubles nearly equal floats.
+  const MachineParams mp = MachineParams::gtx680();
+  const std::uint64_t n = 1 << 18;
+  const perm::Permutation p = perm::bit_reversal(n);
+
+  const std::uint64_t sched_f = model::scheduled_time(n, mp, 1);
+  const std::uint64_t sched_d = model::scheduled_time(n, mp, 2);
+  const double sched_ratio = static_cast<double>(sched_d) / static_cast<double>(sched_f);
+  EXPECT_GT(sched_ratio, 1.5);
+  EXPECT_LT(sched_ratio, 2.1);
+
+  const std::uint64_t conv_f =
+      model::d_designated_time(n, perm::distribution_groups(p, 32, 32), mp, 1);
+  const std::uint64_t conv_d =
+      model::d_designated_time(n, perm::distribution_groups(p, 32, 16), mp, 2);
+  const double conv_ratio = static_cast<double>(conv_d) / static_cast<double>(conv_f);
+  EXPECT_GT(conv_ratio, 0.95);
+  EXPECT_LT(conv_ratio, 1.35);
+}
+
+TEST(WideElements, IdentityStaysCoalescedForAllWidths) {
+  const MachineParams mp = MachineParams::tiny(8, 20, 2);
+  const std::uint64_t n = 512;
+  const perm::Permutation p = perm::identical(n);
+  for (std::uint32_t words : {1u, 2u}) {
+    sim::HmmSim sim(mp);
+    core::d_designated_sim_rounds(sim, p, words);
+    // All three rounds observed coalesced (identity scatter included).
+    for (const auto& r : sim.stats().rounds) {
+      EXPECT_EQ(r.observed, AccessClass::kCoalesced) << r.label << " words=" << words;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmm
