@@ -24,6 +24,7 @@
 #include "model/cost.hpp"
 #include "perm/distribution.hpp"
 #include "util/bits.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hmm::core {
 
@@ -46,6 +47,7 @@ class OfflinePermuter {
                            model::MachineParams machine = model::MachineParams::gtx680(),
                            Strategy strategy = Strategy::kAuto)
       : perm_(std::move(p)), machine_(machine) {
+    const util::Stopwatch build_clock;
     const std::uint64_t n = perm_.size();
     const bool plannable = util::is_pow2(n) && plan_supported(n, machine_);
 
@@ -78,6 +80,7 @@ class OfflinePermuter {
       case Strategy::kAuto:
         break;  // unreachable; resolved above
     }
+    offline_seconds_ = build_clock.seconds();
   }
 
   /// The strategy actually in use (after kAuto resolution).
@@ -91,13 +94,46 @@ class OfflinePermuter {
     return plan_ ? &*plan_ : nullptr;
   }
 
-  /// Online phase: b[P(i)] = a[i]. Reusable; `a` and `b` must not alias.
-  void permute(std::span<const T> a, std::span<T> b) {
+  /// Wall-clock seconds the constructor spent on the offline phase
+  /// (strategy selection + plan build or inverse computation). This is
+  /// the cost a plan cache amortizes away on a hit.
+  [[nodiscard]] double offline_build_seconds() const noexcept { return offline_seconds_; }
+
+  /// Approximate resident bytes of the compiled artifact: the owned
+  /// permutation, plus the strategy's precomputed state (schedule
+  /// arrays + direct row permutations, or the inverse mapping) and the
+  /// internal scratch buffer. Used for byte-bounded cache accounting.
+  [[nodiscard]] std::uint64_t compiled_bytes() const noexcept {
+    const std::uint64_t n = size();
+    std::uint64_t bytes = n * sizeof(std::uint32_t);  // perm_
+    if (plan_) {
+      bytes += plan_->schedule_bytes();
+      bytes += 3 * n * sizeof(std::uint16_t);  // direct1/2/3
+    }
+    if (inverse_) bytes += n * sizeof(std::uint32_t);
+    bytes += scratch_.size() * sizeof(T);
+    return bytes;
+  }
+
+  /// Scratch elements an external-scratch `permute` call must provide
+  /// (n for the scheduled strategy, 0 otherwise).
+  [[nodiscard]] std::uint64_t scratch_elements() const noexcept {
+    return chosen_ == Strategy::kScheduled ? size() : 0;
+  }
+
+  /// Thread-safe online phase: b[P(i)] = a[i] using caller-provided
+  /// scratch (size `scratch_elements()`; may be empty for the
+  /// conventional strategies). Unlike the stateful overload below, this
+  /// is `const` and touches no member buffers, so any number of threads
+  /// may execute the same compiled permuter on distinct (a, b, scratch)
+  /// triples concurrently — the runtime executor's batched path.
+  void permute(std::span<const T> a, std::span<T> b, std::span<T> scratch) const {
     HMM_CHECK(a.size() == size() && b.size() == size());
     auto& pool = util::ThreadPool::global();
     switch (chosen_) {
       case Strategy::kScheduled:
-        scheduled_cpu_lean<T>(pool, *plan_, a, b, scratch_);
+        HMM_CHECK_MSG(scratch.size() == size(), "scheduled strategy needs n scratch elements");
+        scheduled_cpu_lean<T>(pool, *plan_, a, b, scratch);
         return;
       case Strategy::kSDesignated:
         s_designated_cpu<T>(pool, a, b, *inverse_);
@@ -109,6 +145,14 @@ class OfflinePermuter {
         break;
     }
     HMM_CHECK_MSG(false, "unresolved strategy");
+  }
+
+  /// Online phase: b[P(i)] = a[i]. Reusable; `a` and `b` must not
+  /// alias. Uses the permuter's own scratch buffer, so calls on the
+  /// same object must be serialized — use the const overload above for
+  /// concurrent execution.
+  void permute(std::span<const T> a, std::span<T> b) {
+    permute(a, b, std::span<T>(scratch_.data(), scratch_.size()));
   }
 
   /// Predicted HMM running time of the active strategy (time units).
@@ -141,6 +185,7 @@ class OfflinePermuter {
   perm::Permutation perm_;
   model::MachineParams machine_;
   Strategy chosen_;
+  double offline_seconds_ = 0;
   std::optional<ScheduledPlan> plan_;
   std::optional<perm::Permutation> inverse_;
   util::aligned_vector<T> scratch_;

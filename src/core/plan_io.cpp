@@ -8,7 +8,13 @@
 namespace hmm::core {
 namespace {
 
-constexpr char kMagic[8] = {'H', 'M', 'M', 'P', 'L', 'A', 'N', '1'};
+// 7-byte magic + 1 format-version byte. Version history:
+//   1: initial format (no payload sanity metadata).
+//   2: same layout, but loaders verify every schedule entry is in range
+//      for its row length (degree checks) — v1 files are rejected so a
+//      foreign or stale file can never be half-trusted.
+constexpr char kMagic[7] = {'H', 'M', 'M', 'P', 'L', 'A', 'N'};
+constexpr char kVersion = 2;
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -29,10 +35,20 @@ bool read_u16s(std::istream& is, util::aligned_vector<std::uint16_t>& v, std::ui
                                    static_cast<std::streamsize>(count * sizeof(std::uint16_t))));
 }
 
+/// Degree sanity: a schedule/permutation entry indexes a position
+/// within its row, so every value must be < the row length.
+bool all_below(const util::aligned_vector<std::uint16_t>& v, std::uint64_t bound) {
+  for (const std::uint16_t x : v) {
+    if (x >= bound) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool save_plan(std::ostream& os, const ScheduledPlan& plan) {
   os.write(kMagic, sizeof kMagic);
+  os.put(kVersion);
   write_u64(os, plan.shape().rows);
   write_u64(os, plan.shape().cols);
   write_u64(os, plan.params().width);
@@ -54,9 +70,13 @@ bool save_plan(std::ostream& os, const ScheduledPlan& plan) {
 }
 
 std::optional<ScheduledPlan> load_plan(std::istream& is) {
-  char magic[8];
+  char magic[7];
   if (!is.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
     return std::nullopt;
+  }
+  char version = 0;
+  if (!is.get(version) || version != kVersion) {
+    return std::nullopt;  // unknown / older format version
   }
   std::uint64_t rows = 0, cols = 0, width = 0, latency = 0, dmms = 0, shared = 0;
   if (!read_u64(is, rows) || !read_u64(is, cols) || !read_u64(is, width) ||
@@ -83,6 +103,14 @@ std::optional<ScheduledPlan> load_plan(std::istream& is) {
   if (!read_u16s(is, p1.phat, n) || !read_u16s(is, p1.q, n) || !read_u16s(is, p2.phat, n) ||
       !read_u16s(is, p2.q, n) || !read_u16s(is, p3.phat, n) || !read_u16s(is, p3.q, n) ||
       !read_u16s(is, g1, n) || !read_u16s(is, g2, n) || !read_u16s(is, g3, n)) {
+    return std::nullopt;
+  }
+  // Degree sanity: pass 1/3 rows have length `cols`, pass 2 rows (the
+  // transposed matrix) have length `rows`; a corrupted payload that
+  // indexes outside its row must fail here, not in a kernel.
+  if (!all_below(p1.phat, cols) || !all_below(p1.q, cols) || !all_below(p2.phat, rows) ||
+      !all_below(p2.q, rows) || !all_below(p3.phat, cols) || !all_below(p3.q, cols) ||
+      !all_below(g1, cols) || !all_below(g2, rows) || !all_below(g3, cols)) {
     return std::nullopt;
   }
   return ScheduledPlan::restore(MatrixShape{rows, cols}, params, std::move(p1), std::move(p2),

@@ -9,6 +9,12 @@
 /// the machine parameters and all six schedule arrays plus the direct
 /// per-row permutations; a loaded plan is bit-identical to the built
 /// one (asserted by tests via validate()).
+///
+/// The header carries a format-version byte after the magic; loaders
+/// reject unknown versions, truncated payloads, out-of-range machine
+/// parameters, and schedule entries that index outside their row, so a
+/// foreign or corrupted file fails with `nullopt` instead of feeding
+/// garbage indices to a kernel.
 
 #include <iosfwd>
 #include <optional>

@@ -1,0 +1,16 @@
+#include "runtime/executor.hpp"
+
+namespace hmm::runtime {
+
+void Executor::wait_idle() {
+  if (pool_.on_worker_thread()) {
+    // A request task waiting for the whole executor to drain would wait
+    // for itself. Nothing in this subsystem does that, but fail loudly
+    // rather than hang if a caller ever tries.
+    HMM_CHECK_MSG(false, "Executor::wait_idle() called from a pool worker task");
+  }
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+}  // namespace hmm::runtime

@@ -1,0 +1,114 @@
+#pragma once
+/// \file executor.hpp
+/// \brief Batched async executor: a futures-based request front-end
+///        over `util::ThreadPool`.
+///
+/// `submit(permuter, a, b)` enqueues one permutation request and
+/// returns a `std::future<void>` that becomes ready when `b` holds the
+/// permuted data (or carries the exception that aborted the request).
+/// Requests drain onto the shared thread pool via
+/// `ThreadPool::submit_task`; each request then fans its kernels out
+/// on the same pool (`parallel_for` help-drains when called from a
+/// worker, so this nesting cannot deadlock — see thread_pool.hpp).
+///
+/// Concurrency model: one compiled plan may serve many in-flight
+/// requests at once — the executor allocates a per-request scratch
+/// buffer and uses the permuter's const execute path, which touches no
+/// shared mutable state. Distinct plans naturally compile/execute in
+/// parallel because plan compilation (PlanCache misses) happens on the
+/// submitting threads while older requests execute on the pool.
+///
+/// The caller keeps ownership of `a` and `b` and must keep them alive
+/// and un-mutated until the future is ready (standard async-IO
+/// contract). The permuter handle is a shared_ptr, so a cache eviction
+/// cannot invalidate an in-flight request.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "core/permuter.hpp"
+#include "runtime/metrics.hpp"
+#include "util/aligned_vector.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::runtime {
+
+class Executor {
+ public:
+  explicit Executor(util::ThreadPool& pool, ServiceMetrics* metrics = nullptr)
+      : pool_(pool), metrics_(metrics) {}
+
+  /// Destruction waits for every in-flight request (their tasks hold
+  /// spans owned by callers; letting them outlive the executor is fine,
+  /// but draining makes teardown ordering obvious).
+  ~Executor() { wait_idle(); }
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueue b[P(i)] = a[i] under the compiled permuter `h`.
+  template <class T>
+  std::future<void> submit(std::shared_ptr<const core::OfflinePermuter<T>> h,
+                           std::span<const T> a, std::span<T> b) {
+    HMM_CHECK(h != nullptr);
+    const std::uint64_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (metrics_) metrics_->record_submit(depth);
+    return pool_.submit_task([this, h = std::move(h), a, b] {
+      Completion done(*this);  // decrements in_flight_ even on throw
+      util::Stopwatch clock;
+      bool ok = false;
+      try {
+        util::aligned_vector<T> scratch(h->scratch_elements());
+        h->permute(a, b, std::span<T>(scratch.data(), scratch.size()));
+        ok = true;
+      } catch (...) {
+        if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
+        throw;  // delivered through the future
+      }
+      if (metrics_ && ok) {
+        metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), true);
+      }
+    });
+  }
+
+  /// Requests submitted but not yet finished.
+  [[nodiscard]] std::uint64_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_acquire);
+  }
+
+  /// Block until every submitted request has finished. Callers that
+  /// keep futures can equivalently wait on those; this is the bulk
+  /// barrier for fire-and-forget batches.
+  void wait_idle();
+
+ private:
+  /// RAII completion marker so the in-flight count stays correct on
+  /// every exit path of a request task. The decrement happens under
+  /// idle_mutex_ so a wait_idle() caller (e.g. the destructor) can
+  /// never observe zero and tear down while this thread is still about
+  /// to touch the condition variable.
+  struct Completion {
+    explicit Completion(Executor& e) : exec(e) {}
+    ~Completion() {
+      std::lock_guard lock(exec.idle_mutex_);
+      if (exec.in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        exec.idle_cv_.notify_all();
+      }
+    }
+    Executor& exec;
+  };
+
+  util::ThreadPool& pool_;
+  ServiceMetrics* metrics_;
+  std::atomic<std::uint64_t> in_flight_{0};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace hmm::runtime

@@ -1,0 +1,157 @@
+#include "runtime/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/bits.hpp"
+
+namespace hmm::runtime {
+namespace {
+
+/// Fetch-max over a relaxed atomic (CAS loop; contention is rare).
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) noexcept {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string format_ns(std::uint64_t ns) {
+  if (ns >= 1'000'000) return util::format_ms(static_cast<double>(ns) / 1e6) + " ms";
+  std::ostringstream os;
+  if (ns >= 1'000) {
+    os << util::format_double(static_cast<double>(ns) / 1e3, 1) << " us";
+  } else {
+    os << ns << " ns";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void LogHistogram::record(std::uint64_t value) noexcept {
+  const int bucket = value == 0 ? 0 : static_cast<int>(util::log2_floor(value));
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  atomic_max(max_, value);
+}
+
+std::uint64_t LogHistogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil) so quantile(1.0) lands in
+  // the last occupied bucket.
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      // Geometric midpoint of [2^b, 2^(b+1)): 1.5 * 2^b, capped by max.
+      const std::uint64_t mid = b >= 62 ? max() : (3ull << b) / 2;
+      return std::min(mid, max());
+    }
+  }
+  return max();
+}
+
+void LogHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::record_plan_build(std::uint64_t ns) noexcept {
+  plan_builds_.fetch_add(1, std::memory_order_relaxed);
+  plan_build_ns_total_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_max(plan_build_ns_max_, ns);
+}
+
+void ServiceMetrics::record_submit(std::uint64_t queue_depth) noexcept {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  atomic_max(queue_high_water_, queue_depth);
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.bytes_evicted = bytes_evicted_.load(std::memory_order_relaxed);
+  s.plan_builds = plan_builds_.load(std::memory_order_relaxed);
+  s.plan_build_ns_total = plan_build_ns_total_.load(std::memory_order_relaxed);
+  s.plan_build_ns_max = plan_build_ns_max_.load(std::memory_order_relaxed);
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.execute_count = execute_ns_.count();
+  s.execute_ns_sum = execute_ns_.sum();
+  s.execute_ns_p50 = execute_ns_.quantile(0.50);
+  s.execute_ns_p95 = execute_ns_.quantile(0.95);
+  s.execute_ns_max = execute_ns_.max();
+  return s;
+}
+
+void ServiceMetrics::reset() {
+  lookups_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  bytes_evicted_.store(0, std::memory_order_relaxed);
+  plan_builds_.store(0, std::memory_order_relaxed);
+  plan_build_ns_total_.store(0, std::memory_order_relaxed);
+  plan_build_ns_max_.store(0, std::memory_order_relaxed);
+  submitted_.store(0, std::memory_order_relaxed);
+  queue_high_water_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  failed_.store(0, std::memory_order_relaxed);
+  execute_ns_.reset();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{"
+     << "\"cache\":{"
+     << "\"lookups\":" << lookups << ",\"hits\":" << hits << ",\"misses\":" << misses
+     << ",\"hit_rate\":" << util::format_double(hit_rate(), 4)
+     << ",\"evictions\":" << evictions << ",\"bytes_evicted\":" << bytes_evicted
+     << ",\"plan_builds\":" << plan_builds
+     << ",\"plan_build_ns_total\":" << plan_build_ns_total
+     << ",\"plan_build_ns_max\":" << plan_build_ns_max << "},"
+     << "\"executor\":{"
+     << "\"submitted\":" << submitted << ",\"completed\":" << completed
+     << ",\"failed\":" << failed << ",\"queue_high_water\":" << queue_high_water
+     << ",\"execute_count\":" << execute_count << ",\"execute_ns_sum\":" << execute_ns_sum
+     << ",\"execute_ns_p50\":" << execute_ns_p50 << ",\"execute_ns_p95\":" << execute_ns_p95
+     << ",\"execute_ns_max\":" << execute_ns_max << "}}";
+  return os.str();
+}
+
+util::Table MetricsSnapshot::to_table() const {
+  util::Table t({"metric", "value"});
+  t.add_row({"cache lookups", util::format_count(lookups)});
+  t.add_row({"cache hits", util::format_count(hits)});
+  t.add_row({"cache misses", util::format_count(misses)});
+  t.add_row({"cache hit rate", util::format_double(hit_rate() * 100.0, 1) + " %"});
+  t.add_row({"evictions", util::format_count(evictions)});
+  t.add_row({"bytes evicted", util::format_bytes(bytes_evicted)});
+  t.add_row({"plan builds", util::format_count(plan_builds)});
+  t.add_row({"plan build total", format_ns(plan_build_ns_total)});
+  t.add_row({"plan build max", format_ns(plan_build_ns_max)});
+  t.add_separator();
+  t.add_row({"requests submitted", util::format_count(submitted)});
+  t.add_row({"requests completed", util::format_count(completed)});
+  t.add_row({"requests failed", util::format_count(failed)});
+  t.add_row({"queue depth high-water", util::format_count(queue_high_water)});
+  t.add_row({"execute p50", format_ns(execute_ns_p50)});
+  t.add_row({"execute p95", format_ns(execute_ns_p95)});
+  t.add_row({"execute max", format_ns(execute_ns_max)});
+  return t;
+}
+
+}  // namespace hmm::runtime

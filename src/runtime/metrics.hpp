@@ -1,0 +1,134 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Lock-cheap service counters for the permutation runtime.
+///
+/// Every hot-path record is one or two relaxed atomic RMWs — no mutex,
+/// no allocation — so metrics can stay on in production. Latencies go
+/// into a fixed 64-bucket log2 histogram (bucket = floor(log2(ns))),
+/// which answers p50/p95/max questions to within a factor of two; that
+/// resolution is plenty for the cold-compile vs warm-hit gap the cache
+/// exists to create (roughly three orders of magnitude).
+///
+/// `snapshot()` reads everything into a plain struct; `to_json()` and
+/// `to_table()` render that snapshot (the table via util/table.hpp so
+/// the replay driver reports look like the bench harnesses).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/table.hpp"
+
+namespace hmm::runtime {
+
+/// Concurrent log2-bucketed histogram of nonnegative values (ns).
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept;
+
+  /// Approximate q-quantile (q in [0,1]) from the bucket counts: the
+  /// geometric midpoint of the bucket holding the q-th sample. Exact
+  /// min/max are tracked separately. Returns 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of every counter (plain integers, safe to format).
+struct MetricsSnapshot {
+  // Plan cache.
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_evicted = 0;
+  std::uint64_t plan_builds = 0;
+  std::uint64_t plan_build_ns_total = 0;
+  std::uint64_t plan_build_ns_max = 0;
+  // Executor.
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t queue_high_water = 0;
+  std::uint64_t execute_count = 0;
+  std::uint64_t execute_ns_sum = 0;
+  std::uint64_t execute_ns_p50 = 0;
+  std::uint64_t execute_ns_p95 = 0;
+  std::uint64_t execute_ns_max = 0;
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  /// One-line-per-field JSON object (stable key order, no dependencies).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Two-column name/value table for terminal reports.
+  [[nodiscard]] util::Table to_table() const;
+};
+
+/// Shared counters the cache and executor write into. All methods are
+/// thread-safe; relaxed ordering is deliberate (counters are advisory,
+/// never synchronization).
+class ServiceMetrics {
+ public:
+  void record_lookup(bool hit) noexcept {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_eviction(std::uint64_t bytes) noexcept {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    bytes_evicted_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void record_plan_build(std::uint64_t ns) noexcept;
+
+  void record_submit(std::uint64_t queue_depth) noexcept;
+
+  void record_execute(std::uint64_t ns, bool ok) noexcept {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) failed_.fetch_add(1, std::memory_order_relaxed);
+    execute_ns_.record(ns);
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bytes_evicted_{0};
+  std::atomic<std::uint64_t> plan_builds_{0};
+  std::atomic<std::uint64_t> plan_build_ns_total_{0};
+  std::atomic<std::uint64_t> plan_build_ns_max_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> queue_high_water_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  LogHistogram execute_ns_;
+};
+
+}  // namespace hmm::runtime

@@ -1,0 +1,83 @@
+#include "runtime/plan_cache.hpp"
+
+namespace hmm::runtime {
+
+bool PlanCache::contains(Fingerprint fp) const {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(fp.value);
+  return it != slots_.end() && it->second.completed;
+}
+
+std::uint64_t PlanCache::bytes() const {
+  std::lock_guard lock(mutex_);
+  return bytes_;
+}
+
+std::size_t PlanCache::entries() const {
+  std::lock_guard lock(mutex_);
+  return slots_.size();
+}
+
+void PlanCache::clear() {
+  std::lock_guard lock(mutex_);
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->second.completed) {
+      bytes_ -= it->second.bytes;
+      lru_.erase(it->second.lru_it);
+      it = slots_.erase(it);
+    } else {
+      ++it;  // in-flight build: left pending; its commit() completes it normally
+    }
+  }
+}
+
+void PlanCache::touch_locked(Slot& slot) {
+  if (!slot.completed) return;  // pending entries are not in the LRU list yet
+  lru_.splice(lru_.begin(), lru_, slot.lru_it);
+}
+
+void PlanCache::insert_pending_locked(std::uint64_t key,
+                                      std::shared_future<std::shared_ptr<EntryBase>> ready) {
+  Slot slot;
+  slot.ready = std::move(ready);
+  slots_.emplace(key, std::move(slot));
+}
+
+void PlanCache::evict_to_fit_locked() {
+  while (bytes_ > config_.max_bytes && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = slots_.find(victim);
+    HMM_CHECK(it != slots_.end() && it->second.completed);
+    bytes_ -= it->second.bytes;
+    if (metrics_) metrics_->record_eviction(it->second.bytes);
+    slots_.erase(it);
+  }
+}
+
+void PlanCache::commit(std::uint64_t key, std::shared_ptr<EntryBase> entry,
+                       std::uint64_t entry_bytes) {
+  (void)entry;  // kept alive by the slot's shared_future state
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return;  // raced with clear(); entry is returned but not retained
+  it->second.completed = true;
+  it->second.bytes = entry_bytes;
+  lru_.push_front(key);
+  it->second.lru_it = lru_.begin();
+  bytes_ += entry_bytes;
+  evict_to_fit_locked();
+}
+
+void PlanCache::erase(std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return;
+  if (it->second.completed) {
+    bytes_ -= it->second.bytes;
+    lru_.erase(it->second.lru_it);
+  }
+  slots_.erase(it);
+}
+
+}  // namespace hmm::runtime

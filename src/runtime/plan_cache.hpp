@@ -1,0 +1,160 @@
+#pragma once
+/// \file plan_cache.hpp
+/// \brief Thread-safe LRU cache of compiled `core::OfflinePermuter`s.
+///
+/// The paper's offline phase (row graph + König coloring + per-row bank
+/// schedules) is data-independent: built once per permutation, a plan
+/// executes any number of arrays. This cache is the serving-side
+/// exploitation of that property — repeated permutations skip the
+/// offline phase entirely and hit an already-compiled permuter.
+///
+/// Keying: the 64-bit plan fingerprint (fingerprint.hpp) over the
+/// permutation words + machine parameters + strategy + element width.
+/// Eviction: strict LRU, bounded by total `compiled_bytes()` of the
+/// resident entries. Evicted permuters stay alive as long as a caller
+/// holds the returned `shared_ptr` — eviction only drops the cache's
+/// reference, never invalidates in-flight executions.
+///
+/// Concurrency: a single mutex guards the index (lookups are O(1) and
+/// the critical sections are tiny — plan *construction* happens outside
+/// the lock). Concurrent misses on the same key are single-flight:
+/// the first caller builds, the rest wait on a shared_future and are
+/// counted as hits (they skip the build).
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/permuter.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace hmm::runtime {
+
+class PlanCache {
+ public:
+  struct Config {
+    /// Total compiled_bytes() budget across resident entries. An entry
+    /// larger than the whole budget is built and returned but not
+    /// retained (counted as an immediate eviction).
+    std::uint64_t max_bytes = 256ull << 20;
+  };
+
+  PlanCache() : PlanCache(Config{}) {}
+  explicit PlanCache(Config config, ServiceMetrics* metrics = nullptr)
+      : config_(config), metrics_(metrics) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Get-or-compile the permuter for (p, machine, strategy, T). Hits
+  /// return in O(1) without touching the offline phase; misses compile
+  /// outside the cache lock. Throws whatever the build throws (and the
+  /// failed key is erased, so a later acquire retries).
+  template <class T>
+  std::shared_ptr<const core::OfflinePermuter<T>> acquire(
+      const perm::Permutation& p,
+      const model::MachineParams& machine = model::MachineParams::gtx680(),
+      core::Strategy strategy = core::Strategy::kAuto) {
+    const Fingerprint fp = fingerprint_plan_key(p, machine, static_cast<int>(strategy),
+                                                static_cast<std::uint32_t>(sizeof(T)));
+    std::promise<std::shared_ptr<EntryBase>> promise;
+    std::shared_future<std::shared_ptr<EntryBase>> ready;
+    bool builder = false;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = slots_.find(fp.value);
+      if (it != slots_.end()) {
+        if (metrics_) metrics_->record_lookup(/*hit=*/true);
+        touch_locked(it->second);
+        ready = it->second.ready;
+      } else {
+        if (metrics_) metrics_->record_lookup(/*hit=*/false);
+        builder = true;
+        ready = promise.get_future().share();
+        insert_pending_locked(fp.value, ready);
+      }
+    }
+
+    if (builder) {
+      util::Stopwatch clock;
+      std::shared_ptr<TypedEntry<T>> entry;
+      try {
+        entry = std::make_shared<TypedEntry<T>>(p, machine, strategy);
+      } catch (...) {
+        erase(fp.value);
+        promise.set_exception(std::current_exception());
+        std::rethrow_exception(std::current_exception());
+      }
+      if (metrics_) {
+        metrics_->record_plan_build(static_cast<std::uint64_t>(clock.nanos()));
+      }
+      commit(fp.value, entry, entry->permuter->compiled_bytes());
+      promise.set_value(entry);
+      return entry->permuter;
+    }
+
+    // Hit (possibly on a still-compiling entry: wait for the builder).
+    std::shared_ptr<EntryBase> base = ready.get();
+    auto typed = std::dynamic_pointer_cast<TypedEntry<T>>(base);
+    HMM_CHECK_MSG(typed != nullptr, "plan-cache fingerprint collided across element types");
+    return typed->permuter;
+  }
+
+  /// True iff a *completed* entry for this key is resident.
+  [[nodiscard]] bool contains(Fingerprint fp) const;
+
+  /// Resident compiled bytes (completed entries only).
+  [[nodiscard]] std::uint64_t bytes() const;
+
+  /// Resident entry count (including in-flight builds).
+  [[nodiscard]] std::size_t entries() const;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Drop every completed entry (in-flight builds are left to finish).
+  void clear();
+
+ private:
+  struct EntryBase {
+    virtual ~EntryBase() = default;
+  };
+
+  template <class T>
+  struct TypedEntry final : EntryBase {
+    TypedEntry(const perm::Permutation& p, const model::MachineParams& machine,
+               core::Strategy strategy)
+        : permuter(std::make_shared<const core::OfflinePermuter<T>>(p, machine, strategy)) {}
+    std::shared_ptr<const core::OfflinePermuter<T>> permuter;
+  };
+
+  struct Slot {
+    std::shared_future<std::shared_ptr<EntryBase>> ready;
+    std::uint64_t bytes = 0;
+    bool completed = false;
+    std::list<std::uint64_t>::iterator lru_it;  // valid iff completed
+  };
+
+  // Index maintenance (all require mutex_ held).
+  void touch_locked(Slot& slot);
+  void insert_pending_locked(std::uint64_t key,
+                             std::shared_future<std::shared_ptr<EntryBase>> ready);
+  void evict_to_fit_locked();
+
+  // Builder-side transitions (take the lock themselves).
+  void commit(std::uint64_t key, std::shared_ptr<EntryBase> entry, std::uint64_t entry_bytes);
+  void erase(std::uint64_t key);
+
+  Config config_;
+  ServiceMetrics* metrics_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Slot> slots_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace hmm::runtime

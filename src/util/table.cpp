@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <ostream>
 
 namespace hmm::util {
@@ -80,6 +81,47 @@ void Table::print_csv(std::ostream& os) const {
   emit(header_);
   for (const auto& row : rows_) {
     if (!row.empty()) emit(row);
+  }
+}
+
+void Table::print_json_rows(std::ostream& os, const std::string& extra) const {
+  // A cell is a bare JSON number only if strtod consumes all of it
+  // (looks_numeric also accepts '%' / 'x' cells, which must stay strings).
+  auto is_json_number = [](const std::string& s) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    std::strtod(s.c_str(), &end);
+    return end == s.c_str() + s.size();
+  };
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  };
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;  // separator
+    os << '{';
+    bool first = true;
+    if (!extra.empty()) {
+      os << extra;
+      first = false;
+    }
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (!first) os << ',';
+      first = false;
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << '"' << escape(header_[c]) << "\":";
+      if (is_json_number(cell)) {
+        os << cell;
+      } else {
+        os << '"' << escape(cell) << '"';
+      }
+    }
+    os << "}\n";
   }
 }
 

@@ -29,6 +29,14 @@ class Table {
   /// Render as RFC-4180-ish CSV (no quoting of commas; cells are plain).
   void print_csv(std::ostream& os) const;
 
+  /// Render as JSON Lines: one object per data row, keyed by the header
+  /// (the `BENCH_*.json` trajectory format). Numeric-looking cells are
+  /// emitted as numbers, everything else as escaped strings; separator
+  /// rows are skipped. `extra` is a prefix of preformatted
+  /// "\"key\":value" members copied into every object (e.g. the bench
+  /// name), or empty.
+  void print_json_rows(std::ostream& os, const std::string& extra = "") const;
+
   [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
 
  private:

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <exception>
 
 #include "util/check.hpp"
 
 namespace hmm::util {
+
+namespace {
+/// Set while a thread runs a worker_loop; identifies "my" pool so
+/// nested parallel_for calls can help-drain instead of blocking.
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
@@ -26,7 +34,10 @@ ThreadPool::~ThreadPool() {
   for (auto& t : workers_) t.join();
 }
 
+bool ThreadPool::on_worker_thread() const noexcept { return tls_worker_pool == this; }
+
 void ThreadPool::worker_loop() {
+  tls_worker_pool = this;
   for (;;) {
     Task task;
     {
@@ -48,6 +59,18 @@ void ThreadPool::submit(std::function<void()> fn) {
   cv_.notify_one();
 }
 
+bool ThreadPool::run_one_task() {
+  Task task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task.fn();
+  return true;
+}
+
 void ThreadPool::parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
                                      const std::function<void(std::uint64_t, std::uint64_t)>& fn,
                                      unsigned chunks_per_thread) {
@@ -58,13 +81,27 @@ void ThreadPool::parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
   const std::uint64_t chunks = std::min<std::uint64_t>(total, std::max<std::uint64_t>(1, max_chunks));
 
   if (chunks == 1 || size() <= 1) {
-    fn(begin, end);
+    fn(begin, end);  // exceptions propagate directly
     return;
   }
 
   std::atomic<std::uint64_t> remaining{chunks};
   std::mutex done_mutex;
   std::condition_variable done_cv;
+  std::exception_ptr first_error;  // guarded by done_mutex
+
+  auto run_chunk = [&](std::uint64_t lo, std::uint64_t hi) {
+    try {
+      fn(lo, hi);
+    } catch (...) {
+      std::lock_guard lock(done_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lock(done_mutex);
+      done_cv.notify_all();
+    }
+  };
 
   const std::uint64_t step = (total + chunks - 1) / chunks;
   for (std::uint64_t c = 0; c < chunks; ++c) {
@@ -74,17 +111,28 @@ void ThreadPool::parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
       remaining.fetch_sub(1, std::memory_order_acq_rel);
       continue;
     }
-    submit([&, lo, hi] {
-      fn(lo, hi);
-      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard lock(done_mutex);
-        done_cv.notify_one();
-      }
-    });
+    submit([&run_chunk, lo, hi] { run_chunk(lo, hi); });
   }
 
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  if (on_worker_thread()) {
+    // Called from inside one of our own workers (a submitted task that
+    // fans out). Blocking here could park every worker while the chunk
+    // tasks sit in the queue — so help drain it instead. When the queue
+    // is momentarily empty but chunks are still running elsewhere, poll
+    // briefly rather than wiring an extra notification channel.
+    while (remaining.load(std::memory_order_acquire) != 0) {
+      if (run_one_task()) continue;
+      std::unique_lock lock(done_mutex);
+      done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return remaining.load(std::memory_order_acquire) == 0;
+      });
+    }
+  } else {
+    std::unique_lock lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,

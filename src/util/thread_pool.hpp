@@ -1,18 +1,37 @@
 #pragma once
 /// \file thread_pool.hpp
-/// \brief Small fixed-size thread pool with a blocking parallel_for.
+/// \brief Small fixed-size thread pool with a blocking parallel_for and
+///        a futures-based task submission API.
 ///
 /// The CPU backend launches its "CUDA blocks" through this pool. The
 /// pool is deliberately simple (single mutex-protected deque): kernel
 /// granularity here is whole matrix rows or tile strips, so queue
 /// contention is negligible compared to the work item cost.
+///
+/// Two usage layers share the worker threads:
+///  - `parallel_for` / `parallel_for_chunks`: blocking data-parallel
+///    loops used by the CPU kernels. Exceptions thrown by the loop body
+///    are captured and rethrown on the calling thread (first one wins).
+///  - `submit_task`: fire-and-forget task submission returning a
+///    `std::future` (exceptions propagate through the future). The
+///    runtime executor (src/runtime/executor.hpp) drains its request
+///    queue through this API.
+///
+/// Nested use is safe: when `parallel_for` is called *from a worker
+/// thread of the same pool* (e.g. a submitted task executing a
+/// permutation kernel), the caller helps drain the queue instead of
+/// blocking idle, so submitted tasks that fan out onto the pool cannot
+/// deadlock it.
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace hmm::util {
@@ -31,15 +50,33 @@ class ThreadPool {
   /// Run fn(i) for i in [begin, end), split into ~`chunks_per_thread`
   /// contiguous chunks per worker; blocks until every index is done.
   /// With a single worker (or a tiny range) this degrades to a serial
-  /// loop on the calling thread — no task overhead.
+  /// loop on the calling thread — no task overhead. If any invocation
+  /// of `fn` throws, the first captured exception is rethrown here
+  /// after all chunks have finished.
   void parallel_for(std::uint64_t begin, std::uint64_t end,
                     const std::function<void(std::uint64_t)>& fn,
                     unsigned chunks_per_thread = 4);
 
   /// Run fn(chunk_begin, chunk_end) over a blocked partition of the range.
+  /// Same exception semantics as `parallel_for`.
   void parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
                            const std::function<void(std::uint64_t, std::uint64_t)>& fn,
                            unsigned chunks_per_thread = 4);
+
+  /// Enqueue a callable and return a future for its result. Exceptions
+  /// thrown by the callable are delivered through the future. The task
+  /// may itself call `parallel_for` on this pool (see header comment).
+  template <class F>
+  auto submit_task(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    submit([task] { (*task)(); });
+    return fut;
+  }
+
+  /// True iff the calling thread is a worker of *this* pool.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
 
   /// Global pool shared by the CPU backend (constructed on first use).
   static ThreadPool& global();
@@ -52,9 +89,12 @@ class ThreadPool {
   void worker_loop();
   void submit(std::function<void()> fn);
 
+  /// Pop one queued task and run it; returns false if the queue was empty.
+  bool run_one_task();
+
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -101,7 +101,13 @@ TEST(PlanIo, LoadedPlanExecutes) {
 TEST(PlanIo, RejectsGarbageHeaders) {
   {
     std::stringstream ss;
-    ss << "HMMPLAN1";  // magic but nothing else
+    ss << "HMMPLAN";  // magic but no version byte / fields
+    EXPECT_FALSE(core::load_plan(ss).has_value());
+  }
+  {
+    std::stringstream ss;
+    ss << "HMMPLAN";
+    ss.put(2);  // valid magic + version, truncated header fields
     EXPECT_FALSE(core::load_plan(ss).has_value());
   }
   {
@@ -111,10 +117,52 @@ TEST(PlanIo, RejectsGarbageHeaders) {
   }
 }
 
+TEST(PlanIo, RejectsTruncatedPayload) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const perm::Permutation p = perm::shuffle(1024);
+  std::stringstream ss;
+  ASSERT_TRUE(core::save_plan(ss, core::ScheduledPlan::build(p, mp)));
+  std::string bytes = ss.str();
+  bytes.resize(bytes.size() / 2);  // valid header, half the schedules
+  std::stringstream cut(bytes);
+  EXPECT_FALSE(core::load_plan(cut).has_value());
+}
+
+TEST(PlanIo, RejectsUnknownFormatVersion) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const perm::Permutation p = perm::shuffle(256);
+  std::stringstream ss;
+  ASSERT_TRUE(core::save_plan(ss, core::ScheduledPlan::build(p, mp)));
+  std::string bytes = ss.str();
+  bytes[7] = 1;  // the retired v1 header — a stale file must fail cleanly
+  std::stringstream old(bytes);
+  EXPECT_FALSE(core::load_plan(old).has_value());
+  bytes[7] = 99;  // a future version this loader cannot parse
+  std::stringstream future_version(bytes);
+  EXPECT_FALSE(core::load_plan(future_version).has_value());
+}
+
+TEST(PlanIo, RejectsOutOfRangeScheduleEntry) {
+  const MachineParams mp = MachineParams::tiny(4, 9, 2);
+  const perm::Permutation p = perm::shuffle(1024);
+  std::stringstream ss;
+  ASSERT_TRUE(core::save_plan(ss, core::ScheduledPlan::build(p, mp)));
+  std::string bytes = ss.str();
+  // First u16 of pass1.phat sits right after the 8-byte magic/version
+  // + six u64 header fields. 0xFFFF indexes far outside any row (the
+  // shape of n=1024 has cols <= 32), so degree sanity must reject it.
+  const std::size_t first_entry = 8 + 6 * 8;
+  bytes[first_entry] = static_cast<char>(0xFF);
+  bytes[first_entry + 1] = static_cast<char>(0xFF);
+  std::stringstream corrupt(bytes);
+  EXPECT_FALSE(core::load_plan(corrupt).has_value());
+}
+
 TEST(PlanIo, RejectsInsaneDimensions) {
   // Craft a header with width = 7 (not a power of two).
   std::stringstream ss;
-  ss.write("HMMPLAN1", 8);
+  ss.write("HMMPLAN", 7);
+  ss.put(2);  // current format version
   auto w64 = [&](std::uint64_t v) { ss.write(reinterpret_cast<const char*>(&v), 8); };
   w64(16);  // rows
   w64(16);  // cols

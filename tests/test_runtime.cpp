@@ -1,0 +1,314 @@
+/// Tests for the permutation service runtime (src/runtime/): plan-key
+/// fingerprints, LRU plan cache, batched async executor, and metrics.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/permuter.hpp"
+#include "perm/generators.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/plan_cache.hpp"
+#include "test_helpers.hpp"
+
+namespace hmm {
+namespace {
+
+using model::MachineParams;
+using runtime::Fingerprint;
+
+constexpr int kScheduledTag = static_cast<int>(core::Strategy::kScheduled);
+constexpr int kAutoTag = static_cast<int>(core::Strategy::kAuto);
+
+// ---------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, DeterministicAndEqualForEqualInputs) {
+  const perm::Permutation p = perm::by_name("random", 1024, 7);
+  const perm::Permutation q = perm::by_name("random", 1024, 7);  // same seed -> same mapping
+  const MachineParams mp = MachineParams::gtx680();
+  EXPECT_EQ(runtime::fingerprint_plan_key(p, mp, kAutoTag, 4),
+            runtime::fingerprint_plan_key(q, mp, kAutoTag, 4));
+  EXPECT_EQ(runtime::fingerprint_permutation(p), runtime::fingerprint_permutation(q));
+}
+
+TEST(Fingerprint, DiscriminatesEveryKeyComponent) {
+  const MachineParams mp = MachineParams::gtx680();
+  const perm::Permutation p = perm::bit_reversal(1024);
+  const Fingerprint base = runtime::fingerprint_plan_key(p, mp, kAutoTag, 4);
+
+  // Different permutation (even by a single transposition).
+  util::aligned_vector<std::uint32_t> tweaked(p.data().begin(), p.data().end());
+  std::swap(tweaked[0], tweaked[1]);
+  EXPECT_NE(base,
+            runtime::fingerprint_plan_key(perm::Permutation(std::move(tweaked)), mp, kAutoTag, 4));
+
+  // Different machine parameters.
+  MachineParams other = mp;
+  other.latency += 1;
+  EXPECT_NE(base, runtime::fingerprint_plan_key(p, other, kAutoTag, 4));
+
+  // Different strategy and element width.
+  EXPECT_NE(base, runtime::fingerprint_plan_key(p, mp, kScheduledTag, 4));
+  EXPECT_NE(base, runtime::fingerprint_plan_key(p, mp, kAutoTag, 8));
+}
+
+TEST(Fingerprint, PermutationSizeIsPartOfTheKey) {
+  // identical(n) mappings are prefixes of each other; the length field
+  // must still separate them.
+  EXPECT_NE(runtime::fingerprint_permutation(perm::identical(256)),
+            runtime::fingerprint_permutation(perm::identical(512)));
+}
+
+// ----------------------------------------------------------------- histogram
+
+TEST(LogHistogram, QuantilesAndCounters) {
+  runtime::LogHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  for (std::uint64_t v : {100ull, 200ull, 400ull, 100000ull}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 100700u);
+  EXPECT_EQ(h.max(), 100000u);
+  // p50 falls in the bucket of 100/200-ish values; log2 resolution
+  // guarantees within a factor of two.
+  EXPECT_GE(h.quantile(0.5), 64u);
+  EXPECT_LE(h.quantile(0.5), 512u);
+  EXPECT_LE(h.quantile(0.95), h.max());
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+}
+
+// ---------------------------------------------------------------- plan cache
+
+TEST(PlanCache, HitReturnsSameCompiledPermuter) {
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  const perm::Permutation p = perm::bit_reversal(4096);
+  const MachineParams mp = MachineParams::gtx680();
+
+  auto h1 = cache.acquire<float>(p, mp);
+  auto h2 = cache.acquire<float>(p, mp);
+  EXPECT_EQ(h1.get(), h2.get());  // same compiled object, no rebuild
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.lookups, 2u);
+  EXPECT_EQ(snap.hits, 1u);
+  EXPECT_EQ(snap.misses, 1u);
+  EXPECT_EQ(snap.plan_builds, 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), h1->compiled_bytes());
+}
+
+TEST(PlanCache, ElementTypeSeparatesEntries) {
+  runtime::PlanCache cache;
+  const perm::Permutation p = perm::bit_reversal(4096);
+  auto hf = cache.acquire<float>(p);
+  auto hd = cache.acquire<double>(p);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_NE(static_cast<const void*>(hf.get()), static_cast<const void*>(hd.get()));
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedUnderByteCap) {
+  const MachineParams mp = MachineParams::gtx680();
+  const perm::Permutation pa = perm::bit_reversal(4096);
+  const perm::Permutation pb = perm::shuffle(4096);
+  const perm::Permutation pc = perm::gray(4096);
+
+  // Size the cap so exactly two compiled entries fit.
+  const std::uint64_t one_entry =
+      core::OfflinePermuter<float>(pa, mp, core::Strategy::kScheduled).compiled_bytes();
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{.max_bytes = 2 * one_entry + one_entry / 2},
+                           &metrics);
+
+  const auto fpa = runtime::fingerprint_plan_key(pa, mp, kScheduledTag, 4);
+  const auto fpb = runtime::fingerprint_plan_key(pb, mp, kScheduledTag, 4);
+  const auto fpc = runtime::fingerprint_plan_key(pc, mp, kScheduledTag, 4);
+
+  (void)cache.acquire<float>(pa, mp, core::Strategy::kScheduled);
+  (void)cache.acquire<float>(pb, mp, core::Strategy::kScheduled);
+  // Touch A so B becomes the LRU entry...
+  (void)cache.acquire<float>(pa, mp, core::Strategy::kScheduled);
+  // ...then C's insert must evict B, not A.
+  (void)cache.acquire<float>(pc, mp, core::Strategy::kScheduled);
+
+  EXPECT_TRUE(cache.contains(fpa));
+  EXPECT_FALSE(cache.contains(fpb));
+  EXPECT_TRUE(cache.contains(fpc));
+  EXPECT_LE(cache.bytes(), cache.config().max_bytes);
+  EXPECT_EQ(metrics.snapshot().evictions, 1u);
+}
+
+TEST(PlanCache, OversizedEntryIsReturnedButNotRetained) {
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{.max_bytes = 0}, &metrics);
+  const perm::Permutation p = perm::bit_reversal(4096);
+
+  auto h = cache.acquire<float>(p);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(metrics.snapshot().evictions, 1u);
+
+  // The returned handle still executes correctly after "eviction".
+  const std::uint64_t n = p.size();
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n), scratch(h->scratch_elements());
+  h->permute(std::span<const float>(a.data(), n), std::span<float>(b.data(), n),
+             std::span<float>(scratch.data(), scratch.size()));
+  for (std::uint64_t i = 0; i < n; i += 61) EXPECT_EQ(b[p(i)], a[i]);
+}
+
+TEST(PlanCache, ConcurrentAcquiresBuildOnce) {
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  const perm::Permutation p = perm::by_name("random", 8192, 11);
+  const MachineParams mp = MachineParams::gtx680();
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const core::OfflinePermuter<float>>> handles(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] { handles[t] = cache.acquire<float>(p, mp); });
+    }
+    for (auto& th : threads) th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[0].get(), handles[t].get());
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.plan_builds, 1u);  // single-flight: one compile for 8 racers
+  EXPECT_EQ(snap.lookups, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(snap.hits + snap.misses, snap.lookups);
+}
+
+// ------------------------------------------------------------------ executor
+
+TEST(Executor, ConcurrentSubmitsMatchSerialPermute) {
+  const std::uint64_t n = 1 << 13;
+  const MachineParams mp = MachineParams::gtx680();
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  runtime::Executor executor(util::ThreadPool::global(), &metrics);
+
+  // Two distinct plans in flight at once (scheduled + whatever kAuto
+  // picks for the random permutation), eight submitting threads.
+  const perm::Permutation p1 = perm::bit_reversal(n);
+  const perm::Permutation p2 = perm::by_name("random", n, 3);
+  auto h1 = cache.acquire<float>(p1, mp, core::Strategy::kScheduled);
+  auto h2 = cache.acquire<float>(p2, mp);
+
+  // Serial ground truth via the stateful single-thread path.
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> expect1(n), expect2(n);
+  core::OfflinePermuter<float>(p1, mp, core::Strategy::kScheduled)
+      .permute(std::span<const float>(a.data(), n), std::span<float>(expect1.data(), n));
+  core::OfflinePermuter<float>(p2, mp).permute(std::span<const float>(a.data(), n),
+                                               std::span<float>(expect2.data(), n));
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  std::vector<util::aligned_vector<float>> outs(kThreads * kPerThread);
+  for (auto& o : outs) o.resize(n);
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<void>> futs;
+      for (int r = 0; r < kPerThread; ++r) {
+        auto& h = (t + r) % 2 == 0 ? h1 : h2;
+        futs.push_back(executor.submit<float>(h, std::span<const float>(a.data(), n),
+                                              std::span<float>(outs[t * kPerThread + r].data(), n)));
+      }
+      for (auto& f : futs) f.get();
+    });
+  }
+  for (auto& th : threads) th.join();
+  executor.wait_idle();
+  EXPECT_EQ(executor.in_flight(), 0u);
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int r = 0; r < kPerThread; ++r) {
+      const auto& expect = (t + r) % 2 == 0 ? expect1 : expect2;
+      const auto& out = outs[t * kPerThread + r];
+      ASSERT_EQ(0, std::memcmp(out.data(), expect.data(), n * sizeof(float)))
+          << "thread " << t << " request " << r << " diverged from serial permute";
+    }
+  }
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.submitted, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(snap.completed, snap.submitted);
+  EXPECT_EQ(snap.failed, 0u);
+  EXPECT_EQ(snap.execute_count, snap.completed);
+  EXPECT_GE(snap.queue_high_water, 1u);
+  EXPECT_LE(snap.execute_ns_p50, std::max<std::uint64_t>(snap.execute_ns_p95, 1));
+  EXPECT_LE(snap.execute_ns_p95, std::max<std::uint64_t>(snap.execute_ns_max, 1));
+}
+
+TEST(Executor, FutureDeliversResultPerRequest) {
+  const std::uint64_t n = 1 << 12;
+  runtime::PlanCache cache;
+  runtime::Executor executor(util::ThreadPool::global());
+  const perm::Permutation p = perm::shuffle(n);
+  auto h = cache.acquire<float>(p);
+
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n);
+  auto fut = executor.submit<float>(h, std::span<const float>(a.data(), n),
+                                    std::span<float>(b.data(), n));
+  fut.get();
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(b[p(i)], a[i]);
+}
+
+// ------------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterConsistencyUnderMixedWorkload) {
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  util::Xoshiro256 rng(5);
+  const MachineParams mp = MachineParams::gtx680();
+
+  std::vector<perm::Permutation> pop;
+  for (int i = 0; i < 4; ++i) pop.push_back(perm::by_name("random", 1024, 100 + i));
+  for (int r = 0; r < 64; ++r) {
+    (void)cache.acquire<float>(pop[rng.bounded(pop.size())], mp);
+  }
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.lookups, 64u);
+  EXPECT_EQ(snap.hits + snap.misses, snap.lookups);
+  EXPECT_EQ(snap.misses, 4u);  // one compile per distinct permutation
+  EXPECT_EQ(snap.plan_builds, 4u);
+  EXPECT_GT(snap.plan_build_ns_total, 0u);
+  EXPECT_GE(snap.plan_build_ns_total, snap.plan_build_ns_max);
+}
+
+TEST(Metrics, JsonAndTableRender) {
+  runtime::ServiceMetrics metrics;
+  metrics.record_lookup(true);
+  metrics.record_lookup(false);
+  metrics.record_plan_build(1234567);
+  metrics.record_submit(3);
+  metrics.record_execute(42000, true);
+
+  const auto snap = metrics.snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"lookups\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_high_water\":3"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+
+  std::ostringstream os;
+  snap.to_table().print(os);
+  EXPECT_NE(os.str().find("cache hit rate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmm

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/aligned_vector.hpp"
 #include "util/bits.hpp"
@@ -176,6 +178,59 @@ TEST(ThreadPool, SingleWorkerSerialFallback) {
   std::uint64_t sum = 0;
   pool.parallel_for(0, 100, [&](std::uint64_t i) { sum += i; });
   EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  // A throwing kernel must surface on the calling thread (previously it
+  // escaped a worker and terminated the process), and every chunk must
+  // still be accounted for — no hang, pool usable afterwards.
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&](std::uint64_t i) {
+                          if (i == 333) throw std::runtime_error("kernel failure");
+                        }),
+      std::runtime_error);
+
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(0, 100, [&](std::uint64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptionFromSerialFallback) {
+  ThreadPool pool(1);  // degraded inline path must behave identically
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::uint64_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitTaskReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit_task([] { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, SubmitTaskDeliversExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit_task([]() -> int { throw std::runtime_error("task failure"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForFromSubmittedTasksDoesNotDeadlock) {
+  // Regression for the runtime executor's pattern: tasks running *on*
+  // the pool fan out with parallel_for on the same pool. With blocking
+  // waits this deadlocks once tasks occupy every worker; the help-drain
+  // path must keep making progress.
+  ThreadPool pool(2);
+  std::vector<std::future<std::uint64_t>> futs;
+  for (int t = 0; t < 8; ++t) {
+    futs.push_back(pool.submit_task([&pool] {
+      std::atomic<std::uint64_t> sum{0};
+      pool.parallel_for(0, 10000, [&](std::uint64_t i) { sum.fetch_add(i); });
+      return sum.load();
+    }));
+  }
+  for (auto& f : futs) EXPECT_EQ(f.get(), 49995000u);
 }
 
 TEST(Cli, FlagsAndPositional) {

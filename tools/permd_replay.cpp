@@ -1,0 +1,205 @@
+/// \file permd_replay.cpp
+/// \brief Replay a synthetic request trace against the permutation
+///        runtime (plan cache + batched async executor) and report the
+///        service metrics.
+///
+/// Models a permutation-as-a-service workload: a fixed population of
+/// distinct permutations with Zipf-distributed popularity (a handful of
+/// hot reorder patterns — FFT bit-reversal, tensor transposes — plus a
+/// long tail), each request permuting a fresh array. Hot permutations
+/// hit the plan cache and skip the offline phase; the executor overlaps
+/// requests on the shared thread pool.
+///
+/// Usage:
+///   permd_replay [--n 64K] [--perms 24] [--requests 400] [--zipf 1.0]
+///                [--cache-mb 64] [--seed 42] [--verify] [--json]
+///
+/// `--json` appends the metrics snapshot as a single JSON line (the
+/// same `to_json()` dump a service would export to a scraper).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/permuter.hpp"
+#include "perm/generators.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/plan_cache.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hmm;
+
+/// The permutation population: a few named hot families first, then a
+/// tail of independent random permutations.
+perm::Permutation make_member(std::uint64_t rank, std::uint64_t n, std::uint64_t seed) {
+  // butterfly only exists at even powers of two; rotation stands in at
+  // odd ones so every pow2 --n is accepted.
+  const bool even_log2 = util::log2_exact(n) % 2 == 0;
+  static const std::vector<std::string> named = {"bit-reversal", "shuffle", "transpose",
+                                                 "gray", "butterfly", "unshuffle"};
+  if (rank < named.size()) {
+    const std::string& family =
+        (named[rank] == "butterfly" && !even_log2) ? "rotation" : named[rank];
+    return perm::by_name(family, n, seed);
+  }
+  return perm::by_name("random", n, seed + rank);
+}
+
+/// Zipf(s) sampler over ranks [0, k) via inverse-CDF binary search.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t k, double s) : cdf_(k) {
+    double total = 0;
+    for (std::uint64_t r = 0; r < k; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+  }
+
+  std::uint64_t operator()(util::Xoshiro256& rng) const {
+    const double u = rng.uniform01();
+    std::uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::uint64_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 64 << 10));
+  const std::uint64_t num_perms = static_cast<std::uint64_t>(cli.get_int("perms", 24));
+  const std::uint64_t requests = static_cast<std::uint64_t>(cli.get_int("requests", 400));
+  const double zipf_s = cli.get_double("zipf", 1.0);
+  const std::uint64_t cache_bytes =
+      static_cast<std::uint64_t>(cli.get_int("cache-mb", 64)) << 20;
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  const bool verify = cli.get_bool("verify");
+  const bool json = cli.get_bool("json");
+
+  if (!util::is_pow2(n) || n < 64) {
+    std::cerr << "permd_replay: --n must be a power of two >= 64 (got " << n << ")\n";
+    return 2;
+  }
+
+  std::cout << "permd_replay: n=" << n << " perms=" << num_perms << " requests=" << requests
+            << " zipf=" << zipf_s << " cache=" << util::format_bytes(cache_bytes) << "\n";
+
+  const model::MachineParams machine = model::MachineParams::gtx680();
+  auto& pool = util::ThreadPool::global();
+
+  // The permutation population is materialized up front (a real service
+  // receives the mapping with the request; regenerating per request
+  // would just benchmark the generators).
+  std::vector<perm::Permutation> population;
+  population.reserve(num_perms);
+  for (std::uint64_t r = 0; r < num_perms; ++r) {
+    population.push_back(make_member(r, n, seed));
+  }
+
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{.max_bytes = cache_bytes}, &metrics);
+  runtime::Executor executor(pool, &metrics);
+
+  // A bounded ring of request buffers: slot reuse waits for the slot's
+  // previous request, which caps resident memory at `slots` arrays
+  // while still keeping the executor saturated.
+  struct BufferSlot {
+    util::aligned_vector<float> a, b;
+    std::future<void> done;
+    std::uint64_t perm_rank = 0;
+    bool in_use = false;
+  };
+  const std::size_t slots = std::max<std::size_t>(8, 2 * pool.size());
+  std::vector<BufferSlot> ring(slots);
+  for (auto& slot : ring) {
+    slot.a.resize(n);
+    slot.b.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) slot.a[i] = static_cast<float>(i & 0xffff);
+  }
+
+  ZipfSampler sample(num_perms, zipf_s);
+  util::Xoshiro256 rng(seed);
+  std::uint64_t verified = 0, verify_failures = 0;
+
+  auto retire = [&](BufferSlot& slot) {
+    slot.done.get();  // rethrows request failures
+    if (verify) {
+      const perm::Permutation& p = population[slot.perm_rank];
+      // Spot-check a fixed stride of images (full check is O(n) per
+      // request and would dominate the replay).
+      for (std::uint64_t i = 0; i < n; i += 97) {
+        if (slot.b[p(i)] != slot.a[i]) {
+          ++verify_failures;
+          break;
+        }
+      }
+      ++verified;
+    }
+    slot.in_use = false;
+  };
+
+  util::Stopwatch wall;
+  for (std::uint64_t r = 0; r < requests; ++r) {
+    BufferSlot& slot = ring[r % slots];
+    if (slot.in_use) retire(slot);
+    const std::uint64_t rank = sample(rng);
+    auto permuter = cache.acquire<float>(population[rank], machine);
+    slot.perm_rank = rank;
+    slot.in_use = true;
+    slot.done = executor.submit<float>(
+        permuter, std::span<const float>(slot.a.data(), n), std::span<float>(slot.b.data(), n));
+  }
+  for (auto& slot : ring) {
+    if (slot.in_use) retire(slot);
+  }
+  executor.wait_idle();
+  const double wall_s = wall.seconds();
+
+  const runtime::MetricsSnapshot snap = metrics.snapshot();
+  std::cout << "\n";
+  snap.to_table().print(std::cout);
+  std::cout << "\nreplayed " << requests << " requests in " << util::format_ms(wall_s * 1e3)
+            << " ms  ("
+            << util::format_double(static_cast<double>(requests) / wall_s, 1) << " req/s, "
+            << util::format_double(
+                   static_cast<double>(requests * n) / wall_s / 1e6, 1)
+            << " Melem/s)\n";
+  std::cout << "cache resident: " << util::format_bytes(cache.bytes()) << " across "
+            << cache.entries() << " plans\n";
+  if (verify) {
+    std::cout << "verified " << verified << " responses, " << verify_failures << " failures\n";
+  }
+  if (json) {
+    std::cout << snap.to_json() << "\n";
+  }
+
+  if (snap.hits + snap.misses != snap.lookups || (verify && verify_failures > 0)) {
+    std::cerr << "permd_replay: inconsistent metrics or verification failure\n";
+    return 1;
+  }
+  return 0;
+}

@@ -44,6 +44,19 @@ run bench_ablation_packed --n 1M
 run bench_app_scan --max 128K
 run bench_machine_sweep --n 1M
 
+# Runtime serving layer: cold/warm plan acquisition + batched execution.
+# The JSON-lines rows also land in $OUT/BENCH_runtime_cache.json for the
+# cross-PR performance trajectory.
+RUNTIME_MAX=1M
+[ -n "$FULL" ] && RUNTIME_MAX=4M
+run bench_runtime_cache --max "$RUNTIME_MAX"
+"$BENCH/bench_runtime_cache" --max 1M --json | grep '^{' > "$OUT/BENCH_runtime_cache.json"
+
+# Service replay: Zipf trace through the plan cache + async executor.
+echo "== permd_replay"
+"$BUILD/tools/permd_replay" --n 64K --perms 24 --requests 400 --verify --json \
+  | tee "$OUT/permd_replay.txt"
+
 # google-benchmark microbenches (machine-speed dependent; kept brief).
 "$BENCH/bench_kernels" --benchmark_min_time=0.05 | tee "$OUT/bench_kernels.txt"
 "$BENCH/bench_ablation_coloring" --benchmark_min_time=0.05 | tee "$OUT/bench_ablation_coloring.txt"
