@@ -58,23 +58,33 @@ class Executor {
                            std::span<const T> a, std::span<T> b) {
     HMM_CHECK(h != nullptr);
     const std::uint64_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::future<void> fut;
+    try {
+      fut = pool_.submit_task([this, h = std::move(h), a, b] {
+        Completion done(*this);  // decrements in_flight_ even on throw
+        util::Stopwatch clock;
+        bool ok = false;
+        try {
+          util::aligned_vector<T> scratch(h->scratch_elements());
+          h->permute(a, b, std::span<T>(scratch.data(), scratch.size()));
+          ok = true;
+        } catch (...) {
+          if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
+          throw;  // delivered through the future
+        }
+        if (metrics_ && ok) {
+          metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), true);
+        }
+      });
+    } catch (...) {
+      // Enqueue failed (packaged_task / queue allocation): the task
+      // will never run, so its Completion never fires — roll the count
+      // back or wait_idle() and the destructor would block forever.
+      finish_one();
+      throw;
+    }
     if (metrics_) metrics_->record_submit(depth);
-    return pool_.submit_task([this, h = std::move(h), a, b] {
-      Completion done(*this);  // decrements in_flight_ even on throw
-      util::Stopwatch clock;
-      bool ok = false;
-      try {
-        util::aligned_vector<T> scratch(h->scratch_elements());
-        h->permute(a, b, std::span<T>(scratch.data(), scratch.size()));
-        ok = true;
-      } catch (...) {
-        if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
-        throw;  // delivered through the future
-      }
-      if (metrics_ && ok) {
-        metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), true);
-      }
-    });
+    return fut;
   }
 
   /// Requests submitted but not yet finished.
@@ -95,14 +105,16 @@ class Executor {
   /// to touch the condition variable.
   struct Completion {
     explicit Completion(Executor& e) : exec(e) {}
-    ~Completion() {
-      std::lock_guard lock(exec.idle_mutex_);
-      if (exec.in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        exec.idle_cv_.notify_all();
-      }
-    }
+    ~Completion() { exec.finish_one(); }
     Executor& exec;
   };
+
+  void finish_one() noexcept {
+    std::lock_guard lock(idle_mutex_);
+    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      idle_cv_.notify_all();
+    }
+  }
 
   util::ThreadPool& pool_;
   ServiceMetrics* metrics_;

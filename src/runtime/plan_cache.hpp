@@ -9,7 +9,11 @@
 /// offline phase entirely and hit an already-compiled permuter.
 ///
 /// Keying: the 64-bit plan fingerprint (fingerprint.hpp) over the
-/// permutation words + machine parameters + strategy + element width.
+/// permutation words + machine parameters + strategy + element width,
+/// further mixed with a per-element-type token: entries are typed
+/// (`OfflinePermuter<T>`), so two distinct types of the same width
+/// (float vs int32) must occupy distinct slots even though their
+/// compiled plans are structurally identical.
 /// Eviction: strict LRU, bounded by total `compiled_bytes()` of the
 /// resident entries. Evicted permuters stay alive as long as a caller
 /// holds the returned `shared_ptr` — eviction only drops the cache's
@@ -21,6 +25,7 @@
 /// the first caller builds, the rest wait on a shared_future and are
 /// counted as hits (they skip the build).
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -60,8 +65,7 @@ class PlanCache {
       const perm::Permutation& p,
       const model::MachineParams& machine = model::MachineParams::gtx680(),
       core::Strategy strategy = core::Strategy::kAuto) {
-    const Fingerprint fp = fingerprint_plan_key(p, machine, static_cast<int>(strategy),
-                                                static_cast<std::uint32_t>(sizeof(T)));
+    const Fingerprint fp = typed_key<T>(p, machine, strategy);
     std::promise<std::shared_ptr<EntryBase>> promise;
     std::shared_future<std::shared_ptr<EntryBase>> ready;
     bool builder = false;
@@ -99,10 +103,23 @@ class PlanCache {
     }
 
     // Hit (possibly on a still-compiling entry: wait for the builder).
+    // The key carries a per-type token, so a failed cast here would
+    // mean a genuine 64-bit fingerprint collision.
     std::shared_ptr<EntryBase> base = ready.get();
     auto typed = std::dynamic_pointer_cast<TypedEntry<T>>(base);
     HMM_CHECK_MSG(typed != nullptr, "plan-cache fingerprint collided across element types");
     return typed->permuter;
+  }
+
+  /// The exact key `acquire<T>` files an entry under: the plan
+  /// fingerprint mixed with the per-type token. Use this (not the raw
+  /// `fingerprint_plan_key`) when probing `contains()`.
+  template <class T>
+  [[nodiscard]] static Fingerprint plan_key(
+      const perm::Permutation& p,
+      const model::MachineParams& machine = model::MachineParams::gtx680(),
+      core::Strategy strategy = core::Strategy::kAuto) {
+    return typed_key<T>(p, machine, strategy);
   }
 
   /// True iff a *completed* entry for this key is resident.
@@ -123,6 +140,32 @@ class PlanCache {
   struct EntryBase {
     virtual ~EntryBase() = default;
   };
+
+  /// Process-unique token per element type, assigned on first use.
+  /// Folded into the plan key so same-width types (e.g. float and
+  /// int32) cannot alias a slot and fail the typed downcast.
+  static std::atomic<std::uint32_t>& type_token_counter() {
+    static std::atomic<std::uint32_t> counter{1};
+    return counter;
+  }
+
+  template <class T>
+  static std::uint32_t type_token() {
+    static const std::uint32_t token =
+        type_token_counter().fetch_add(1, std::memory_order_relaxed);
+    return token;
+  }
+
+  template <class T>
+  static Fingerprint typed_key(const perm::Permutation& p, const model::MachineParams& machine,
+                               core::Strategy strategy) {
+    const Fingerprint fp = fingerprint_plan_key(p, machine, static_cast<int>(strategy),
+                                                static_cast<std::uint32_t>(sizeof(T)));
+    Fnv1a64 h;
+    h.update_u64(fp.value);
+    h.update_u32(type_token<T>());
+    return Fingerprint{h.digest()};
+  }
 
   template <class T>
   struct TypedEntry final : EntryBase {

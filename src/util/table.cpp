@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <cstdlib>
 #include <ostream>
 
 namespace hmm::util {
@@ -85,20 +84,46 @@ void Table::print_csv(std::ostream& os) const {
 }
 
 void Table::print_json_rows(std::ostream& os, const std::string& extra) const {
-  // A cell is a bare JSON number only if strtod consumes all of it
-  // (looks_numeric also accepts '%' / 'x' cells, which must stay strings).
+  // A cell is a bare JSON number only if it matches the strict grammar
+  // -?digits(.digits)?([eE][+-]?digits)?. strtod would also consume
+  // "inf", "nan", and hex forms like "0x1A", which are not valid JSON
+  // tokens and must stay quoted strings.
   auto is_json_number = [](const std::string& s) {
-    if (s.empty()) return false;
-    char* end = nullptr;
-    std::strtod(s.c_str(), &end);
-    return end == s.c_str() + s.size();
+    const std::size_t n = s.size();
+    std::size_t i = 0;
+    auto digits = [&] {
+      const std::size_t start = i;
+      while (i < n && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+      return i > start;
+    };
+    if (i < n && s[i] == '-') ++i;
+    if (!digits()) return false;
+    if (i < n && s[i] == '.') {
+      ++i;
+      if (!digits()) return false;
+    }
+    if (i < n && (s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+      if (i < n && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return i == n;
   };
   auto escape = [](const std::string& s) {
     std::string out;
     out.reserve(s.size() + 2);
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+    for (char ch : s) {
+      const auto c = static_cast<unsigned char>(ch);
+      if (ch == '"' || ch == '\\') {
+        out += '\\';
+        out += ch;
+      } else if (c < 0x20) {  // control chars are illegal inside JSON strings
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out += buf;
+      } else {
+        out += ch;
+      }
     }
     return out;
   };

@@ -85,33 +85,46 @@ void ThreadPool::parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
     return;
   }
 
-  std::atomic<std::uint64_t> remaining{chunks};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  std::exception_ptr first_error;  // guarded by done_mutex
+  const std::uint64_t step = (total + chunks - 1) / chunks;
+  const std::uint64_t n_tasks = (total + step - 1) / step;  // non-empty chunks
 
-  auto run_chunk = [&](std::uint64_t lo, std::uint64_t hi) {
+  // The completion state must live on the heap, jointly owned by the
+  // chunk tasks: the worker that finishes the last chunk still touches
+  // the mutex/cv *after* the decrement that releases the waiting
+  // caller, so anything on the caller's stack may be gone by then.
+  // Sharing `fn` by reference is safe, in contrast — every invocation
+  // returns before `remaining` can reach zero, i.e. while the caller
+  // is still blocked here.
+  struct Completion {
+    std::atomic<std::uint64_t> remaining;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::exception_ptr first_error;  // guarded by mutex
+  };
+  auto done = std::make_shared<Completion>();
+  done->remaining.store(n_tasks, std::memory_order_relaxed);
+  const auto* body = &fn;
+
+  auto run_chunk = [done, body](std::uint64_t lo, std::uint64_t hi) {
     try {
-      fn(lo, hi);
+      (*body)(lo, hi);
     } catch (...) {
-      std::lock_guard lock(done_mutex);
-      if (!first_error) first_error = std::current_exception();
+      std::lock_guard lock(done->mutex);
+      if (!done->first_error) done->first_error = std::current_exception();
     }
-    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard lock(done_mutex);
-      done_cv.notify_all();
+    if (done->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Lock-then-notify pairs with the waiters' predicate recheck
+      // under the same mutex: a waiter either observes zero before
+      // sleeping or is asleep when this notify fires.
+      std::lock_guard lock(done->mutex);
+      done->cv.notify_all();
     }
   };
 
-  const std::uint64_t step = (total + chunks - 1) / chunks;
-  for (std::uint64_t c = 0; c < chunks; ++c) {
+  for (std::uint64_t c = 0; c < n_tasks; ++c) {
     const std::uint64_t lo = begin + c * step;
     const std::uint64_t hi = std::min(end, lo + step);
-    if (lo >= hi) {
-      remaining.fetch_sub(1, std::memory_order_acq_rel);
-      continue;
-    }
-    submit([&run_chunk, lo, hi] { run_chunk(lo, hi); });
+    submit([run_chunk, lo, hi] { run_chunk(lo, hi); });
   }
 
   if (on_worker_thread()) {
@@ -120,19 +133,22 @@ void ThreadPool::parallel_for_chunks(std::uint64_t begin, std::uint64_t end,
     // tasks sit in the queue — so help drain it instead. When the queue
     // is momentarily empty but chunks are still running elsewhere, poll
     // briefly rather than wiring an extra notification channel.
-    while (remaining.load(std::memory_order_acquire) != 0) {
+    while (done->remaining.load(std::memory_order_acquire) != 0) {
       if (run_one_task()) continue;
-      std::unique_lock lock(done_mutex);
-      done_cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
-        return remaining.load(std::memory_order_acquire) == 0;
+      std::unique_lock lock(done->mutex);
+      done->cv.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return done->remaining.load(std::memory_order_acquire) == 0;
       });
     }
   } else {
-    std::unique_lock lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+    std::unique_lock lock(done->mutex);
+    done->cv.wait(lock,
+                  [&] { return done->remaining.load(std::memory_order_acquire) == 0; });
   }
 
-  if (first_error) std::rethrow_exception(first_error);
+  // The acq_rel decrements order every first_error store before the
+  // acquire load that observed zero, so this read needs no lock.
+  if (done->first_error) std::rethrow_exception(done->first_error);
 }
 
 void ThreadPool::parallel_for(std::uint64_t begin, std::uint64_t end,

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <future>
 #include <sstream>
@@ -112,6 +113,21 @@ TEST(PlanCache, ElementTypeSeparatesEntries) {
   EXPECT_NE(static_cast<const void*>(hf.get()), static_cast<const void*>(hd.get()));
 }
 
+TEST(PlanCache, SameWidthElementTypesDoNotAlias) {
+  // float and int32 have the same sizeof, so the element width alone
+  // cannot separate them; the per-type token mixed into the key must.
+  // (Previously the aliased slot failed its typed downcast and the
+  // process aborted on legitimate API use.)
+  runtime::PlanCache cache;
+  const perm::Permutation p = perm::bit_reversal(4096);
+  auto hf = cache.acquire<float>(p);
+  auto hi = cache.acquire<std::int32_t>(p);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_NE(static_cast<const void*>(hf.get()), static_cast<const void*>(hi.get()));
+  // And the typed keys themselves differ while widths agree.
+  EXPECT_NE(runtime::PlanCache::plan_key<float>(p), runtime::PlanCache::plan_key<std::int32_t>(p));
+}
+
 TEST(PlanCache, EvictsLeastRecentlyUsedUnderByteCap) {
   const MachineParams mp = MachineParams::gtx680();
   const perm::Permutation pa = perm::bit_reversal(4096);
@@ -125,9 +141,9 @@ TEST(PlanCache, EvictsLeastRecentlyUsedUnderByteCap) {
   runtime::PlanCache cache(runtime::PlanCache::Config{.max_bytes = 2 * one_entry + one_entry / 2},
                            &metrics);
 
-  const auto fpa = runtime::fingerprint_plan_key(pa, mp, kScheduledTag, 4);
-  const auto fpb = runtime::fingerprint_plan_key(pb, mp, kScheduledTag, 4);
-  const auto fpc = runtime::fingerprint_plan_key(pc, mp, kScheduledTag, 4);
+  const auto fpa = runtime::PlanCache::plan_key<float>(pa, mp, core::Strategy::kScheduled);
+  const auto fpb = runtime::PlanCache::plan_key<float>(pb, mp, core::Strategy::kScheduled);
+  const auto fpc = runtime::PlanCache::plan_key<float>(pc, mp, core::Strategy::kScheduled);
 
   (void)cache.acquire<float>(pa, mp, core::Strategy::kScheduled);
   (void)cache.acquire<float>(pb, mp, core::Strategy::kScheduled);

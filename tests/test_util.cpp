@@ -141,6 +141,20 @@ TEST(Table, Csv) {
   EXPECT_EQ(os.str(), "a,b\n1,2\n");
 }
 
+TEST(Table, JsonRowsStrictNumbersAndEscaping) {
+  // Cells strtod happens to parse ("inf", "nan", hex) are not valid
+  // bare JSON tokens and must be quoted; control characters inside
+  // strings must be \u-escaped.
+  Table t({"num", "weird", "text"});
+  t.add_row({"-1.5e3", "inf", "a\tb\"c"});
+  t.add_row({"42", "0x1A", "nan"});
+  std::ostringstream os;
+  t.print_json_rows(os);
+  EXPECT_EQ(os.str(),
+            "{\"num\":-1.5e3,\"weird\":\"inf\",\"text\":\"a\\u0009b\\\"c\"}\n"
+            "{\"num\":42,\"weird\":\"0x1A\",\"text\":\"nan\"}\n");
+}
+
 TEST(Table, Formatters) {
   EXPECT_EQ(format_double(1.234, 2), "1.23");
   EXPECT_EQ(format_count(42), "42");
