@@ -128,23 +128,38 @@ class OfflinePermuter {
   /// may execute the same compiled permuter on distinct (a, b, scratch)
   /// triples concurrently — the runtime executor's batched path.
   void permute(std::span<const T> a, std::span<T> b, std::span<T> scratch) const {
+    (void)permute_gated(a, b, scratch, PhaseGate{});
+  }
+
+  /// Gated variant of the const online phase: `gate` is consulted at
+  /// the boundaries between the strategy's sequential kernel launches
+  /// (the scheduled algorithm's five kernels; the conventional
+  /// strategies are a single kernel and only check up front). Returning
+  /// false stops the execution — the function then returns false and
+  /// `b`/`scratch` hold garbage. This is how the runtime executor
+  /// observes deadlines and cancellation mid-request without preempting
+  /// a running kernel.
+  [[nodiscard]] bool permute_gated(std::span<const T> a, std::span<T> b, std::span<T> scratch,
+                                   const PhaseGate& gate) const {
     HMM_CHECK(a.size() == size() && b.size() == size());
     auto& pool = util::ThreadPool::global();
     switch (chosen_) {
       case Strategy::kScheduled:
         HMM_CHECK_MSG(scratch.size() == size(), "scheduled strategy needs n scratch elements");
-        scheduled_cpu_lean<T>(pool, *plan_, a, b, scratch);
-        return;
+        return scheduled_cpu_lean_gated<T>(pool, *plan_, a, b, scratch, gate);
       case Strategy::kSDesignated:
+        if (gate && !gate()) return false;
         s_designated_cpu<T>(pool, a, b, *inverse_);
-        return;
+        return true;
       case Strategy::kDDesignated:
+        if (gate && !gate()) return false;
         d_designated_cpu<T>(pool, a, b, perm_);
-        return;
+        return true;
       case Strategy::kAuto:
         break;
     }
     HMM_CHECK_MSG(false, "unresolved strategy");
+    return false;
   }
 
   /// Online phase: b[P(i)] = a[i]. Reusable; `a` and `b` must not

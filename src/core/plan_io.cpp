@@ -69,25 +69,35 @@ bool save_plan(std::ostream& os, const ScheduledPlan& plan) {
   return static_cast<bool>(os);
 }
 
-std::optional<ScheduledPlan> load_plan(std::istream& is) {
+namespace {
+
+/// Record the failure reason (when the caller asked for one) and fail.
+std::nullopt_t load_fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<ScheduledPlan> load_plan(std::istream& is, std::string* error) {
   char magic[7];
   if (!is.read(magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof magic) != 0) {
-    return std::nullopt;
+    return load_fail(error, "bad magic (not an HMMPLAN file)");
   }
   char version = 0;
   if (!is.get(version) || version != kVersion) {
-    return std::nullopt;  // unknown / older format version
+    return load_fail(error, "unknown or unsupported format version");
   }
   std::uint64_t rows = 0, cols = 0, width = 0, latency = 0, dmms = 0, shared = 0;
   if (!read_u64(is, rows) || !read_u64(is, cols) || !read_u64(is, width) ||
       !read_u64(is, latency) || !read_u64(is, dmms) || !read_u64(is, shared)) {
-    return std::nullopt;
+    return load_fail(error, "truncated header");
   }
   // Bound sanity before allocating anything.
   if (rows == 0 || cols == 0 || rows > (1ull << 16) || cols > (1ull << 16) ||
       width == 0 || width > 64 || !util::is_pow2(width) || dmms == 0 ||
       !util::is_pow2(dmms) || latency == 0) {
-    return std::nullopt;
+    return load_fail(error, "machine parameters or matrix shape out of range");
   }
   const std::uint64_t n = rows * cols;
   model::MachineParams params;
@@ -103,7 +113,7 @@ std::optional<ScheduledPlan> load_plan(std::istream& is) {
   if (!read_u16s(is, p1.phat, n) || !read_u16s(is, p1.q, n) || !read_u16s(is, p2.phat, n) ||
       !read_u16s(is, p2.q, n) || !read_u16s(is, p3.phat, n) || !read_u16s(is, p3.q, n) ||
       !read_u16s(is, g1, n) || !read_u16s(is, g2, n) || !read_u16s(is, g3, n)) {
-    return std::nullopt;
+    return load_fail(error, "truncated schedule payload");
   }
   // Degree sanity: pass 1/3 rows have length `cols`, pass 2 rows (the
   // transposed matrix) have length `rows`; a corrupted payload that
@@ -111,7 +121,7 @@ std::optional<ScheduledPlan> load_plan(std::istream& is) {
   if (!all_below(p1.phat, cols) || !all_below(p1.q, cols) || !all_below(p2.phat, rows) ||
       !all_below(p2.q, rows) || !all_below(p3.phat, cols) || !all_below(p3.q, cols) ||
       !all_below(g1, cols) || !all_below(g2, rows) || !all_below(g3, cols)) {
-    return std::nullopt;
+    return load_fail(error, "schedule entry indexes outside its row (corrupt payload)");
   }
   return ScheduledPlan::restore(MatrixShape{rows, cols}, params, std::move(p1), std::move(p2),
                                 std::move(p3), std::move(g1), std::move(g2), std::move(g3));
@@ -122,10 +132,10 @@ bool save_plan_file(const std::string& path, const ScheduledPlan& plan) {
   return os && save_plan(os, plan);
 }
 
-std::optional<ScheduledPlan> load_plan_file(const std::string& path) {
+std::optional<ScheduledPlan> load_plan_file(const std::string& path, std::string* error) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) return std::nullopt;
-  return load_plan(is);
+  if (!is) return load_fail(error, "cannot open file");
+  return load_plan(is, error);
 }
 
 }  // namespace hmm::core

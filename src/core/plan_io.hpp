@@ -29,9 +29,14 @@ bool save_plan(std::ostream& os, const ScheduledPlan& plan);
 
 /// Read a plan written by `save_plan`; nullopt on malformed input.
 /// The loaded plan carries the machine parameters it was built for.
-std::optional<ScheduledPlan> load_plan(std::istream& is);
+/// When `error` is non-null and loading fails, it receives the reason
+/// (bad magic, unknown version, truncated payload, out-of-range machine
+/// parameters, schedule entry outside its row) — the serving layer
+/// surfaces this through `runtime::Status` instead of guessing.
+std::optional<ScheduledPlan> load_plan(std::istream& is, std::string* error = nullptr);
 
 bool save_plan_file(const std::string& path, const ScheduledPlan& plan);
-std::optional<ScheduledPlan> load_plan_file(const std::string& path);
+std::optional<ScheduledPlan> load_plan_file(const std::string& path,
+                                            std::string* error = nullptr);
 
 }  // namespace hmm::core

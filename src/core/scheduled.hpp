@@ -6,6 +6,7 @@
 ///        exactly the paper's five sequential kernel launches.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 
 #include "core/plan.hpp"
@@ -52,6 +53,39 @@ void scheduled_cpu_lean(util::ThreadPool& pool, const ScheduledPlan& plan,
   cpu::row_wise_pass<T>(pool, scratch, b, m, r, plan.pass2().phat, plan.pass2().q);
   cpu::transpose_blocked<T>(pool, b, scratch, m, r, tile);
   cpu::row_wise_pass<T>(pool, scratch, b, r, m, plan.pass3().phat, plan.pass3().q);
+}
+
+/// Cooperative checkpoint between the five kernel launches: return
+/// false to stop the execution (deadline blown, request cancelled).
+/// The paper's algorithm is five *sequential* kernel launches, so the
+/// gaps between them are the natural preemption points a serving layer
+/// gets for free — a stopped execution leaves `b`/`scratch` partially
+/// written, which the caller must treat as garbage.
+using PhaseGate = std::function<bool()>;
+
+/// `scheduled_cpu_lean` with a gate consulted before every kernel after
+/// the first. Returns true iff all five kernels ran to completion; an
+/// empty gate degenerates to the ungated variant.
+template <class T>
+bool scheduled_cpu_lean_gated(util::ThreadPool& pool, const ScheduledPlan& plan,
+                              std::span<const T> a, std::span<T> b, std::span<T> scratch,
+                              const PhaseGate& gate) {
+  const std::uint64_t n = plan.size();
+  HMM_CHECK(a.size() == n && b.size() == n && scratch.size() == n);
+  const std::uint64_t r = plan.shape().rows;
+  const std::uint64_t m = plan.shape().cols;
+  const std::uint64_t tile = plan.params().width;
+
+  cpu::row_wise_pass<T>(pool, a, b, r, m, plan.pass1().phat, plan.pass1().q);
+  if (gate && !gate()) return false;
+  cpu::transpose_blocked<T>(pool, b, scratch, r, m, tile);
+  if (gate && !gate()) return false;
+  cpu::row_wise_pass<T>(pool, scratch, b, m, r, plan.pass2().phat, plan.pass2().q);
+  if (gate && !gate()) return false;
+  cpu::transpose_blocked<T>(pool, b, scratch, m, r, tile);
+  if (gate && !gate()) return false;
+  cpu::row_wise_pass<T>(pool, scratch, b, r, m, plan.pass3().phat, plan.pass3().q);
+  return true;
 }
 
 /// Host variant that applies the per-row permutations directly instead

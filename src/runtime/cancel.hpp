@@ -1,0 +1,65 @@
+#pragma once
+/// \file cancel.hpp
+/// \brief Cooperative cancellation for serving-path requests.
+///
+/// A `CancelSource` owns the flag; each request carries a cheap,
+/// copyable `CancelToken` view of it. Cancellation is *cooperative*:
+/// firing the source never interrupts a running kernel, it is observed
+/// at the request checkpoints — admission, dequeue, and the gates
+/// between kernel phases (see Executor::try_submit). A cancelled
+/// request resolves its future with `StatusCode::kCancelled`; it is
+/// never silently dropped.
+///
+/// The default-constructed token is permanently "not cancelled", so
+/// fire-and-forget callers pay a single null-pointer test per check.
+
+#include <atomic>
+#include <memory>
+
+namespace hmm::runtime {
+
+class CancelToken;
+
+/// Owner side: create, hand out tokens, fire once. Thread-safe;
+/// `request_cancel()` is idempotent.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() noexcept { flag_->store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool cancel_requested() const noexcept {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] CancelToken token() const noexcept;
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Request side: observe-only view. Copyable, outlives the source
+/// safely (shared ownership of the flag).
+class CancelToken {
+ public:
+  /// A token that can never be cancelled.
+  CancelToken() = default;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+  /// True iff this token is connected to a CancelSource at all.
+  [[nodiscard]] bool can_be_cancelled() const noexcept { return flag_ != nullptr; }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+inline CancelToken CancelSource::token() const noexcept { return CancelToken(flag_); }
+
+}  // namespace hmm::runtime

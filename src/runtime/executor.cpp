@@ -1,6 +1,38 @@
 #include "runtime/executor.hpp"
 
+#include <cstdio>
+#include <limits>
+
 namespace hmm::runtime {
+namespace {
+
+/// Teardown-stall warning, rate-limited to one line per second
+/// process-wide so a fleet of executors draining slowly can't flood
+/// stderr.
+void warn_drain_stalled(std::uint64_t still_in_flight, double waited_seconds) {
+  using clock = std::chrono::steady_clock;
+  static std::atomic<std::int64_t> last_log_ns{std::numeric_limits<std::int64_t>::min()};
+  const std::int64_t now_ns = clock::now().time_since_epoch().count();
+  std::int64_t prev = last_log_ns.load(std::memory_order_relaxed);
+  if (now_ns - prev < 1'000'000'000 ||
+      !last_log_ns.compare_exchange_strong(prev, now_ns, std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr,
+               "[hmm] warning: Executor teardown still draining %llu in-flight request(s) "
+               "after %.1f s (stalled worker?)\n",
+               static_cast<unsigned long long>(still_in_flight), waited_seconds);
+}
+
+}  // namespace
+
+Executor::~Executor() {
+  constexpr auto kWarnAfter = std::chrono::seconds(2);
+  if (!wait_idle_for(kWarnAfter)) {
+    warn_drain_stalled(in_flight(), std::chrono::duration<double>(kWarnAfter).count());
+    wait_idle();  // tasks hold caller-owned spans: draining is mandatory
+  }
+}
 
 void Executor::wait_idle() {
   if (pool_.on_worker_thread()) {
@@ -11,6 +43,42 @@ void Executor::wait_idle() {
   }
   std::unique_lock lock(idle_mutex_);
   idle_cv_.wait(lock, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+}
+
+bool Executor::wait_idle_for(std::chrono::nanoseconds timeout) {
+  if (pool_.on_worker_thread()) {
+    HMM_CHECK_MSG(false, "Executor::wait_idle_for() called from a pool worker task");
+  }
+  std::unique_lock lock(idle_mutex_);
+  return idle_cv_.wait_for(lock, timeout, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+Status Executor::admit(std::chrono::steady_clock::time_point deadline,
+                       std::uint64_t& depth_out) {
+  std::unique_lock lock(idle_mutex_);
+  if (!has_slot_locked()) {
+    if (config_.admission == Admission::kReject) {
+      if (metrics_) metrics_->record_rejected();
+      return Status(StatusCode::kResourceExhausted, "in-flight request bound reached");
+    }
+    const auto fits = [this] { return has_slot_locked(); };
+    if (deadline == kNoDeadline) {
+      idle_cv_.wait(lock, fits);
+    } else if (!idle_cv_.wait_until(lock, deadline, fits)) {
+      if (metrics_) metrics_->record_deadline_exceeded();
+      return Status(StatusCode::kDeadlineExceeded, "deadline expired while blocked at admission");
+    }
+  }
+  depth_out = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  return Status::ok();
+}
+
+std::uint64_t Executor::admit_blocking() {
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] { return has_slot_locked(); });
+  return in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
 }
 
 }  // namespace hmm::runtime

@@ -1,11 +1,31 @@
 #pragma once
 /// \file executor.hpp
 /// \brief Batched async executor: a futures-based request front-end
-///        over `util::ThreadPool`.
+///        over `util::ThreadPool`, with admission control, per-request
+///        deadlines, and cooperative cancellation.
 ///
 /// `submit(permuter, a, b)` enqueues one permutation request and
 /// returns a `std::future<void>` that becomes ready when `b` holds the
 /// permuted data (or carries the exception that aborted the request).
+/// `try_submit(permuter, a, b, opts)` is the serving-path variant: it
+/// never throws request-level failures, reporting them as a typed
+/// `Status` instead — synchronously when the request is refused
+/// (admission bound hit, deadline already expired, cancelled before
+/// enqueue) and through the returned `std::future<Status>` after that.
+///
+/// Request lifecycle controls:
+///  - **Admission**: `Config::max_in_flight` bounds the number of
+///    admitted-but-unfinished requests. At the bound, `try_submit`
+///    either rejects with `kResourceExhausted` (Admission::kReject) or
+///    blocks the submitter until a slot frees or the request deadline
+///    passes (Admission::kBlock). The legacy `submit` always blocks.
+///  - **Deadlines**: checked before admission, at dequeue (a request
+///    that waited out its deadline in the queue resolves
+///    `kDeadlineExceeded` without executing), and between the kernel
+///    phases of the permuter via its phase gate.
+///  - **Cancellation**: a `CancelToken` is polled at the same three
+///    stages; a cancelled request resolves `kCancelled`.
+///
 /// Requests drain onto the shared thread pool via
 /// `ThreadPool::submit_task`; each request then fans its kernels out
 /// on the same pool (`parallel_for` help-drains when called from a
@@ -14,16 +34,13 @@
 /// Concurrency model: one compiled plan may serve many in-flight
 /// requests at once — the executor allocates a per-request scratch
 /// buffer and uses the permuter's const execute path, which touches no
-/// shared mutable state. Distinct plans naturally compile/execute in
-/// parallel because plan compilation (PlanCache misses) happens on the
-/// submitting threads while older requests execute on the pool.
-///
-/// The caller keeps ownership of `a` and `b` and must keep them alive
-/// and un-mutated until the future is ready (standard async-IO
-/// contract). The permuter handle is a shared_ptr, so a cache eviction
-/// cannot invalidate an in-flight request.
+/// shared mutable state. The caller keeps ownership of `a` and `b` and
+/// must keep them alive and un-mutated until the future is ready; a
+/// request stopped by deadline/cancellation between kernel phases
+/// leaves `b` partially written (treat it as garbage).
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <future>
@@ -32,7 +49,10 @@
 #include <span>
 
 #include "core/permuter.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/status.hpp"
 #include "util/aligned_vector.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -41,23 +61,52 @@ namespace hmm::runtime {
 
 class Executor {
  public:
+  /// What to do with a try_submit that finds `max_in_flight` requests
+  /// already admitted.
+  enum class Admission {
+    kBlock,   ///< wait for a slot (bounded by the request deadline)
+    kReject,  ///< fail fast with kResourceExhausted
+  };
+
+  struct Config {
+    std::uint64_t max_in_flight = 0;  ///< 0 = unbounded
+    Admission admission = Admission::kBlock;
+  };
+
+  /// "No deadline": requests never expire.
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  struct SubmitOptions {
+    std::chrono::steady_clock::time_point deadline = kNoDeadline;
+    CancelToken cancel;
+  };
+
   explicit Executor(util::ThreadPool& pool, ServiceMetrics* metrics = nullptr)
-      : pool_(pool), metrics_(metrics) {}
+      : Executor(pool, metrics, Config{}) {}
+  Executor(util::ThreadPool& pool, ServiceMetrics* metrics, Config config)
+      : pool_(pool), metrics_(metrics), config_(config) {}
 
   /// Destruction waits for every in-flight request (their tasks hold
   /// spans owned by callers; letting them outlive the executor is fine,
-  /// but draining makes teardown ordering obvious).
-  ~Executor() { wait_idle(); }
+  /// but draining makes teardown ordering obvious). If draining stalls
+  /// past a threshold, a rate-limited warning names the number of
+  /// requests still in flight — a stalled worker is otherwise invisible
+  /// at teardown.
+  ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Enqueue b[P(i)] = a[i] under the compiled permuter `h`.
+  /// Enqueue b[P(i)] = a[i] under the compiled permuter `h`. Failures
+  /// surface as exceptions through the future. Blocks for a slot when
+  /// the in-flight bound is hit (regardless of the admission policy —
+  /// this legacy entry point has no way to report a rejection).
   template <class T>
   std::future<void> submit(std::shared_ptr<const core::OfflinePermuter<T>> h,
                            std::span<const T> a, std::span<T> b) {
     HMM_CHECK(h != nullptr);
-    const std::uint64_t depth = in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    const std::uint64_t depth = admit_blocking();
     std::future<void> fut;
     try {
       fut = pool_.submit_task([this, h = std::move(h), a, b] {
@@ -65,6 +114,10 @@ class Executor {
         util::Stopwatch clock;
         bool ok = false;
         try {
+          FaultInjector::instance().maybe_stall(fault_sites::kExecutorStall);
+          FaultInjector::instance().maybe_throw(fault_sites::kExecutorAlloc,
+                                                StatusCode::kResourceExhausted,
+                                                "scratch allocation failure");
           util::aligned_vector<T> scratch(h->scratch_elements());
           h->permute(a, b, std::span<T>(scratch.data(), scratch.size()));
           ok = true;
@@ -87,15 +140,60 @@ class Executor {
     return fut;
   }
 
-  /// Requests submitted but not yet finished.
+  /// Serving-path submit: admission control + deadline + cancellation,
+  /// all failures as typed Status. A synchronous error means the
+  /// request was refused before enqueue and will never execute; an OK
+  /// result carries the future that resolves with the request outcome.
+  template <class T>
+  StatusOr<std::future<Status>> try_submit(std::shared_ptr<const core::OfflinePermuter<T>> h,
+                                           std::span<const T> a, std::span<T> b,
+                                           SubmitOptions opts = {}) {
+    if (h == nullptr) return Status(StatusCode::kInvalidArgument, "null permuter handle");
+    if (a.size() != h->size() || b.size() != h->size()) {
+      return Status(StatusCode::kInvalidArgument, "span sizes do not match the permuter");
+    }
+    if (opts.cancel.cancelled()) {
+      if (metrics_) metrics_->record_cancelled();
+      return Status(StatusCode::kCancelled, "cancelled before admission");
+    }
+    if (expired(opts.deadline)) {
+      if (metrics_) metrics_->record_deadline_exceeded();
+      return Status(StatusCode::kDeadlineExceeded, "deadline expired before admission");
+    }
+
+    std::uint64_t depth = 0;
+    Status admitted = admit(opts.deadline, depth);
+    if (!admitted.is_ok()) return admitted;
+
+    std::future<Status> fut;
+    try {
+      fut = pool_.submit_task([this, h = std::move(h), a, b, opts]() -> Status {
+        return run_request<T>(*h, a, b, opts);
+      });
+    } catch (...) {
+      finish_one();
+      throw;  // enqueue alloc failure: a process-level problem, not a request outcome
+    }
+    if (metrics_) metrics_->record_submit(depth);
+    return fut;
+  }
+
+  /// Requests admitted but not yet finished.
   [[nodiscard]] std::uint64_t in_flight() const noexcept {
     return in_flight_.load(std::memory_order_acquire);
   }
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
 
   /// Block until every submitted request has finished. Callers that
   /// keep futures can equivalently wait on those; this is the bulk
   /// barrier for fire-and-forget batches.
   void wait_idle();
+
+  /// `wait_idle` with a timeout: returns true once idle, false if the
+  /// timeout elapsed with requests still in flight. Lets teardown and
+  /// tests detect stalled workers instead of blocking forever.
+  [[nodiscard]] bool wait_idle_for(std::chrono::nanoseconds timeout);
 
  private:
   /// RAII completion marker so the in-flight count stays correct on
@@ -109,15 +207,81 @@ class Executor {
     Executor& exec;
   };
 
+  static bool expired(std::chrono::steady_clock::time_point deadline) noexcept {
+    return deadline != kNoDeadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// The request task body: dequeue-time checks, then the gated
+  /// execute. Runs on a pool worker; every outcome is a Status.
+  template <class T>
+  Status run_request(const core::OfflinePermuter<T>& h, std::span<const T> a, std::span<T> b,
+                     const SubmitOptions& opts) {
+    Completion done(*this);
+    if (opts.cancel.cancelled()) {
+      if (metrics_) metrics_->record_cancelled();
+      return Status(StatusCode::kCancelled, "cancelled while queued");
+    }
+    if (expired(opts.deadline)) {
+      if (metrics_) metrics_->record_deadline_exceeded();
+      return Status(StatusCode::kDeadlineExceeded, "queued past the request deadline");
+    }
+    util::Stopwatch clock;
+    try {
+      FaultInjector::instance().maybe_stall(fault_sites::kExecutorStall);
+      FaultInjector::instance().maybe_throw(fault_sites::kExecutorAlloc,
+                                            StatusCode::kResourceExhausted,
+                                            "scratch allocation failure");
+      util::aligned_vector<T> scratch(h.scratch_elements());
+      const bool ran_to_completion = h.permute_gated(
+          a, b, std::span<T>(scratch.data(), scratch.size()),
+          [&opts] { return !opts.cancel.cancelled() && !expired(opts.deadline); });
+      if (!ran_to_completion) {
+        if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
+        if (opts.cancel.cancelled()) {
+          if (metrics_) metrics_->record_cancelled();
+          return Status(StatusCode::kCancelled, "cancelled between kernel phases");
+        }
+        if (metrics_) metrics_->record_deadline_exceeded();
+        return Status(StatusCode::kDeadlineExceeded, "deadline exceeded between kernel phases");
+      }
+      if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), true);
+      return Status::ok();
+    } catch (const FaultInjectedError& e) {
+      if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
+      return Status(e.code, e.what());
+    } catch (const std::bad_alloc&) {
+      if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
+      return Status(StatusCode::kResourceExhausted, "allocation failed during execute");
+    } catch (const std::exception& e) {
+      if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
+      return Status(StatusCode::kUnavailable, e.what());
+    }
+  }
+
+  /// Reserve an in-flight slot, honoring the admission policy. On
+  /// success `depth_out` holds the in-flight count including this
+  /// request (the queue-depth sample for metrics).
+  Status admit(std::chrono::steady_clock::time_point deadline, std::uint64_t& depth_out);
+
+  /// Legacy-path admission: block unconditionally for a slot.
+  std::uint64_t admit_blocking();
+
   void finish_one() noexcept {
     std::lock_guard lock(idle_mutex_);
-    if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      idle_cv_.notify_all();
-    }
+    in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    // Wake both idle waiters and blocked admitters; admission waits on
+    // the same condition variable.
+    idle_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool has_slot_locked() const noexcept {
+    return config_.max_in_flight == 0 ||
+           in_flight_.load(std::memory_order_acquire) < config_.max_in_flight;
   }
 
   util::ThreadPool& pool_;
   ServiceMetrics* metrics_;
+  Config config_;
   std::atomic<std::uint64_t> in_flight_{0};
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;

@@ -94,6 +94,11 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.execute_ns_p50 = execute_ns_.quantile(0.50);
   s.execute_ns_p95 = execute_ns_.quantile(0.95);
   s.execute_ns_max = execute_ns_.max();
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.degraded_executions = degraded_.load(std::memory_order_relaxed);
+  s.build_retries = build_retries_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -110,6 +115,11 @@ void ServiceMetrics::reset() {
   queue_high_water_.store(0, std::memory_order_relaxed);
   completed_.store(0, std::memory_order_relaxed);
   failed_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  cancelled_.store(0, std::memory_order_relaxed);
+  deadline_exceeded_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  build_retries_.store(0, std::memory_order_relaxed);
   execute_ns_.reset();
 }
 
@@ -128,7 +138,12 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"failed\":" << failed << ",\"queue_high_water\":" << queue_high_water
      << ",\"execute_count\":" << execute_count << ",\"execute_ns_sum\":" << execute_ns_sum
      << ",\"execute_ns_p50\":" << execute_ns_p50 << ",\"execute_ns_p95\":" << execute_ns_p95
-     << ",\"execute_ns_max\":" << execute_ns_max << "}}";
+     << ",\"execute_ns_max\":" << execute_ns_max << "},"
+     << "\"robustness\":{"
+     << "\"rejected\":" << rejected << ",\"cancelled\":" << cancelled
+     << ",\"deadline_exceeded\":" << deadline_exceeded
+     << ",\"degraded_executions\":" << degraded_executions
+     << ",\"build_retries\":" << build_retries << "}}";
   return os.str();
 }
 
@@ -151,6 +166,12 @@ util::Table MetricsSnapshot::to_table() const {
   t.add_row({"execute p50", format_ns(execute_ns_p50)});
   t.add_row({"execute p95", format_ns(execute_ns_p95)});
   t.add_row({"execute max", format_ns(execute_ns_max)});
+  t.add_separator();
+  t.add_row({"requests rejected", util::format_count(rejected)});
+  t.add_row({"requests cancelled", util::format_count(cancelled)});
+  t.add_row({"deadline exceeded", util::format_count(deadline_exceeded)});
+  t.add_row({"degraded executions", util::format_count(degraded_executions)});
+  t.add_row({"plan build retries", util::format_count(build_retries)});
   return t;
 }
 

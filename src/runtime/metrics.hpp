@@ -74,6 +74,12 @@ struct MetricsSnapshot {
   std::uint64_t execute_ns_p50 = 0;
   std::uint64_t execute_ns_p95 = 0;
   std::uint64_t execute_ns_max = 0;
+  // Robustness (admission / deadlines / degradation — see service.hpp).
+  std::uint64_t rejected = 0;            ///< refused at admission (queue full)
+  std::uint64_t cancelled = 0;           ///< resolved kCancelled at any stage
+  std::uint64_t deadline_exceeded = 0;   ///< resolved kDeadlineExceeded at any stage
+  std::uint64_t degraded_executions = 0; ///< served via the conventional fallback
+  std::uint64_t build_retries = 0;       ///< transient plan-build failures retried
 
   [[nodiscard]] double hit_rate() const noexcept {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
@@ -111,6 +117,14 @@ class ServiceMetrics {
     execute_ns_.record(ns);
   }
 
+  void record_rejected() noexcept { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void record_cancelled() noexcept { cancelled_.fetch_add(1, std::memory_order_relaxed); }
+  void record_deadline_exceeded() noexcept {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_degraded() noexcept { degraded_.fetch_add(1, std::memory_order_relaxed); }
+  void record_build_retry() noexcept { build_retries_.fetch_add(1, std::memory_order_relaxed); }
+
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
   void reset();
@@ -128,6 +142,11 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> queue_high_water_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> build_retries_{0};
   LogHistogram execute_ns_;
 };
 

@@ -20,15 +20,12 @@ std::size_t PlanCache::entries() const {
 
 void PlanCache::clear() {
   std::lock_guard lock(mutex_);
-  for (auto it = slots_.begin(); it != slots_.end();) {
-    if (it->second.completed) {
-      bytes_ -= it->second.bytes;
-      lru_.erase(it->second.lru_it);
-      it = slots_.erase(it);
-    } else {
-      ++it;  // in-flight build: left pending; its commit() completes it normally
-    }
-  }
+  // Pending slots are dropped too: their waiters hold shared_future
+  // copies (unaffected), and the builder's commit()/erase() carries the
+  // slot generation, so the stale build cannot resurrect the key.
+  slots_.clear();
+  lru_.clear();
+  bytes_ = 0;
 }
 
 void PlanCache::touch_locked(Slot& slot) {
@@ -36,11 +33,14 @@ void PlanCache::touch_locked(Slot& slot) {
   lru_.splice(lru_.begin(), lru_, slot.lru_it);
 }
 
-void PlanCache::insert_pending_locked(std::uint64_t key,
-                                      std::shared_future<std::shared_ptr<EntryBase>> ready) {
+std::uint64_t PlanCache::insert_pending_locked(
+    std::uint64_t key, std::shared_future<std::shared_ptr<EntryBase>> ready) {
   Slot slot;
   slot.ready = std::move(ready);
+  slot.generation = next_generation_++;
+  const std::uint64_t generation = slot.generation;
   slots_.emplace(key, std::move(slot));
+  return generation;
 }
 
 void PlanCache::evict_to_fit_locked() {
@@ -55,12 +55,14 @@ void PlanCache::evict_to_fit_locked() {
   }
 }
 
-void PlanCache::commit(std::uint64_t key, std::shared_ptr<EntryBase> entry,
-                       std::uint64_t entry_bytes) {
+void PlanCache::commit(std::uint64_t key, std::uint64_t generation,
+                       std::shared_ptr<EntryBase> entry, std::uint64_t entry_bytes) {
   (void)entry;  // kept alive by the slot's shared_future state
   std::lock_guard lock(mutex_);
   auto it = slots_.find(key);
-  if (it == slots_.end()) return;  // raced with clear(); entry is returned but not retained
+  // Slot gone, or re-created by a fresh acquire after clear() dropped
+  // ours: the entry is returned to the caller but not retained.
+  if (it == slots_.end() || it->second.generation != generation) return;
   it->second.completed = true;
   it->second.bytes = entry_bytes;
   lru_.push_front(key);
@@ -69,10 +71,10 @@ void PlanCache::commit(std::uint64_t key, std::shared_ptr<EntryBase> entry,
   evict_to_fit_locked();
 }
 
-void PlanCache::erase(std::uint64_t key) {
+void PlanCache::erase(std::uint64_t key, std::uint64_t generation) {
   std::lock_guard lock(mutex_);
   auto it = slots_.find(key);
-  if (it == slots_.end()) return;
+  if (it == slots_.end() || it->second.generation != generation) return;
   if (it->second.completed) {
     bytes_ -= it->second.bytes;
     lru_.erase(it->second.lru_it);

@@ -34,8 +34,10 @@
 #include <unordered_map>
 
 #include "core/permuter.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/status.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hmm::runtime {
@@ -69,6 +71,7 @@ class PlanCache {
     std::promise<std::shared_ptr<EntryBase>> promise;
     std::shared_future<std::shared_ptr<EntryBase>> ready;
     bool builder = false;
+    std::uint64_t my_generation = 0;
     {
       std::lock_guard lock(mutex_);
       auto it = slots_.find(fp.value);
@@ -80,7 +83,7 @@ class PlanCache {
         if (metrics_) metrics_->record_lookup(/*hit=*/false);
         builder = true;
         ready = promise.get_future().share();
-        insert_pending_locked(fp.value, ready);
+        my_generation = insert_pending_locked(fp.value, ready);
       }
     }
 
@@ -88,16 +91,20 @@ class PlanCache {
       util::Stopwatch clock;
       std::shared_ptr<TypedEntry<T>> entry;
       try {
+        auto& faults = FaultInjector::instance();
+        faults.maybe_stall(fault_sites::kPlanBuildStall);
+        faults.maybe_throw(fault_sites::kPlanBuild, StatusCode::kPlanBuildFailed,
+                           "plan build failure");
         entry = std::make_shared<TypedEntry<T>>(p, machine, strategy);
       } catch (...) {
-        erase(fp.value);
+        erase(fp.value, my_generation);
         promise.set_exception(std::current_exception());
         std::rethrow_exception(std::current_exception());
       }
       if (metrics_) {
         metrics_->record_plan_build(static_cast<std::uint64_t>(clock.nanos()));
       }
-      commit(fp.value, entry, entry->permuter->compiled_bytes());
+      commit(fp.value, my_generation, entry, entry->permuter->compiled_bytes());
       promise.set_value(entry);
       return entry->permuter;
     }
@@ -109,6 +116,29 @@ class PlanCache {
     auto typed = std::dynamic_pointer_cast<TypedEntry<T>>(base);
     HMM_CHECK_MSG(typed != nullptr, "plan-cache fingerprint collided across element types");
     return typed->permuter;
+  }
+
+  /// Non-throwing `acquire`: build (and waiter) failures come back as a
+  /// typed Status instead of an exception. This is the serving-path
+  /// entry point — `RobustPermuteService` retries / degrades on the
+  /// transient codes and fails fast on the rest.
+  ///   - FaultInjectedError   -> its carried code (kPlanBuildFailed, ...)
+  ///   - std::bad_alloc       -> kResourceExhausted
+  ///   - anything else thrown -> kPlanBuildFailed with the what() string
+  template <class T>
+  StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> try_acquire(
+      const perm::Permutation& p,
+      const model::MachineParams& machine = model::MachineParams::gtx680(),
+      core::Strategy strategy = core::Strategy::kAuto) {
+    try {
+      return acquire<T>(p, machine, strategy);
+    } catch (const FaultInjectedError& e) {
+      return Status(e.code, e.what());
+    } catch (const std::bad_alloc&) {
+      return Status(StatusCode::kResourceExhausted, "allocation failed during plan build");
+    } catch (const std::exception& e) {
+      return Status(StatusCode::kPlanBuildFailed, e.what());
+    }
   }
 
   /// The exact key `acquire<T>` files an entry under: the plan
@@ -133,7 +163,11 @@ class PlanCache {
 
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
-  /// Drop every completed entry (in-flight builds are left to finish).
+  /// Drop every entry, completed *and* pending. Waiters on a pending
+  /// build keep their shared_future and still receive the result; the
+  /// builder's later commit() notices its slot generation is gone and
+  /// returns the entry without retaining it (no resurrected key, no
+  /// bytes_ drift). See the ClearDuringInFlightBuild regression test.
   void clear();
 
  private:
@@ -177,6 +211,13 @@ class PlanCache {
 
   struct Slot {
     std::shared_future<std::shared_ptr<EntryBase>> ready;
+    /// Monotonic id stamped at insert. A builder's commit()/erase()
+    /// only applies to the generation it created: if clear() dropped
+    /// the slot (and possibly a fresh acquire re-created the key), the
+    /// stale builder must not complete someone else's slot — that
+    /// would double-push the key into the LRU list and double-count
+    /// bytes_.
+    std::uint64_t generation = 0;
     std::uint64_t bytes = 0;
     bool completed = false;
     std::list<std::uint64_t>::iterator lru_it;  // valid iff completed
@@ -184,13 +225,15 @@ class PlanCache {
 
   // Index maintenance (all require mutex_ held).
   void touch_locked(Slot& slot);
-  void insert_pending_locked(std::uint64_t key,
-                             std::shared_future<std::shared_ptr<EntryBase>> ready);
+  [[nodiscard]] std::uint64_t insert_pending_locked(
+      std::uint64_t key, std::shared_future<std::shared_ptr<EntryBase>> ready);
   void evict_to_fit_locked();
 
-  // Builder-side transitions (take the lock themselves).
-  void commit(std::uint64_t key, std::shared_ptr<EntryBase> entry, std::uint64_t entry_bytes);
-  void erase(std::uint64_t key);
+  // Builder-side transitions (take the lock themselves); no-ops when
+  // the slot's generation no longer matches (clear() raced the build).
+  void commit(std::uint64_t key, std::uint64_t generation, std::shared_ptr<EntryBase> entry,
+              std::uint64_t entry_bytes);
+  void erase(std::uint64_t key, std::uint64_t generation);
 
   Config config_;
   ServiceMetrics* metrics_;
@@ -198,6 +241,7 @@ class PlanCache {
   std::unordered_map<std::uint64_t, Slot> slots_;
   std::list<std::uint64_t> lru_;  // front = most recently used
   std::uint64_t bytes_ = 0;
+  std::uint64_t next_generation_ = 1;
 };
 
 }  // namespace hmm::runtime

@@ -1,0 +1,237 @@
+#pragma once
+/// \file service.hpp
+/// \brief `RobustPermuteService` — the hardened serving facade, and the
+///        degradation ladder it implements.
+///
+/// The paper proves the scheduled algorithm (König coloring + row
+/// schedules) optimal, but it also leaves us a safety net: the
+/// conventional D-/S-designated algorithms (Section IV) compute the
+/// *same* permutation with no offline phase at all, just more memory
+/// rounds. The service exploits exactly that structure as a
+/// degradation ladder:
+///
+///   1. **Scheduled / cached** — PlanCache hit or successful build;
+///      the optimal path.
+///   2. **Retry** — transient build failures (kPlanBuildFailed,
+///      kUnavailable, kResourceExhausted) are retried up to
+///      `max_build_retries` times with deterministic jittered
+///      exponential backoff.
+///   3. **Conventional fallback** — if retries are exhausted, or the
+///      request's deadline budget is too tight to risk an offline
+///      build, the request is served by the D-designated conventional
+///      permuter (correct, slower, zero offline phase) and counted in
+///      `degraded_executions`.
+///   4. **Reject** — non-transient errors (kInvalidArgument), expired
+///      deadlines, cancellation, and admission-bound rejections fail
+///      fast with a typed Status. The process never aborts on a
+///      request-level failure.
+///
+/// The facade owns the metrics + cache + executor stack; `submit`
+/// validates the request, resolves the ladder, and hands the request
+/// to the executor with its deadline and cancel token attached.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "core/permuter.hpp"
+#include "core/plan_io.hpp"
+#include "runtime/cancel.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/plan_cache.hpp"
+#include "runtime/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm::runtime {
+
+/// Per-request controls. Defaults: no deadline, not cancellable, let
+/// the permuter pick its strategy.
+struct RequestOptions {
+  std::chrono::steady_clock::time_point deadline = Executor::kNoDeadline;
+  CancelToken cancel;
+  core::Strategy strategy = core::Strategy::kAuto;
+};
+
+class RobustPermuteService {
+ public:
+  struct Config {
+    model::MachineParams machine = model::MachineParams::gtx680();
+    PlanCache::Config cache;
+    Executor::Config executor;
+    /// Additional attempts after the first failed plan build (0 = fail
+    /// straight through to the fallback / the caller).
+    int max_build_retries = 2;
+    /// Backoff before retry k is `base << k` plus a deterministic
+    /// jitter of up to the same amount (seeded: chaos runs replay).
+    std::chrono::microseconds retry_backoff_base{200};
+    std::uint64_t retry_jitter_seed = 0x5eed5eed5eed5eedull;
+    /// Serve via the conventional D-designated permuter when the
+    /// scheduled plan is unavailable. Off = surface the build error.
+    bool allow_degraded = true;
+  };
+
+  explicit RobustPermuteService(util::ThreadPool& pool)
+      : RobustPermuteService(pool, Config{}) {}
+  RobustPermuteService(util::ThreadPool& pool, Config config)
+      : pool_(pool),
+        config_(config),
+        cache_(config.cache, &metrics_),
+        executor_(pool, &metrics_, config.executor) {}
+
+  /// Validate, resolve the degradation ladder, submit. A synchronous
+  /// error Status means the request was refused and never executed; an
+  /// OK result carries the future with the request outcome. Arrays must
+  /// stay alive and un-mutated until that future resolves.
+  template <class T>
+  StatusOr<std::future<Status>> submit(const perm::Permutation& p, std::span<const T> a,
+                                       std::span<T> b, RequestOptions opts = {}) {
+    if (p.size() == 0) return Status(StatusCode::kInvalidArgument, "empty permutation");
+    if (a.size() != p.size() || b.size() != p.size()) {
+      return Status(StatusCode::kInvalidArgument, "array sizes do not match the permutation");
+    }
+    if (a.data() == b.data()) {
+      return Status(StatusCode::kInvalidArgument, "in-place permutation is not supported");
+    }
+    if (opts.cancel.cancelled()) {
+      metrics_.record_cancelled();
+      return Status(StatusCode::kCancelled, "cancelled before submission");
+    }
+    if (deadline_expired(opts.deadline)) {
+      metrics_.record_deadline_exceeded();
+      return Status(StatusCode::kDeadlineExceeded, "deadline already expired at submission");
+    }
+
+    std::shared_ptr<const core::OfflinePermuter<T>> permuter;
+    bool degraded = false;
+    if (should_skip_build_for_deadline<T>(p, opts)) {
+      // Deadline pressure: an offline build would likely eat the whole
+      // budget; go straight to the conventional tier.
+      degraded = true;
+    } else {
+      StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> acquired =
+          acquire_with_retry<T>(p, opts);
+      if (acquired.ok()) {
+        permuter = std::move(acquired).value();
+      } else if (config_.allow_degraded && is_transient(acquired.status().code())) {
+        degraded = true;
+      } else {
+        return acquired.status();
+      }
+    }
+
+    if (degraded) {
+      StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> fallback =
+          build_conventional<T>(p);
+      if (!fallback.ok()) return fallback.status();
+      permuter = std::move(fallback).value();
+    }
+
+    StatusOr<std::future<Status>> submitted = executor_.try_submit<T>(
+        std::move(permuter), a, b, Executor::SubmitOptions{opts.deadline, opts.cancel});
+    if (submitted.ok() && degraded) metrics_.record_degraded();
+    return submitted;
+  }
+
+  [[nodiscard]] const ServiceMetrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] ServiceMetrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] PlanCache& cache() noexcept { return cache_; }
+  [[nodiscard]] Executor& executor() noexcept { return executor_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  void wait_idle() { executor_.wait_idle(); }
+  [[nodiscard]] bool wait_idle_for(std::chrono::nanoseconds timeout) {
+    return executor_.wait_idle_for(timeout);
+  }
+
+ private:
+  static bool deadline_expired(std::chrono::steady_clock::time_point deadline) noexcept {
+    return deadline != Executor::kNoDeadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// Deadline-pressure heuristic: with an uncached plan and a deadline
+  /// tighter than the worst build observed so far, skip the offline
+  /// phase entirely. Conservative on a cold service (no builds observed
+  /// -> no estimate -> try the build).
+  template <class T>
+  bool should_skip_build_for_deadline(const perm::Permutation& p, const RequestOptions& opts) {
+    if (!config_.allow_degraded || opts.deadline == Executor::kNoDeadline) return false;
+    if (cache_.contains(PlanCache::plan_key<T>(p, config_.machine, opts.strategy))) return false;
+    const std::uint64_t worst_build_ns = metrics_.snapshot().plan_build_ns_max;
+    if (worst_build_ns == 0) return false;
+    const auto remaining = opts.deadline - std::chrono::steady_clock::now();
+    return remaining < std::chrono::nanoseconds(worst_build_ns);
+  }
+
+  template <class T>
+  StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> acquire_with_retry(
+      const perm::Permutation& p, const RequestOptions& opts) {
+    for (int attempt = 0;; ++attempt) {
+      StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> result =
+          cache_.try_acquire<T>(p, config_.machine, opts.strategy);
+      if (result.ok() || attempt >= config_.max_build_retries ||
+          !is_transient(result.status().code())) {
+        return result;
+      }
+      const std::chrono::microseconds pause = backoff_with_jitter(attempt);
+      if (opts.deadline != Executor::kNoDeadline &&
+          std::chrono::steady_clock::now() + pause >= opts.deadline) {
+        return result;  // no budget left to retry; ladder decides next
+      }
+      metrics_.record_build_retry();
+      std::this_thread::sleep_for(pause);
+    }
+  }
+
+  /// Backoff for retry `attempt`: base * 2^attempt plus deterministic
+  /// jitter in [0, base * 2^attempt) so synchronized failures fan out.
+  [[nodiscard]] std::chrono::microseconds backoff_with_jitter(int attempt) const {
+    const std::uint64_t base_us =
+        static_cast<std::uint64_t>(config_.retry_backoff_base.count()) << attempt;
+    std::uint64_t x = config_.retry_jitter_seed ^ (0x9e3779b97f4a7c15ull * (attempt + 1));
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    const std::uint64_t jitter_us = base_us == 0 ? 0 : (x ^ (x >> 31)) % base_us;
+    return std::chrono::microseconds(base_us + jitter_us);
+  }
+
+  /// The conventional tier: a D-designated permuter has no offline
+  /// phase beyond copying the mapping, so it cannot hit the plan-build
+  /// fault domain. Built outside the cache on purpose — degraded
+  /// service must not evict healthy compiled plans.
+  template <class T>
+  StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> build_conventional(
+      const perm::Permutation& p) {
+    try {
+      return std::shared_ptr<const core::OfflinePermuter<T>>(
+          std::make_shared<const core::OfflinePermuter<T>>(p, config_.machine,
+                                                           core::Strategy::kDDesignated));
+    } catch (const std::bad_alloc&) {
+      return Status(StatusCode::kResourceExhausted, "allocation failed building fallback");
+    } catch (const std::exception& e) {
+      return Status(StatusCode::kUnavailable,
+                    std::string("conventional fallback failed: ") + e.what());
+    }
+  }
+
+  util::ThreadPool& pool_;
+  Config config_;
+  ServiceMetrics metrics_;
+  PlanCache cache_;
+  Executor executor_;
+};
+
+/// Load a serialized plan as a typed Status instead of a bare nullopt:
+/// kUnavailable for IO-level failures, kInvalidArgument for malformed
+/// or corrupt payloads (with the loader's reason attached). Carries the
+/// `plan_io.read` fault-injection point, which corrupts the in-memory
+/// image before parsing — proving the loader's validation rejects a
+/// torn read instead of feeding garbage to a kernel.
+StatusOr<core::ScheduledPlan> load_plan_checked(const std::string& path);
+
+}  // namespace hmm::runtime

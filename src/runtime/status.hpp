@@ -1,0 +1,139 @@
+#pragma once
+/// \file status.hpp
+/// \brief Recoverable-error taxonomy for the serving layer:
+///        `Status` + `StatusOr<T>`.
+///
+/// The library draws a hard line between two failure classes:
+///
+///  - **Invariant violations** (a bijection that isn't, a schedule entry
+///    out of range, an unresolved strategy enum) are programmer errors;
+///    they abort via `HMM_CHECK` (util/check.hpp) because no caller can
+///    meaningfully handle them.
+///  - **Operational failures** (malformed request, plan build failure,
+///    queue full, deadline blown, caller-initiated cancellation) are
+///    facts of life for a serving process and must never take it down.
+///    Serving-path entry points report them as a typed `Status` so the
+///    caller can retry, degrade, or reject — see service.hpp for the
+///    degradation ladder.
+///
+/// `StatusOr<T>` is the usual sum type for "a T or the reason there is
+/// no T". It deliberately has no exception bridge: serving-path code
+/// converts exceptions to Status exactly once, at the subsystem
+/// boundary (Executor task bodies, PlanCache::try_acquire).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace hmm::runtime {
+
+/// Error codes of the serving layer. Codes, not subclasses: a code is
+/// what admission/retry/fallback policy dispatches on, and it survives
+/// serialization into logs and metrics.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,    ///< malformed request; never retried
+  kDeadlineExceeded = 2,   ///< request deadline passed (at any stage)
+  kResourceExhausted = 3,  ///< admission bound hit or allocation failed
+  kPlanBuildFailed = 4,    ///< offline phase (schedule compile) failed
+  kCancelled = 5,          ///< caller's CancelToken fired
+  kUnavailable = 6,        ///< transient execution/IO failure; retryable
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kPlanBuildFailed: return "PLAN_BUILD_FAILED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+/// True for codes where a fresh attempt could plausibly succeed
+/// (the retry / degradation policies in service.cpp key off this).
+[[nodiscard]] constexpr bool is_transient(StatusCode code) noexcept {
+  return code == StatusCode::kPlanBuildFailed || code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
+}
+
+/// A result code plus a human-readable reason. Default-constructed
+/// Status is OK; an OK status never carries a message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    HMM_DCHECK(code != StatusCode::kOk);
+  }
+
+  [[nodiscard]] static Status ok() { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "DEADLINE_EXCEEDED: queued past the request deadline" (or "OK").
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s(runtime::to_string(code_));
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A T or the Status explaining its absence. Accessing `value()` on an
+/// error is an invariant violation (aborts), so callers must branch on
+/// `ok()` first — exactly like std::optional, but the empty state says
+/// why.
+template <class T>
+class StatusOr {
+ public:
+  /// Implicit from an error Status (must not be OK: an OK StatusOr
+  /// must carry a value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    HMM_CHECK_MSG(!status_.is_ok(), "StatusOr constructed from OK status without a value");
+  }
+
+  /// Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return status_.is_ok(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T& value() & {
+    HMM_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    HMM_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    HMM_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hmm::runtime

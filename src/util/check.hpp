@@ -5,6 +5,18 @@
 /// `HMM_CHECK` is always on (argument validation on public entry points);
 /// `HMM_DCHECK` compiles away in release builds and guards internal
 /// invariants on hot paths.
+///
+/// Scope note (the error taxonomy, see also runtime/status.hpp): these
+/// macros are for *programmer errors and broken invariants only* — a
+/// non-bijective "permutation", a schedule entry outside its row, a
+/// wait on a pool worker that would deadlock. They abort because no
+/// caller can meaningfully recover. **Operational** failures a serving
+/// process must survive — malformed requests, plan-build failures,
+/// allocation pressure, deadlines, cancellation — must instead return
+/// `hmm::runtime::Status` / `StatusOr<T>` through the serving-path
+/// entry points (`PlanCache::try_acquire`, `Executor::try_submit`,
+/// `RobustPermuteService::submit`, `load_plan_checked`). Adding an
+/// HMM_CHECK on a path reachable by untrusted request input is a bug.
 
 #include <cstdio>
 #include <cstdlib>

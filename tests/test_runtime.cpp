@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <future>
@@ -13,6 +14,7 @@
 #include "core/permuter.hpp"
 #include "perm/generators.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/plan_cache.hpp"
@@ -178,6 +180,65 @@ TEST(PlanCache, OversizedEntryIsReturnedButNotRetained) {
   for (std::uint64_t i = 0; i < n; i += 61) EXPECT_EQ(b[p(i)], a[i]);
 }
 
+TEST(PlanCache, ClearDuringInFlightBuildDoesNotResurrectEntry) {
+  // Regression: clear() drops the pending slot of a still-running
+  // build. The builder's commit() must notice its generation is gone —
+  // completing a resurrected slot would double-push the key into the
+  // LRU list and drift bytes_.
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  const perm::Permutation p = perm::bit_reversal(4096);
+
+  {
+    // Stall the builder deterministically inside the build section.
+    runtime::ScopedFaultInjection chaos(
+        {.seed = 1,
+         .rate = 1.0,
+         .stall_ms = 250,
+         .sites = std::string(runtime::fault_sites::kPlanBuildStall)});
+    std::thread builder([&] {
+      auto h = cache.acquire<float>(p);
+      EXPECT_NE(h, nullptr);  // the stale build still serves its caller
+    });
+    // Wait for the pending slot, then clear while the build is stalled.
+    for (int spin = 0; cache.entries() == 0 && spin < 2000; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(cache.entries(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.entries(), 0u);
+    builder.join();
+  }
+
+  // The stale commit must not have resurrected the key.
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_FALSE(cache.contains(runtime::PlanCache::plan_key<float>(p)));
+
+  // A fresh acquire rebuilds and is retained exactly once.
+  auto h = cache.acquire<float>(p);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), h->compiled_bytes());
+  auto h2 = cache.acquire<float>(p);
+  EXPECT_EQ(h.get(), h2.get());
+  EXPECT_EQ(cache.bytes(), h->compiled_bytes());  // no double-count
+}
+
+TEST(PlanCache, TryAcquireReturnsStatusInsteadOfThrowing) {
+  runtime::ScopedFaultInjection chaos(
+      {.seed = 3, .rate = 1.0, .sites = std::string(runtime::fault_sites::kPlanBuild)});
+  runtime::PlanCache cache;
+  const perm::Permutation p = perm::bit_reversal(1024);
+  auto result = cache.try_acquire<float>(p);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), runtime::StatusCode::kPlanBuildFailed);
+  // The failed key was erased: a later acquire (faults off) succeeds.
+  runtime::FaultInjector::instance().disarm();
+  auto retry = cache.try_acquire<float>(p);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_NE(retry.value(), nullptr);
+}
+
 TEST(PlanCache, ConcurrentAcquiresBuildOnce) {
   runtime::ServiceMetrics metrics;
   runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
@@ -280,6 +341,94 @@ TEST(Executor, FutureDeliversResultPerRequest) {
                                     std::span<float>(b.data(), n));
   fut.get();
   for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(b[p(i)], a[i]);
+}
+
+TEST(Executor, ThrowingRequestDeliversExceptionAndReleasesItsSlot) {
+  // The legacy submit path: a failed request must surface its exception
+  // through the future, decrement in_flight_, and count as failed in
+  // the metrics — a wedged slot would hang wait_idle() and teardown.
+  const std::uint64_t n = 1 << 12;
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  runtime::Executor executor(util::ThreadPool::global(), &metrics);
+  auto h = cache.acquire<float>(perm::bit_reversal(n));
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n);
+
+  runtime::ScopedFaultInjection chaos(
+      {.seed = 4, .rate = 1.0, .sites = std::string(runtime::fault_sites::kExecutorAlloc)});
+  auto fut = executor.submit<float>(h, std::span<const float>(a.data(), n),
+                                    std::span<float>(b.data(), n));
+  EXPECT_THROW(fut.get(), runtime::FaultInjectedError);
+  executor.wait_idle();
+  EXPECT_EQ(executor.in_flight(), 0u);
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.submitted, 1u);
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.failed, 1u);
+}
+
+TEST(Executor, RepeatedFailuresDoNotWedgeTheExecutor) {
+  const std::uint64_t n = 1 << 12;
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  runtime::Executor executor(util::ThreadPool::global(), &metrics);
+  auto h = cache.acquire<float>(perm::bit_reversal(n));
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n);
+
+  constexpr int kRequests = 16;
+  {
+    runtime::ScopedFaultInjection chaos(
+        {.seed = 4, .rate = 1.0, .sites = std::string(runtime::fault_sites::kExecutorAlloc)});
+    std::vector<std::future<void>> futs;
+    for (int r = 0; r < kRequests; ++r) {
+      futs.push_back(executor.submit<float>(h, std::span<const float>(a.data(), n),
+                                            std::span<float>(b.data(), n)));
+    }
+    for (auto& f : futs) EXPECT_THROW(f.get(), runtime::FaultInjectedError);
+    executor.wait_idle();  // must return despite every request failing
+  }
+  EXPECT_EQ(executor.in_flight(), 0u);
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.failed, static_cast<std::uint64_t>(kRequests));
+
+  // The executor still serves healthy requests afterwards.
+  auto fut = executor.submit<float>(h, std::span<const float>(a.data(), n),
+                                    std::span<float>(b.data(), n));
+  fut.get();
+  const perm::Permutation p = perm::bit_reversal(n);
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(b[p(i)], a[i]);
+}
+
+TEST(Executor, WaitIdleForReportsStalledDrainThenRecovers) {
+  const std::uint64_t n = 1 << 12;
+  runtime::PlanCache cache;
+  runtime::Executor executor(util::ThreadPool::global());
+  auto h = cache.acquire<float>(perm::bit_reversal(n));
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n);
+
+  // Idle executor: any timeout (even zero) reports idle immediately.
+  EXPECT_TRUE(executor.wait_idle_for(std::chrono::nanoseconds(0)));
+
+  std::future<void> fut;
+  {
+    // Stall the worker long enough that a short wait_idle_for times out.
+    runtime::ScopedFaultInjection chaos(
+        {.seed = 6,
+         .rate = 1.0,
+         .stall_ms = 300,
+         .sites = std::string(runtime::fault_sites::kExecutorStall)});
+    fut = executor.submit<float>(h, std::span<const float>(a.data(), n),
+                                 std::span<float>(b.data(), n));
+    EXPECT_FALSE(executor.wait_idle_for(std::chrono::milliseconds(10)));
+    EXPECT_GE(executor.in_flight(), 1u);
+    fut.get();  // the stalled request still completes
+  }
+  EXPECT_TRUE(executor.wait_idle_for(std::chrono::seconds(30)));
+  EXPECT_EQ(executor.in_flight(), 0u);
 }
 
 // ------------------------------------------------------------------- metrics

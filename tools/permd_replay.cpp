@@ -1,7 +1,8 @@
 /// \file permd_replay.cpp
 /// \brief Replay a synthetic request trace against the permutation
-///        runtime (plan cache + batched async executor) and report the
-///        service metrics.
+///        runtime (RobustPermuteService: plan cache + batched async
+///        executor + robustness controls) and report the service
+///        metrics.
 ///
 /// Models a permutation-as-a-service workload: a fixed population of
 /// distinct permutations with Zipf-distributed popularity (a handful of
@@ -10,14 +11,25 @@
 /// hit the plan cache and skip the offline phase; the executor overlaps
 /// requests on the shared thread pool.
 ///
+/// Chaos mode: `--fault-rate`/`--fault-seed` arm the deterministic
+/// FaultInjector (default site: plan_cache.build) so scripted runs can
+/// verify the degradation ladder — every *accepted* request must still
+/// produce a correct permutation (`--verify`), with failures absorbed
+/// by retry + conventional fallback and surfaced in the metrics.
+///
 /// Usage:
 ///   permd_replay [--n 64K] [--perms 24] [--requests 400] [--zipf 1.0]
 ///                [--cache-mb 64] [--seed 42] [--verify] [--json]
+///                [--fault-rate 0.0] [--fault-seed 1] [--fault-sites plan_cache.build]
+///                [--fault-stall-ms 50] [--deadline-ms 0] [--max-in-flight 0] [--reject]
 ///
 /// `--json` appends the metrics snapshot as a single JSON line (the
-/// same `to_json()` dump a service would export to a scraper).
+/// same `to_json()` dump a service would export to a scraper),
+/// including the robustness section (rejected / cancelled /
+/// deadline_exceeded / degraded_executions / build_retries).
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <future>
@@ -27,9 +39,10 @@
 
 #include "core/permuter.hpp"
 #include "perm/generators.hpp"
-#include "runtime/executor.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/metrics.hpp"
-#include "runtime/plan_cache.hpp"
+#include "runtime/service.hpp"
+#include "runtime/status.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -99,16 +112,41 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const bool verify = cli.get_bool("verify");
   const bool json = cli.get_bool("json");
+  // Robustness / chaos knobs.
+  const double fault_rate = cli.get_double("fault-rate", 0.0);
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  const std::uint64_t fault_stall_ms =
+      static_cast<std::uint64_t>(cli.get_int("fault-stall-ms", 50));
+  const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+  const std::uint64_t max_in_flight =
+      static_cast<std::uint64_t>(cli.get_int("max-in-flight", 0));
+  const bool reject = cli.get_bool("reject");
 
   if (!util::is_pow2(n) || n < 64) {
     std::cerr << "permd_replay: --n must be a power of two >= 64 (got " << n << ")\n";
     return 2;
   }
 
-  std::cout << "permd_replay: n=" << n << " perms=" << num_perms << " requests=" << requests
-            << " zipf=" << zipf_s << " cache=" << util::format_bytes(cache_bytes) << "\n";
+  if (fault_rate > 0.0) {
+    runtime::FaultInjector::Config faults;
+    faults.enabled = true;
+    faults.seed = fault_seed;
+    faults.rate = fault_rate;
+    faults.stall_ms = static_cast<std::uint32_t>(fault_stall_ms);
+    // Default to the plan-build site (the degradation ladder's fault
+    // domain); --fault-sites takes a comma-separated override.
+    faults.sites = cli.get("fault-sites", std::string(runtime::fault_sites::kPlanBuild));
+    runtime::FaultInjector::instance().configure(faults);
+  }
 
-  const model::MachineParams machine = model::MachineParams::gtx680();
+  std::cout << "permd_replay: n=" << n << " perms=" << num_perms << " requests=" << requests
+            << " zipf=" << zipf_s << " cache=" << util::format_bytes(cache_bytes);
+  if (fault_rate > 0.0) {
+    std::cout << "  [chaos: rate=" << fault_rate << " seed=" << fault_seed << "]";
+  }
+  if (deadline_ms > 0) std::cout << "  [deadline=" << deadline_ms << " ms]";
+  std::cout << "\n";
+
   auto& pool = util::ThreadPool::global();
 
   // The permutation population is materialized up front (a real service
@@ -120,16 +158,19 @@ int main(int argc, char** argv) {
     population.push_back(make_member(r, n, seed));
   }
 
-  runtime::ServiceMetrics metrics;
-  runtime::PlanCache cache(runtime::PlanCache::Config{.max_bytes = cache_bytes}, &metrics);
-  runtime::Executor executor(pool, &metrics);
+  runtime::RobustPermuteService::Config config;
+  config.cache.max_bytes = cache_bytes;
+  config.executor.max_in_flight = max_in_flight;
+  config.executor.admission =
+      reject ? runtime::Executor::Admission::kReject : runtime::Executor::Admission::kBlock;
+  runtime::RobustPermuteService service(pool, config);
 
   // A bounded ring of request buffers: slot reuse waits for the slot's
   // previous request, which caps resident memory at `slots` arrays
   // while still keeping the executor saturated.
   struct BufferSlot {
     util::aligned_vector<float> a, b;
-    std::future<void> done;
+    std::future<runtime::Status> done;
     std::uint64_t perm_rank = 0;
     bool in_use = false;
   };
@@ -143,21 +184,27 @@ int main(int argc, char** argv) {
 
   ZipfSampler sample(num_perms, zipf_s);
   util::Xoshiro256 rng(seed);
+  std::uint64_t accepted = 0, refused = 0, ok_responses = 0, failed_responses = 0;
   std::uint64_t verified = 0, verify_failures = 0;
 
   auto retire = [&](BufferSlot& slot) {
-    slot.done.get();  // rethrows request failures
-    if (verify) {
-      const perm::Permutation& p = population[slot.perm_rank];
-      // Spot-check a fixed stride of images (full check is O(n) per
-      // request and would dominate the replay).
-      for (std::uint64_t i = 0; i < n; i += 97) {
-        if (slot.b[p(i)] != slot.a[i]) {
-          ++verify_failures;
-          break;
+    const runtime::Status status = slot.done.get();
+    if (status.is_ok()) {
+      ++ok_responses;
+      if (verify) {
+        const perm::Permutation& p = population[slot.perm_rank];
+        // Spot-check a fixed stride of images (full check is O(n) per
+        // request and would dominate the replay).
+        for (std::uint64_t i = 0; i < n; i += 97) {
+          if (slot.b[p(i)] != slot.a[i]) {
+            ++verify_failures;
+            break;
+          }
         }
+        ++verified;
       }
-      ++verified;
+    } else {
+      ++failed_responses;
     }
     slot.in_use = false;
   };
@@ -167,19 +214,30 @@ int main(int argc, char** argv) {
     BufferSlot& slot = ring[r % slots];
     if (slot.in_use) retire(slot);
     const std::uint64_t rank = sample(rng);
-    auto permuter = cache.acquire<float>(population[rank], machine);
+    runtime::RequestOptions opts;
+    if (deadline_ms > 0) {
+      opts.deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(deadline_ms);
+    }
+    auto submitted = service.submit<float>(population[rank],
+                                           std::span<const float>(slot.a.data(), n),
+                                           std::span<float>(slot.b.data(), n), opts);
+    if (!submitted.ok()) {
+      ++refused;  // typed refusal (admission / deadline / bad request)
+      continue;
+    }
+    ++accepted;
     slot.perm_rank = rank;
     slot.in_use = true;
-    slot.done = executor.submit<float>(
-        permuter, std::span<const float>(slot.a.data(), n), std::span<float>(slot.b.data(), n));
+    slot.done = std::move(submitted).value();
   }
   for (auto& slot : ring) {
     if (slot.in_use) retire(slot);
   }
-  executor.wait_idle();
+  service.wait_idle();
   const double wall_s = wall.seconds();
 
-  const runtime::MetricsSnapshot snap = metrics.snapshot();
+  const runtime::MetricsSnapshot snap = service.metrics().snapshot();
   std::cout << "\n";
   snap.to_table().print(std::cout);
   std::cout << "\nreplayed " << requests << " requests in " << util::format_ms(wall_s * 1e3)
@@ -188,8 +246,15 @@ int main(int argc, char** argv) {
             << util::format_double(
                    static_cast<double>(requests * n) / wall_s / 1e6, 1)
             << " Melem/s)\n";
-  std::cout << "cache resident: " << util::format_bytes(cache.bytes()) << " across "
-            << cache.entries() << " plans\n";
+  std::cout << "accepted " << accepted << " (" << ok_responses << " ok, " << failed_responses
+            << " failed late), refused " << refused << ", degraded "
+            << snap.degraded_executions << ", deadline-exceeded " << snap.deadline_exceeded
+            << ", rejected " << snap.rejected << "\n";
+  std::cout << "cache resident: " << util::format_bytes(service.cache().bytes()) << " across "
+            << service.cache().entries() << " plans\n";
+  if (fault_rate > 0.0) {
+    std::cout << "faults fired: " << runtime::FaultInjector::instance().total_fired() << "\n";
+  }
   if (verify) {
     std::cout << "verified " << verified << " responses, " << verify_failures << " failures\n";
   }
@@ -199,6 +264,10 @@ int main(int argc, char** argv) {
 
   if (snap.hits + snap.misses != snap.lookups || (verify && verify_failures > 0)) {
     std::cerr << "permd_replay: inconsistent metrics or verification failure\n";
+    return 1;
+  }
+  if (accepted != ok_responses + failed_responses) {
+    std::cerr << "permd_replay: lost a response (accepted != resolved)\n";
     return 1;
   }
   return 0;
