@@ -39,6 +39,7 @@ double average_passes(const sim::OmegaNetwork& net, const perm::Permutation& p) 
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "samples", "width"}, std::cerr)) return 2;
   const auto width = static_cast<std::uint32_t>(cli.get_int("width", 32));
   const int samples = static_cast<int>(cli.get_int("samples", 200));
   const bool csv = cli.get_bool("csv");

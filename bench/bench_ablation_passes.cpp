@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace hmm;
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "n", "reps"}, std::cerr)) return 2;
   const std::uint64_t n = cli.get_int("n", 1 << 20);
   const int reps = static_cast<int>(cli.get_int("reps", 3));
   const bool csv = cli.get_bool("csv");

@@ -122,6 +122,7 @@ std::vector<cplx> reference_dft(std::span<const cplx> x) {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "n", "verify-n"}, std::cerr)) return 2;
   const std::uint64_t n = cli.get_int("n", 64 << 10);
   const std::uint64_t verify_n = cli.get_int("verify-n", 2048);
   const bool csv = cli.get_bool("csv");

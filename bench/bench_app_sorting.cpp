@@ -110,6 +110,7 @@ SortRun sort_on_hmm(const model::MachineParams& mp, std::uint64_t n, bool scramb
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "n"}, std::cerr)) return 2;
   const std::uint64_t n = cli.get_int("n", 16 << 10);
   const bool csv = cli.get_bool("csv");
 

@@ -59,6 +59,7 @@ void print_trace(const char* title, const std::vector<std::vector<std::uint64_t>
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"latency", "width"}, std::cerr)) return 2;
   const auto width = static_cast<std::uint32_t>(cli.get_int("width", 4));
   const auto latency = static_cast<std::uint32_t>(cli.get_int("latency", 10));
 

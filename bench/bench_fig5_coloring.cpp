@@ -40,6 +40,7 @@ graph::BipartiteMultigraph random_regular(std::uint32_t nodes, std::uint32_t deg
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"seed"}, std::cerr)) return 2;
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
   std::cout << "================================================================\n"

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace hmm;
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "n"}, std::cerr)) return 2;
   const std::uint64_t n = cli.get_int("n", 4096ull << 10);
   const bool csv = cli.get_bool("csv");
 

@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace hmm;
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "family", "max"}, std::cerr)) return 2;
   const std::uint64_t max_n = cli.get_int("max", 1 << 20);
   const std::string family = cli.get("family", "bit-reversal");
   const bool csv = cli.get_bool("csv");

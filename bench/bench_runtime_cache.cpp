@@ -28,6 +28,7 @@
 int main(int argc, char** argv) {
   using namespace hmm;
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"batch", "family", "json", "max", "min"}, std::cerr)) return 2;
   const std::uint64_t min_n = static_cast<std::uint64_t>(cli.get_int("min", 1 << 10));
   const std::uint64_t max_n = static_cast<std::uint64_t>(cli.get_int("max", 1 << 20));
   const std::uint64_t batch = static_cast<std::uint64_t>(cli.get_int("batch", 16));

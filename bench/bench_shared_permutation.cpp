@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace hmm;
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "n", "samples"}, std::cerr)) return 2;
   const std::uint64_t n = cli.get_int("n", 1024);
   const int samples = static_cast<int>(cli.get_int("samples", 20));
   const bool csv = cli.get_bool("csv");

@@ -45,6 +45,7 @@ std::vector<std::string> cells(const Row& r) {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "dmms", "latency", "n", "width"}, std::cerr)) return 2;
   const std::uint64_t n = cli.get_int("n", 1 << 16);
   model::MachineParams mp;
   mp.width = static_cast<std::uint32_t>(cli.get_int("width", 32));

@@ -104,6 +104,7 @@ void run_for_type(const std::string& type_name, bool full, bool extended, int re
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "extended", "full", "reps", "sim-limit", "type"}, std::cerr)) return 2;
   const std::string type = cli.get("type", "both");
   const bool full = cli.get_bool("full");
   const bool extended = cli.get_bool("extended");

@@ -34,6 +34,7 @@ struct Agg {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"csv", "full", "n", "samples"}, std::cerr)) return 2;
   const bool full = cli.get_bool("full");
   const std::uint64_t n = full ? (4096ull << 10) : cli.get_int("n", 512ull << 10);
   const int samples = full ? 1000 : static_cast<int>(cli.get_int("samples", 25));

@@ -1,0 +1,149 @@
+#include "net/client.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace hmm::net {
+
+using runtime::Status;
+using runtime::StatusCode;
+using runtime::StatusOr;
+
+namespace {
+
+bool is_error(const Frame& frame) {
+  return static_cast<MsgKind>(frame.kind) == MsgKind::kError;
+}
+
+Status decode_error(const Frame& frame) {
+  StatusOr<ErrorResponse> err = ErrorResponse::decode(frame.payload);
+  return err.ok() ? err.value().to_status()
+                  : Status(StatusCode::kUnavailable, "malformed ERROR frame");
+}
+
+}  // namespace
+
+Status Client::connect() {
+  close();
+  StatusOr<TcpStream> conn = tcp_connect(config_.host, config_.port, config_.connect_timeout);
+  if (!conn.ok()) return conn.status();
+  stream_ = std::move(conn).value();
+  return stream_.set_io_timeout(config_.io_timeout, config_.io_timeout);
+}
+
+StatusOr<Frame> Client::roundtrip_once(MsgKind kind, const std::vector<std::uint8_t>& payload,
+                                       std::uint64_t request_id) {
+  Frame request;
+  request.kind = static_cast<std::uint16_t>(kind);
+  request.request_id = request_id;
+  request.payload = payload;
+  if (Status s = write_frame(stream_, request); !s.is_ok()) return s;
+
+  StatusOr<Frame> response = read_frame(stream_, config_.max_payload_bytes);
+  if (!response.ok()) return response;
+  const Frame& frame = response.value();
+  if (frame.request_id != request_id) {
+    return Status(StatusCode::kUnavailable, "response id does not match the request");
+  }
+  const auto resp_kind = static_cast<MsgKind>(frame.kind);
+  if (resp_kind != MsgKind::kError &&
+      frame.kind != (static_cast<std::uint16_t>(kind) | 0x80u)) {
+    return Status(StatusCode::kUnavailable, "response kind does not answer the request");
+  }
+  return response;
+}
+
+StatusOr<Frame> Client::roundtrip(MsgKind kind, std::vector<std::uint8_t> payload) {
+  Status last(StatusCode::kUnavailable, "not attempted");
+  for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (!connected()) {
+      if (attempt > 0) ++reconnects_;
+      if (Status s = connect(); !s.is_ok()) {
+        last = s;
+        continue;  // next attempt reconnects again
+      }
+    }
+    StatusOr<Frame> response = roundtrip_once(kind, payload, next_request_id_++);
+    if (response.ok()) return response;
+    last = response.status();
+    // A frame-level violation or transport failure poisons the
+    // connection; typed server errors arrive as kError *frames* (the
+    // OK path above), so any Status here warrants a reconnect.
+    close();
+    if (last.code() == StatusCode::kInvalidArgument) {
+      // Framing violation from the server: do not hammer a confused
+      // peer with resends.
+      return last;
+    }
+  }
+  return last;
+}
+
+Status Client::ping() {
+  static constexpr std::uint8_t kProbe[] = {'h', 'm', 'm', 'p', '?'};
+  std::vector<std::uint8_t> payload(std::begin(kProbe), std::end(kProbe));
+  StatusOr<Frame> response = roundtrip(MsgKind::kPing, payload);
+  if (!response.ok()) return response.status();
+  const Frame& frame = response.value();
+  if (is_error(frame)) return decode_error(frame);
+  if (frame.payload != payload) {
+    return Status(StatusCode::kUnavailable, "PING echo mismatch");
+  }
+  return Status::ok();
+}
+
+StatusOr<std::uint64_t> Client::submit_plan(const perm::Permutation& p) {
+  SubmitPlanRequest req;
+  req.mapping.assign(p.data().begin(), p.data().end());
+  StatusOr<Frame> response = roundtrip(MsgKind::kSubmitPlan, req.encode());
+  if (!response.ok()) return response.status();
+  const Frame& frame = response.value();
+  if (is_error(frame)) return decode_error(frame);
+  ByteReader r(frame.payload);
+  std::uint64_t plan_id = 0;
+  if (!r.get_u64(plan_id) || !r.exhausted()) {
+    return Status(StatusCode::kUnavailable, "malformed PLAN_OK payload");
+  }
+  return plan_id;
+}
+
+Status Client::permute(std::uint64_t plan_id, std::span<const std::uint32_t> data,
+                       std::span<std::uint32_t> out, std::chrono::milliseconds deadline) {
+  if (out.size() != data.size()) {
+    return Status(StatusCode::kInvalidArgument, "output span size does not match input");
+  }
+  PermuteRequest req;
+  req.plan_id = plan_id;
+  req.deadline_ms = static_cast<std::uint32_t>(deadline.count() < 0 ? 0 : deadline.count());
+  req.data.assign(data.begin(), data.end());
+
+  StatusOr<Frame> response = roundtrip(MsgKind::kPermute, req.encode());
+  if (!response.ok()) return response.status();
+  const Frame& frame = response.value();
+  if (is_error(frame)) return decode_error(frame);
+  StatusOr<PermuteResponse> decoded =
+      PermuteResponse::decode(frame.payload, config_.max_payload_bytes / kElemBytes);
+  if (!decoded.ok()) {
+    // The server's response payload is malformed: a protocol breach,
+    // not an invalid argument of ours.
+    return Status(StatusCode::kUnavailable,
+                  "malformed PERMUTE_OK payload: " + decoded.status().message());
+  }
+  const std::vector<std::uint32_t>& result = decoded.value().data;
+  if (result.size() != out.size()) {
+    return Status(StatusCode::kUnavailable, "PERMUTE_OK element count mismatch");
+  }
+  std::memcpy(out.data(), result.data(), result.size() * sizeof(std::uint32_t));
+  return Status::ok();
+}
+
+StatusOr<std::string> Client::stats_json() {
+  StatusOr<Frame> response = roundtrip(MsgKind::kStats, {});
+  if (!response.ok()) return response.status();
+  const Frame& frame = response.value();
+  if (is_error(frame)) return decode_error(frame);
+  ByteReader r(frame.payload);
+  return r.rest_as_string();
+}
+
+}  // namespace hmm::net

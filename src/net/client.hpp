@@ -1,0 +1,97 @@
+#pragma once
+/// \file client.hpp
+/// \brief `net::Client` — a synchronous HMMP client with connect and
+///        request timeouts, lazy connection, and reconnect-on-failure.
+///
+/// One client owns one connection and is **not** thread-safe (the
+/// protocol is strictly request/response per connection); concurrent
+/// callers each get their own Client, as permd_loadgen does.
+///
+/// Transport failures (`kUnavailable`: the server restarted, the
+/// connection was idle-closed, a reset) are retried transparently: the
+/// client reconnects and resends the request up to
+/// `Config::max_retries` times. Typed *server* errors — RETRY_LATER,
+/// DEADLINE_EXCEEDED, INVALID_ARGUMENT — are never retried here; they
+/// are answers, and backoff policy belongs to the application.
+/// Protocol violations from the server (bad framing, response id or
+/// kind mismatch) surface as `kUnavailable` after dropping the
+/// connection, since nothing after a framing error is trustworthy.
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/frame_io.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "perm/permutation.hpp"
+#include "runtime/status.hpp"
+
+namespace hmm::net {
+
+class Client {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    std::chrono::milliseconds connect_timeout{2'000};
+    /// Socket-level budget per send/recv; covers the server's whole
+    /// service time for a request, so keep it >= any PERMUTE deadline.
+    std::chrono::milliseconds io_timeout{30'000};
+    std::uint32_t max_payload_bytes = kDefaultMaxPayload;
+    /// Reconnect-and-resend attempts after a transport failure.
+    int max_retries = 1;
+  };
+
+  explicit Client(Config config) : config_(std::move(config)) {}
+  ~Client() { close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Establish the connection now (otherwise the first request does).
+  runtime::Status connect();
+  [[nodiscard]] bool connected() const noexcept { return stream_.valid(); }
+  void close() noexcept { stream_.close(); }
+
+  /// Liveness probe; round-trips a small payload and checks the echo.
+  runtime::Status ping();
+
+  /// Register `p` with the server; returns the plan id for permute().
+  runtime::StatusOr<std::uint64_t> submit_plan(const perm::Permutation& p);
+
+  /// Apply a registered plan: out[P(i)] = data[i]. `deadline` is the
+  /// relative budget the server charges the request against (zero =
+  /// none). `out` must be exactly data.size() elements.
+  runtime::Status permute(std::uint64_t plan_id, std::span<const std::uint32_t> data,
+                          std::span<std::uint32_t> out,
+                          std::chrono::milliseconds deadline = std::chrono::milliseconds{0});
+
+  /// The server's ServiceMetrics snapshot as JSON.
+  runtime::StatusOr<std::string> stats_json();
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  /// Transport-level reconnects performed since construction.
+  [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }
+
+ private:
+  /// Send `kind`+payload, receive the matching response frame.
+  /// Reconnects and resends on transport failure (up to max_retries);
+  /// returns the raw response frame (kError frames included — callers
+  /// map them via ErrorResponse::to_status()).
+  runtime::StatusOr<Frame> roundtrip(MsgKind kind, std::vector<std::uint8_t> payload);
+
+  /// One attempt on the current connection; no retry logic.
+  runtime::StatusOr<Frame> roundtrip_once(MsgKind kind,
+                                          const std::vector<std::uint8_t>& payload,
+                                          std::uint64_t request_id);
+
+  Config config_;
+  TcpStream stream_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t reconnects_ = 0;
+};
+
+}  // namespace hmm::net

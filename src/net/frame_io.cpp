@@ -1,0 +1,58 @@
+#include "net/frame_io.hpp"
+
+#include <array>
+#include <string>
+
+namespace hmm::net {
+
+using runtime::Status;
+using runtime::StatusCode;
+using runtime::StatusOr;
+
+namespace {
+
+Status protocol_error(FrameError e) {
+  return Status(StatusCode::kInvalidArgument, "frame: " + std::string(to_string(e)));
+}
+
+}  // namespace
+
+Status write_frame(TcpStream& stream, const Frame& frame) {
+  const std::vector<std::uint8_t> bytes = encode_frame(frame);
+  return stream.send_all(bytes.data(), bytes.size());
+}
+
+StatusOr<Frame> read_frame(TcpStream& stream, std::uint32_t max_payload) {
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  if (Status s = stream.recv_all(header.data(), header.size()); !s.is_ok()) return s;
+
+  ByteReader r(header);
+  std::uint32_t magic = 0, payload_len = 0;
+  std::uint16_t version = 0, kind = 0;
+  std::uint64_t request_id = 0, checksum = 0;
+  // The header buffer is exactly kHeaderBytes, so these cannot fail.
+  (void)r.get_u32(magic);
+  (void)r.get_u16(version);
+  (void)r.get_u16(kind);
+  (void)r.get_u64(request_id);
+  (void)r.get_u32(payload_len);
+  (void)r.get_u64(checksum);
+
+  if (magic != kMagic) return protocol_error(FrameError::kBadMagic);
+  if (version != kWireVersion) return protocol_error(FrameError::kBadVersion);
+  if (payload_len > max_payload) return protocol_error(FrameError::kOversized);
+
+  Frame frame;
+  frame.kind = kind;
+  frame.request_id = request_id;
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    if (Status s = stream.recv_all(frame.payload.data(), payload_len); !s.is_ok()) return s;
+  }
+  if (checksum_bytes(frame.payload) != checksum) {
+    return protocol_error(FrameError::kBadChecksum);
+  }
+  return frame;
+}
+
+}  // namespace hmm::net

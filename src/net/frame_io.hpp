@@ -1,0 +1,32 @@
+#pragma once
+/// \file frame_io.hpp
+/// \brief Reading/writing HMMP frames over a TcpStream.
+///
+/// The stream variant of wire.hpp's buffer codec: the header is read
+/// first (fixed 28 bytes), validated, and only then is the payload —
+/// already bounded by `max_payload` — pulled off the socket. A frame
+/// that fails validation is a **protocol error** (`kInvalidArgument`
+/// carrying the FrameError text); both peers respond by dropping the
+/// connection, because after a framing violation the stream position is
+/// unrecoverable. Transport failures keep their socket.hpp taxonomy
+/// (`kUnavailable` peer-gone, `kDeadlineExceeded` timeout).
+
+#include <cstdint>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "runtime/status.hpp"
+
+namespace hmm::net {
+
+/// Send one frame (header + payload) in full.
+runtime::Status write_frame(TcpStream& stream, const Frame& frame);
+
+/// Receive one full frame. Error taxonomy:
+///  - kInvalidArgument: framing violation (bad magic/version, oversized
+///    or corrupt payload) — close the connection;
+///  - kUnavailable / kDeadlineExceeded: transport-level, from socket.hpp.
+runtime::StatusOr<Frame> read_frame(TcpStream& stream,
+                                    std::uint32_t max_payload = kDefaultMaxPayload);
+
+}  // namespace hmm::net

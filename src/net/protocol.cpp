@@ -1,0 +1,214 @@
+#include "net/protocol.hpp"
+
+namespace hmm::net {
+
+using runtime::Status;
+using runtime::StatusCode;
+using runtime::StatusOr;
+
+std::string_view to_string(MsgKind kind) noexcept {
+  switch (kind) {
+    case MsgKind::kPing: return "PING";
+    case MsgKind::kSubmitPlan: return "SUBMIT_PLAN";
+    case MsgKind::kPermute: return "PERMUTE";
+    case MsgKind::kStats: return "STATS";
+    case MsgKind::kPingOk: return "PING_OK";
+    case MsgKind::kPlanOk: return "PLAN_OK";
+    case MsgKind::kPermuteOk: return "PERMUTE_OK";
+    case MsgKind::kStatsOk: return "STATS_OK";
+    case MsgKind::kError: return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+bool is_request_kind(std::uint16_t kind) noexcept {
+  switch (static_cast<MsgKind>(kind)) {
+    case MsgKind::kPing:
+    case MsgKind::kSubmitPlan:
+    case MsgKind::kPermute:
+    case MsgKind::kStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view to_string(WireError e) noexcept {
+  switch (e) {
+    case WireError::kOk: return "OK";
+    case WireError::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireError::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case WireError::kRetryLater: return "RETRY_LATER";
+    case WireError::kPlanBuildFailed: return "PLAN_BUILD_FAILED";
+    case WireError::kCancelled: return "CANCELLED";
+    case WireError::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+WireError to_wire(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return WireError::kOk;
+    case StatusCode::kInvalidArgument: return WireError::kInvalidArgument;
+    case StatusCode::kDeadlineExceeded: return WireError::kDeadlineExceeded;
+    case StatusCode::kResourceExhausted: return WireError::kRetryLater;
+    case StatusCode::kPlanBuildFailed: return WireError::kPlanBuildFailed;
+    case StatusCode::kCancelled: return WireError::kCancelled;
+    case StatusCode::kUnavailable: return WireError::kUnavailable;
+  }
+  return WireError::kUnavailable;
+}
+
+StatusCode from_wire(std::uint32_t code) noexcept {
+  switch (static_cast<WireError>(code)) {
+    case WireError::kOk: return StatusCode::kOk;
+    case WireError::kInvalidArgument: return StatusCode::kInvalidArgument;
+    case WireError::kDeadlineExceeded: return StatusCode::kDeadlineExceeded;
+    case WireError::kRetryLater: return StatusCode::kResourceExhausted;
+    case WireError::kPlanBuildFailed: return StatusCode::kPlanBuildFailed;
+    case WireError::kCancelled: return StatusCode::kCancelled;
+    case WireError::kUnavailable: return StatusCode::kUnavailable;
+  }
+  return StatusCode::kUnavailable;
+}
+
+namespace {
+
+/// Shared tail decoder for "u64 count + count u32 words" payloads.
+/// `max_elements` bounds allocation before it happens — a hostile
+/// header cannot make the receiver reserve count*4 bytes blindly.
+StatusOr<std::vector<std::uint32_t>> decode_words(ByteReader& r, std::uint64_t count,
+                                                  std::uint64_t max_elements,
+                                                  std::string_view what) {
+  if (count == 0) {
+    return Status(StatusCode::kInvalidArgument, std::string(what) + ": empty element array");
+  }
+  if (count > max_elements) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string(what) + ": element count exceeds the receiver's limit");
+  }
+  if (r.remaining() != count * kElemBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string(what) + ": payload length does not match element count");
+  }
+  std::vector<std::uint32_t> words(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (!r.get_u32(words[i])) {
+      return Status(StatusCode::kInvalidArgument, std::string(what) + ": truncated elements");
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SubmitPlanRequest::encode() const {
+  ByteWriter w;
+  w.put_u64(mapping.size());
+  w.put_u32_span(mapping);
+  return w.take();
+}
+
+StatusOr<SubmitPlanRequest> SubmitPlanRequest::decode(std::span<const std::uint8_t> payload,
+                                                      std::uint64_t max_elements) {
+  ByteReader r(payload);
+  std::uint64_t n = 0;
+  if (!r.get_u64(n)) {
+    return Status(StatusCode::kInvalidArgument, "SUBMIT_PLAN: truncated header");
+  }
+  StatusOr<std::vector<std::uint32_t>> words = decode_words(r, n, max_elements, "SUBMIT_PLAN");
+  if (!words.ok()) return words.status();
+  SubmitPlanRequest req;
+  req.mapping = std::move(words).value();
+  return req;
+}
+
+std::vector<std::uint8_t> PermuteRequest::encode() const {
+  ByteWriter w;
+  w.put_u64(plan_id);
+  w.put_u32(deadline_ms);
+  w.put_u32(kElemBytes);
+  w.put_u64(data.size());
+  w.put_u32_span(data);
+  return w.take();
+}
+
+StatusOr<PermuteRequest> PermuteRequest::decode(std::span<const std::uint8_t> payload,
+                                                std::uint64_t max_elements) {
+  ByteReader r(payload);
+  PermuteRequest req;
+  std::uint32_t elem_bytes = 0;
+  std::uint64_t count = 0;
+  if (!r.get_u64(req.plan_id) || !r.get_u32(req.deadline_ms) || !r.get_u32(elem_bytes) ||
+      !r.get_u64(count)) {
+    return Status(StatusCode::kInvalidArgument, "PERMUTE: truncated header");
+  }
+  if (elem_bytes != kElemBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "PERMUTE: unsupported element width (v1 speaks 4-byte elements)");
+  }
+  StatusOr<std::vector<std::uint32_t>> words = decode_words(r, count, max_elements, "PERMUTE");
+  if (!words.ok()) return words.status();
+  req.data = std::move(words).value();
+  return req;
+}
+
+std::vector<std::uint8_t> PermuteResponse::encode() const {
+  ByteWriter w;
+  w.put_u64(data.size());
+  w.put_u32_span(data);
+  return w.take();
+}
+
+StatusOr<PermuteResponse> PermuteResponse::decode(std::span<const std::uint8_t> payload,
+                                                  std::uint64_t max_elements) {
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.get_u64(count)) {
+    return Status(StatusCode::kInvalidArgument, "PERMUTE_OK: truncated header");
+  }
+  StatusOr<std::vector<std::uint32_t>> words = decode_words(r, count, max_elements, "PERMUTE_OK");
+  if (!words.ok()) return words.status();
+  PermuteResponse resp;
+  resp.data = std::move(words).value();
+  return resp;
+}
+
+std::vector<std::uint8_t> ErrorResponse::encode() const {
+  ByteWriter w;
+  w.put_u32(code);
+  w.put_string(message);
+  return w.take();
+}
+
+StatusOr<ErrorResponse> ErrorResponse::decode(std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  ErrorResponse resp;
+  if (!r.get_u32(resp.code)) {
+    return Status(StatusCode::kInvalidArgument, "ERROR: truncated code");
+  }
+  resp.message = r.rest_as_string();
+  return resp;
+}
+
+Status ErrorResponse::to_status() const {
+  const StatusCode sc = from_wire(code);
+  if (sc == StatusCode::kOk) {
+    // An ERROR frame claiming OK is itself a protocol violation.
+    return Status(StatusCode::kUnavailable, "peer sent an ERROR frame with code OK");
+  }
+  return Status(sc, message);
+}
+
+Frame make_error_frame(std::uint64_t request_id, const Status& status) {
+  ErrorResponse err;
+  err.code = static_cast<std::uint32_t>(to_wire(status.code()));
+  err.message = status.message();
+  Frame f;
+  f.kind = static_cast<std::uint16_t>(MsgKind::kError);
+  f.request_id = request_id;
+  f.payload = err.encode();
+  return f;
+}
+
+}  // namespace hmm::net

@@ -1,0 +1,137 @@
+#pragma once
+/// \file protocol.hpp
+/// \brief The HMMP message layer on top of the framing in wire.hpp:
+///        request/response kinds, payload schemas, and the 1:1 mapping
+///        between `runtime::StatusCode` and wire error codes.
+///
+/// A connection is a sequence of strictly alternating request/response
+/// frames (no pipelining in v1; see docs/PROTOCOL.md for the normative
+/// spec). Four request kinds cover the serving surface:
+///
+///   PING         liveness probe; the payload is echoed back verbatim
+///   SUBMIT_PLAN  register a permutation mapping; returns a 64-bit plan
+///                id (the mapping's fingerprint) for later PERMUTE calls
+///   PERMUTE      apply a registered plan to a payload of elements,
+///                under an optional relative deadline
+///   STATS        fetch the server's ServiceMetrics snapshot as JSON
+///
+/// Every failure travels as an ERROR response whose code is the wire
+/// image of the `runtime::Status` the serving stack produced — the
+/// mapping is a bijection (tested as such), with one renaming:
+/// `kResourceExhausted` appears on the wire as RETRY_LATER, because
+/// from the client's seat an admission-control rejection is precisely
+/// an invitation to back off and retry. A degradation-ladder fallback,
+/// by contrast, is invisible here: a degraded execution still returns
+/// PERMUTE_OK (the ladder exists so the wire contract can stay simple).
+///
+/// Payload schemas (all integers little-endian; see ByteWriter/Reader):
+///
+///   SUBMIT_PLAN  req:  u64 n, u32 mapping[n]        (must be a bijection)
+///   PLAN_OK      resp: u64 plan_id
+///   PERMUTE      req:  u64 plan_id, u32 deadline_ms (0 = none),
+///                      u32 elem_bytes (4 in v1), u64 count,
+///                      u8 data[count * elem_bytes]
+///   PERMUTE_OK   resp: u64 count, u8 data[count * elem_bytes]
+///   STATS_OK     resp: UTF-8 JSON bytes
+///   ERROR        resp: u32 code, UTF-8 message bytes
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "runtime/status.hpp"
+
+namespace hmm::net {
+
+/// Frame kinds. Responses set the high bit of the request they answer;
+/// ERROR answers any request.
+enum class MsgKind : std::uint16_t {
+  kPing = 0x01,
+  kSubmitPlan = 0x02,
+  kPermute = 0x03,
+  kStats = 0x04,
+  kPingOk = 0x81,
+  kPlanOk = 0x82,
+  kPermuteOk = 0x83,
+  kStatsOk = 0x84,
+  kError = 0xff,
+};
+
+[[nodiscard]] std::string_view to_string(MsgKind kind) noexcept;
+[[nodiscard]] bool is_request_kind(std::uint16_t kind) noexcept;
+
+/// Wire error codes: the on-the-wire image of `runtime::StatusCode`.
+/// Values are frozen by docs/PROTOCOL.md — append, never renumber.
+enum class WireError : std::uint32_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kDeadlineExceeded = 2,
+  kRetryLater = 3,  ///< admission bound / registry full; back off and retry
+  kPlanBuildFailed = 4,
+  kCancelled = 5,
+  kUnavailable = 6,
+};
+
+[[nodiscard]] std::string_view to_string(WireError e) noexcept;
+
+/// StatusCode -> wire code. Total: every StatusCode has a wire image.
+[[nodiscard]] WireError to_wire(runtime::StatusCode code) noexcept;
+/// Wire code -> StatusCode. Codes outside the enum map to kUnavailable
+/// (a peer speaking a newer protocol is a transient condition here).
+[[nodiscard]] runtime::StatusCode from_wire(std::uint32_t code) noexcept;
+
+/// In v1 every PERMUTE element is a 4-byte word (the paper's kernels
+/// move 32-bit elements; wider payloads are a protocol rev away).
+inline constexpr std::uint32_t kElemBytes = 4;
+
+// --- Typed payloads -------------------------------------------------
+// Each request/response payload gets an encode() producing the frame
+// payload bytes and a decode() that is strict: trailing garbage, short
+// fields, and out-of-range values all fail with a reason. decode()
+// never throws on malformed input.
+
+struct SubmitPlanRequest {
+  std::vector<std::uint32_t> mapping;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static runtime::StatusOr<SubmitPlanRequest> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+struct PermuteRequest {
+  std::uint64_t plan_id = 0;
+  std::uint32_t deadline_ms = 0;  ///< relative; 0 = no deadline
+  std::vector<std::uint32_t> data;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static runtime::StatusOr<PermuteRequest> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+struct PermuteResponse {
+  std::vector<std::uint32_t> data;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static runtime::StatusOr<PermuteResponse> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+struct ErrorResponse {
+  std::uint32_t code = 0;  ///< a WireError value
+  std::string message;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static runtime::StatusOr<ErrorResponse> decode(
+      std::span<const std::uint8_t> payload);
+
+  /// The Status a client surfaces for this error frame.
+  [[nodiscard]] runtime::Status to_status() const;
+};
+
+/// Build an ERROR frame answering `request_id` from a serving Status.
+[[nodiscard]] Frame make_error_frame(std::uint64_t request_id, const runtime::Status& status);
+
+}  // namespace hmm::net

@@ -1,0 +1,269 @@
+#include "net/server.hpp"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "runtime/fingerprint.hpp"
+#include "runtime/metrics.hpp"
+
+namespace hmm::net {
+
+using runtime::Status;
+using runtime::StatusCode;
+using runtime::StatusOr;
+
+namespace {
+
+Frame ok_frame(std::uint64_t request_id, MsgKind kind, std::vector<std::uint8_t> payload = {}) {
+  Frame f;
+  f.kind = static_cast<std::uint16_t>(kind);
+  f.request_id = request_id;
+  f.payload = std::move(payload);
+  return f;
+}
+
+}  // namespace
+
+Server::Server(runtime::RobustPermuteService& service, Config config)
+    : service_(service), config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status(StatusCode::kInvalidArgument, "server already running");
+  }
+  StatusOr<TcpListener> bound = TcpListener::bind(config_.host, config_.port);
+  if (!bound.ok()) return bound.status();
+  listener_ = std::move(bound).value();
+  port_ = listener_.port();
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status::ok();
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  // Connection threads exit at their next between-requests poll slice;
+  // a thread inside a request finishes it (and its response) first —
+  // that is the drain guarantee.
+  {
+    std::lock_guard lock(conn_mutex_);
+    for (ConnSlot& slot : connections_) {
+      if (slot.thread.joinable()) slot.thread.join();
+    }
+    connections_.clear();
+  }
+  // Every request was awaited by its connection thread, so the executor
+  // is normally idle already; the timeout guards against a stalled
+  // worker holding teardown hostage.
+  (void)service_.wait_idle_for(config_.drain_timeout);
+}
+
+Server::Counters Server::counters() const {
+  Counters c;
+  c.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  c.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
+  c.requests_served = requests_served_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.plans_registered = plans_registered_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::uint64_t Server::plans() const {
+  std::lock_guard lock(plans_mutex_);
+  return plans_.size();
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    StatusOr<TcpStream> conn = listener_.accept(config_.poll_interval);
+    {
+      std::lock_guard lock(conn_mutex_);
+      reap_finished_locked();
+    }
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;  // poll slice
+      break;  // listener is gone; stop() owns cleanup
+    }
+    TcpStream stream = std::move(conn).value();
+    (void)stream.set_io_timeout(config_.io_timeout, config_.io_timeout);
+
+    if (active_connections_.load(std::memory_order_acquire) >= config_.max_connections) {
+      // Typed rejection instead of a dropped connection: the client
+      // sees RETRY_LATER (request_id 0: this answers the connection
+      // attempt, not any frame).
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      (void)write_frame(stream, make_error_frame(
+                                    0, Status(StatusCode::kResourceExhausted,
+                                              "server at connection capacity; retry later")));
+      continue;
+    }
+
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard lock(conn_mutex_);
+    connections_.push_back(ConnSlot{
+        std::thread([this, s = std::move(stream), done]() mutable {
+          serve_connection(std::move(s));
+          active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+          done->store(true, std::memory_order_release);
+        }),
+        done});
+  }
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::serve_connection(TcpStream stream) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Poll in short slices so stop() is honored between requests.
+    StatusOr<bool> readable = stream.poll_readable(config_.poll_interval);
+    if (!readable.ok()) return;
+    if (!readable.value()) continue;
+
+    StatusOr<Frame> request = read_frame(stream, config_.max_payload_bytes);
+    if (!request.ok()) {
+      if (request.status().code() == StatusCode::kInvalidArgument) {
+        // Framing violation: answer typed (best effort), then close —
+        // the stream position is unrecoverable.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        (void)write_frame(stream, make_error_frame(0, request.status()));
+      }
+      return;  // transport errors (EOF/reset/timeout) close quietly
+    }
+
+    Frame response = handle_request(request.value());
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (Status s = write_frame(stream, response); !s.is_ok()) return;
+  }
+}
+
+Frame Server::handle_request(const Frame& request) {
+  try {
+    switch (static_cast<MsgKind>(request.kind)) {
+      case MsgKind::kPing:
+        return ok_frame(request.request_id, MsgKind::kPingOk, request.payload);
+      case MsgKind::kSubmitPlan:
+        return handle_submit_plan(request);
+      case MsgKind::kPermute:
+        return handle_permute(request);
+      case MsgKind::kStats:
+        return handle_stats(request);
+      default:
+        return make_error_frame(request.request_id,
+                                Status(StatusCode::kInvalidArgument, "unknown request kind"));
+    }
+  } catch (const std::bad_alloc&) {
+    return make_error_frame(request.request_id,
+                            Status(StatusCode::kResourceExhausted, "allocation failed"));
+  } catch (const std::exception& e) {
+    // Last-resort boundary: a request must never take the connection
+    // (let alone the process) down without a typed answer.
+    return make_error_frame(request.request_id, Status(StatusCode::kUnavailable, e.what()));
+  }
+}
+
+Frame Server::handle_submit_plan(const Frame& request) {
+  const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
+  StatusOr<SubmitPlanRequest> req = SubmitPlanRequest::decode(request.payload, max_elements);
+  if (!req.ok()) return make_error_frame(request.request_id, req.status());
+
+  const std::vector<std::uint32_t>& mapping = req.value().mapping;
+  if (!perm::Permutation::is_valid({mapping.data(), mapping.size()})) {
+    return make_error_frame(
+        request.request_id,
+        Status(StatusCode::kInvalidArgument, "SUBMIT_PLAN: mapping is not a bijection"));
+  }
+  util::aligned_vector<std::uint32_t> words(mapping.size());
+  std::memcpy(words.data(), mapping.data(), mapping.size() * sizeof(std::uint32_t));
+  auto plan = std::make_shared<const perm::Permutation>(std::move(words));
+  const std::uint64_t plan_id = runtime::fingerprint_permutation(*plan).value;
+
+  {
+    std::lock_guard lock(plans_mutex_);
+    auto it = plans_.find(plan_id);
+    if (it == plans_.end()) {
+      if (plans_.size() >= config_.max_plans) {
+        return make_error_frame(
+            request.request_id,
+            Status(StatusCode::kResourceExhausted, "plan registry full; retry later"));
+      }
+      plans_.emplace(plan_id, std::move(plan));
+      plans_registered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  ByteWriter w;
+  w.put_u64(plan_id);
+  return ok_frame(request.request_id, MsgKind::kPlanOk, w.take());
+}
+
+Frame Server::handle_permute(const Frame& request) {
+  const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
+  StatusOr<PermuteRequest> req = PermuteRequest::decode(request.payload, max_elements);
+  if (!req.ok()) return make_error_frame(request.request_id, req.status());
+  PermuteRequest& permute = req.value();
+
+  std::shared_ptr<const perm::Permutation> plan;
+  {
+    std::lock_guard lock(plans_mutex_);
+    auto it = plans_.find(permute.plan_id);
+    if (it != plans_.end()) plan = it->second;
+  }
+  if (plan == nullptr) {
+    return make_error_frame(request.request_id,
+                            Status(StatusCode::kInvalidArgument,
+                                   "PERMUTE: unknown plan id (SUBMIT_PLAN it first)"));
+  }
+  if (permute.data.size() != plan->size()) {
+    return make_error_frame(request.request_id,
+                            Status(StatusCode::kInvalidArgument,
+                                   "PERMUTE: element count does not match the plan size"));
+  }
+
+  // The client's relative budget becomes an absolute executor deadline
+  // here — queueing and kernel phases all draw from it.
+  runtime::RequestOptions opts;
+  if (permute.deadline_ms > 0) {
+    opts.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(permute.deadline_ms);
+  }
+
+  std::vector<std::uint32_t> out(permute.data.size());
+  StatusOr<std::future<Status>> submitted = service_.submit<std::uint32_t>(
+      *plan, {permute.data.data(), permute.data.size()}, {out.data(), out.size()}, opts);
+  if (!submitted.ok()) return make_error_frame(request.request_id, submitted.status());
+
+  const Status outcome = submitted.value().get();
+  if (!outcome.is_ok()) return make_error_frame(request.request_id, outcome);
+
+  ByteWriter w;
+  w.put_u64(out.size());
+  w.put_u32_span({out.data(), out.size()});
+  return ok_frame(request.request_id, MsgKind::kPermuteOk, w.take());
+}
+
+Frame Server::handle_stats(const Frame& request) {
+  const std::string json = service_.metrics().snapshot().to_json();
+  ByteWriter w;
+  w.put_string(json);
+  return ok_frame(request.request_id, MsgKind::kStatsOk, w.take());
+}
+
+}  // namespace hmm::net

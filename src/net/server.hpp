@@ -1,0 +1,148 @@
+#pragma once
+/// \file server.hpp
+/// \brief The permd TCP front-end: a thread-per-connection server that
+///        speaks HMMP and fronts a `RobustPermuteService`.
+///
+/// Design (taskd-shaped, sized for the runtime underneath):
+///
+///  - **Thread per connection, blocking sockets.** The request path
+///    ends in `future.get()` on the executor anyway; an event loop
+///    would add state machines without adding concurrency. Kernel fan-
+///    out happens on the shared `ThreadPool`, not on connection threads.
+///  - **Strictly alternating request/response.** Each connection thread
+///    reads one frame, dispatches, writes one response. Framing
+///    violations (`read_frame` -> kInvalidArgument) close the
+///    connection after a best-effort ERROR frame; transport errors
+///    (EPIPE/ECONNRESET/EOF -> kUnavailable) close it quietly. Neither
+///    is ever fatal to the process.
+///  - **Deadline propagation.** A PERMUTE's relative `deadline_ms`
+///    becomes an absolute executor deadline at decode time, so queueing
+///    and kernel phases are all charged against the client's budget.
+///  - **Typed backpressure.** Admission-control rejections from the
+///    executor (`kResourceExhausted`) return as RETRY_LATER error
+///    frames; a connection-count cap answers excess connections with
+///    the same code before closing them. Nothing is silently dropped.
+///  - **Graceful drain.** `stop()` stops accepting, lets every
+///    connection finish the request it is serving (threads re-check the
+///    stop flag only *between* requests), joins them, then waits for
+///    the executor to go idle.
+///
+/// Plans are registered once via SUBMIT_PLAN and shared by all
+/// connections: the registry maps the mapping's fingerprint to the
+/// `perm::Permutation`, and the `RobustPermuteService`'s PlanCache
+/// keys compiled plans off the same fingerprint — a hot plan is
+/// compiled once, no matter how many connections use it.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/frame_io.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "perm/permutation.hpp"
+#include "runtime/service.hpp"
+#include "runtime/status.hpp"
+
+namespace hmm::net {
+
+class Server {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    std::uint32_t max_payload_bytes = kDefaultMaxPayload;
+    /// Upper bound on registered plans (fingerprint-deduplicated).
+    /// At the bound, SUBMIT_PLAN answers RETRY_LATER.
+    std::uint32_t max_plans = 4096;
+    /// Connection cap; excess connections get a RETRY_LATER error
+    /// frame and a close, never a silent drop.
+    std::uint32_t max_connections = 256;
+    /// Per-direction socket timeout while inside a frame.
+    std::chrono::milliseconds io_timeout{30'000};
+    /// How long stop() waits for the executor to drain.
+    std::chrono::milliseconds drain_timeout{10'000};
+    /// Stop-flag poll slice for accept and connection loops.
+    std::chrono::milliseconds poll_interval{50};
+  };
+
+  /// Monotonic counters (relaxed; advisory).
+  struct Counters {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;  ///< over max_connections
+    std::uint64_t requests_served = 0;       ///< any well-formed request answered
+    std::uint64_t protocol_errors = 0;       ///< framing violations received
+    std::uint64_t plans_registered = 0;
+  };
+
+  explicit Server(runtime::RobustPermuteService& service) : Server(service, Config{}) {}
+  Server(runtime::RobustPermuteService& service, Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + start the accept loop. Error if already running
+  /// or the bind fails.
+  runtime::Status start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight requests, join
+  /// every thread. Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] Counters counters() const;
+  [[nodiscard]] std::uint64_t plans() const;
+
+ private:
+  struct ConnSlot {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void accept_loop();
+  void reap_finished_locked();
+  void serve_connection(TcpStream stream);
+
+  /// Dispatch one well-formed frame to a response frame. Never throws;
+  /// every failure becomes an ERROR frame.
+  Frame handle_request(const Frame& request);
+
+  Frame handle_submit_plan(const Frame& request);
+  Frame handle_permute(const Frame& request);
+  Frame handle_stats(const Frame& request);
+
+  runtime::RobustPermuteService& service_;
+  Config config_;
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  mutable std::mutex conn_mutex_;
+  std::list<ConnSlot> connections_;
+  std::atomic<std::uint32_t> active_connections_{0};
+
+  mutable std::mutex plans_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const perm::Permutation>> plans_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> plans_registered_{0};
+};
+
+}  // namespace hmm::net

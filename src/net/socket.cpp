@@ -1,0 +1,239 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace hmm::net {
+
+using runtime::Status;
+using runtime::StatusCode;
+using runtime::StatusOr;
+
+namespace {
+
+Status errno_status(const char* op) {
+  return Status(StatusCode::kUnavailable, std::string(op) + ": " + std::strerror(errno));
+}
+
+/// EPIPE / ECONNRESET / EOF are per-connection events, never fatal to
+/// the process: they all collapse to kUnavailable ("this connection is
+/// done"), which server loops treat as a quiet close.
+Status peer_gone(const char* what) { return Status(StatusCode::kUnavailable, what); }
+
+Status set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_status("fcntl(F_GETFL)");
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) return errno_status("fcntl(F_SETFL)");
+  return Status::ok();
+}
+
+timeval to_timeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
+/// Resolve host:port to an IPv4 sockaddr.
+StatusOr<sockaddr_in> resolve(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &result);
+  if (rc != 0 || result == nullptr) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cannot resolve host '" + host + "': " + gai_strerror(rc));
+  }
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(result->ai_addr)->sin_addr;
+  ::freeaddrinfo(result);
+  return addr;
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  // SIG_IGN survives exec and is inherited by threads; one call per
+  // process is enough. MSG_NOSIGNAL already covers library writes —
+  // this covers everything else.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpStream::set_io_timeout(std::chrono::milliseconds recv_timeout,
+                                 std::chrono::milliseconds send_timeout) {
+  if (!valid()) return peer_gone("socket closed");
+  const timeval rtv = to_timeval(recv_timeout);
+  const timeval stv = to_timeval(send_timeout);
+  if (::setsockopt(fd(), SOL_SOCKET, SO_RCVTIMEO, &rtv, sizeof(rtv)) < 0 ||
+      ::setsockopt(fd(), SOL_SOCKET, SO_SNDTIMEO, &stv, sizeof(stv)) < 0) {
+    return errno_status("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+  }
+  return Status::ok();
+}
+
+Status TcpStream::send_all(const void* data, std::size_t len) {
+  if (!valid()) return peer_gone("socket closed");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd(), p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status(StatusCode::kDeadlineExceeded, "send timed out");
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return peer_gone("peer closed the connection");
+    }
+    return errno_status("send");
+  }
+  return Status::ok();
+}
+
+Status TcpStream::recv_all(void* data, std::size_t len) {
+  if (!valid()) return peer_gone("socket closed");
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd(), p + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return got == 0 ? peer_gone("connection closed")
+                      : peer_gone("connection closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kDeadlineExceeded, "recv timed out");
+    }
+    if (errno == ECONNRESET) return peer_gone("connection reset by peer");
+    return errno_status("recv");
+  }
+  return Status::ok();
+}
+
+StatusOr<bool> TcpStream::poll_readable(std::chrono::milliseconds timeout) {
+  if (!valid()) return peer_gone("socket closed");
+  pollfd pfd{fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (rc < 0) {
+    if (errno == EINTR) return false;  // treat as a timeout slice
+    return errno_status("poll");
+  }
+  if (rc == 0) return false;
+  if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) return peer_gone("socket error");
+  // POLLIN and POLLHUP both mean "recv will not block" (data or EOF).
+  return true;
+}
+
+StatusOr<TcpStream> tcp_connect(const std::string& host, std::uint16_t port,
+                                std::chrono::milliseconds timeout) {
+  StatusOr<sockaddr_in> addr = resolve(host, port);
+  if (!addr.ok()) return addr.status();
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_status("socket");
+
+  // Non-blocking connect bounded by poll, then back to blocking mode
+  // (everything downstream relies on SO_RCVTIMEO semantics).
+  if (Status s = set_nonblocking(sock.fd(), true); !s.is_ok()) return s;
+  const sockaddr_in& sa = addr.value();
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+    if (errno != EINPROGRESS) return errno_status("connect");
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    if (rc < 0) return errno_status("poll(connect)");
+    if (rc == 0) return Status(StatusCode::kDeadlineExceeded, "connect timed out");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return errno_status("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      return Status(StatusCode::kUnavailable,
+                    std::string("connect failed: ") + std::strerror(err));
+    }
+  }
+  if (Status s = set_nonblocking(sock.fd(), false); !s.is_ok()) return s;
+
+  // Frames are written whole; Nagle only adds latency here.
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(sock));
+}
+
+StatusOr<TcpListener> TcpListener::bind(const std::string& host, std::uint16_t port,
+                                        int backlog) {
+  StatusOr<sockaddr_in> addr = resolve(host, port);
+  if (!addr.ok()) return addr.status();
+
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_status("socket");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in& sa = addr.value();
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+    return errno_status("bind");
+  }
+  if (::listen(sock.fd(), backlog) < 0) return errno_status("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    return errno_status("getsockname");
+  }
+  return TcpListener(std::move(sock), ntohs(bound.sin_port));
+}
+
+StatusOr<TcpStream> TcpListener::accept(std::chrono::milliseconds timeout) {
+  if (!valid()) return Status(StatusCode::kUnavailable, "listener closed");
+  pollfd pfd{sock_.fd(), POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+  if (rc < 0) {
+    if (errno == EINTR) return Status(StatusCode::kDeadlineExceeded, "accept interrupted");
+    return errno_status("poll(accept)");
+  }
+  if (rc == 0) return Status(StatusCode::kDeadlineExceeded, "accept timed out");
+  const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    // Transient accept errors (the connection died in the backlog) are
+    // not listener failures; report a timeout so the loop just retries.
+    if (errno == ECONNABORTED || errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status(StatusCode::kDeadlineExceeded, "connection aborted in backlog");
+    }
+    return errno_status("accept");
+  }
+  Socket conn(fd);
+  const int one = 1;
+  ::setsockopt(conn.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpStream(std::move(conn));
+}
+
+}  // namespace hmm::net

@@ -1,0 +1,128 @@
+#pragma once
+/// \file socket.hpp
+/// \brief Thin RAII layer over blocking POSIX TCP sockets: listener,
+///        stream, connect-with-timeout, and typed I/O errors.
+///
+/// The net layer deliberately uses blocking sockets and a
+/// thread-per-connection server (taskd-style): the executor underneath
+/// is already asynchronous, connections are long-lived, and the request
+/// path blocks on a future anyway — an event loop would buy nothing but
+/// state-machine complexity at this scale.
+///
+/// Error taxonomy (the same `runtime::Status` the serving stack uses):
+///  - `kDeadlineExceeded` — an I/O timeout (SO_RCVTIMEO/SO_SNDTIMEO) or
+///    poll timeout elapsed;
+///  - `kUnavailable` — the peer went away (EOF, ECONNRESET, EPIPE) or
+///    the OS refused (transient): callers treat the *connection* as
+///    dead, never the process.
+///
+/// `EPIPE`/`ECONNRESET` are per-connection facts of life; writes use
+/// `MSG_NOSIGNAL` so a dead peer can never raise SIGPIPE from inside
+/// the library, and `ignore_sigpipe()` belts-and-braces the daemons for
+/// any path outside it (stdio to a closed pipe, third-party writes).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "runtime/status.hpp"
+
+namespace hmm::net {
+
+/// Process-wide `signal(SIGPIPE, SIG_IGN)`. Idempotent; call early in
+/// any program that writes to sockets.
+void ignore_sigpipe();
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream with whole-buffer send/recv.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(Socket s) noexcept : sock_(std::move(s)) {}
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
+
+  /// Per-direction I/O timeouts (0 = never time out).
+  runtime::Status set_io_timeout(std::chrono::milliseconds recv_timeout,
+                                 std::chrono::milliseconds send_timeout);
+
+  /// Send exactly `len` bytes. Typed failure, never SIGPIPE.
+  runtime::Status send_all(const void* data, std::size_t len);
+
+  /// Receive exactly `len` bytes. EOF mid-buffer is kUnavailable (a
+  /// torn frame); a clean EOF before the first byte is also
+  /// kUnavailable with a "closed" message callers can treat as quiet.
+  runtime::Status recv_all(void* data, std::size_t len);
+
+  /// Wait up to `timeout` for readability. OK(true) = data or EOF
+  /// pending, OK(false) = timeout, error = the socket is dead.
+  runtime::StatusOr<bool> poll_readable(std::chrono::milliseconds timeout);
+
+  void close() noexcept { sock_.close(); }
+
+ private:
+  Socket sock_;
+};
+
+/// Connect to host:port within `timeout` (non-blocking connect + poll,
+/// then back to blocking mode). Numeric IPv4 addresses and hostnames
+/// both resolve (AF_INET).
+runtime::StatusOr<TcpStream> tcp_connect(const std::string& host, std::uint16_t port,
+                                         std::chrono::milliseconds timeout);
+
+/// A bound, listening TCP socket.
+class TcpListener {
+ public:
+  TcpListener() = default;
+
+  /// Bind and listen on host:port. Port 0 binds an ephemeral port —
+  /// read the real one back with `port()`.
+  static runtime::StatusOr<TcpListener> bind(const std::string& host, std::uint16_t port,
+                                             int backlog = 128);
+
+  [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Wait up to `timeout` for a connection. OK carries the stream;
+  /// kDeadlineExceeded = timeout (normal in an accept loop polling a
+  /// stop flag); kUnavailable = the listener is closed/broken.
+  runtime::StatusOr<TcpStream> accept(std::chrono::milliseconds timeout);
+
+  void close() noexcept { sock_.close(); }
+
+ private:
+  explicit TcpListener(Socket s, std::uint16_t bound_port) noexcept
+      : sock_(std::move(s)), port_(bound_port) {}
+
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace hmm::net

@@ -1,0 +1,65 @@
+#include "net/wire.hpp"
+
+#include "runtime/fingerprint.hpp"
+#include "util/check.hpp"
+
+namespace hmm::net {
+
+std::string_view to_string(FrameError e) noexcept {
+  switch (e) {
+    case FrameError::kOk: return "ok";
+    case FrameError::kShortHeader: return "short header";
+    case FrameError::kBadMagic: return "bad magic";
+    case FrameError::kBadVersion: return "unsupported wire version";
+    case FrameError::kOversized: return "payload exceeds frame budget";
+    case FrameError::kShortPayload: return "truncated payload";
+    case FrameError::kBadChecksum: return "payload checksum mismatch";
+  }
+  return "unknown frame error";
+}
+
+std::uint64_t checksum_bytes(std::span<const std::uint8_t> bytes) noexcept {
+  runtime::Fnv1a64 h;
+  for (std::uint8_t b : bytes) h.update_byte(b);
+  return h.digest();
+}
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  HMM_CHECK(frame.payload.size() <= UINT32_MAX);
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u16(kWireVersion);
+  w.put_u16(frame.kind);
+  w.put_u64(frame.request_id);
+  w.put_u32(static_cast<std::uint32_t>(frame.payload.size()));
+  w.put_u64(checksum_bytes(frame.payload));
+  w.put_bytes(frame.payload);
+  return w.take();
+}
+
+FrameError decode_frame(std::span<const std::uint8_t> buf, Frame& out, std::size_t& consumed,
+                        std::uint32_t max_payload) {
+  ByteReader r(buf);
+  std::uint32_t magic = 0, payload_len = 0;
+  std::uint16_t version = 0, kind = 0;
+  std::uint64_t request_id = 0, checksum = 0;
+  if (!r.get_u32(magic) || !r.get_u16(version) || !r.get_u16(kind) ||
+      !r.get_u64(request_id) || !r.get_u32(payload_len) || !r.get_u64(checksum)) {
+    return FrameError::kShortHeader;
+  }
+  // Magic before version before length: report the earliest field that
+  // proves the stream is not (this version of) HMMP.
+  if (magic != kMagic) return FrameError::kBadMagic;
+  if (version != kWireVersion) return FrameError::kBadVersion;
+  if (payload_len > max_payload) return FrameError::kOversized;
+  std::span<const std::uint8_t> payload;
+  if (!r.get_bytes(payload_len, payload)) return FrameError::kShortPayload;
+  if (checksum_bytes(payload) != checksum) return FrameError::kBadChecksum;
+  out.kind = kind;
+  out.request_id = request_id;
+  out.payload.assign(payload.begin(), payload.end());
+  consumed = kHeaderBytes + payload_len;
+  return FrameError::kOk;
+}
+
+}  // namespace hmm::net

@@ -1,0 +1,168 @@
+#pragma once
+/// \file wire.hpp
+/// \brief The HMMP framing layer: length-prefixed, checksummed binary
+///        frames with explicit little-endian serialization.
+///
+/// Every message on a permd connection is one frame:
+///
+///   offset  size  field
+///        0     4  magic        'H' 'M' 'M' 'P'
+///        4     2  version      u16 LE (currently 1)
+///        6     2  kind         u16 LE (protocol.hpp enumerates kinds)
+///        8     8  request_id   u64 LE (echoed verbatim in the response)
+///       16     4  payload_len  u32 LE (bounded by the peer's limit)
+///       20     8  checksum     u64 LE, FNV-1a64 over the payload bytes
+///       28     …  payload
+///
+/// The framing layer treats `kind` and the payload as opaque; it owns
+/// exactly the properties a byte stream can violate: truncation, a
+/// foreign magic, an unknown framing version, a length that exceeds the
+/// receiver's budget, and payload corruption (the checksum reuses
+/// `runtime::Fnv1a64`, the same hash the plan cache keys on). Decoding
+/// is strict and bounds-checked — no field is read past the end of the
+/// buffer, and every rejection is a distinct `FrameError` so tests and
+/// metrics can tell a short read from a corrupt one.
+///
+/// `ByteWriter`/`ByteReader` are the only serialization primitives the
+/// protocol layer uses; both commit to little-endian byte order
+/// explicitly (byte shifts, not memcpy-of-host-integers), so the wire
+/// format is identical across architectures.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmm::net {
+
+/// "HMMP" as a little-endian u32 (bytes on the wire: 'H','M','M','P').
+inline constexpr std::uint32_t kMagic = 0x504d4d48u;
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 28;
+/// Default per-frame payload budget (requests carry whole arrays).
+inline constexpr std::uint32_t kDefaultMaxPayload = 64u << 20;
+
+/// One decoded frame. The payload is owned (frames outlive the socket
+/// buffer they were parsed from).
+struct Frame {
+  std::uint16_t kind = 0;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Why a frame failed to decode. Ordered roughly by how early in the
+/// header the problem sits.
+enum class FrameError {
+  kOk = 0,
+  kShortHeader,   ///< fewer than kHeaderBytes available
+  kBadMagic,      ///< not an HMMP stream
+  kBadVersion,    ///< framing version this build does not speak
+  kOversized,     ///< payload_len exceeds the receiver's budget
+  kShortPayload,  ///< header promises more payload than is present
+  kBadChecksum,   ///< payload bytes do not hash to the header checksum
+};
+
+[[nodiscard]] std::string_view to_string(FrameError e) noexcept;
+
+/// FNV-1a64 over a byte span (the frame checksum).
+[[nodiscard]] std::uint64_t checksum_bytes(std::span<const std::uint8_t> bytes) noexcept;
+
+/// Serialize a frame (header + payload) into a fresh buffer.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+/// Strict decode of one frame from `buf`. On kOk, `out` holds the frame
+/// and `consumed` the number of bytes it occupied. On any error, `out`
+/// and `consumed` are untouched. `max_payload` is the receiver's budget
+/// (a frame promising more is rejected before any payload is read).
+[[nodiscard]] FrameError decode_frame(std::span<const std::uint8_t> buf, Frame& out,
+                                      std::size_t& consumed,
+                                      std::uint32_t max_payload = kDefaultMaxPayload);
+
+/// Append-only little-endian serializer for frame payloads.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v));
+    put_u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) put_u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  void put_u32_span(std::span<const std::uint32_t> words) {
+    buf_.reserve(buf_.size() + words.size() * 4);
+    for (std::uint32_t w : words) put_u32(w);
+  }
+  void put_string(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian cursor over a payload. Every getter
+/// returns false (leaving the output untouched) instead of reading past
+/// the end, so a malformed payload can never over-read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> buf) : buf_(buf) {}
+
+  [[nodiscard]] bool get_u8(std::uint8_t& out) noexcept {
+    if (remaining() < 1) return false;
+    out = buf_[pos_++];
+    return true;
+  }
+  [[nodiscard]] bool get_u16(std::uint16_t& out) noexcept {
+    if (remaining() < 2) return false;
+    out = static_cast<std::uint16_t>(buf_[pos_] | (buf_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  [[nodiscard]] bool get_u32(std::uint32_t& out) noexcept {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) out |= static_cast<std::uint32_t>(buf_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  [[nodiscard]] bool get_u64(std::uint64_t& out) noexcept {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) out |= static_cast<std::uint64_t>(buf_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  /// View of the next `len` bytes (no copy); false if fewer remain.
+  [[nodiscard]] bool get_bytes(std::size_t len, std::span<const std::uint8_t>& out) noexcept {
+    if (remaining() < len) return false;
+    out = buf_.subspan(pos_, len);
+    pos_ += len;
+    return true;
+  }
+  /// The rest of the payload as a string (error messages, JSON).
+  [[nodiscard]] std::string rest_as_string() {
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), remaining());
+    pos_ = buf_.size();
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return buf_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hmm::net

@@ -1,6 +1,8 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
+#include <ostream>
 
 namespace hmm::util {
 
@@ -22,6 +24,24 @@ Cli::Cli(int argc, char** argv) {
       flags_[arg] = "true";
     }
   }
+}
+
+bool Cli::expect_flags(std::initializer_list<std::string_view> known,
+                       std::ostream& err) const {
+  bool ok = true;
+  for (const auto& [key, value] : flags_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      err << program_ << ": unknown flag --" << key << "\n";
+      ok = false;
+    }
+  }
+  if (!ok) {
+    err << "usage: " << program_;
+    for (std::string_view k : known) err << " [--" << k << "]";
+    err << "\n";
+  }
+  return ok;
 }
 
 bool Cli::has(const std::string& key) const { return flags_.count(key) != 0; }

@@ -4,8 +4,11 @@
 ///        example binaries (keeps them dependency-free).
 
 #include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hmm::util {
@@ -15,6 +18,14 @@ namespace hmm::util {
 class Cli {
  public:
   Cli(int argc, char** argv);
+
+  /// Validate the parsed flags against this program's complete flag
+  /// list. A flag outside `known` (a typo like `--fautl-rate`) prints
+  /// `unknown flag --x` plus a usage dump of the known flags to `err`
+  /// and returns false — drivers exit instead of silently running with
+  /// the flag ignored. Call once, right after parsing.
+  [[nodiscard]] bool expect_flags(std::initializer_list<std::string_view> known,
+                                  std::ostream& err) const;
 
   [[nodiscard]] bool has(const std::string& key) const;
   [[nodiscard]] std::string get(const std::string& key, const std::string& def = "") const;

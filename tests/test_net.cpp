@@ -1,0 +1,589 @@
+/// Tests for the net layer: HMMP framing (encode/decode round-trip and
+/// strict rejection of truncated / foreign / oversized / corrupt
+/// frames), the typed payload codecs, the Status<->wire-error bijection,
+/// and a loopback end-to-end suite running `net::Server` and
+/// `net::Client` in-process — including the deadline-exceeded and
+/// admission-reject paths and graceful drain under load.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/frame_io.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "perm/generators.hpp"
+#include "perm/permutation.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/service.hpp"
+#include "runtime/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hmm {
+namespace {
+
+using namespace std::chrono_literals;
+using runtime::Status;
+using runtime::StatusCode;
+
+// ---------------------------------------------------------------- wire
+
+net::Frame sample_frame() {
+  net::Frame f;
+  f.kind = static_cast<std::uint16_t>(net::MsgKind::kPing);
+  f.request_id = 0x1122334455667788ull;
+  f.payload = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x42};
+  return f;
+}
+
+TEST(Wire, FrameRoundTrip) {
+  const net::Frame in = sample_frame();
+  const std::vector<std::uint8_t> bytes = net::encode_frame(in);
+  ASSERT_EQ(bytes.size(), net::kHeaderBytes + in.payload.size());
+
+  net::Frame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::decode_frame(bytes, out, consumed), net::FrameError::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(out.kind, in.kind);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(Wire, EmptyPayloadRoundTrips) {
+  net::Frame in;
+  in.kind = static_cast<std::uint16_t>(net::MsgKind::kStats);
+  in.request_id = 7;
+  const auto bytes = net::encode_frame(in);
+  ASSERT_EQ(bytes.size(), net::kHeaderBytes);
+
+  net::Frame out;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::decode_frame(bytes, out, consumed), net::FrameError::kOk);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Wire, MagicBytesSpellHMMP) {
+  const auto bytes = net::encode_frame(sample_frame());
+  EXPECT_EQ(bytes[0], 'H');
+  EXPECT_EQ(bytes[1], 'M');
+  EXPECT_EQ(bytes[2], 'M');
+  EXPECT_EQ(bytes[3], 'P');
+}
+
+TEST(Wire, ShortHeaderIsRejectedWithoutTouchingOutputs) {
+  const auto bytes = net::encode_frame(sample_frame());
+  net::Frame out;
+  out.request_id = 99;  // sentinel: must survive a failed decode
+  std::size_t consumed = 123;
+  const std::span<const std::uint8_t> head(bytes.data(), net::kHeaderBytes - 1);
+  EXPECT_EQ(net::decode_frame(head, out, consumed), net::FrameError::kShortHeader);
+  EXPECT_EQ(out.request_id, 99u);
+  EXPECT_EQ(consumed, 123u);
+}
+
+TEST(Wire, BadMagicIsRejected) {
+  auto bytes = net::encode_frame(sample_frame());
+  bytes[0] ^= 0xff;
+  net::Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_frame(bytes, out, consumed), net::FrameError::kBadMagic);
+}
+
+TEST(Wire, UnknownVersionIsRejected) {
+  auto bytes = net::encode_frame(sample_frame());
+  bytes[4] = 0x7f;  // version lives at offset 4, LE
+  net::Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_frame(bytes, out, consumed), net::FrameError::kBadVersion);
+}
+
+TEST(Wire, PayloadOverBudgetIsRejectedBeforeRead) {
+  const net::Frame in = sample_frame();
+  const auto bytes = net::encode_frame(in);
+  net::Frame out;
+  std::size_t consumed = 0;
+  const auto budget = static_cast<std::uint32_t>(in.payload.size() - 1);
+  EXPECT_EQ(net::decode_frame(bytes, out, consumed, budget), net::FrameError::kOversized);
+}
+
+TEST(Wire, TruncatedPayloadIsRejected) {
+  const auto bytes = net::encode_frame(sample_frame());
+  net::Frame out;
+  std::size_t consumed = 0;
+  const std::span<const std::uint8_t> torn(bytes.data(), bytes.size() - 1);
+  EXPECT_EQ(net::decode_frame(torn, out, consumed), net::FrameError::kShortPayload);
+}
+
+TEST(Wire, CorruptPayloadFailsChecksum) {
+  auto bytes = net::encode_frame(sample_frame());
+  bytes[net::kHeaderBytes + 2] ^= 0x01;  // flip one payload bit
+  net::Frame out;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_frame(bytes, out, consumed), net::FrameError::kBadChecksum);
+}
+
+TEST(Wire, FrameErrorNamesAreStable) {
+  EXPECT_EQ(net::to_string(net::FrameError::kOk), "ok");
+  EXPECT_EQ(net::to_string(net::FrameError::kBadMagic), "bad magic");
+  EXPECT_EQ(net::to_string(net::FrameError::kBadChecksum), "payload checksum mismatch");
+}
+
+TEST(Wire, ByteWriterIsLittleEndian) {
+  net::ByteWriter w;
+  w.put_u32(0x01020304u);
+  w.put_u16(0xa0b0u);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0x04);
+  EXPECT_EQ(b[1], 0x03);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x01);
+  EXPECT_EQ(b[4], 0xb0);
+  EXPECT_EQ(b[5], 0xa0);
+}
+
+TEST(Wire, ByteReaderNeverOverReads) {
+  const std::uint8_t raw[] = {0x01, 0x02};
+  net::ByteReader r({raw, 2});
+  std::uint32_t word = 0xcafef00d;
+  EXPECT_FALSE(r.get_u32(word));       // only 2 bytes available
+  EXPECT_EQ(word, 0xcafef00du);        // output untouched on failure
+  std::uint16_t half = 0;
+  EXPECT_TRUE(r.get_u16(half));
+  EXPECT_EQ(half, 0x0201u);
+  EXPECT_TRUE(r.exhausted());
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(r.get_u8(byte));
+}
+
+TEST(Wire, WriterReaderRoundTripAllWidths) {
+  net::ByteWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0x1234);
+  w.put_u32(0xdeadbeef);
+  w.put_u64(0x0123456789abcdefull);
+  w.put_string("hmm");
+
+  net::ByteReader r(w.bytes());
+  std::uint8_t u8 = 0;
+  std::uint16_t u16 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  ASSERT_TRUE(r.get_u8(u8));
+  ASSERT_TRUE(r.get_u16(u16));
+  ASSERT_TRUE(r.get_u32(u32));
+  ASSERT_TRUE(r.get_u64(u64));
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(r.rest_as_string(), "hmm");
+  EXPECT_TRUE(r.exhausted());
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(NetProtocol, StatusToWireIsABijection) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kDeadlineExceeded, StatusCode::kResourceExhausted,
+      StatusCode::kPlanBuildFailed,  StatusCode::kCancelled,
+      StatusCode::kUnavailable,
+  };
+  std::vector<std::uint32_t> images;
+  for (StatusCode code : codes) {
+    const net::WireError wire = net::to_wire(code);
+    EXPECT_EQ(net::from_wire(static_cast<std::uint32_t>(wire)), code);
+    images.push_back(static_cast<std::uint32_t>(wire));
+  }
+  std::sort(images.begin(), images.end());
+  EXPECT_TRUE(std::adjacent_find(images.begin(), images.end()) == images.end())
+      << "two StatusCodes share a wire code";
+}
+
+TEST(NetProtocol, ResourceExhaustedTravelsAsRetryLater) {
+  EXPECT_EQ(net::to_wire(StatusCode::kResourceExhausted), net::WireError::kRetryLater);
+  EXPECT_EQ(net::to_string(net::WireError::kRetryLater), "RETRY_LATER");
+}
+
+TEST(NetProtocol, UnknownWireCodeDecodesAsUnavailable) {
+  EXPECT_EQ(net::from_wire(0xdeadu), StatusCode::kUnavailable);
+}
+
+TEST(NetProtocol, RequestKindsAreRecognized) {
+  EXPECT_TRUE(net::is_request_kind(static_cast<std::uint16_t>(net::MsgKind::kPing)));
+  EXPECT_TRUE(net::is_request_kind(static_cast<std::uint16_t>(net::MsgKind::kPermute)));
+  EXPECT_FALSE(net::is_request_kind(static_cast<std::uint16_t>(net::MsgKind::kPingOk)));
+  EXPECT_FALSE(net::is_request_kind(static_cast<std::uint16_t>(net::MsgKind::kError)));
+  EXPECT_FALSE(net::is_request_kind(0x0000));
+}
+
+TEST(NetProtocol, SubmitPlanRoundTrips) {
+  net::SubmitPlanRequest in;
+  in.mapping = {3, 1, 0, 2};
+  const auto payload = in.encode();
+  auto out = net::SubmitPlanRequest::decode(payload, 16);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().mapping, in.mapping);
+}
+
+TEST(NetProtocol, SubmitPlanRejectsMalformedPayloads) {
+  net::SubmitPlanRequest in;
+  in.mapping = {3, 1, 0, 2};
+  const auto payload = in.encode();
+
+  // Truncated: count promises more words than the payload carries.
+  const std::span<const std::uint8_t> torn(payload.data(), payload.size() - 2);
+  EXPECT_FALSE(net::SubmitPlanRequest::decode(torn, 16).ok());
+
+  // Trailing garbage after the mapping.
+  auto padded = payload;
+  padded.push_back(0x00);
+  EXPECT_FALSE(net::SubmitPlanRequest::decode(padded, 16).ok());
+
+  // Count above the receiver's element budget.
+  EXPECT_EQ(net::SubmitPlanRequest::decode(payload, 3).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Empty mapping.
+  net::SubmitPlanRequest empty;
+  EXPECT_FALSE(net::SubmitPlanRequest::decode(empty.encode(), 16).ok());
+}
+
+TEST(NetProtocol, PermuteRequestRoundTrips) {
+  net::PermuteRequest in;
+  in.plan_id = 0xfeedfacecafebeefull;
+  in.deadline_ms = 250;
+  in.data = {10, 20, 30, 40, 50, 60, 70, 80};
+  const auto payload = in.encode();
+  auto out = net::PermuteRequest::decode(payload, 64);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(out.value().plan_id, in.plan_id);
+  EXPECT_EQ(out.value().deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.value().data, in.data);
+}
+
+TEST(NetProtocol, PermuteRequestRejectsForeignElementWidth) {
+  net::PermuteRequest in;
+  in.plan_id = 1;
+  in.data = {1, 2};
+  auto payload = in.encode();
+  // elem_bytes sits after plan_id (8) + deadline_ms (4), as a u32 LE.
+  payload[12] = 8;
+  const auto out = net::PermuteRequest::decode(payload, 64);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetProtocol, PermuteResponseRoundTrips) {
+  net::PermuteResponse in;
+  in.data = {5, 4, 3, 2, 1};
+  auto out = net::PermuteResponse::decode(in.encode(), 8);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().data, in.data);
+}
+
+TEST(NetProtocol, ErrorResponseRoundTripsAndMapsToStatus) {
+  net::ErrorResponse in;
+  in.code = static_cast<std::uint32_t>(net::WireError::kDeadlineExceeded);
+  in.message = "queued past the request deadline";
+  auto out = net::ErrorResponse::decode(in.encode());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().code, in.code);
+  EXPECT_EQ(out.value().message, in.message);
+  const Status s = out.value().to_status();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(s.to_string().find(in.message), std::string::npos);
+}
+
+TEST(NetProtocol, MakeErrorFrameCarriesTypedStatus) {
+  const Status cause(StatusCode::kResourceExhausted, "admission bound reached");
+  const net::Frame frame = net::make_error_frame(42, cause);
+  EXPECT_EQ(frame.kind, static_cast<std::uint16_t>(net::MsgKind::kError));
+  EXPECT_EQ(frame.request_id, 42u);
+  auto decoded = net::ErrorResponse::decode(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().to_status().code(), StatusCode::kResourceExhausted);
+}
+
+// ------------------------------------------------------------ loopback
+
+/// One in-process server over a fresh RobustPermuteService, bound to an
+/// ephemeral loopback port.
+struct Loopback {
+  runtime::RobustPermuteService service;
+  net::Server server;
+
+  explicit Loopback(runtime::RobustPermuteService::Config service_config =
+                        runtime::RobustPermuteService::Config{},
+                    net::Server::Config server_config = net::Server::Config{})
+      : service(util::ThreadPool::global(), service_config),
+        server(service, std::move(server_config)) {
+    const Status started = server.start();
+    EXPECT_TRUE(started.is_ok()) << started.to_string();
+  }
+
+  [[nodiscard]] net::Client::Config client_config() const {
+    net::Client::Config c;
+    c.host = "127.0.0.1";
+    c.port = server.port();
+    c.connect_timeout = 2'000ms;
+    c.io_timeout = 10'000ms;
+    return c;
+  }
+};
+
+TEST(NetLoopback, PingEchoes) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  const Status s = client.ping();
+  EXPECT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_GE(loop.server.counters().requests_served, 1u);
+}
+
+TEST(NetLoopback, PermuteMatchesLocalApply) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+
+  const std::uint64_t n = 1024;
+  const perm::Permutation p = perm::by_name("bit-reversal", n, 1);
+  auto plan = client.submit_plan(p);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+
+  std::vector<std::uint32_t> a(n), b(n, 0), expect(n);
+  for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i * 2654435761u);
+  p.apply<std::uint32_t>({a.data(), n}, {expect.data(), n});
+
+  const Status s = client.permute(plan.value(), {a.data(), n}, {b.data(), n});
+  ASSERT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_EQ(b, expect);
+}
+
+TEST(NetLoopback, ResubmittingAPlanDeduplicates) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  const perm::Permutation p = perm::by_name("shuffle", 512, 3);
+  auto first = client.submit_plan(p);
+  auto second = client.submit_plan(p);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+  EXPECT_EQ(loop.server.plans(), 1u);
+}
+
+TEST(NetLoopback, UnknownPlanIsInvalidArgument) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  std::vector<std::uint32_t> a(64, 1), b(64, 0);
+  const Status s = client.permute(0xdeadbeefull, {a.data(), 64}, {b.data(), 64});
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetLoopback, CountMismatchIsInvalidArgument) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  const std::uint64_t n = 512;
+  const perm::Permutation p = perm::by_name("rotation", n, 1);
+  auto plan = client.submit_plan(p);
+  ASSERT_TRUE(plan.ok());
+  std::vector<std::uint32_t> a(n / 2, 1), b(n / 2, 0);
+  const Status s = client.permute(plan.value(), {a.data(), n / 2}, {b.data(), n / 2});
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetLoopback, NonBijectiveMappingIsRejected) {
+  Loopback loop;
+  // The typed client only sends valid Permutations; speak raw HMMP to
+  // deliver a mapping with a repeated image.
+  auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+  ASSERT_TRUE(conn.ok()) << conn.status().to_string();
+  net::TcpStream stream = std::move(conn).value();
+
+  net::SubmitPlanRequest bad;
+  bad.mapping = {0, 1, 2, 2};  // 2 appears twice, 3 never
+  net::Frame request;
+  request.kind = static_cast<std::uint16_t>(net::MsgKind::kSubmitPlan);
+  request.request_id = 9;
+  request.payload = bad.encode();
+  ASSERT_TRUE(net::write_frame(stream, request).is_ok());
+
+  auto response = net::read_frame(stream, net::kDefaultMaxPayload);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().kind, static_cast<std::uint16_t>(net::MsgKind::kError));
+  EXPECT_EQ(response.value().request_id, 9u);
+  auto err = net::ErrorResponse::decode(response.value().payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().to_status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetLoopback, GarbageBytesGetAnErrorFrameNotAHangup) {
+  Loopback loop;
+  auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+  ASSERT_TRUE(conn.ok());
+  net::TcpStream stream = std::move(conn).value();
+
+  // A full header's worth of non-HMMP bytes: the server answers with a
+  // best-effort ERROR frame, then closes the connection.
+  std::vector<std::uint8_t> junk(net::kHeaderBytes, 0x5a);
+  ASSERT_TRUE(stream.send_all(junk.data(), junk.size()).is_ok());
+
+  auto response = net::read_frame(stream, net::kDefaultMaxPayload);
+  ASSERT_TRUE(response.ok()) << response.status().to_string();
+  EXPECT_EQ(response.value().kind, static_cast<std::uint16_t>(net::MsgKind::kError));
+  auto err = net::ErrorResponse::decode(response.value().payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().to_status().code(), StatusCode::kInvalidArgument);
+
+  // The connection is closed afterwards...
+  auto next = net::read_frame(stream, net::kDefaultMaxPayload);
+  EXPECT_FALSE(next.ok());
+  // ...and the process is fine: a fresh connection still serves.
+  net::Client client(loop.client_config());
+  EXPECT_TRUE(client.ping().is_ok());
+  EXPECT_GE(loop.server.counters().protocol_errors, 1u);
+}
+
+TEST(NetLoopback, StatsReturnsMetricsJson) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  auto stats = client.stats_json();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_NE(stats.value().find("\"cache\""), std::string::npos);
+  EXPECT_NE(stats.value().find("\"executor\""), std::string::npos);
+}
+
+TEST(NetLoopback, DeadlineExceededSurfacesTyped) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  const std::uint64_t n = 1024;
+  const perm::Permutation p = perm::by_name("bit-reversal", n, 1);
+  auto plan = client.submit_plan(p);
+  ASSERT_TRUE(plan.ok());
+
+  // Stall every execution 300 ms; a 50 ms budget cannot survive that.
+  runtime::FaultInjector::Config faults;
+  faults.enabled = true;
+  faults.seed = 1;
+  faults.rate = 1.0;
+  faults.stall_ms = 300;
+  faults.sites = std::string(runtime::fault_sites::kExecutorStall);
+  runtime::ScopedFaultInjection chaos(faults);
+
+  std::vector<std::uint32_t> a(n, 1), b(n, 0);
+  const Status s = client.permute(plan.value(), {a.data(), n}, {b.data(), n}, 50ms);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(NetLoopback, AdmissionRejectSurfacesAsRetryLater) {
+  runtime::RobustPermuteService::Config service_config;
+  service_config.executor.max_in_flight = 1;
+  service_config.executor.admission = runtime::Executor::Admission::kReject;
+  Loopback loop(service_config);
+
+  const std::uint64_t n = 4096;
+  const perm::Permutation p = perm::by_name("bit-reversal", n, 1);
+  net::Client setup(loop.client_config());
+  auto plan = setup.submit_plan(p);
+  ASSERT_TRUE(plan.ok());
+
+  // Stall the single admitted slot so a concurrent request must bounce.
+  runtime::FaultInjector::Config faults;
+  faults.enabled = true;
+  faults.seed = 1;
+  faults.rate = 1.0;
+  faults.stall_ms = 500;
+  faults.sites = std::string(runtime::fault_sites::kExecutorStall);
+  runtime::ScopedFaultInjection chaos(faults);
+
+  std::thread occupant([&] {
+    net::Client client(loop.client_config());
+    std::vector<std::uint32_t> a(n, 1), b(n, 0);
+    // Outcome does not matter; this request exists to hold the slot.
+    (void)client.permute(plan.value(), {a.data(), n}, {b.data(), n});
+  });
+
+  // Wait until the occupant's request is actually admitted (in flight),
+  // then send: with max_in_flight=1 this request must be bounced.
+  bool occupied = false;
+  for (int spin = 0; spin < 400 && !occupied; ++spin) {
+    occupied = loop.service.executor().in_flight() > 0;
+    if (!occupied) std::this_thread::sleep_for(5ms);
+  }
+  ASSERT_TRUE(occupied) << "occupant request never reached the executor";
+
+  net::Client client(loop.client_config());
+  std::vector<std::uint32_t> a(n, 1), b(n, 0);
+  const Status s = client.permute(plan.value(), {a.data(), n}, {b.data(), n});
+  occupant.join();
+  ASSERT_FALSE(s.is_ok()) << "request admitted past a full admission bound";
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted)
+      << "expected RETRY_LATER, got " << s.to_string();
+}
+
+TEST(NetLoopback, GracefulStopAnswersTheInFlightRequest) {
+  auto loop = std::make_unique<Loopback>();
+  const std::uint64_t n = 1024;
+  const perm::Permutation p = perm::by_name("bit-reversal", n, 1);
+  net::Client client(loop->client_config());
+  auto plan = client.submit_plan(p);
+  ASSERT_TRUE(plan.ok());
+
+  // Stretch the request so stop() overlaps it.
+  runtime::FaultInjector::Config faults;
+  faults.enabled = true;
+  faults.seed = 1;
+  faults.rate = 1.0;
+  faults.stall_ms = 200;
+  faults.sites = std::string(runtime::fault_sites::kExecutorStall);
+  runtime::ScopedFaultInjection chaos(faults);
+
+  std::vector<std::uint32_t> a(n), b(n, 0), expect(n);
+  for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i);
+  p.apply<std::uint32_t>({a.data(), n}, {expect.data(), n});
+
+  Status result(StatusCode::kUnavailable, "not run");
+  std::thread request([&] {
+    result = client.permute(plan.value(), {a.data(), n}, {b.data(), n});
+  });
+  std::this_thread::sleep_for(50ms);  // let the request reach the executor
+  loop->server.stop();                // must drain, not drop
+  request.join();
+
+  EXPECT_TRUE(result.is_ok()) << result.to_string();
+  EXPECT_EQ(b, expect);
+  EXPECT_FALSE(loop->server.running());
+}
+
+TEST(NetLoopback, ClientReconnectsAfterClose) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  ASSERT_TRUE(client.ping().is_ok());
+  client.close();
+  EXPECT_FALSE(client.connected());
+  // The next request reconnects lazily.
+  EXPECT_TRUE(client.ping().is_ok());
+  EXPECT_TRUE(client.connected());
+}
+
+TEST(NetLoopback, ServerStartStopIsIdempotent) {
+  Loopback loop;
+  loop.server.stop();
+  loop.server.stop();  // second stop is a no-op
+  EXPECT_FALSE(loop.server.running());
+}
+
+}  // namespace
+}  // namespace hmm

@@ -267,5 +267,41 @@ TEST(Cli, SizeSuffixes) {
   EXPECT_EQ(cli.get_int("m", 0), 2048);
 }
 
+TEST(Cli, ExpectFlagsAcceptsKnownSubset) {
+  const char* argv[] = {"prog", "--n", "1024", "--verbose"};
+  Cli cli(4, const_cast<char**>(argv));
+  std::ostringstream err;
+  // Known list may be a superset of what was actually passed.
+  EXPECT_TRUE(cli.expect_flags({"n", "verbose", "seed", "csv"}, err));
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(Cli, ExpectFlagsRejectsUnknownWithUsageDump) {
+  const char* argv[] = {"prog", "--n", "1024", "--fautl-rate", "0.3"};
+  Cli cli(5, const_cast<char**>(argv));
+  std::ostringstream err;
+  EXPECT_FALSE(cli.expect_flags({"n", "fault-rate"}, err));
+  const std::string msg = err.str();
+  EXPECT_NE(msg.find("unknown flag --fautl-rate"), std::string::npos);
+  EXPECT_NE(msg.find("usage:"), std::string::npos);
+  EXPECT_NE(msg.find("--fault-rate"), std::string::npos);
+}
+
+TEST(Cli, ExpectFlagsReportsEveryOffender) {
+  const char* argv[] = {"prog", "--bogus=1", "--also-bogus=2"};
+  Cli cli(3, const_cast<char**>(argv));
+  std::ostringstream err;
+  EXPECT_FALSE(cli.expect_flags({"n"}, err));
+  EXPECT_NE(err.str().find("--bogus"), std::string::npos);
+  EXPECT_NE(err.str().find("--also-bogus"), std::string::npos);
+}
+
+TEST(Cli, ExpectFlagsIgnoresPositionals) {
+  const char* argv[] = {"prog", "ping", "--port", "9"};
+  Cli cli(4, const_cast<char**>(argv));
+  std::ostringstream err;
+  EXPECT_TRUE(cli.expect_flags({"port"}, err));
+}
+
 }  // namespace
 }  // namespace hmm::util

@@ -20,6 +20,7 @@
 /// Usage:
 ///   permd_replay [--n 64K] [--perms 24] [--requests 400] [--zipf 1.0]
 ///                [--cache-mb 64] [--seed 42] [--verify] [--json]
+///                [--metrics-json <path>]
 ///                [--fault-rate 0.0] [--fault-seed 1] [--fault-sites plan_cache.build]
 ///                [--fault-stall-ms 50] [--deadline-ms 0] [--max-in-flight 0] [--reject]
 ///
@@ -32,6 +33,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <string>
@@ -103,6 +105,12 @@ class ZipfSampler {
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"n", "perms", "requests", "zipf", "cache-mb", "seed", "verify",
+                         "json", "metrics-json", "fault-rate", "fault-seed", "fault-sites",
+                         "fault-stall-ms", "deadline-ms", "max-in-flight", "reject"},
+                        std::cerr)) {
+    return 2;
+  }
   const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 64 << 10));
   const std::uint64_t num_perms = static_cast<std::uint64_t>(cli.get_int("perms", 24));
   const std::uint64_t requests = static_cast<std::uint64_t>(cli.get_int("requests", 400));
@@ -112,6 +120,7 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const bool verify = cli.get_bool("verify");
   const bool json = cli.get_bool("json");
+  const std::string metrics_json = cli.get("metrics-json");
   // Robustness / chaos knobs.
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   const std::uint64_t fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
@@ -260,6 +269,16 @@ int main(int argc, char** argv) {
   }
   if (json) {
     std::cout << snap.to_json() << "\n";
+  }
+  if (!metrics_json.empty()) {
+    // Final snapshot to a file so CI / BENCH_*.json trend tracking can
+    // consume serving metrics without scraping stdout.
+    std::ofstream mf(metrics_json);
+    mf << snap.to_json() << "\n";
+    if (!mf) {
+      std::cerr << "permd_replay: cannot write --metrics-json " << metrics_json << "\n";
+      return 1;
+    }
   }
 
   if (snap.hits + snap.misses != snap.lookups || (verify && verify_failures > 0)) {

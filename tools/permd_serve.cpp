@@ -1,0 +1,173 @@
+/// \file permd_serve.cpp
+/// \brief The permutation service daemon: `net::Server` over a
+///        `RobustPermuteService`, with the same chaos/admission knobs
+///        as permd_replay.
+///
+/// Runs until SIGINT/SIGTERM (or `--duration-s`), then drains
+/// gracefully: the listener closes, every connection finishes the
+/// request it is serving, the executor goes idle, and the final
+/// ServiceMetrics snapshot is printed (and written to `--metrics-json`
+/// if given, for CI trend tracking).
+///
+/// SIGPIPE is ignored process-wide: a client that disappears mid-
+/// response is a per-connection event (EPIPE/ECONNRESET surface as
+/// typed Status inside the net layer), never a reason to die.
+///
+/// Usage:
+///   permd_serve [--host 127.0.0.1] [--port 0] [--port-file <path>]
+///               [--cache-mb 64] [--max-in-flight 0] [--reject]
+///               [--max-connections 256] [--max-payload-mb 64]
+///               [--io-timeout-ms 30000] [--duration-s 0]
+///               [--metrics-json <path>] [--json]
+///               [--fault-rate 0.0] [--fault-seed 1]
+///               [--fault-sites plan_cache.build] [--fault-stall-ms 50]
+///
+/// `--port 0` binds an ephemeral port; `--port-file` writes the bound
+/// port (one line) once listening, which is how scripted runs and the
+/// CI loopback smoke find the server.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "runtime/fault_injector.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/service.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hmm;
+
+  util::Cli cli(argc, argv);
+  if (!cli.expect_flags({"host", "port", "port-file", "cache-mb", "max-in-flight", "reject",
+                         "max-connections", "max-payload-mb", "io-timeout-ms", "duration-s",
+                         "metrics-json", "json", "fault-rate", "fault-seed", "fault-sites",
+                         "fault-stall-ms"},
+                        std::cerr)) {
+    return 2;
+  }
+  const std::string host = cli.get("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(cli.get_int("port", 0));
+  const std::string port_file = cli.get("port-file");
+  const std::uint64_t cache_bytes =
+      static_cast<std::uint64_t>(cli.get_int("cache-mb", 64)) << 20;
+  const std::uint64_t max_in_flight =
+      static_cast<std::uint64_t>(cli.get_int("max-in-flight", 0));
+  const bool reject = cli.get_bool("reject");
+  const auto max_connections = static_cast<std::uint32_t>(cli.get_int("max-connections", 256));
+  const auto max_payload_bytes =
+      static_cast<std::uint32_t>(cli.get_int("max-payload-mb", 64) << 20);
+  const std::int64_t io_timeout_ms = cli.get_int("io-timeout-ms", 30'000);
+  const std::int64_t duration_s = cli.get_int("duration-s", 0);
+  const std::string metrics_json = cli.get("metrics-json");
+  const bool json = cli.get_bool("json");
+  const double fault_rate = cli.get_double("fault-rate", 0.0);
+  const std::uint64_t fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
+  const std::string fault_sites =
+      cli.get("fault-sites", std::string(runtime::fault_sites::kPlanBuild));
+  const std::uint64_t fault_stall_ms =
+      static_cast<std::uint64_t>(cli.get_int("fault-stall-ms", 50));
+
+  // A dead client must never kill the daemon (satellite: no SIGPIPE
+  // anywhere in the serving path); stop signals drain gracefully.
+  net::ignore_sigpipe();
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  if (fault_rate > 0.0) {
+    runtime::FaultInjector::Config faults;
+    faults.enabled = true;
+    faults.seed = fault_seed;
+    faults.rate = fault_rate;
+    faults.stall_ms = static_cast<std::uint32_t>(fault_stall_ms);
+    faults.sites = fault_sites;
+    runtime::FaultInjector::instance().configure(faults);
+  }
+
+  auto& pool = util::ThreadPool::global();
+  runtime::RobustPermuteService::Config service_config;
+  service_config.cache.max_bytes = cache_bytes;
+  service_config.executor.max_in_flight = max_in_flight;
+  service_config.executor.admission =
+      reject ? runtime::Executor::Admission::kReject : runtime::Executor::Admission::kBlock;
+  runtime::RobustPermuteService service(pool, service_config);
+
+  net::Server::Config server_config;
+  server_config.host = host;
+  server_config.port = port;
+  server_config.max_connections = max_connections;
+  server_config.max_payload_bytes = max_payload_bytes;
+  server_config.io_timeout = std::chrono::milliseconds(io_timeout_ms);
+  net::Server server(service, server_config);
+
+  if (runtime::Status s = server.start(); !s.is_ok()) {
+    std::cerr << "permd_serve: " << s.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "permd_serve: listening on " << host << ":" << server.port() << "  (pool="
+            << pool.size() << " threads, cache=" << util::format_bytes(cache_bytes);
+  if (fault_rate > 0.0) {
+    std::cout << ", chaos rate=" << fault_rate << " seed=" << fault_seed;
+  }
+  std::cout << ")" << std::endl;
+
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << server.port() << "\n";
+    if (!pf) {
+      std::cerr << "permd_serve: cannot write --port-file " << port_file << "\n";
+      server.stop();
+      return 1;
+    }
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  while (g_stop == 0) {
+    if (duration_s > 0 &&
+        std::chrono::steady_clock::now() - started >= std::chrono::seconds(duration_s)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::cout << "permd_serve: draining..." << std::endl;
+  server.stop();
+
+  const net::Server::Counters counters = server.counters();
+  const runtime::MetricsSnapshot snap = service.metrics().snapshot();
+  std::cout << "\n";
+  snap.to_table().print(std::cout);
+  std::cout << "\nconnections accepted " << counters.connections_accepted << ", rejected "
+            << counters.connections_rejected << "; requests served "
+            << counters.requests_served << "; protocol errors " << counters.protocol_errors
+            << "; plans registered " << counters.plans_registered << "\n";
+  if (fault_rate > 0.0) {
+    std::cout << "faults fired: " << runtime::FaultInjector::instance().total_fired() << "\n";
+  }
+  if (json) std::cout << snap.to_json() << "\n";
+  if (!metrics_json.empty()) {
+    std::ofstream mf(metrics_json);
+    mf << snap.to_json() << "\n";
+    if (!mf) {
+      std::cerr << "permd_serve: cannot write --metrics-json " << metrics_json << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
