@@ -141,20 +141,39 @@ class OfflinePermuter {
   /// a running kernel.
   [[nodiscard]] bool permute_gated(std::span<const T> a, std::span<T> b, std::span<T> scratch,
                                    const PhaseGate& gate) const {
+    return permute_timed(a, b, scratch, gate, KernelObserver{});
+  }
+
+  /// Timed variant of the gated const online phase: `observer` (when
+  /// non-empty) receives one (kernel index, wall ns) callback per
+  /// kernel launch that ran — indices 0..4 for the scheduled
+  /// algorithm's five launches, `kConventionalKernel` for the single
+  /// kernel of a conventional strategy. The serving layer uses this to
+  /// attribute request time to the paper's phase structure; an empty
+  /// observer skips all clock reads.
+  [[nodiscard]] bool permute_timed(std::span<const T> a, std::span<T> b, std::span<T> scratch,
+                                   const PhaseGate& gate, const KernelObserver& observer) const {
     HMM_CHECK(a.size() == size() && b.size() == size());
     auto& pool = util::ThreadPool::global();
+    const auto run_conventional = [&](auto&& kernel) {
+      if (gate && !gate()) return false;
+      if (observer) {
+        util::Stopwatch clock;
+        kernel();
+        observer(kConventionalKernel, static_cast<std::uint64_t>(clock.nanos()));
+      } else {
+        kernel();
+      }
+      return true;
+    };
     switch (chosen_) {
       case Strategy::kScheduled:
         HMM_CHECK_MSG(scratch.size() == size(), "scheduled strategy needs n scratch elements");
-        return scheduled_cpu_lean_gated<T>(pool, *plan_, a, b, scratch, gate);
+        return scheduled_cpu_lean_timed<T>(pool, *plan_, a, b, scratch, gate, observer);
       case Strategy::kSDesignated:
-        if (gate && !gate()) return false;
-        s_designated_cpu<T>(pool, a, b, *inverse_);
-        return true;
+        return run_conventional([&] { s_designated_cpu<T>(pool, a, b, *inverse_); });
       case Strategy::kDDesignated:
-        if (gate && !gate()) return false;
-        d_designated_cpu<T>(pool, a, b, perm_);
-        return true;
+        return run_conventional([&] { d_designated_cpu<T>(pool, a, b, perm_); });
       case Strategy::kAuto:
         break;
     }

@@ -12,6 +12,7 @@
 #include "core/plan.hpp"
 #include "cpu/kernels.hpp"
 #include "sim/hmm_sim.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hmm::core {
@@ -63,6 +64,60 @@ void scheduled_cpu_lean(util::ThreadPool& pool, const ScheduledPlan& plan,
 /// written, which the caller must treat as garbage.
 using PhaseGate = std::function<bool()>;
 
+/// Per-kernel timing callback: invoked once after each kernel launch
+/// that ran, with the kernel index and its wall time in nanoseconds.
+/// Indices 0..4 are the scheduled algorithm's five launches in order
+/// (row pass 1, transpose 1, row pass 2, transpose 2, row pass 3);
+/// `kConventionalKernel` marks the single kernel of a conventional
+/// strategy. Core stays observability-agnostic: the callback carries a
+/// neutral (index, ns) pair and the serving layer maps it to its own
+/// phase taxonomy.
+using KernelObserver = std::function<void(unsigned kernel, std::uint64_t ns)>;
+
+/// Kernel index reported by the timed entry points for the single
+/// kernel of a conventional (non-scheduled) strategy.
+inline constexpr unsigned kConventionalKernel = 5;
+
+/// `scheduled_cpu_lean` with a gate consulted before every kernel after
+/// the first and an optional per-kernel timing observer. Returns true
+/// iff all five kernels ran to completion; empty gate and observer
+/// degenerate to the ungated, untimed variant (the Stopwatch reads are
+/// skipped entirely when no observer is installed).
+template <class T>
+bool scheduled_cpu_lean_timed(util::ThreadPool& pool, const ScheduledPlan& plan,
+                              std::span<const T> a, std::span<T> b, std::span<T> scratch,
+                              const PhaseGate& gate, const KernelObserver& observer) {
+  const std::uint64_t n = plan.size();
+  HMM_CHECK(a.size() == n && b.size() == n && scratch.size() == n);
+  const std::uint64_t r = plan.shape().rows;
+  const std::uint64_t m = plan.shape().cols;
+  const std::uint64_t tile = plan.params().width;
+
+  util::Stopwatch clock;
+  const auto observe = [&](unsigned kernel) {
+    if (observer) {
+      observer(kernel, static_cast<std::uint64_t>(clock.nanos()));
+      clock.reset();
+    }
+  };
+
+  cpu::row_wise_pass<T>(pool, a, b, r, m, plan.pass1().phat, plan.pass1().q);
+  observe(0);
+  if (gate && !gate()) return false;
+  cpu::transpose_blocked<T>(pool, b, scratch, r, m, tile);
+  observe(1);
+  if (gate && !gate()) return false;
+  cpu::row_wise_pass<T>(pool, scratch, b, m, r, plan.pass2().phat, plan.pass2().q);
+  observe(2);
+  if (gate && !gate()) return false;
+  cpu::transpose_blocked<T>(pool, b, scratch, m, r, tile);
+  observe(3);
+  if (gate && !gate()) return false;
+  cpu::row_wise_pass<T>(pool, scratch, b, r, m, plan.pass3().phat, plan.pass3().q);
+  observe(4);
+  return true;
+}
+
 /// `scheduled_cpu_lean` with a gate consulted before every kernel after
 /// the first. Returns true iff all five kernels ran to completion; an
 /// empty gate degenerates to the ungated variant.
@@ -70,22 +125,7 @@ template <class T>
 bool scheduled_cpu_lean_gated(util::ThreadPool& pool, const ScheduledPlan& plan,
                               std::span<const T> a, std::span<T> b, std::span<T> scratch,
                               const PhaseGate& gate) {
-  const std::uint64_t n = plan.size();
-  HMM_CHECK(a.size() == n && b.size() == n && scratch.size() == n);
-  const std::uint64_t r = plan.shape().rows;
-  const std::uint64_t m = plan.shape().cols;
-  const std::uint64_t tile = plan.params().width;
-
-  cpu::row_wise_pass<T>(pool, a, b, r, m, plan.pass1().phat, plan.pass1().q);
-  if (gate && !gate()) return false;
-  cpu::transpose_blocked<T>(pool, b, scratch, r, m, tile);
-  if (gate && !gate()) return false;
-  cpu::row_wise_pass<T>(pool, scratch, b, m, r, plan.pass2().phat, plan.pass2().q);
-  if (gate && !gate()) return false;
-  cpu::transpose_blocked<T>(pool, b, scratch, m, r, tile);
-  if (gate && !gate()) return false;
-  cpu::row_wise_pass<T>(pool, scratch, b, r, m, plan.pass3().phat, plan.pass3().q);
-  return true;
+  return scheduled_cpu_lean_timed<T>(pool, plan, a, b, scratch, gate, {});
 }
 
 /// Host variant that applies the per-row permutations directly instead

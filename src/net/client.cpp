@@ -1,6 +1,8 @@
 #include "net/client.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 namespace hmm::net {
@@ -53,17 +55,43 @@ StatusOr<Frame> Client::roundtrip_once(MsgKind kind, const std::vector<std::uint
   return response;
 }
 
+std::chrono::microseconds Client::retry_backoff(const Config& config, int attempt) noexcept {
+  if (attempt <= 0 || config.retry_backoff_base.count() <= 0) {
+    return std::chrono::microseconds{0};
+  }
+  const auto base_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(config.retry_backoff_base).count());
+  const auto cap_us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(config.retry_backoff_cap)
+             .count()));
+  const int shift = std::min(attempt - 1, 20);
+  const std::uint64_t delay_us = std::min(base_us << shift, cap_us);
+  // Deterministic jitter in [0, delay) — splitmix-style mix of the
+  // seed and attempt index, same recipe as the service's build-retry
+  // backoff so chaos runs replay exactly.
+  std::uint64_t x =
+      config.retry_jitter_seed ^ (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt));
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  const std::uint64_t jitter_us = delay_us == 0 ? 0 : (x ^ (x >> 31)) % delay_us;
+  return std::chrono::microseconds(delay_us + jitter_us);
+}
+
 StatusOr<Frame> Client::roundtrip(MsgKind kind, std::vector<std::uint8_t> payload) {
   Status last(StatusCode::kUnavailable, "not attempted");
   for (int attempt = 0; attempt <= config_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      const std::chrono::microseconds pause = retry_backoff(config_, attempt);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    }
     if (!connected()) {
       if (attempt > 0) ++reconnects_;
       if (Status s = connect(); !s.is_ok()) {
         last = s;
-        continue;  // next attempt reconnects again
+        continue;  // next attempt backs off and reconnects again
       }
     }
-    StatusOr<Frame> response = roundtrip_once(kind, payload, next_request_id_++);
+    StatusOr<Frame> response = roundtrip_once(kind, payload, next_request_id());
     if (response.ok()) return response;
     last = response.status();
     // A frame-level violation or transport failure poisons the
@@ -114,7 +142,7 @@ Status Client::permute(std::uint64_t plan_id, std::span<const std::uint32_t> dat
   }
   PermuteRequest req;
   req.plan_id = plan_id;
-  req.deadline_ms = static_cast<std::uint32_t>(deadline.count() < 0 ? 0 : deadline.count());
+  req.deadline_ms = PermuteRequest::clamp_deadline(deadline);
   req.data.assign(data.begin(), data.end());
 
   StatusOr<Frame> response = roundtrip(MsgKind::kPermute, req.encode());

@@ -43,7 +43,27 @@ class Client {
     std::uint32_t max_payload_bytes = kDefaultMaxPayload;
     /// Reconnect-and-resend attempts after a transport failure.
     int max_retries = 1;
+    /// Backoff before retry attempt k (k >= 1) is `base << (k-1)`
+    /// capped at `retry_backoff_cap`, plus a deterministic jitter of up
+    /// to the same amount (mirroring the service's build-retry backoff)
+    /// — a down server gets spaced-out probes, not an instant hammer of
+    /// max_retries reconnects. base = 0 disables the pause.
+    std::chrono::milliseconds retry_backoff_base{25};
+    std::chrono::milliseconds retry_backoff_cap{1'000};
+    std::uint64_t retry_jitter_seed = 0x5eed5eed5eed5eedull;
+    /// Trace prefix folded into the high 32 bits of every request id
+    /// (the low 32 bits stay a per-connection sequence number). The
+    /// server echoes the id verbatim and threads it to the slow-request
+    /// log, so a nonzero prefix makes this client's requests traceable
+    /// end to end. 0 = untagged (ids are the bare sequence, as in v1).
+    std::uint32_t trace_prefix = 0;
   };
+
+  /// The (deterministic) pause taken before retry `attempt` (1-based);
+  /// attempt 0 is the initial try and never waits. Exposed so tests and
+  /// capacity math can bound retry timing exactly.
+  [[nodiscard]] static std::chrono::microseconds retry_backoff(const Config& config,
+                                                               int attempt) noexcept;
 
   explicit Client(Config config) : config_(std::move(config)) {}
   ~Client() { close(); }
@@ -88,9 +108,16 @@ class Client {
                                           const std::vector<std::uint8_t>& payload,
                                           std::uint64_t request_id);
 
+  /// Next wire request id: trace prefix in the high half, sequence in
+  /// the low half.
+  [[nodiscard]] std::uint64_t next_request_id() noexcept {
+    return (static_cast<std::uint64_t>(config_.trace_prefix) << 32) |
+           (next_seq_++ & 0xffff'ffffull);
+  }
+
   Config config_;
   TcpStream stream_;
-  std::uint64_t next_request_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t reconnects_ = 0;
 };
 

@@ -35,7 +35,9 @@
 ///   STATS_OK     resp: UTF-8 JSON bytes
 ///   ERROR        resp: u32 code, UTF-8 message bytes
 
+#include <chrono>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <string_view>
@@ -105,6 +107,17 @@ struct PermuteRequest {
   std::uint64_t plan_id = 0;
   std::uint32_t deadline_ms = 0;  ///< relative; 0 = no deadline
   std::vector<std::uint32_t> data;
+
+  /// Saturating conversion of a caller-side deadline into the u32 wire
+  /// field: negative -> 0 (no deadline), > UINT32_MAX ms (~49.7 days)
+  /// -> UINT32_MAX. A plain cast would *wrap*, silently turning a huge
+  /// "effectively no deadline" budget into a tiny one.
+  [[nodiscard]] static std::uint32_t clamp_deadline(std::chrono::milliseconds deadline) noexcept {
+    if (deadline.count() <= 0) return 0;
+    constexpr auto kMax = std::numeric_limits<std::uint32_t>::max();
+    if (static_cast<std::uint64_t>(deadline.count()) >= kMax) return kMax;
+    return static_cast<std::uint32_t>(deadline.count());
+  }
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static runtime::StatusOr<PermuteRequest> decode(

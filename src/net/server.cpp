@@ -6,6 +6,7 @@
 
 #include "runtime/fingerprint.hpp"
 #include "runtime/metrics.hpp"
+#include "util/stopwatch.hpp"
 
 namespace hmm::net {
 
@@ -69,7 +70,8 @@ Server::Counters Server::counters() const {
   Counters c;
   c.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
   c.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
-  c.requests_served = requests_served_.load(std::memory_order_relaxed);
+  c.requests_ok = requests_ok_.load(std::memory_order_relaxed);
+  c.requests_error = requests_error_.load(std::memory_order_relaxed);
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   c.plans_registered = plans_registered_.load(std::memory_order_relaxed);
   return c;
@@ -149,8 +151,17 @@ void Server::serve_connection(TcpStream stream) {
     }
 
     Frame response = handle_request(request.value());
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (Status s = write_frame(stream, response); !s.is_ok()) return;
+    // The serialize span covers encode + socket write: the last leg of
+    // the request's wall time, invisible to the executor's breakdown.
+    util::Stopwatch serialize_clock;
+    const Status written = write_frame(stream, response);
+    service_.metrics().record_phase(runtime::Phase::kSerialize,
+                                    static_cast<std::uint64_t>(serialize_clock.nanos()));
+    // Count the response only once it actually reached the wire, and
+    // count it by what it was — a served error is not a served success.
+    if (!written.is_ok()) return;
+    const bool is_error = static_cast<MsgKind>(response.kind) == MsgKind::kError;
+    (is_error ? requests_error_ : requests_ok_).fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -244,6 +255,10 @@ Frame Server::handle_permute(const Frame& request) {
     opts.deadline =
         std::chrono::steady_clock::now() + std::chrono::milliseconds(permute.deadline_ms);
   }
+  // The wire request id doubles as the trace id: the client controls
+  // it (trace prefix in the high half), we echo it in the response and
+  // thread it to the slow-request log.
+  opts.trace_id = request.request_id;
 
   std::vector<std::uint32_t> out(permute.data.size());
   StatusOr<std::future<Status>> submitted = service_.submit<std::uint32_t>(

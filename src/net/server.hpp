@@ -76,9 +76,17 @@ class Server {
   struct Counters {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_rejected = 0;  ///< over max_connections
-    std::uint64_t requests_served = 0;       ///< any well-formed request answered
+    std::uint64_t requests_ok = 0;     ///< success responses actually written
+    std::uint64_t requests_error = 0;  ///< ERROR responses actually written
     std::uint64_t protocol_errors = 0;       ///< framing violations received
     std::uint64_t plans_registered = 0;
+
+    /// Responses of either kind delivered to a client. (The pre-split
+    /// `requests_served` also counted responses whose socket write
+    /// failed — these do not.)
+    [[nodiscard]] std::uint64_t requests_served() const noexcept {
+      return requests_ok + requests_error;
+    }
   };
 
   explicit Server(runtime::RobustPermuteService& service) : Server(service, Config{}) {}
@@ -140,7 +148,8 @@ class Server {
 
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};
-  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_ok_{0};
+  std::atomic<std::uint64_t> requests_error_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> plans_registered_{0};
 };

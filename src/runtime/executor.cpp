@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <limits>
+#include <string>
 
 namespace hmm::runtime {
 namespace {
@@ -24,7 +25,50 @@ void warn_drain_stalled(std::uint64_t still_in_flight, double waited_seconds) {
                static_cast<unsigned long long>(still_in_flight), waited_seconds);
 }
 
+/// Slow-request log, rate-limited to one line per second process-wide
+/// (same discipline as the drain warning): a tail-latency storm must
+/// not turn the log into its own bottleneck.
+bool slow_log_permitted() {
+  using clock = std::chrono::steady_clock;
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::min();
+  static std::atomic<std::int64_t> last_log_ns{kNever};
+  const std::int64_t now_ns = clock::now().time_since_epoch().count();
+  std::int64_t prev = last_log_ns.load(std::memory_order_relaxed);
+  // `prev == kNever` must short-circuit: `now_ns - kNever` overflows.
+  const bool due = prev == kNever || now_ns - prev >= 1'000'000'000;
+  return due && last_log_ns.compare_exchange_strong(prev, now_ns, std::memory_order_relaxed);
+}
+
+void log_slow_request(std::uint64_t trace_id, const PhaseBreakdown& phases) {
+  if (!slow_log_permitted()) return;
+  std::string line = "[hmm] slow request trace=";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%016llx total=%.3f ms |",
+                static_cast<unsigned long long>(trace_id),
+                static_cast<double>(phases.total_ns()) / 1e6);
+  line += buf;
+  for (Phase p : all_phases()) {
+    if (!phases.touched(p)) continue;
+    std::snprintf(buf, sizeof(buf), " %s=%.3fms", std::string(to_string(p)).c_str(),
+                  static_cast<double>(phases.ns[static_cast<std::size_t>(p)]) / 1e6);
+    line += buf;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace
+
+void Executor::finalize_request(const SubmitOptions& opts) noexcept {
+  if (!opts.phases) return;
+  if (metrics_) metrics_->record_phases(*opts.phases);
+  const auto threshold = config_.slow_log_threshold;
+  if (threshold.count() <= 0) return;
+  const auto threshold_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(threshold).count());
+  if (opts.phases->total_ns() >= threshold_ns) {
+    log_slow_request(opts.trace_id, *opts.phases);
+  }
+}
 
 Executor::~Executor() {
   constexpr auto kWarnAfter = std::chrono::seconds(2);

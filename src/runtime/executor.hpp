@@ -71,6 +71,10 @@ class Executor {
   struct Config {
     std::uint64_t max_in_flight = 0;  ///< 0 = unbounded
     Admission admission = Admission::kBlock;
+    /// Requests whose attributed phase time reaches this threshold get
+    /// a rate-limited stderr line with their full phase breakdown.
+    /// 0 = slow-request log disabled.
+    std::chrono::milliseconds slow_log_threshold{0};
   };
 
   /// "No deadline": requests never expire.
@@ -80,6 +84,15 @@ class Executor {
   struct SubmitOptions {
     std::chrono::steady_clock::time_point deadline = kNoDeadline;
     CancelToken cancel;
+    /// Caller-chosen correlation id, echoed in the slow-request log.
+    /// The net server passes the HMMP request_id through here.
+    std::uint64_t trace_id = 0;
+    /// Per-request phase accumulator. Callers that already attributed
+    /// time (plan lookup/build in the service) hand their breakdown in;
+    /// `try_submit` creates one otherwise. Once passed to `try_submit`
+    /// the executor owns flushing it into the metrics — the caller must
+    /// not record it again.
+    std::shared_ptr<PhaseBreakdown> phases;
   };
 
   explicit Executor(util::ThreadPool& pool, ServiceMetrics* metrics = nullptr)
@@ -152,23 +165,35 @@ class Executor {
     if (a.size() != h->size() || b.size() != h->size()) {
       return Status(StatusCode::kInvalidArgument, "span sizes do not match the permuter");
     }
+    if (!opts.phases) opts.phases = std::make_shared<PhaseBreakdown>();
     if (opts.cancel.cancelled()) {
       if (metrics_) metrics_->record_cancelled();
+      finalize_request(opts);
       return Status(StatusCode::kCancelled, "cancelled before admission");
     }
     if (expired(opts.deadline)) {
       if (metrics_) metrics_->record_deadline_exceeded();
+      finalize_request(opts);
       return Status(StatusCode::kDeadlineExceeded, "deadline expired before admission");
     }
 
+    // The admission span is recorded unconditionally (an uncontended
+    // admit is a near-zero sample): "waited 0 ns" is signal, while a
+    // missing admission_wait series would read as an unwired timer.
+    util::Stopwatch admit_clock;
     std::uint64_t depth = 0;
     Status admitted = admit(opts.deadline, depth);
-    if (!admitted.is_ok()) return admitted;
+    opts.phases->add(Phase::kAdmissionWait, static_cast<std::uint64_t>(admit_clock.nanos()));
+    if (!admitted.is_ok()) {
+      finalize_request(opts);
+      return admitted;
+    }
 
     std::future<Status> fut;
+    const auto enqueued_at = std::chrono::steady_clock::now();
     try {
-      fut = pool_.submit_task([this, h = std::move(h), a, b, opts]() -> Status {
-        return run_request<T>(*h, a, b, opts);
+      fut = pool_.submit_task([this, h = std::move(h), a, b, opts, enqueued_at]() -> Status {
+        return run_request<T>(*h, a, b, opts, enqueued_at);
       });
     } catch (...) {
       finish_one();
@@ -212,11 +237,29 @@ class Executor {
   }
 
   /// The request task body: dequeue-time checks, then the gated
-  /// execute. Runs on a pool worker; every outcome is a Status.
+  /// execute. Runs on a pool worker; every outcome is a Status. Every
+  /// exit path flushes the request's phase breakdown into the metrics
+  /// (and the slow-request log) exactly once.
   template <class T>
   Status run_request(const core::OfflinePermuter<T>& h, std::span<const T> a, std::span<T> b,
-                     const SubmitOptions& opts) {
+                     const SubmitOptions& opts,
+                     std::chrono::steady_clock::time_point enqueued_at) {
     Completion done(*this);
+    PhaseBreakdown* phases = opts.phases.get();
+    if (phases) {
+      const auto waited = std::chrono::steady_clock::now() - enqueued_at;
+      phases->add(Phase::kQueueWait,
+                  static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(waited).count()));
+    }
+    const Status st = run_request_body(h, a, b, opts, phases);
+    finalize_request(opts);
+    return st;
+  }
+
+  template <class T>
+  Status run_request_body(const core::OfflinePermuter<T>& h, std::span<const T> a,
+                          std::span<T> b, const SubmitOptions& opts, PhaseBreakdown* phases) {
     if (opts.cancel.cancelled()) {
       if (metrics_) metrics_->record_cancelled();
       return Status(StatusCode::kCancelled, "cancelled while queued");
@@ -225,6 +268,12 @@ class Executor {
       if (metrics_) metrics_->record_deadline_exceeded();
       return Status(StatusCode::kDeadlineExceeded, "queued past the request deadline");
     }
+    core::KernelObserver observer;
+    if (phases) {
+      observer = [phases](unsigned kernel, std::uint64_t ns) {
+        phases->add(phase_for_kernel(kernel), ns);
+      };
+    }
     util::Stopwatch clock;
     try {
       FaultInjector::instance().maybe_stall(fault_sites::kExecutorStall);
@@ -232,9 +281,9 @@ class Executor {
                                             StatusCode::kResourceExhausted,
                                             "scratch allocation failure");
       util::aligned_vector<T> scratch(h.scratch_elements());
-      const bool ran_to_completion = h.permute_gated(
+      const bool ran_to_completion = h.permute_timed(
           a, b, std::span<T>(scratch.data(), scratch.size()),
-          [&opts] { return !opts.cancel.cancelled() && !expired(opts.deadline); });
+          [&opts] { return !opts.cancel.cancelled() && !expired(opts.deadline); }, observer);
       if (!ran_to_completion) {
         if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
         if (opts.cancel.cancelled()) {
@@ -257,6 +306,10 @@ class Executor {
       return Status(StatusCode::kUnavailable, e.what());
     }
   }
+
+  /// Flush a request's phase breakdown into the per-phase histograms
+  /// and, when armed and over threshold, the rate-limited slow log.
+  void finalize_request(const SubmitOptions& opts) noexcept;
 
   /// Reserve an in-flight slot, honoring the admission policy. On
   /// success `depth_out` holds the in-flight count including this

@@ -99,6 +99,15 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.degraded_executions = degraded_.load(std::memory_order_relaxed);
   s.build_retries = build_retries_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const LogHistogram& h = phase_ns_[i];
+    PhaseStats& p = s.phases[i];
+    p.count = h.count();
+    p.ns_sum = h.sum();
+    p.p50 = h.quantile(0.50);
+    p.p95 = h.quantile(0.95);
+    p.max = h.max();
+  }
   return s;
 }
 
@@ -121,6 +130,7 @@ void ServiceMetrics::reset() {
   degraded_.store(0, std::memory_order_relaxed);
   build_retries_.store(0, std::memory_order_relaxed);
   execute_ns_.reset();
+  for (auto& h : phase_ns_) h.reset();
 }
 
 std::string MetricsSnapshot::to_json() const {
@@ -143,7 +153,18 @@ std::string MetricsSnapshot::to_json() const {
      << "\"rejected\":" << rejected << ",\"cancelled\":" << cancelled
      << ",\"deadline_exceeded\":" << deadline_exceeded
      << ",\"degraded_executions\":" << degraded_executions
-     << ",\"build_retries\":" << build_retries << "}}";
+     << ",\"build_retries\":" << build_retries << "},"
+     << "\"phases\":{";
+  bool first = true;
+  for (Phase p : all_phases()) {
+    const PhaseStats& st = phase(p);
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << to_string(p) << "\":{"
+       << "\"count\":" << st.count << ",\"ns_sum\":" << st.ns_sum << ",\"p50\":" << st.p50
+       << ",\"p95\":" << st.p95 << ",\"max\":" << st.max << "}";
+  }
+  os << "}}";
   return os.str();
 }
 
@@ -172,7 +193,56 @@ util::Table MetricsSnapshot::to_table() const {
   t.add_row({"deadline exceeded", util::format_count(deadline_exceeded)});
   t.add_row({"degraded executions", util::format_count(degraded_executions)});
   t.add_row({"plan build retries", util::format_count(build_retries)});
+  t.add_separator();
+  for (Phase p : all_phases()) {
+    const PhaseStats& st = phase(p);
+    if (st.count == 0) continue;  // keep the table terse: only phases that ran
+    t.add_row({"phase " + std::string(to_string(p)),
+               format_ns(st.p50) + " p50 / " + format_ns(st.p95) + " p95 / " +
+                   format_ns(st.max) + " max (n=" + util::format_count(st.count) + ")"});
+  }
   return t;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream os;
+  const auto counter = [&os](std::string_view name, std::string_view help, std::uint64_t value) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " counter\n"
+       << name << " " << value << "\n";
+  };
+  counter("hmm_cache_lookups_total", "Plan-cache lookups.", lookups);
+  counter("hmm_cache_hits_total", "Plan-cache hits.", hits);
+  counter("hmm_cache_misses_total", "Plan-cache misses.", misses);
+  counter("hmm_cache_evictions_total", "Plan-cache evictions.", evictions);
+  counter("hmm_cache_bytes_evicted_total", "Bytes reclaimed by eviction.", bytes_evicted);
+  counter("hmm_plan_builds_total", "Offline plan compiles.", plan_builds);
+  counter("hmm_requests_submitted_total", "Requests admitted to the executor.", submitted);
+  counter("hmm_requests_completed_total", "Requests executed successfully.", completed);
+  counter("hmm_requests_failed_total", "Requests that executed and failed.", failed);
+  counter("hmm_requests_rejected_total", "Requests refused at admission.", rejected);
+  counter("hmm_requests_cancelled_total", "Requests resolved cancelled.", cancelled);
+  counter("hmm_deadline_exceeded_total", "Requests resolved past deadline.", deadline_exceeded);
+  counter("hmm_degraded_executions_total", "Requests served by the conventional fallback.",
+          degraded_executions);
+  counter("hmm_build_retries_total", "Transient plan-build failures retried.", build_retries);
+  // Per-phase digests as summaries. Quantiles come from the log2
+  // histogram (factor-of-two resolution); _sum/_count are exact.
+  os << "# HELP hmm_phase_duration_seconds Wall time attributed to each serving phase.\n"
+     << "# TYPE hmm_phase_duration_seconds summary\n";
+  const auto seconds = [](std::uint64_t ns) { return util::format_double(static_cast<double>(ns) / 1e9, 9); };
+  for (Phase p : all_phases()) {
+    const PhaseStats& st = phase(p);
+    const std::string_view label = to_string(p);
+    os << "hmm_phase_duration_seconds{phase=\"" << label << "\",quantile=\"0.5\"} "
+       << seconds(st.p50) << "\n"
+       << "hmm_phase_duration_seconds{phase=\"" << label << "\",quantile=\"0.95\"} "
+       << seconds(st.p95) << "\n"
+       << "hmm_phase_duration_seconds_sum{phase=\"" << label << "\"} " << seconds(st.ns_sum)
+       << "\n"
+       << "hmm_phase_duration_seconds_count{phase=\"" << label << "\"} " << st.count << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace hmm::runtime

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <string>
 
+#include "runtime/phase.hpp"
 #include "util/table.hpp"
 
 namespace hmm::runtime {
@@ -53,6 +54,15 @@ class LogHistogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+/// Point-in-time digest of one per-phase latency histogram.
+struct PhaseStats {
+  std::uint64_t count = 0;
+  std::uint64_t ns_sum = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t max = 0;
+};
+
 /// Point-in-time copy of every counter (plain integers, safe to format).
 struct MetricsSnapshot {
   // Plan cache.
@@ -64,7 +74,9 @@ struct MetricsSnapshot {
   std::uint64_t plan_builds = 0;
   std::uint64_t plan_build_ns_total = 0;
   std::uint64_t plan_build_ns_max = 0;
-  // Executor.
+  // Executor. `completed` and `failed` are disjoint: a request counts
+  // in exactly one of them (completed = executed and succeeded), so
+  // completed + failed = requests that ran to an outcome.
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
@@ -80,16 +92,30 @@ struct MetricsSnapshot {
   std::uint64_t deadline_exceeded = 0;   ///< resolved kDeadlineExceeded at any stage
   std::uint64_t degraded_executions = 0; ///< served via the conventional fallback
   std::uint64_t build_retries = 0;       ///< transient plan-build failures retried
+  // Per-phase latency digests, indexed by runtime::Phase.
+  std::array<PhaseStats, kPhaseCount> phases{};
 
   [[nodiscard]] double hit_rate() const noexcept {
     return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
   }
 
+  [[nodiscard]] const PhaseStats& phase(Phase p) const noexcept {
+    return phases[static_cast<std::size_t>(p)];
+  }
+
   /// One-line-per-field JSON object (stable key order, no dependencies).
+  /// Phase digests live under a "phases" key — additive relative to the
+  /// pre-phase schema, so STATS consumers keep working.
   [[nodiscard]] std::string to_json() const;
 
   /// Two-column name/value table for terminal reports.
   [[nodiscard]] util::Table to_table() const;
+
+  /// Prometheus text exposition (version 0.0.4): counters as
+  /// `hmm_*_total`, latency digests as summaries with a `phase` label.
+  /// Written by `permd_serve --prom-file` for textfile-collector style
+  /// scraping and dumped by `permd_replay --prom-file`.
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// Shared counters the cache and executor write into. All methods are
@@ -111,10 +137,25 @@ class ServiceMetrics {
 
   void record_submit(std::uint64_t queue_depth) noexcept;
 
+  /// One executed request reached an outcome. `completed` and `failed`
+  /// are disjoint — a failure must not inflate the success counter.
   void record_execute(std::uint64_t ns, bool ok) noexcept {
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    if (!ok) failed_.fetch_add(1, std::memory_order_relaxed);
+    (ok ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
     execute_ns_.record(ns);
+  }
+
+  /// One sample for a single phase (e.g. the server's serialize span).
+  void record_phase(Phase phase, std::uint64_t ns) noexcept {
+    phase_ns_[static_cast<std::size_t>(phase)].record(ns);
+  }
+
+  /// Flush a finished request's breakdown: every phase the request
+  /// touched contributes one sample (zero-ns samples included — a
+  /// measured-but-instant phase still proves the timer is wired).
+  void record_phases(const PhaseBreakdown& breakdown) noexcept {
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      if (breakdown.touched(static_cast<Phase>(i))) phase_ns_[i].record(breakdown.ns[i]);
+    }
   }
 
   void record_rejected() noexcept { rejected_.fetch_add(1, std::memory_order_relaxed); }
@@ -126,6 +167,14 @@ class ServiceMetrics {
   void record_build_retry() noexcept { build_retries_.fetch_add(1, std::memory_order_relaxed); }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Cheap read of the worst plan-build latency seen so far (one relaxed
+  /// load). The deadline heuristic in RobustPermuteService consults this
+  /// per-request; `snapshot()` is too heavy for that path now that it
+  /// digests every per-phase histogram.
+  [[nodiscard]] std::uint64_t plan_build_ns_max() const noexcept {
+    return plan_build_ns_max_.load(std::memory_order_relaxed);
+  }
 
   void reset();
 
@@ -148,6 +197,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> build_retries_{0};
   LogHistogram execute_ns_;
+  std::array<LogHistogram, kPhaseCount> phase_ns_;
 };
 
 }  // namespace hmm::runtime

@@ -26,6 +26,7 @@
 /// counted as hits (they skip the build).
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -62,11 +63,17 @@ class PlanCache {
   /// return in O(1) without touching the offline phase; misses compile
   /// outside the cache lock. Throws whatever the build throws (and the
   /// failed key is erased, so a later acquire retries).
+  ///
+  /// `phases` (optional) receives the request's time attribution:
+  /// kPlanLookup covers the index probe, kPlanBuild covers an actual
+  /// compile — or the wait on another thread's in-flight compile. A
+  /// clean hit on a completed entry records no kPlanBuild span.
   template <class T>
   std::shared_ptr<const core::OfflinePermuter<T>> acquire(
       const perm::Permutation& p,
       const model::MachineParams& machine = model::MachineParams::gtx680(),
-      core::Strategy strategy = core::Strategy::kAuto) {
+      core::Strategy strategy = core::Strategy::kAuto, PhaseBreakdown* phases = nullptr) {
+    util::Stopwatch lookup_clock;
     const Fingerprint fp = typed_key<T>(p, machine, strategy);
     std::promise<std::shared_ptr<EntryBase>> promise;
     std::shared_future<std::shared_ptr<EntryBase>> ready;
@@ -86,6 +93,9 @@ class PlanCache {
         my_generation = insert_pending_locked(fp.value, ready);
       }
     }
+    if (phases) {
+      phases->add(Phase::kPlanLookup, static_cast<std::uint64_t>(lookup_clock.nanos()));
+    }
 
     if (builder) {
       util::Stopwatch clock;
@@ -101,18 +111,27 @@ class PlanCache {
         promise.set_exception(std::current_exception());
         std::rethrow_exception(std::current_exception());
       }
-      if (metrics_) {
-        metrics_->record_plan_build(static_cast<std::uint64_t>(clock.nanos()));
-      }
+      const auto build_ns = static_cast<std::uint64_t>(clock.nanos());
+      if (metrics_) metrics_->record_plan_build(build_ns);
+      if (phases) phases->add(Phase::kPlanBuild, build_ns);
       commit(fp.value, my_generation, entry, entry->permuter->compiled_bytes());
       promise.set_value(entry);
       return entry->permuter;
     }
 
     // Hit (possibly on a still-compiling entry: wait for the builder).
+    // Only an actual wait counts as kPlanBuild time — a hit on a
+    // completed entry must not pollute the build histogram with 0 ns
+    // samples.
+    const bool must_wait =
+        ready.wait_for(std::chrono::seconds(0)) != std::future_status::ready;
+    util::Stopwatch wait_clock;
+    std::shared_ptr<EntryBase> base = ready.get();
+    if (phases && must_wait) {
+      phases->add(Phase::kPlanBuild, static_cast<std::uint64_t>(wait_clock.nanos()));
+    }
     // The key carries a per-type token, so a failed cast here would
     // mean a genuine 64-bit fingerprint collision.
-    std::shared_ptr<EntryBase> base = ready.get();
     auto typed = std::dynamic_pointer_cast<TypedEntry<T>>(base);
     HMM_CHECK_MSG(typed != nullptr, "plan-cache fingerprint collided across element types");
     return typed->permuter;
@@ -129,9 +148,9 @@ class PlanCache {
   StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> try_acquire(
       const perm::Permutation& p,
       const model::MachineParams& machine = model::MachineParams::gtx680(),
-      core::Strategy strategy = core::Strategy::kAuto) {
+      core::Strategy strategy = core::Strategy::kAuto, PhaseBreakdown* phases = nullptr) {
     try {
-      return acquire<T>(p, machine, strategy);
+      return acquire<T>(p, machine, strategy, phases);
     } catch (const FaultInjectedError& e) {
       return Status(e.code, e.what());
     } catch (const std::bad_alloc&) {

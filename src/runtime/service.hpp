@@ -56,6 +56,9 @@ struct RequestOptions {
   std::chrono::steady_clock::time_point deadline = Executor::kNoDeadline;
   CancelToken cancel;
   core::Strategy strategy = core::Strategy::kAuto;
+  /// Correlation id echoed in the slow-request log (the net server
+  /// forwards the HMMP request_id). 0 = unnamed.
+  std::uint64_t trace_id = 0;
 };
 
 class RobustPermuteService {
@@ -107,6 +110,11 @@ class RobustPermuteService {
       return Status(StatusCode::kDeadlineExceeded, "deadline already expired at submission");
     }
 
+    // The request's phase breakdown starts here: the plan tier fills
+    // in lookup/build time, the executor adds admission/queue/kernel
+    // spans and owns the final flush. Requests refused before reaching
+    // the executor flush whatever they accumulated on the way out.
+    auto phases = std::make_shared<PhaseBreakdown>();
     std::shared_ptr<const core::OfflinePermuter<T>> permuter;
     bool degraded = false;
     if (should_skip_build_for_deadline<T>(p, opts)) {
@@ -115,25 +123,39 @@ class RobustPermuteService {
       degraded = true;
     } else {
       StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> acquired =
-          acquire_with_retry<T>(p, opts);
+          acquire_with_retry<T>(p, opts, phases.get());
       if (acquired.ok()) {
         permuter = std::move(acquired).value();
       } else if (config_.allow_degraded && is_transient(acquired.status().code())) {
         degraded = true;
       } else {
+        metrics_.record_phases(*phases);
         return acquired.status();
       }
     }
 
     if (degraded) {
+      // The fallback's (cheap) construction is still plan-build time:
+      // the degraded tier trades the offline phase for extra memory
+      // rounds, and the breakdown should show that trade.
+      util::Stopwatch build_clock;
       StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> fallback =
           build_conventional<T>(p);
-      if (!fallback.ok()) return fallback.status();
+      phases->add(Phase::kPlanBuild, static_cast<std::uint64_t>(build_clock.nanos()));
+      if (!fallback.ok()) {
+        metrics_.record_phases(*phases);
+        return fallback.status();
+      }
       permuter = std::move(fallback).value();
     }
 
-    StatusOr<std::future<Status>> submitted = executor_.try_submit<T>(
-        std::move(permuter), a, b, Executor::SubmitOptions{opts.deadline, opts.cancel});
+    Executor::SubmitOptions submit_opts;
+    submit_opts.deadline = opts.deadline;
+    submit_opts.cancel = opts.cancel;
+    submit_opts.trace_id = opts.trace_id;
+    submit_opts.phases = std::move(phases);
+    StatusOr<std::future<Status>> submitted =
+        executor_.try_submit<T>(std::move(permuter), a, b, std::move(submit_opts));
     if (submitted.ok() && degraded) metrics_.record_degraded();
     return submitted;
   }
@@ -162,7 +184,7 @@ class RobustPermuteService {
   bool should_skip_build_for_deadline(const perm::Permutation& p, const RequestOptions& opts) {
     if (!config_.allow_degraded || opts.deadline == Executor::kNoDeadline) return false;
     if (cache_.contains(PlanCache::plan_key<T>(p, config_.machine, opts.strategy))) return false;
-    const std::uint64_t worst_build_ns = metrics_.snapshot().plan_build_ns_max;
+    const std::uint64_t worst_build_ns = metrics_.plan_build_ns_max();
     if (worst_build_ns == 0) return false;
     const auto remaining = opts.deadline - std::chrono::steady_clock::now();
     return remaining < std::chrono::nanoseconds(worst_build_ns);
@@ -170,10 +192,10 @@ class RobustPermuteService {
 
   template <class T>
   StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> acquire_with_retry(
-      const perm::Permutation& p, const RequestOptions& opts) {
+      const perm::Permutation& p, const RequestOptions& opts, PhaseBreakdown* phases) {
     for (int attempt = 0;; ++attempt) {
       StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> result =
-          cache_.try_acquire<T>(p, config_.machine, opts.strategy);
+          cache_.try_acquire<T>(p, config_.machine, opts.strategy, phases);
       if (result.ok() || attempt >= config_.max_build_retries ||
           !is_transient(result.status().code())) {
         return result;

@@ -10,8 +10,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "perm/generators.hpp"
 #include "perm/permutation.hpp"
 #include "runtime/fault_injector.hpp"
+#include "runtime/phase.hpp"
 #include "runtime/service.hpp"
 #include "runtime/status.hpp"
 #include "util/thread_pool.hpp"
@@ -306,6 +309,24 @@ TEST(NetProtocol, ErrorResponseRoundTripsAndMapsToStatus) {
   EXPECT_NE(s.to_string().find(in.message), std::string::npos);
 }
 
+// Regression (PR 4): the client used to cast deadline.count() straight
+// to uint32_t, so values >= 2^32 ms wrapped around. The clamp saturates
+// instead.
+TEST(NetProtocol, ClampDeadlineSaturatesInsteadOfWrapping) {
+  using std::chrono::milliseconds;
+  constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  EXPECT_EQ(net::PermuteRequest::clamp_deadline(milliseconds(-5)), 0u);
+  EXPECT_EQ(net::PermuteRequest::clamp_deadline(milliseconds(0)), 0u);
+  EXPECT_EQ(net::PermuteRequest::clamp_deadline(milliseconds(1)), 1u);
+  EXPECT_EQ(net::PermuteRequest::clamp_deadline(milliseconds(kMax) - milliseconds(1)),
+            kMax - 1);
+  EXPECT_EQ(net::PermuteRequest::clamp_deadline(milliseconds(kMax)), kMax);
+  // 2^32 + 1 ms used to wrap to 1 ms — the bug this clamp exists for.
+  EXPECT_EQ(net::PermuteRequest::clamp_deadline(milliseconds((std::int64_t{1} << 32) + 1)),
+            kMax);
+  EXPECT_EQ(net::PermuteRequest::clamp_deadline(milliseconds(std::int64_t{1} << 40)), kMax);
+}
+
 TEST(NetProtocol, MakeErrorFrameCarriesTypedStatus) {
   const Status cause(StatusCode::kResourceExhausted, "admission bound reached");
   const net::Frame frame = net::make_error_frame(42, cause);
@@ -348,7 +369,85 @@ TEST(NetLoopback, PingEchoes) {
   net::Client client(loop.client_config());
   const Status s = client.ping();
   EXPECT_TRUE(s.is_ok()) << s.to_string();
-  EXPECT_GE(loop.server.counters().requests_served, 1u);
+  EXPECT_GE(loop.server.counters().requests_served(), 1u);
+}
+
+// Regression (PR 4): `requests_served` used to count ERROR responses
+// (and even responses whose write failed) as served requests. The
+// split counters attribute each delivered response to exactly one of
+// ok/error.
+TEST(NetLoopback, CountersSplitOkFromErrorResponses) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  ASSERT_TRUE(client.ping().is_ok());
+  ASSERT_TRUE(client.ping().is_ok());
+
+  // Unknown plan id -> a delivered ERROR frame.
+  std::vector<std::uint32_t> a(64, 1), b(64, 0);
+  const Status s = client.permute(/*plan_id=*/0xdeadbeef, {a.data(), a.size()},
+                                  {b.data(), b.size()});
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+
+  const net::Server::Counters counters = loop.server.counters();
+  EXPECT_EQ(counters.requests_ok, 2u);
+  EXPECT_EQ(counters.requests_error, 1u);
+  EXPECT_EQ(counters.requests_served(), 3u);
+}
+
+// Regression (PR 4): Client::permute cast deadline.count() straight to
+// uint32_t, so a deadline of 2^32+1 ms wrapped to 1 ms and a perfectly
+// relaxed request died with DEADLINE_EXCEEDED.
+TEST(NetLoopback, HugeDeadlineDoesNotWrapToATinyBudget) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  const std::uint64_t n = 1024;
+  const perm::Permutation p = perm::by_name("bit-reversal", n, 1);
+  auto plan = client.submit_plan(p);
+  ASSERT_TRUE(plan.ok());
+
+  std::vector<std::uint32_t> a(n), b(n, 0), expect(n);
+  for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i);
+  p.apply<std::uint32_t>({a.data(), n}, {expect.data(), n});
+
+  const auto huge = std::chrono::milliseconds((std::int64_t{1} << 32) + 1);
+  const Status s = client.permute(plan.value(), {a.data(), n}, {b.data(), n}, huge);
+  ASSERT_TRUE(s.is_ok()) << "huge deadline wrapped: " << s.to_string();
+  EXPECT_EQ(b, expect);
+}
+
+TEST(NetLoopback, StatsIncludePhaseBreakdown) {
+  Loopback loop;
+  net::Client client(loop.client_config());
+  const std::uint64_t n = 1024;
+  const perm::Permutation p = perm::by_name("bit-reversal", n, 1);
+  auto plan = client.submit_plan(p);
+  ASSERT_TRUE(plan.ok());
+  std::vector<std::uint32_t> a(n, 1), b(n, 0);
+  ASSERT_TRUE(client.permute(plan.value(), {a.data(), n}, {b.data(), n}).is_ok());
+
+  auto stats = client.stats_json();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_NE(stats.value().find("\"phases\""), std::string::npos);
+
+  const std::vector<runtime::PhaseScrape> phases = runtime::scrape_phases_json(stats.value());
+  ASSERT_FALSE(phases.empty());
+  const auto count_of = [&phases](std::string_view label) -> std::uint64_t {
+    for (const runtime::PhaseScrape& row : phases) {
+      if (row.label == label) return row.count;
+    }
+    return 0;
+  };
+  // One permute ran end to end: the request-path phases must each have
+  // at least one sample in the wire-visible snapshot.
+  EXPECT_GE(count_of("admission_wait"), 1u);
+  EXPECT_GE(count_of("queue_wait"), 1u);
+  EXPECT_GE(count_of("plan_lookup"), 1u);
+  EXPECT_GE(count_of("plan_build"), 1u);
+  // The serialize span is recorded after the response is written, so
+  // the PERMUTE's own serialize sample may postdate this STATS read —
+  // but the SUBMIT_PLAN and PERMUTE responses already landed.
+  EXPECT_GE(count_of("serialize"), 1u);
 }
 
 TEST(NetLoopback, PermuteMatchesLocalApply) {
@@ -462,6 +561,7 @@ TEST(NetLoopback, StatsReturnsMetricsJson) {
   ASSERT_TRUE(stats.ok()) << stats.status().to_string();
   EXPECT_NE(stats.value().find("\"cache\""), std::string::npos);
   EXPECT_NE(stats.value().find("\"executor\""), std::string::npos);
+  EXPECT_NE(stats.value().find("\"phases\""), std::string::npos);
 }
 
 TEST(NetLoopback, DeadlineExceededSurfacesTyped) {
@@ -565,6 +665,74 @@ TEST(NetLoopback, GracefulStopAnswersTheInFlightRequest) {
   EXPECT_TRUE(result.is_ok()) << result.to_string();
   EXPECT_EQ(b, expect);
   EXPECT_FALSE(loop->server.running());
+}
+
+// ------------------------------------------------------- client backoff
+
+TEST(NetClient, RetryBackoffGrowsAndSaturatesAtTheCap) {
+  net::Client::Config config;
+  config.retry_backoff_base = 20ms;
+  config.retry_backoff_cap = 160ms;
+
+  // Attempt 0 is the initial try — never delayed.
+  EXPECT_EQ(net::Client::retry_backoff(config, 0).count(), 0);
+
+  for (int attempt = 1; attempt <= 24; ++attempt) {
+    const auto delay = net::Client::retry_backoff(config, attempt);
+    const auto base_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             config.retry_backoff_base)
+                             .count();
+    const auto cap_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            config.retry_backoff_cap)
+                            .count();
+    const std::int64_t raw =
+        std::min(base_us << std::min(attempt - 1, 20), cap_us);
+    // Jitter lives in [0, raw): total in [raw, 2*raw).
+    EXPECT_GE(delay.count(), raw) << "attempt " << attempt;
+    EXPECT_LT(delay.count(), 2 * raw) << "attempt " << attempt;
+    // Determinism: same config + attempt -> same pause (chaos replay).
+    EXPECT_EQ(delay.count(), net::Client::retry_backoff(config, attempt).count());
+  }
+
+  // Disabled backoff keeps the legacy immediate-retry behaviour.
+  net::Client::Config off = config;
+  off.retry_backoff_base = 0ms;
+  EXPECT_EQ(net::Client::retry_backoff(off, 5).count(), 0);
+}
+
+// Regression (PR 4): retries used to reconnect in a hot zero-delay
+// loop. Against a dead port (connect fails instantly with
+// ECONNREFUSED) the retries must now consume at least the scheduled
+// backoff time.
+TEST(NetClient, RetriesAgainstDeadPortPaceThemselves) {
+  // Grab an ephemeral port, then close the listener so connects are
+  // refused immediately.
+  auto listener = net::TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  const std::uint16_t dead_port = listener.value().port();
+  listener.value().close();
+
+  net::Client::Config config;
+  config.host = "127.0.0.1";
+  config.port = dead_port;
+  config.connect_timeout = 250ms;
+  config.max_retries = 2;
+  config.retry_backoff_base = 30ms;
+  config.retry_backoff_cap = 120ms;
+  net::Client client(config);
+
+  std::chrono::microseconds scheduled{0};
+  for (int attempt = 1; attempt <= config.max_retries; ++attempt) {
+    scheduled += net::Client::retry_backoff(config, attempt);
+  }
+  ASSERT_GT(scheduled.count(), 0);
+
+  const auto started = std::chrono::steady_clock::now();
+  const Status s = client.ping();
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count(),
+            scheduled.count());
 }
 
 TEST(NetLoopback, ClientReconnectsAfterClose) {

@@ -3,10 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "runtime/fault_injector.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/phase.hpp"
 #include "runtime/plan_cache.hpp"
 #include "test_helpers.hpp"
 
@@ -83,6 +86,91 @@ TEST(LogHistogram, QuantilesAndCounters) {
   EXPECT_LE(h.quantile(0.5), 512u);
   EXPECT_LE(h.quantile(0.95), h.max());
   EXPECT_GE(h.quantile(1.0), h.quantile(0.5));
+}
+
+TEST(LogHistogram, EmptyHistogramReportsZeros) {
+  const runtime::LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(LogHistogram, SingleSampleDominatesEveryQuantile) {
+  runtime::LogHistogram h;
+  h.record(777);  // bucket [512, 1024), geometric midpoint 768
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 777u);
+  EXPECT_EQ(h.max(), 777u);
+  for (double q : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 768u) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, PowerOfTwoBoundariesLandInTheUpperBucket) {
+  // 2^k opens bucket k: [2^k, 2^(k+1)); 2^k - 1 closes bucket k-1.
+  runtime::LogHistogram below;
+  below.record(1023);
+  EXPECT_EQ(below.quantile(0.5), 768u);  // midpoint of [512, 1024)
+
+  runtime::LogHistogram at;
+  at.record(1024);
+  // Midpoint of [1024, 2048) is 1536, but quantiles are capped by the
+  // exact max, which is 1024 here.
+  EXPECT_EQ(at.quantile(0.5), 1024u);
+
+  runtime::LogHistogram zero_and_one;
+  zero_and_one.record(0);  // value 0 shares bucket 0 with value 1
+  zero_and_one.record(1);
+  EXPECT_EQ(zero_and_one.count(), 2u);
+  EXPECT_EQ(zero_and_one.max(), 1u);
+  EXPECT_LE(zero_and_one.quantile(1.0), 1u);
+}
+
+TEST(LogHistogram, ExtremeQuantileArgumentsAreClamped) {
+  runtime::LogHistogram h;
+  for (std::uint64_t v = 1; v <= 64; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_GE(h.quantile(1.0), h.quantile(0.0));
+}
+
+TEST(LogHistogram, ConcurrentRecordAndSnapshot) {
+  // Recorders race a reader that keeps taking quantile/count/sum
+  // digests; run under TSan in CI. The reader only checks invariants
+  // that hold for any interleaving.
+  runtime::LogHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&h, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t count = h.count();
+      const std::uint64_t q = h.quantile(0.5);
+      EXPECT_LE(q, 2 * h.max() + 1);
+      EXPECT_LE(count, kThreads * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record((i % 1024) + static_cast<std::uint64_t>(t));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_GE(h.max(), 1023u);
+  EXPECT_LE(h.max(), 1023u + kThreads);
 }
 
 // ---------------------------------------------------------------- plan cache
@@ -347,6 +435,8 @@ TEST(Executor, ThrowingRequestDeliversExceptionAndReleasesItsSlot) {
   // The legacy submit path: a failed request must surface its exception
   // through the future, decrement in_flight_, and count as failed in
   // the metrics — a wedged slot would hang wait_idle() and teardown.
+  // Regression (PR 4): a failed request used to count as completed AND
+  // failed; the counters are disjoint now.
   const std::uint64_t n = 1 << 12;
   runtime::ServiceMetrics metrics;
   runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
@@ -365,7 +455,7 @@ TEST(Executor, ThrowingRequestDeliversExceptionAndReleasesItsSlot) {
 
   const auto snap = metrics.snapshot();
   EXPECT_EQ(snap.submitted, 1u);
-  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.completed, 0u);
   EXPECT_EQ(snap.failed, 1u);
 }
 
@@ -473,6 +563,160 @@ TEST(Metrics, JsonAndTableRender) {
   std::ostringstream os;
   snap.to_table().print(os);
   EXPECT_NE(os.str().find("cache hit rate"), std::string::npos);
+}
+
+// Regression (PR 4): record_execute(ns, ok=false) used to bump
+// `completed` as well as `failed`, so error rates computed from the
+// snapshot silently undercounted.
+TEST(Metrics, CompletedExcludesFailures) {
+  runtime::ServiceMetrics metrics;
+  metrics.record_execute(1'000, true);
+  metrics.record_execute(2'000, false);
+  metrics.record_execute(3'000, false);
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.completed, 1u);
+  EXPECT_EQ(snap.failed, 2u);
+  // The latency histogram still sees every outcome.
+  EXPECT_EQ(snap.execute_count, 3u);
+  EXPECT_EQ(snap.execute_ns_sum, 6'000u);
+
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"completed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"failed\":2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- phases
+
+TEST(Metrics, PhaseBreakdownFlushesOnlyTouchedPhases) {
+  using runtime::Phase;
+  runtime::ServiceMetrics metrics;
+
+  runtime::PhaseBreakdown breakdown;
+  breakdown.add(Phase::kPlanBuild, 5'000);
+  breakdown.add(Phase::kQueueWait, 250);
+  breakdown.add(Phase::kQueueWait, 750);  // accumulates within a request
+  EXPECT_TRUE(breakdown.touched(Phase::kPlanBuild));
+  EXPECT_FALSE(breakdown.touched(Phase::kAdmissionWait));
+  EXPECT_EQ(breakdown.total_ns(), 6'000u);
+  metrics.record_phases(breakdown);
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.phase(Phase::kPlanBuild).count, 1u);
+  EXPECT_EQ(snap.phase(Phase::kPlanBuild).ns_sum, 5'000u);
+  EXPECT_EQ(snap.phase(Phase::kQueueWait).count, 1u);
+  EXPECT_EQ(snap.phase(Phase::kQueueWait).ns_sum, 1'000u);
+  // Untouched phases must not be polluted with zero-valued samples.
+  EXPECT_EQ(snap.phase(Phase::kAdmissionWait).count, 0u);
+  EXPECT_EQ(snap.phase(Phase::kKernelRowPass1).count, 0u);
+}
+
+TEST(Metrics, PhasesRenderInJsonTableAndPrometheus) {
+  using runtime::Phase;
+  runtime::ServiceMetrics metrics;
+  metrics.record_phase(Phase::kSerialize, 12'345);
+  metrics.record_phase(Phase::kQueueWait, 1'000'000);
+
+  const auto snap = metrics.snapshot();
+  const std::string json = snap.to_json();
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"serialize\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\":{\"count\":1"), std::string::npos);
+
+  // The scraper used by permd_client/permd_loadgen reads back what
+  // to_json wrote.
+  // to_json writes every phase (zero-count ones included) so scrapers
+  // see a stable schema; the two recorded phases carry real samples.
+  const std::vector<runtime::PhaseScrape> scraped = runtime::scrape_phases_json(json);
+  ASSERT_EQ(scraped.size(), static_cast<std::size_t>(runtime::kPhaseCount));
+  bool saw_serialize = false;
+  for (const runtime::PhaseScrape& row : scraped) {
+    if (row.label == "serialize") {
+      saw_serialize = true;
+      EXPECT_EQ(row.count, 1u);
+      EXPECT_EQ(row.ns_sum, 12'345u);
+      EXPECT_EQ(row.max, 12'345u);
+    } else if (row.label != "queue_wait") {
+      EXPECT_EQ(row.count, 0u) << row.label;
+    }
+  }
+  EXPECT_TRUE(saw_serialize);
+
+  std::ostringstream os;
+  snap.to_table().print(os);
+  EXPECT_NE(os.str().find("serialize"), std::string::npos);
+  EXPECT_NE(os.str().find("queue_wait"), std::string::npos);
+
+  const std::string prom = snap.to_prometheus();
+  EXPECT_NE(prom.find("hmm_requests_submitted_total"), std::string::npos);
+  EXPECT_NE(prom.find("hmm_phase_duration_seconds_count{phase=\"serialize\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hmm_phase_duration_seconds{phase=\"queue_wait\",quantile=\"0.5\"}"),
+            std::string::npos);
+}
+
+TEST(Executor, ScheduledRequestRecordsEveryKernelPhase) {
+  // The tentpole end-to-end check at the executor level: one request
+  // through the scheduled (5-pass) permuter must leave exactly one
+  // sample in every request-path phase and in each of the five kernel
+  // passes — and none in the conventional-kernel or serialize phases.
+  using runtime::Phase;
+  const std::uint64_t n = 1 << 12;
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  runtime::Executor executor(util::ThreadPool::global(), &metrics);
+
+  auto phases = std::make_shared<runtime::PhaseBreakdown>();
+  auto h = cache.acquire<float>(perm::bit_reversal(n), MachineParams::gtx680(),
+                                core::Strategy::kScheduled, phases.get());
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n);
+
+  runtime::Executor::SubmitOptions opts;
+  opts.phases = phases;
+  auto submitted = executor.try_submit<float>(h, std::span<const float>(a.data(), n),
+                                              std::span<float>(b.data(), n), opts);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().to_string();
+  const auto status = std::move(submitted).value().get();
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  executor.wait_idle();
+
+  const auto snap = metrics.snapshot();
+  for (Phase phase : {Phase::kAdmissionWait, Phase::kQueueWait, Phase::kPlanLookup,
+                      Phase::kPlanBuild, Phase::kKernelRowPass1, Phase::kKernelTranspose1,
+                      Phase::kKernelRowPass2, Phase::kKernelTranspose2,
+                      Phase::kKernelRowPass3}) {
+    EXPECT_EQ(snap.phase(phase).count, 1u) << runtime::to_string(phase);
+  }
+  EXPECT_EQ(snap.phase(Phase::kKernelConventional).count, 0u);
+  EXPECT_EQ(snap.phase(Phase::kSerialize).count, 0u);
+}
+
+TEST(Executor, ConventionalRequestRecordsTheConventionalPhase) {
+  using runtime::Phase;
+  const std::uint64_t n = 1 << 12;
+  runtime::ServiceMetrics metrics;
+  runtime::PlanCache cache(runtime::PlanCache::Config{}, &metrics);
+  runtime::Executor executor(util::ThreadPool::global(), &metrics);
+
+  auto phases = std::make_shared<runtime::PhaseBreakdown>();
+  auto h = cache.acquire<float>(perm::bit_reversal(n), MachineParams::gtx680(),
+                                core::Strategy::kSDesignated, phases.get());
+  const auto a = test::iota_data<float>(n);
+  util::aligned_vector<float> b(n);
+
+  runtime::Executor::SubmitOptions opts;
+  opts.phases = phases;
+  auto submitted = executor.try_submit<float>(h, std::span<const float>(a.data(), n),
+                                              std::span<float>(b.data(), n), opts);
+  ASSERT_TRUE(submitted.ok()) << submitted.status().to_string();
+  ASSERT_TRUE(std::move(submitted).value().get().is_ok());
+  executor.wait_idle();
+
+  const auto snap = metrics.snapshot();
+  EXPECT_EQ(snap.phase(Phase::kKernelConventional).count, 1u);
+  EXPECT_EQ(snap.phase(Phase::kKernelRowPass1).count, 0u);
+  EXPECT_EQ(snap.phase(Phase::kQueueWait).count, 1u);
 }
 
 }  // namespace

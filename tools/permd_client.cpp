@@ -5,13 +5,15 @@
 /// Commands (first positional argument):
 ///   ping      liveness probe (echo round-trip)
 ///   stats     print the server's ServiceMetrics snapshot JSON
+///   phases    fetch the same snapshot and render the per-phase
+///             latency breakdown as a table
 ///   permute   register a named permutation family, send `--count`
 ///             permute requests, and verify every response locally
 ///             against perm::Permutation::apply (the same ground truth
 ///             the test suite uses)
 ///
 /// Usage:
-///   permd_client <ping|stats|permute> --port P [--host 127.0.0.1]
+///   permd_client <ping|stats|phases|permute> --port P [--host 127.0.0.1]
 ///                [--n 64K] [--family bit-reversal] [--seed 42]
 ///                [--count 4] [--deadline-ms 0] [--timeout-ms 30000]
 ///
@@ -28,6 +30,7 @@
 #include "net/socket.hpp"
 #include "perm/generators.hpp"
 #include "perm/permutation.hpp"
+#include "runtime/phase.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (cli.positional().size() != 1) {
-    std::cerr << "usage: permd_client <ping|stats|permute> --port P [flags]\n";
+    std::cerr << "usage: permd_client <ping|stats|phases|permute> --port P [flags]\n";
     return 2;
   }
   const std::string command = cli.positional()[0];
@@ -78,6 +81,29 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << stats.value() << "\n";
+    return 0;
+  }
+
+  if (command == "phases") {
+    const runtime::StatusOr<std::string> stats = client.stats_json();
+    if (!stats.ok()) {
+      std::cerr << "permd_client: phases failed: " << stats.status().to_string() << "\n";
+      return 1;
+    }
+    const std::vector<runtime::PhaseScrape> phases =
+        runtime::scrape_phases_json(stats.value());
+    if (phases.empty()) {
+      std::cerr << "permd_client: server reported no phase breakdown\n";
+      return 1;
+    }
+    util::Table t({"phase", "count", "p50", "p95", "max"});
+    for (const runtime::PhaseScrape& row : phases) {
+      t.add_row({row.label, util::format_count(row.count),
+                 util::format_ms(static_cast<double>(row.p50) / 1e6) + " ms",
+                 util::format_ms(static_cast<double>(row.p95) / 1e6) + " ms",
+                 util::format_ms(static_cast<double>(row.max) / 1e6) + " ms"});
+    }
+    t.print(std::cout);
     return 0;
   }
 

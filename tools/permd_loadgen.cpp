@@ -39,6 +39,7 @@
 #include "perm/generators.hpp"
 #include "perm/permutation.hpp"
 #include "runtime/metrics.hpp"
+#include "runtime/phase.hpp"
 #include "runtime/status.hpp"
 #include "util/bits.hpp"
 #include "util/cli.hpp"
@@ -186,7 +187,11 @@ int main(int argc, char** argv) {
   const auto started = std::chrono::steady_clock::now();
 
   auto worker = [&](std::uint64_t worker_id) {
-    net::Client client(client_config);
+    // Per-worker trace prefix: the server's slow-request log can name
+    // the connection a slow request came from.
+    net::Client::Config worker_config = client_config;
+    worker_config.trace_prefix = static_cast<std::uint32_t>(worker_id + 1);
+    net::Client client(worker_config);
     util::Xoshiro256 rng(seed ^ (0x9e3779b97f4a7c15ull * (worker_id + 1)));
     ZipfSampler sample(num_perms, zipf_s);
     std::vector<std::uint32_t> a(n), b(n);
@@ -273,6 +278,22 @@ int main(int argc, char** argv) {
   net::Client stats_client(client_config);
   runtime::StatusOr<std::string> server_stats = stats_client.stats_json();
   if (server_stats.ok()) {
+    // Where the server says the time went, phase by phase — the
+    // breakdown that pairs with the client-side latency percentiles
+    // above.
+    const std::vector<runtime::PhaseScrape> phases =
+        runtime::scrape_phases_json(server_stats.value());
+    if (!phases.empty()) {
+      std::cout << "\nserver-side phase breakdown:\n";
+      util::Table phase_table({"phase", "count", "p50", "p95", "max"});
+      for (const runtime::PhaseScrape& row : phases) {
+        phase_table.add_row({row.label, util::format_count(row.count),
+                             util::format_ms(static_cast<double>(row.p50) / 1e6) + " ms",
+                             util::format_ms(static_cast<double>(row.p95) / 1e6) + " ms",
+                             util::format_ms(static_cast<double>(row.max) / 1e6) + " ms"});
+      }
+      phase_table.print(std::cout);
+    }
     if (json) std::cout << server_stats.value() << "\n";
   } else {
     std::cerr << "permd_loadgen: STATS fetch failed: " << server_stats.status().to_string()

@@ -20,7 +20,7 @@
 /// Usage:
 ///   permd_replay [--n 64K] [--perms 24] [--requests 400] [--zipf 1.0]
 ///                [--cache-mb 64] [--seed 42] [--verify] [--json]
-///                [--metrics-json <path>]
+///                [--metrics-json <path>] [--prom-file <path>] [--slow-ms 0]
 ///                [--fault-rate 0.0] [--fault-seed 1] [--fault-sites plan_cache.build]
 ///                [--fault-stall-ms 50] [--deadline-ms 0] [--max-in-flight 0] [--reject]
 ///
@@ -106,8 +106,9 @@ class ZipfSampler {
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"n", "perms", "requests", "zipf", "cache-mb", "seed", "verify",
-                         "json", "metrics-json", "fault-rate", "fault-seed", "fault-sites",
-                         "fault-stall-ms", "deadline-ms", "max-in-flight", "reject"},
+                         "json", "metrics-json", "prom-file", "slow-ms", "fault-rate",
+                         "fault-seed", "fault-sites", "fault-stall-ms", "deadline-ms",
+                         "max-in-flight", "reject"},
                         std::cerr)) {
     return 2;
   }
@@ -121,6 +122,8 @@ int main(int argc, char** argv) {
   const bool verify = cli.get_bool("verify");
   const bool json = cli.get_bool("json");
   const std::string metrics_json = cli.get("metrics-json");
+  const std::string prom_file = cli.get("prom-file");
+  const std::int64_t slow_ms = cli.get_int("slow-ms", 0);
   // Robustness / chaos knobs.
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   const std::uint64_t fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
@@ -172,6 +175,7 @@ int main(int argc, char** argv) {
   config.executor.max_in_flight = max_in_flight;
   config.executor.admission =
       reject ? runtime::Executor::Admission::kReject : runtime::Executor::Admission::kBlock;
+  if (slow_ms > 0) config.executor.slow_log_threshold = std::chrono::milliseconds(slow_ms);
   runtime::RobustPermuteService service(pool, config);
 
   // A bounded ring of request buffers: slot reuse waits for the slot's
@@ -277,6 +281,16 @@ int main(int argc, char** argv) {
     mf << snap.to_json() << "\n";
     if (!mf) {
       std::cerr << "permd_replay: cannot write --metrics-json " << metrics_json << "\n";
+      return 1;
+    }
+  }
+  if (!prom_file.empty()) {
+    // Same exposition the daemon serves, dumped once at end of run so
+    // offline replays feed the same dashboards / CI checks.
+    std::ofstream pf(prom_file);
+    pf << snap.to_prometheus();
+    if (!pf) {
+      std::cerr << "permd_replay: cannot write --prom-file " << prom_file << "\n";
       return 1;
     }
   }

@@ -19,8 +19,14 @@
 ///               [--max-connections 256] [--max-payload-mb 64]
 ///               [--io-timeout-ms 30000] [--duration-s 0]
 ///               [--metrics-json <path>] [--json]
+///               [--prom-file <path>] [--slow-ms 0]
 ///               [--fault-rate 0.0] [--fault-seed 1]
 ///               [--fault-sites plan_cache.build] [--fault-stall-ms 50]
+///
+/// `--prom-file` rewrites the Prometheus text exposition roughly once
+/// per second while serving (textfile-collector style) and once more
+/// after the drain; `--slow-ms N` arms the rate-limited slow-request
+/// log for requests whose attributed phase time reaches N ms.
 ///
 /// `--port 0` binds an ephemeral port; `--port-file` writes the bound
 /// port (one line) once listening, which is how scripted runs and the
@@ -29,6 +35,7 @@
 #include <atomic>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -57,8 +64,8 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "port-file", "cache-mb", "max-in-flight", "reject",
                          "max-connections", "max-payload-mb", "io-timeout-ms", "duration-s",
-                         "metrics-json", "json", "fault-rate", "fault-seed", "fault-sites",
-                         "fault-stall-ms"},
+                         "metrics-json", "json", "prom-file", "slow-ms", "fault-rate",
+                         "fault-seed", "fault-sites", "fault-stall-ms"},
                         std::cerr)) {
     return 2;
   }
@@ -77,6 +84,8 @@ int main(int argc, char** argv) {
   const std::int64_t duration_s = cli.get_int("duration-s", 0);
   const std::string metrics_json = cli.get("metrics-json");
   const bool json = cli.get_bool("json");
+  const std::string prom_file = cli.get("prom-file");
+  const std::int64_t slow_ms = cli.get_int("slow-ms", 0);
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   const std::uint64_t fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
   const std::string fault_sites =
@@ -106,6 +115,9 @@ int main(int argc, char** argv) {
   service_config.executor.max_in_flight = max_in_flight;
   service_config.executor.admission =
       reject ? runtime::Executor::Admission::kReject : runtime::Executor::Admission::kBlock;
+  if (slow_ms > 0) {
+    service_config.executor.slow_log_threshold = std::chrono::milliseconds(slow_ms);
+  }
   runtime::RobustPermuteService service(pool, service_config);
 
   net::Server::Config server_config;
@@ -137,11 +149,29 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Atomic-rename exposition writer: scrapers (and the CI smoke) must
+  // never read a half-written file.
+  const auto write_prom = [&prom_file](const runtime::MetricsSnapshot& snapshot) -> bool {
+    if (prom_file.empty()) return true;
+    const std::string tmp = prom_file + ".tmp";
+    {
+      std::ofstream pf(tmp);
+      pf << snapshot.to_prometheus();
+      if (!pf) return false;
+    }
+    return std::rename(tmp.c_str(), prom_file.c_str()) == 0;
+  };
+
   const auto started = std::chrono::steady_clock::now();
+  auto last_prom = started;
   while (g_stop == 0) {
-    if (duration_s > 0 &&
-        std::chrono::steady_clock::now() - started >= std::chrono::seconds(duration_s)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (duration_s > 0 && now - started >= std::chrono::seconds(duration_s)) {
       break;
+    }
+    if (!prom_file.empty() && now - last_prom >= std::chrono::seconds(1)) {
+      (void)write_prom(service.metrics().snapshot());
+      last_prom = now;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
@@ -154,9 +184,10 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   snap.to_table().print(std::cout);
   std::cout << "\nconnections accepted " << counters.connections_accepted << ", rejected "
-            << counters.connections_rejected << "; requests served "
-            << counters.requests_served << "; protocol errors " << counters.protocol_errors
-            << "; plans registered " << counters.plans_registered << "\n";
+            << counters.connections_rejected << "; requests ok " << counters.requests_ok
+            << ", error " << counters.requests_error << "; protocol errors "
+            << counters.protocol_errors << "; plans registered " << counters.plans_registered
+            << "\n";
   if (fault_rate > 0.0) {
     std::cout << "faults fired: " << runtime::FaultInjector::instance().total_fired() << "\n";
   }
@@ -168,6 +199,10 @@ int main(int argc, char** argv) {
       std::cerr << "permd_serve: cannot write --metrics-json " << metrics_json << "\n";
       return 1;
     }
+  }
+  if (!write_prom(snap)) {
+    std::cerr << "permd_serve: cannot write --prom-file " << prom_file << "\n";
+    return 1;
   }
   return 0;
 }
