@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <vector>
 
 #include "core/plan.hpp"
 #include "cpu/kernels.hpp"
@@ -126,6 +127,106 @@ bool scheduled_cpu_lean_gated(util::ThreadPool& pool, const ScheduledPlan& plan,
                               std::span<const T> a, std::span<T> b, std::span<T> scratch,
                               const PhaseGate& gate) {
   return scheduled_cpu_lean_timed<T>(pool, plan, a, b, scratch, gate, {});
+}
+
+/// One request ("lane") of a batched scheduled execution: distinct
+/// (a, b, scratch) triples, one shared compiled plan. The per-lane
+/// `gate` is consulted at every kernel boundary; a lane gated off has
+/// `active` cleared and is excluded from the remaining kernels — its
+/// b/scratch hold garbage, exactly like a gated single execution — and
+/// the other lanes proceed unaffected.
+template <class T>
+struct BatchLane {
+  std::span<const T> a;
+  std::span<T> b;
+  std::span<T> scratch;
+  PhaseGate gate;      ///< empty = never stops
+  bool active = true;  ///< in: lane participates; out: ran to completion
+};
+
+/// Batched online phase, the serving-side image of the paper's batching
+/// lemma: many permutations along the same plan amortize to optimal
+/// cost. All active lanes advance through each of the five kernels
+/// *together* — five fork/join barriers per batch instead of per
+/// request — and the plan's schedule arrays (p̂, q) are read once per
+/// kernel, staying hot in cache across every lane. `observer` fires
+/// once per kernel with the batch-wide span. Lanes report their outcome
+/// through `active` (true = all five kernels ran for that lane).
+template <class T>
+void scheduled_cpu_lean_batched(util::ThreadPool& pool, const ScheduledPlan& plan,
+                                std::span<BatchLane<T>> lanes,
+                                const KernelObserver& observer = {}) {
+  const std::uint64_t n = plan.size();
+  const std::uint64_t r = plan.shape().rows;
+  const std::uint64_t m = plan.shape().cols;
+  const std::uint64_t tile = plan.params().width;
+
+  // Compact live-lane index list, rebuilt at every gate boundary so a
+  // dropped lane costs the remaining kernels nothing.
+  std::vector<std::size_t> live;
+  live.reserve(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    if (!lanes[i].active) continue;
+    HMM_CHECK(lanes[i].a.size() == n && lanes[i].b.size() == n &&
+              lanes[i].scratch.size() == n);
+    live.push_back(i);
+  }
+  if (live.empty()) return;
+
+  enum class Leg { kA, kB, kScratch };
+  std::vector<const T*> srcs;
+  std::vector<T*> dsts;
+  const auto gather_ptrs = [&](Leg src, Leg dst) {
+    srcs.resize(live.size());
+    dsts.resize(live.size());
+    for (std::size_t l = 0; l < live.size(); ++l) {
+      BatchLane<T>& lane = lanes[live[l]];
+      srcs[l] = src == Leg::kA ? lane.a.data()
+                               : (src == Leg::kB ? lane.b.data() : lane.scratch.data());
+      dsts[l] = dst == Leg::kB ? lane.b.data() : lane.scratch.data();
+    }
+  };
+
+  util::Stopwatch clock;
+  const auto observe = [&](unsigned kernel) {
+    if (observer) {
+      observer(kernel, static_cast<std::uint64_t>(clock.nanos()));
+      clock.reset();
+    }
+  };
+  const auto gate_pass = [&]() -> bool {
+    std::size_t kept = 0;
+    for (std::size_t idx : live) {
+      BatchLane<T>& lane = lanes[idx];
+      if (lane.gate && !lane.gate()) {
+        lane.active = false;
+      } else {
+        live[kept++] = idx;
+      }
+    }
+    live.resize(kept);
+    return !live.empty();
+  };
+
+  gather_ptrs(Leg::kA, Leg::kB);
+  cpu::row_wise_pass_batched<T>(pool, srcs, dsts, r, m, plan.pass1().phat, plan.pass1().q);
+  observe(0);
+  if (!gate_pass()) return;
+  gather_ptrs(Leg::kB, Leg::kScratch);
+  cpu::transpose_blocked_batched<T>(pool, srcs, dsts, r, m, tile);
+  observe(1);
+  if (!gate_pass()) return;
+  gather_ptrs(Leg::kScratch, Leg::kB);
+  cpu::row_wise_pass_batched<T>(pool, srcs, dsts, m, r, plan.pass2().phat, plan.pass2().q);
+  observe(2);
+  if (!gate_pass()) return;
+  gather_ptrs(Leg::kB, Leg::kScratch);
+  cpu::transpose_blocked_batched<T>(pool, srcs, dsts, m, r, tile);
+  observe(3);
+  if (!gate_pass()) return;
+  gather_ptrs(Leg::kScratch, Leg::kB);
+  cpu::row_wise_pass_batched<T>(pool, srcs, dsts, r, m, plan.pass3().phat, plan.pass3().q);
+  observe(4);
 }
 
 /// Host variant that applies the per-row permutations directly instead

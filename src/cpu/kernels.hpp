@@ -76,6 +76,59 @@ void row_wise_pass_direct(util::ThreadPool& pool, std::span<const T> in, std::sp
   });
 }
 
+/// Fused row-wise pass over `srcs.size()` independent (src, dst) matrix
+/// pairs that share one (phat, q) schedule: the batched serving path.
+/// One fork/join covers every pair, and within a row the lane loop is
+/// innermost so each schedule entry (phat[k], q[k]) is read and decoded
+/// ONCE for the whole batch instead of once per request — the
+/// schedule-read amortization is the batching lemma's saving, and it is
+/// why a fused sweep beats L sequential sweeps even on one core. The
+/// per-row working set is L * 2 rows of T plus one row of each schedule
+/// array, which stays L1-resident for the row sizes the plan produces.
+template <class T>
+void row_wise_pass_batched(util::ThreadPool& pool, std::span<const T* const> srcs,
+                           std::span<T* const> dsts, std::uint64_t rows, std::uint64_t cols,
+                           std::span<const std::uint16_t> phat,
+                           std::span<const std::uint16_t> q) {
+  HMM_CHECK(srcs.size() == dsts.size());
+  HMM_CHECK(phat.size() == rows * cols && q.size() == rows * cols);
+  const std::uint64_t lanes = srcs.size();
+  pool.parallel_for_chunks(0, rows, [&](std::uint64_t r0, std::uint64_t r1) {
+    for (std::uint64_t r = r0; r < r1; ++r) {
+      const std::uint16_t* ph = phat.data() + r * cols;
+      const std::uint16_t* qq = q.data() + r * cols;
+      const std::uint64_t rc = r * cols;
+      // Quads of lanes: the inner loop has a fixed trip count (fully
+      // unrolled, lane pointers pinned in registers), and each schedule
+      // entry is read once per quad instead of once per lane.
+      std::uint64_t l = 0;
+      for (; l + 4 <= lanes; l += 4) {
+        const T* s0 = srcs[l] + rc;
+        const T* s1 = srcs[l + 1] + rc;
+        const T* s2 = srcs[l + 2] + rc;
+        const T* s3 = srcs[l + 3] + rc;
+        T* d0 = dsts[l] + rc;
+        T* d1 = dsts[l + 1] + rc;
+        T* d2 = dsts[l + 2] + rc;
+        T* d3 = dsts[l + 3] + rc;
+        for (std::uint64_t k = 0; k < cols; ++k) {
+          const std::uint64_t s = ph[k];
+          const std::uint64_t d = qq[k];
+          d0[d] = s0[s];
+          d1[d] = s1[s];
+          d2[d] = s2[s];
+          d3[d] = s3[s];
+        }
+      }
+      for (; l < lanes; ++l) {
+        const T* src = srcs[l] + rc;
+        T* dst = dsts[l] + rc;
+        for (std::uint64_t k = 0; k < cols; ++k) dst[qq[k]] = src[ph[k]];
+      }
+    }
+  });
+}
+
 /// Blocked matrix transpose: out (cols x rows) = in (rows x cols)^T.
 /// `tile` plays the role of the paper's w x w shared-memory tile.
 template <class T>
@@ -94,6 +147,64 @@ void transpose_blocked(util::ThreadPool& pool, std::span<const T> in, std::span<
       for (std::uint64_t i = tr; i < rmax; ++i) {
         for (std::uint64_t j = tc; j < cmax; ++j) {
           out[j * rows + i] = in[i * cols + j];
+        }
+      }
+    }
+  });
+}
+
+/// Fused blocked transpose over independent (src, dst) pairs of equal
+/// shape: the batched counterpart of `transpose_blocked`, one fork/join
+/// for the whole batch (unit index = (lane, tile), tiles contiguous
+/// per lane).
+template <class T>
+void transpose_blocked_batched(util::ThreadPool& pool, std::span<const T* const> srcs,
+                               std::span<T* const> dsts, std::uint64_t rows,
+                               std::uint64_t cols, std::uint64_t tile = 16) {
+  HMM_CHECK(srcs.size() == dsts.size());
+  HMM_CHECK(tile > 0);
+  const std::uint64_t tile_rows = (rows + tile - 1) / tile;
+  const std::uint64_t tile_cols = (cols + tile - 1) / tile;
+  const std::uint64_t tiles = tile_rows * tile_cols;
+  const std::uint64_t lanes = srcs.size();
+  // The default tile is half the single-matrix transpose's: four lanes'
+  // in+out tiles must fit L1 together for the quad path below.
+  pool.parallel_for_chunks(0, tiles, [&](std::uint64_t t0, std::uint64_t t1) {
+    for (std::uint64_t t = t0; t < t1; ++t) {
+      const std::uint64_t tr = (t / tile_cols) * tile;
+      const std::uint64_t tc = (t % tile_cols) * tile;
+      const std::uint64_t rmax = std::min(rows, tr + tile);
+      const std::uint64_t cmax = std::min(cols, tc + tile);
+      // Quads of lanes share every index computation; the inner lane
+      // unroll keeps the four pointers in registers.
+      std::uint64_t l = 0;
+      for (; l + 4 <= lanes; l += 4) {
+        const T* i0 = srcs[l];
+        const T* i1 = srcs[l + 1];
+        const T* i2 = srcs[l + 2];
+        const T* i3 = srcs[l + 3];
+        T* o0 = dsts[l];
+        T* o1 = dsts[l + 1];
+        T* o2 = dsts[l + 2];
+        T* o3 = dsts[l + 3];
+        for (std::uint64_t i = tr; i < rmax; ++i) {
+          for (std::uint64_t j = tc; j < cmax; ++j) {
+            const std::uint64_t from = i * cols + j;
+            const std::uint64_t to = j * rows + i;
+            o0[to] = i0[from];
+            o1[to] = i1[from];
+            o2[to] = i2[from];
+            o3[to] = i3[from];
+          }
+        }
+      }
+      for (; l < lanes; ++l) {
+        const T* in = srcs[l];
+        T* out = dsts[l];
+        for (std::uint64_t i = tr; i < rmax; ++i) {
+          for (std::uint64_t j = tc; j < cmax; ++j) {
+            out[j * rows + i] = in[i * cols + j];
+          }
         }
       }
     }

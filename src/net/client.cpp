@@ -140,28 +140,27 @@ Status Client::permute(std::uint64_t plan_id, std::span<const std::uint32_t> dat
   if (out.size() != data.size()) {
     return Status(StatusCode::kInvalidArgument, "output span size does not match input");
   }
-  PermuteRequest req;
-  req.plan_id = plan_id;
-  req.deadline_ms = PermuteRequest::clamp_deadline(deadline);
-  req.data.assign(data.begin(), data.end());
+  // Serialize straight from the caller's span — the former path staged
+  // the input in a PermuteRequest vector first (one whole extra copy of
+  // the array per call).
+  ByteWriter w;
+  w.put_u64(plan_id);
+  w.put_u32(PermuteRequest::clamp_deadline(deadline));
+  w.put_u32(kElemBytes);
+  w.put_u64(data.size());
+  w.put_u32_span(data);
 
-  StatusOr<Frame> response = roundtrip(MsgKind::kPermute, req.encode());
+  StatusOr<Frame> response = roundtrip(MsgKind::kPermute, w.take());
   if (!response.ok()) return response.status();
   const Frame& frame = response.value();
   if (is_error(frame)) return decode_error(frame);
-  StatusOr<PermuteResponse> decoded =
-      PermuteResponse::decode(frame.payload, config_.max_payload_bytes / kElemBytes);
-  if (!decoded.ok()) {
+  // decode_into writes the elements straight into the caller's span
+  // (no intermediate result vector + memcpy).
+  if (Status s = PermuteResponse::decode_into(frame.payload, out); !s.is_ok()) {
     // The server's response payload is malformed: a protocol breach,
     // not an invalid argument of ours.
-    return Status(StatusCode::kUnavailable,
-                  "malformed PERMUTE_OK payload: " + decoded.status().message());
+    return Status(StatusCode::kUnavailable, "malformed PERMUTE_OK payload: " + s.message());
   }
-  const std::vector<std::uint32_t>& result = decoded.value().data;
-  if (result.size() != out.size()) {
-    return Status(StatusCode::kUnavailable, "PERMUTE_OK element count mismatch");
-  }
-  std::memcpy(out.data(), result.data(), result.size() * sizeof(std::uint32_t));
   return Status::ok();
 }
 

@@ -22,6 +22,44 @@ Status write_frame(TcpStream& stream, const Frame& frame) {
   return stream.send_all(bytes.data(), bytes.size());
 }
 
+Status write_frame_parts(TcpStream& stream, std::uint16_t kind, std::uint64_t request_id,
+                         std::span<const ConstBuffer> parts) {
+  std::uint64_t payload_len = 0;
+  std::uint64_t checksum = checksum_seed();
+  for (const ConstBuffer& part : parts) {
+    payload_len += part.len;
+    checksum = checksum_extend(
+        checksum, {static_cast<const std::uint8_t*>(part.data), part.len});
+  }
+  if (payload_len > UINT32_MAX) {
+    return Status(StatusCode::kInvalidArgument, "frame payload exceeds the u32 length field");
+  }
+
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  const auto put_u16 = [&header](std::size_t at, std::uint16_t v) {
+    header[at] = static_cast<std::uint8_t>(v);
+    header[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  };
+  const auto put_u32 = [&header](std::size_t at, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) header[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  const auto put_u64 = [&header](std::size_t at, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) header[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put_u32(0, kMagic);
+  put_u16(4, kWireVersion);
+  put_u16(6, kind);
+  put_u64(8, request_id);
+  put_u32(16, static_cast<std::uint32_t>(payload_len));
+  put_u64(20, checksum);
+
+  std::vector<ConstBuffer> vec;
+  vec.reserve(parts.size() + 1);
+  vec.push_back(ConstBuffer{header.data(), header.size()});
+  vec.insert(vec.end(), parts.begin(), parts.end());
+  return stream.send_vectored(vec);
+}
+
 StatusOr<Frame> read_frame(TcpStream& stream, std::uint32_t max_payload) {
   std::array<std::uint8_t, kHeaderBytes> header{};
   if (Status s = stream.recv_all(header.data(), header.size()); !s.is_ok()) return s;
@@ -53,6 +91,49 @@ StatusOr<Frame> read_frame(TcpStream& stream, std::uint32_t max_payload) {
     return protocol_error(FrameError::kBadChecksum);
   }
   return frame;
+}
+
+StatusOr<FrameView> read_frame_view(TcpStream& stream, util::BufferPool& pool,
+                                    util::PooledBuffer& storage, std::uint32_t max_payload) {
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  if (Status s = stream.recv_all(header.data(), header.size()); !s.is_ok()) return s;
+
+  ByteReader r(header);
+  std::uint32_t magic = 0, payload_len = 0;
+  std::uint16_t version = 0, kind = 0;
+  std::uint64_t request_id = 0, checksum = 0;
+  (void)r.get_u32(magic);
+  (void)r.get_u16(version);
+  (void)r.get_u16(kind);
+  (void)r.get_u64(request_id);
+  (void)r.get_u32(payload_len);
+  (void)r.get_u64(checksum);
+
+  if (magic != kMagic) return protocol_error(FrameError::kBadMagic);
+  if (version != kWireVersion) return protocol_error(FrameError::kBadVersion);
+  if (payload_len > max_payload) return protocol_error(FrameError::kOversized);
+
+  // Grow-only reuse: the storage a connection hands back in keeps
+  // serving until a larger frame arrives, so a steady request stream
+  // settles into zero pool traffic (and zero heap traffic) per read.
+  if (!storage.valid() || storage.capacity() < payload_len) {
+    storage.reset();
+    storage = pool.try_acquire(payload_len);
+    if (!storage.valid()) {
+      return Status(StatusCode::kResourceExhausted, "buffer pool refused the frame payload");
+    }
+  }
+  std::span<const std::uint8_t> payload{storage.data(), payload_len};
+  if (payload_len > 0) {
+    if (Status s = stream.recv_all(storage.data(), payload_len); !s.is_ok()) return s;
+  }
+  if (checksum_bytes(payload) != checksum) return protocol_error(FrameError::kBadChecksum);
+
+  FrameView view;
+  view.kind = kind;
+  view.request_id = request_id;
+  view.payload = payload;
+  return view;
 }
 
 }  // namespace hmm::net

@@ -12,15 +12,25 @@
 /// (`kUnavailable` peer-gone, `kDeadlineExceeded` timeout).
 
 #include <cstdint>
+#include <span>
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "runtime/status.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace hmm::net {
 
 /// Send one frame (header + payload) in full.
 runtime::Status write_frame(TcpStream& stream, const Frame& frame);
+
+/// Zero-copy frame send: the header goes on a 28-byte stack buffer, the
+/// checksum is streamed across `parts`, and header + parts leave in one
+/// `send_vectored` call — the payload is never concatenated. The parts
+/// are borrowed for the duration of the call only.
+runtime::Status write_frame_parts(TcpStream& stream, std::uint16_t kind,
+                                  std::uint64_t request_id,
+                                  std::span<const ConstBuffer> parts);
 
 /// Receive one full frame. Error taxonomy:
 ///  - kInvalidArgument: framing violation (bad magic/version, oversized
@@ -28,5 +38,22 @@ runtime::Status write_frame(TcpStream& stream, const Frame& frame);
 ///  - kUnavailable / kDeadlineExceeded: transport-level, from socket.hpp.
 runtime::StatusOr<Frame> read_frame(TcpStream& stream,
                                     std::uint32_t max_payload = kDefaultMaxPayload);
+
+/// A decoded frame whose payload borrows the caller's storage (valid
+/// until the storage is reused for the next read).
+struct FrameView {
+  std::uint16_t kind = 0;
+  std::uint64_t request_id = 0;
+  std::span<const std::uint8_t> payload;
+};
+
+/// `read_frame` into pooled, reused storage: the payload lands in
+/// `storage` (acquired from `pool` and grown only when a larger frame
+/// arrives — steady-state reads touch no allocator at all) and the view
+/// borrows it. Exactly read_frame's error taxonomy, plus
+/// kResourceExhausted when the pool refuses the payload buffer.
+runtime::StatusOr<FrameView> read_frame_view(TcpStream& stream, util::BufferPool& pool,
+                                             util::PooledBuffer& storage,
+                                             std::uint32_t max_payload = kDefaultMaxPayload);
 
 }  // namespace hmm::net

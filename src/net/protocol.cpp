@@ -100,7 +100,44 @@ StatusOr<std::vector<std::uint32_t>> decode_words(ByteReader& r, std::uint64_t c
   return words;
 }
 
+/// View-form of decode_words: identical validation, but the element
+/// bytes are borrowed instead of copied into a fresh vector.
+StatusOr<WordsView> decode_words_view(ByteReader& r, std::uint64_t count,
+                                      std::uint64_t max_elements, std::string_view what) {
+  if (count == 0) {
+    return Status(StatusCode::kInvalidArgument, std::string(what) + ": empty element array");
+  }
+  if (count > max_elements) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string(what) + ": element count exceeds the receiver's limit");
+  }
+  if (r.remaining() != count * kElemBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  std::string(what) + ": payload length does not match element count");
+  }
+  WordsView view;
+  view.count = count;
+  if (!r.get_bytes(count * kElemBytes, view.bytes)) {
+    return Status(StatusCode::kInvalidArgument, std::string(what) + ": truncated elements");
+  }
+  return view;
+}
+
 }  // namespace
+
+void WordsView::copy_to(std::span<std::uint32_t> out) const noexcept {
+  if (out.size() != count) return;  // contract violation; never partial-write
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), bytes.data(), count * kElemBytes);
+  } else {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint8_t* b = bytes.data() + i * kElemBytes;
+      out[i] = static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+               (static_cast<std::uint32_t>(b[2]) << 16) |
+               (static_cast<std::uint32_t>(b[3]) << 24);
+    }
+  }
+}
 
 std::vector<std::uint8_t> SubmitPlanRequest::encode() const {
   ByteWriter w;
@@ -121,6 +158,20 @@ StatusOr<SubmitPlanRequest> SubmitPlanRequest::decode(std::span<const std::uint8
   SubmitPlanRequest req;
   req.mapping = std::move(words).value();
   return req;
+}
+
+StatusOr<SubmitPlanRequestView> SubmitPlanRequestView::decode(
+    std::span<const std::uint8_t> payload, std::uint64_t max_elements) {
+  ByteReader r(payload);
+  std::uint64_t n = 0;
+  if (!r.get_u64(n)) {
+    return Status(StatusCode::kInvalidArgument, "SUBMIT_PLAN: truncated header");
+  }
+  StatusOr<WordsView> words = decode_words_view(r, n, max_elements, "SUBMIT_PLAN");
+  if (!words.ok()) return words.status();
+  SubmitPlanRequestView view;
+  view.mapping = words.value();
+  return view;
 }
 
 std::vector<std::uint8_t> PermuteRequest::encode() const {
@@ -153,6 +204,26 @@ StatusOr<PermuteRequest> PermuteRequest::decode(std::span<const std::uint8_t> pa
   return req;
 }
 
+StatusOr<PermuteRequestView> PermuteRequestView::decode(std::span<const std::uint8_t> payload,
+                                                        std::uint64_t max_elements) {
+  ByteReader r(payload);
+  PermuteRequestView view;
+  std::uint32_t elem_bytes = 0;
+  std::uint64_t count = 0;
+  if (!r.get_u64(view.plan_id) || !r.get_u32(view.deadline_ms) || !r.get_u32(elem_bytes) ||
+      !r.get_u64(count)) {
+    return Status(StatusCode::kInvalidArgument, "PERMUTE: truncated header");
+  }
+  if (elem_bytes != kElemBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "PERMUTE: unsupported element width (v1 speaks 4-byte elements)");
+  }
+  StatusOr<WordsView> words = decode_words_view(r, count, max_elements, "PERMUTE");
+  if (!words.ok()) return words.status();
+  view.data = words.value();
+  return view;
+}
+
 std::vector<std::uint8_t> PermuteResponse::encode() const {
   ByteWriter w;
   w.put_u64(data.size());
@@ -172,6 +243,23 @@ StatusOr<PermuteResponse> PermuteResponse::decode(std::span<const std::uint8_t> 
   PermuteResponse resp;
   resp.data = std::move(words).value();
   return resp;
+}
+
+Status PermuteResponse::decode_into(std::span<const std::uint8_t> payload,
+                                    std::span<std::uint32_t> out) {
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.get_u64(count)) {
+    return Status(StatusCode::kInvalidArgument, "PERMUTE_OK: truncated header");
+  }
+  if (count != out.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "PERMUTE_OK: element count does not match the request");
+  }
+  StatusOr<WordsView> words = decode_words_view(r, count, out.size(), "PERMUTE_OK");
+  if (!words.ok()) return words.status();
+  words.value().copy_to(out);
+  return Status::ok();
 }
 
 std::vector<std::uint8_t> ErrorResponse::encode() const {
@@ -198,6 +286,14 @@ Status ErrorResponse::to_status() const {
     return Status(StatusCode::kUnavailable, "peer sent an ERROR frame with code OK");
   }
   return Status(sc, message);
+}
+
+Frame make_ok_frame(std::uint64_t request_id, MsgKind kind, std::vector<std::uint8_t> payload) {
+  Frame f;
+  f.kind = static_cast<std::uint16_t>(kind);
+  f.request_id = request_id;
+  f.payload = std::move(payload);
+  return f;
 }
 
 Frame make_error_frame(std::uint64_t request_id, const Status& status) {

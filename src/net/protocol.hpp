@@ -130,6 +130,61 @@ struct PermuteResponse {
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] static runtime::StatusOr<PermuteResponse> decode(
       std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+
+  /// Allocation-free decode for callers that already own the output
+  /// array: validates exactly like decode(), additionally requiring the
+  /// element count to equal `out.size()`, and writes the words straight
+  /// into `out`.
+  [[nodiscard]] static runtime::Status decode_into(std::span<const std::uint8_t> payload,
+                                                   std::span<std::uint32_t> out);
+};
+
+// --- Borrowing payload views ----------------------------------------
+// The serving hot path decodes requests from a pooled, connection-owned
+// buffer (see read_frame_view). These views validate the payload with
+// the same strictness as their owning decode() counterparts but borrow
+// the element bytes instead of copying them — on a little-endian host
+// with aligned storage the element array is usable in place, and the
+// fallback is one bounded copy. A view is valid only while the payload
+// buffer it was decoded from is.
+
+/// Decoded u32 element region common to SUBMIT_PLAN and PERMUTE.
+struct WordsView {
+  std::uint64_t count = 0;
+  std::span<const std::uint8_t> bytes;  ///< count * kElemBytes, wire (LE) order
+
+  /// The elements as a directly-usable span: non-empty only on a
+  /// little-endian host when the wire bytes are 4-byte aligned (true
+  /// for both request layouts when the payload sits in pooled storage —
+  /// see util::kBufferAlignment — since their element offsets are
+  /// multiples of 4). Callers must handle the empty fallback.
+  [[nodiscard]] std::span<const std::uint32_t> in_place() const noexcept {
+    if constexpr (std::endian::native == std::endian::little) {
+      if (reinterpret_cast<std::uintptr_t>(bytes.data()) % alignof(std::uint32_t) == 0) {
+        return {reinterpret_cast<const std::uint32_t*>(bytes.data()), count};
+      }
+    }
+    return {};
+  }
+
+  /// Decode the elements into caller storage (out.size() must be count).
+  void copy_to(std::span<std::uint32_t> out) const noexcept;
+};
+
+struct SubmitPlanRequestView {
+  WordsView mapping;
+
+  [[nodiscard]] static runtime::StatusOr<SubmitPlanRequestView> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+struct PermuteRequestView {
+  std::uint64_t plan_id = 0;
+  std::uint32_t deadline_ms = 0;
+  WordsView data;
+
+  [[nodiscard]] static runtime::StatusOr<PermuteRequestView> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
 };
 
 struct ErrorResponse {
@@ -146,5 +201,11 @@ struct ErrorResponse {
 
 /// Build an ERROR frame answering `request_id` from a serving Status.
 [[nodiscard]] Frame make_error_frame(std::uint64_t request_id, const runtime::Status& status);
+
+/// Build a success frame answering `request_id`. The payload is taken
+/// by value and moved into the frame — no copy for callers that hand
+/// over ownership (`make_ok_frame(id, kind, writer.take())`).
+[[nodiscard]] Frame make_ok_frame(std::uint64_t request_id, MsgKind kind,
+                                  std::vector<std::uint8_t> payload);
 
 }  // namespace hmm::net

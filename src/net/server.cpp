@@ -1,11 +1,13 @@
 #include "net/server.hpp"
 
+#include <bit>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "runtime/fingerprint.hpp"
 #include "runtime/metrics.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/stopwatch.hpp"
 
 namespace hmm::net {
@@ -13,18 +15,6 @@ namespace hmm::net {
 using runtime::Status;
 using runtime::StatusCode;
 using runtime::StatusOr;
-
-namespace {
-
-Frame ok_frame(std::uint64_t request_id, MsgKind kind, std::vector<std::uint8_t> payload = {}) {
-  Frame f;
-  f.kind = static_cast<std::uint16_t>(kind);
-  f.request_id = request_id;
-  f.payload = std::move(payload);
-  return f;
-}
-
-}  // namespace
 
 Server::Server(runtime::RobustPermuteService& service, Config config)
     : service_(service), config_(std::move(config)) {}
@@ -133,76 +123,119 @@ void Server::reap_finished_locked() {
 }
 
 void Server::serve_connection(TcpStream stream) {
+  // Per-connection pooled payload storage, reused across requests
+  // (grow-only; see read_frame_view): the read path of a steady request
+  // stream touches neither the allocator nor the pool's free lists.
+  util::BufferPool& pool = util::BufferPool::global();
+  util::PooledBuffer payload_storage;
   while (!stop_.load(std::memory_order_acquire)) {
     // Poll in short slices so stop() is honored between requests.
     StatusOr<bool> readable = stream.poll_readable(config_.poll_interval);
     if (!readable.ok()) return;
     if (!readable.value()) continue;
 
-    StatusOr<Frame> request = read_frame(stream, config_.max_payload_bytes);
+    StatusOr<FrameView> request =
+        read_frame_view(stream, pool, payload_storage, config_.max_payload_bytes);
     if (!request.ok()) {
-      if (request.status().code() == StatusCode::kInvalidArgument) {
+      const StatusCode code = request.status().code();
+      if (code == StatusCode::kInvalidArgument) {
         // Framing violation: answer typed (best effort), then close —
         // the stream position is unrecoverable.
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        (void)write_frame(stream, make_error_frame(0, request.status()));
+      } else if (code == StatusCode::kResourceExhausted) {
+        // The pool refused the payload buffer with the payload still on
+        // the socket — same unrecoverable position, but the client gets
+        // RETRY_LATER rather than a protocol error.
         (void)write_frame(stream, make_error_frame(0, request.status()));
       }
       return;  // transport errors (EOF/reset/timeout) close quietly
     }
 
-    Frame response = handle_request(request.value());
-    // The serialize span covers encode + socket write: the last leg of
-    // the request's wall time, invisible to the executor's breakdown.
-    util::Stopwatch serialize_clock;
-    const Status written = write_frame(stream, response);
-    service_.metrics().record_phase(runtime::Phase::kSerialize,
-                                    static_cast<std::uint64_t>(serialize_clock.nanos()));
+    bool wrote_error = false;
+    const Status written = respond(stream, request.value(), wrote_error);
     // Count the response only once it actually reached the wire, and
     // count it by what it was — a served error is not a served success.
     if (!written.is_ok()) return;
-    const bool is_error = static_cast<MsgKind>(response.kind) == MsgKind::kError;
-    (is_error ? requests_error_ : requests_ok_).fetch_add(1, std::memory_order_relaxed);
+    (wrote_error ? requests_error_ : requests_ok_).fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-Frame Server::handle_request(const Frame& request) {
+Status Server::write_timed(TcpStream& stream, const Frame& frame, bool& wrote_error) {
+  // The serialize span covers encode + socket write: the last leg of
+  // the request's wall time, invisible to the executor's breakdown.
+  util::Stopwatch serialize_clock;
+  const Status written = write_frame(stream, frame);
+  service_.metrics().record_phase(runtime::Phase::kSerialize,
+                                  static_cast<std::uint64_t>(serialize_clock.nanos()));
+  wrote_error = static_cast<MsgKind>(frame.kind) == MsgKind::kError;
+  return written;
+}
+
+Status Server::write_timed_parts(TcpStream& stream, MsgKind kind, std::uint64_t request_id,
+                                 std::span<const ConstBuffer> parts) {
+  util::Stopwatch serialize_clock;
+  const Status written = write_frame_parts(
+      stream, static_cast<std::uint16_t>(kind), request_id, parts);
+  service_.metrics().record_phase(runtime::Phase::kSerialize,
+                                  static_cast<std::uint64_t>(serialize_clock.nanos()));
+  return written;
+}
+
+Status Server::respond(TcpStream& stream, const FrameView& request, bool& wrote_error) {
   try {
     switch (static_cast<MsgKind>(request.kind)) {
-      case MsgKind::kPing:
-        return ok_frame(request.request_id, MsgKind::kPingOk, request.payload);
+      case MsgKind::kPing: {
+        // Zero-copy echo: the payload goes back out straight from the
+        // connection's pooled read buffer.
+        const ConstBuffer parts[] = {{request.payload.data(), request.payload.size()}};
+        return write_timed_parts(stream, MsgKind::kPingOk, request.request_id, parts);
+      }
       case MsgKind::kSubmitPlan:
-        return handle_submit_plan(request);
+        return write_timed(stream, handle_submit_plan(request), wrote_error);
       case MsgKind::kPermute:
-        return handle_permute(request);
+        return respond_permute(stream, request, wrote_error);
       case MsgKind::kStats:
-        return handle_stats(request);
+        return write_timed(stream, handle_stats(request.request_id), wrote_error);
       default:
-        return make_error_frame(request.request_id,
-                                Status(StatusCode::kInvalidArgument, "unknown request kind"));
+        return write_timed(stream,
+                           make_error_frame(request.request_id,
+                                            Status(StatusCode::kInvalidArgument,
+                                                   "unknown request kind")),
+                           wrote_error);
     }
   } catch (const std::bad_alloc&) {
-    return make_error_frame(request.request_id,
-                            Status(StatusCode::kResourceExhausted, "allocation failed"));
+    return write_timed(stream,
+                       make_error_frame(request.request_id,
+                                        Status(StatusCode::kResourceExhausted,
+                                               "allocation failed")),
+                       wrote_error);
   } catch (const std::exception& e) {
     // Last-resort boundary: a request must never take the connection
     // (let alone the process) down without a typed answer.
-    return make_error_frame(request.request_id, Status(StatusCode::kUnavailable, e.what()));
+    return write_timed(
+        stream, make_error_frame(request.request_id, Status(StatusCode::kUnavailable, e.what())),
+        wrote_error);
   }
 }
 
-Frame Server::handle_submit_plan(const Frame& request) {
+Frame Server::handle_submit_plan(const FrameView& request) {
   const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
-  StatusOr<SubmitPlanRequest> req = SubmitPlanRequest::decode(request.payload, max_elements);
+  StatusOr<SubmitPlanRequestView> req =
+      SubmitPlanRequestView::decode(request.payload, max_elements);
   if (!req.ok()) return make_error_frame(request.request_id, req.status());
+  const WordsView& mapping = req.value().mapping;
 
-  const std::vector<std::uint32_t>& mapping = req.value().mapping;
-  if (!perm::Permutation::is_valid({mapping.data(), mapping.size()})) {
+  // One copy, wire straight into the aligned storage the Permutation
+  // keeps. (The former path decoded into a std::vector and copied that
+  // into aligned words — two traversals of the mapping per SUBMIT_PLAN.)
+  util::aligned_vector<std::uint32_t> words(mapping.count);
+  mapping.copy_to({words.data(), words.size()});
+  if (!perm::Permutation::is_valid({words.data(), words.size()})) {
     return make_error_frame(
         request.request_id,
         Status(StatusCode::kInvalidArgument, "SUBMIT_PLAN: mapping is not a bijection"));
   }
-  util::aligned_vector<std::uint32_t> words(mapping.size());
-  std::memcpy(words.data(), mapping.data(), mapping.size() * sizeof(std::uint32_t));
   auto plan = std::make_shared<const perm::Permutation>(std::move(words));
   const std::uint64_t plan_id = runtime::fingerprint_permutation(*plan).value;
 
@@ -222,14 +255,17 @@ Frame Server::handle_submit_plan(const Frame& request) {
 
   ByteWriter w;
   w.put_u64(plan_id);
-  return ok_frame(request.request_id, MsgKind::kPlanOk, w.take());
+  return make_ok_frame(request.request_id, MsgKind::kPlanOk, w.take());
 }
 
-Frame Server::handle_permute(const Frame& request) {
+Status Server::respond_permute(TcpStream& stream, const FrameView& request, bool& wrote_error) {
   const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
-  StatusOr<PermuteRequest> req = PermuteRequest::decode(request.payload, max_elements);
-  if (!req.ok()) return make_error_frame(request.request_id, req.status());
-  PermuteRequest& permute = req.value();
+  StatusOr<PermuteRequestView> req = PermuteRequestView::decode(request.payload, max_elements);
+  if (!req.ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
+  }
+  const PermuteRequestView& permute = req.value();
+  const std::uint64_t count = permute.data.count;
 
   std::shared_ptr<const perm::Permutation> plan;
   {
@@ -238,14 +274,19 @@ Frame Server::handle_permute(const Frame& request) {
     if (it != plans_.end()) plan = it->second;
   }
   if (plan == nullptr) {
-    return make_error_frame(request.request_id,
-                            Status(StatusCode::kInvalidArgument,
-                                   "PERMUTE: unknown plan id (SUBMIT_PLAN it first)"));
+    return write_timed(stream,
+                       make_error_frame(request.request_id,
+                                        Status(StatusCode::kInvalidArgument,
+                                               "PERMUTE: unknown plan id (SUBMIT_PLAN it first)")),
+                       wrote_error);
   }
-  if (permute.data.size() != plan->size()) {
-    return make_error_frame(request.request_id,
-                            Status(StatusCode::kInvalidArgument,
-                                   "PERMUTE: element count does not match the plan size"));
+  if (count != plan->size()) {
+    return write_timed(
+        stream,
+        make_error_frame(request.request_id,
+                         Status(StatusCode::kInvalidArgument,
+                                "PERMUTE: element count does not match the plan size")),
+        wrote_error);
   }
 
   // The client's relative budget becomes an absolute executor deadline
@@ -260,25 +301,74 @@ Frame Server::handle_permute(const Frame& request) {
   // thread it to the slow-request log.
   opts.trace_id = request.request_id;
 
-  std::vector<std::uint32_t> out(permute.data.size());
-  StatusOr<std::future<Status>> submitted = service_.submit<std::uint32_t>(
-      *plan, {permute.data.data(), permute.data.size()}, {out.data(), out.size()}, opts);
-  if (!submitted.ok()) return make_error_frame(request.request_id, submitted.status());
+  util::BufferPool& pool = util::BufferPool::global();
 
+  // Input elements: on a little-endian host the wire bytes in the
+  // pooled read buffer *are* the element array (the PERMUTE data
+  // offset, 24 bytes, keeps them 4-aligned in 128-byte-aligned
+  // storage), so the kernels read the request payload in place. The
+  // fallback is one bounded copy into a pooled buffer.
+  std::span<const std::uint32_t> in = permute.data.in_place();
+  util::PooledBuffer in_copy;
+  if (in.empty()) {
+    in_copy = pool.try_acquire(count * sizeof(std::uint32_t));
+    if (!in_copy.valid()) {
+      return write_timed(stream,
+                         make_error_frame(request.request_id,
+                                          Status(StatusCode::kResourceExhausted,
+                                                 "buffer pool refused the request buffer")),
+                         wrote_error);
+    }
+    const std::span<std::uint32_t> copy_span = in_copy.as_span<std::uint32_t>(count);
+    permute.data.copy_to(copy_span);
+    in = copy_span;
+  }
+
+  // Output elements: pooled (a steady stream of same-sized PERMUTEs
+  // recycles the same blocks), serialized scatter-gather below without
+  // ever being copied into a response payload.
+  util::PooledBuffer out = pool.try_acquire(count * sizeof(std::uint32_t));
+  if (!out.valid()) {
+    return write_timed(stream,
+                       make_error_frame(request.request_id,
+                                        Status(StatusCode::kResourceExhausted,
+                                               "buffer pool refused the response buffer")),
+                       wrote_error);
+  }
+  const std::span<std::uint32_t> out_span = out.as_span<std::uint32_t>(count);
+
+  StatusOr<std::future<Status>> submitted =
+      service_.submit<std::uint32_t>(*plan, in, out_span, opts);
+  if (!submitted.ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, submitted.status()),
+                       wrote_error);
+  }
   const Status outcome = submitted.value().get();
-  if (!outcome.is_ok()) return make_error_frame(request.request_id, outcome);
+  if (!outcome.is_ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, outcome), wrote_error);
+  }
 
-  ByteWriter w;
-  w.put_u64(out.size());
-  w.put_u32_span({out.data(), out.size()});
-  return ok_frame(request.request_id, MsgKind::kPermuteOk, w.take());
+  // PERMUTE_OK = [u64 count | elements]: the count header lives on the
+  // stack, the element bytes go out straight from the pooled result
+  // buffer (byteswapped in place first on a big-endian host).
+  std::uint8_t count_header[8];
+  for (int i = 0; i < 8; ++i) count_header[i] = static_cast<std::uint8_t>(count >> (8 * i));
+  if constexpr (std::endian::native != std::endian::little) {
+    for (std::uint32_t& w : out_span) {
+      w = ((w & 0xff000000u) >> 24) | ((w & 0x00ff0000u) >> 8) | ((w & 0x0000ff00u) << 8) |
+          ((w & 0x000000ffu) << 24);
+    }
+  }
+  const ConstBuffer parts[] = {{count_header, sizeof(count_header)},
+                               {out_span.data(), count * sizeof(std::uint32_t)}};
+  return write_timed_parts(stream, MsgKind::kPermuteOk, request.request_id, parts);
 }
 
-Frame Server::handle_stats(const Frame& request) {
+Frame Server::handle_stats(std::uint64_t request_id) {
   const std::string json = service_.metrics().snapshot().to_json();
   ByteWriter w;
   w.put_string(json);
-  return ok_frame(request.request_id, MsgKind::kStatsOk, w.take());
+  return make_ok_frame(request_id, MsgKind::kStatsOk, w.take());
 }
 
 }  // namespace hmm::net

@@ -122,13 +122,28 @@ class Server {
   void reap_finished_locked();
   void serve_connection(TcpStream stream);
 
-  /// Dispatch one well-formed frame to a response frame. Never throws;
-  /// every failure becomes an ERROR frame.
-  Frame handle_request(const Frame& request);
+  /// Dispatch one well-formed frame and write its response. Never
+  /// throws; every failure becomes an ERROR frame. The returned Status
+  /// is the *transport* outcome of the response write (an error closes
+  /// the connection); `wrote_error` reports whether the response that
+  /// reached the wire was an ERROR frame.
+  runtime::Status respond(TcpStream& stream, const FrameView& request, bool& wrote_error);
 
-  Frame handle_submit_plan(const Frame& request);
-  Frame handle_permute(const Frame& request);
-  Frame handle_stats(const Frame& request);
+  /// The PERMUTE hot path: pooled input/output element buffers and a
+  /// scatter-gather response (no payload concatenation).
+  runtime::Status respond_permute(TcpStream& stream, const FrameView& request,
+                                  bool& wrote_error);
+
+  Frame handle_submit_plan(const FrameView& request);
+  Frame handle_stats(std::uint64_t request_id);
+
+  /// Write `frame`, timing the serialize span; sets `wrote_error` from
+  /// the frame kind.
+  runtime::Status write_timed(TcpStream& stream, const Frame& frame, bool& wrote_error);
+  /// Scatter-gather variant for success responses built from borrowed
+  /// parts.
+  runtime::Status write_timed_parts(TcpStream& stream, MsgKind kind, std::uint64_t request_id,
+                                    std::span<const ConstBuffer> parts);
 
   runtime::RobustPermuteService& service_;
   Config config_;

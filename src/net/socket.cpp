@@ -11,7 +11,10 @@
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include <vector>
 
 namespace hmm::net {
 
@@ -111,6 +114,47 @@ Status TcpStream::send_all(const void* data, std::size_t len) {
       return peer_gone("peer closed the connection");
     }
     return errno_status("send");
+  }
+  return Status::ok();
+}
+
+Status TcpStream::send_vectored(std::span<const ConstBuffer> parts) {
+  if (!valid()) return peer_gone("socket closed");
+  // iovec array advanced in place across partial writes. IOV_MAX-sized
+  // batches would matter for huge part counts; the serving path sends
+  // 2-3 parts per frame, far under any platform's limit.
+  std::vector<iovec> iov;
+  iov.reserve(parts.size());
+  for (const ConstBuffer& part : parts) {
+    if (part.len == 0) continue;
+    iov.push_back(iovec{const_cast<void*>(part.data), part.len});
+  }
+  std::size_t next = 0;  // first iovec not yet fully sent
+  while (next < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + next;
+    msg.msg_iovlen = iov.size() - next;
+    const ssize_t n = ::sendmsg(fd(), &msg, MSG_NOSIGNAL);
+    if (n > 0) {
+      std::size_t advanced = static_cast<std::size_t>(n);
+      while (next < iov.size() && advanced >= iov[next].iov_len) {
+        advanced -= iov[next].iov_len;
+        ++next;
+      }
+      if (next < iov.size() && advanced > 0) {
+        iov[next].iov_base = static_cast<std::uint8_t*>(iov[next].iov_base) + advanced;
+        iov[next].iov_len -= advanced;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status(StatusCode::kDeadlineExceeded, "send timed out");
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return peer_gone("peer closed the connection");
+    }
+    return errno_status("sendmsg");
   }
   return Status::ok();
 }

@@ -23,11 +23,18 @@
 
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "runtime/status.hpp"
 
 namespace hmm::net {
+
+/// One element of a scatter-gather send: a borrowed byte range.
+struct ConstBuffer {
+  const void* data = nullptr;
+  std::size_t len = 0;
+};
 
 /// Process-wide `signal(SIGPIPE, SIG_IGN)`. Idempotent; call early in
 /// any program that writes to sockets.
@@ -75,6 +82,13 @@ class TcpStream {
 
   /// Send exactly `len` bytes. Typed failure, never SIGPIPE.
   runtime::Status send_all(const void* data, std::size_t len);
+
+  /// Send every part, in order, as if concatenated — one sendmsg(2)
+  /// per kernel round instead of one send per part, so a frame built
+  /// from [header | borrowed payload] goes out without ever being
+  /// copied into a contiguous buffer. (sendmsg rather than writev:
+  /// writev cannot pass MSG_NOSIGNAL.) Zero-length parts are allowed.
+  runtime::Status send_vectored(std::span<const ConstBuffer> parts);
 
   /// Receive exactly `len` bytes. EOF mid-buffer is kUnavailable (a
   /// torn frame); a clean EOF before the first byte is also

@@ -24,6 +24,16 @@ std::uint64_t checksum_bytes(std::span<const std::uint8_t> bytes) noexcept {
   return h.digest();
 }
 
+std::uint64_t checksum_seed() noexcept { return runtime::Fnv1a64::kOffsetBasis; }
+
+std::uint64_t checksum_extend(std::uint64_t state,
+                              std::span<const std::uint8_t> bytes) noexcept {
+  // FNV-1a's state *is* its digest, so folding more bytes into a prior
+  // digest is exactly hashing the concatenation.
+  for (std::uint8_t b : bytes) state = (state ^ b) * runtime::Fnv1a64::kPrime;
+  return state;
+}
+
 std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   HMM_CHECK(frame.payload.size() <= UINT32_MAX);
   ByteWriter w;

@@ -28,7 +28,9 @@
 /// explicitly (byte shifts, not memcpy-of-host-integers), so the wire
 /// format is identical across architectures.
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <string_view>
@@ -68,6 +70,13 @@ enum class FrameError {
 /// FNV-1a64 over a byte span (the frame checksum).
 [[nodiscard]] std::uint64_t checksum_bytes(std::span<const std::uint8_t> bytes) noexcept;
 
+/// Streaming form of the frame checksum, for scatter-gather senders
+/// that never materialize the payload as one buffer:
+/// `checksum_extend(checksum_extend(seed, a), b) == checksum_bytes(a ++ b)`.
+[[nodiscard]] std::uint64_t checksum_seed() noexcept;
+[[nodiscard]] std::uint64_t checksum_extend(std::uint64_t state,
+                                            std::span<const std::uint8_t> bytes) noexcept;
+
 /// Serialize a frame (header + payload) into a fresh buffer.
 [[nodiscard]] std::vector<std::uint8_t> encode_frame(const Frame& frame);
 
@@ -97,8 +106,15 @@ class ByteWriter {
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   }
   void put_u32_span(std::span<const std::uint32_t> words) {
-    buf_.reserve(buf_.size() + words.size() * 4);
-    for (std::uint32_t w : words) put_u32(w);
+    // The wire is little-endian; on an LE host the in-memory words are
+    // already wire bytes, so bulk-append instead of shifting per word.
+    if constexpr (std::endian::native == std::endian::little) {
+      const auto* raw = reinterpret_cast<const std::uint8_t*>(words.data());
+      buf_.insert(buf_.end(), raw, raw + words.size() * 4);
+    } else {
+      buf_.reserve(buf_.size() + words.size() * 4);
+      for (std::uint32_t w : words) put_u32(w);
+    }
   }
   void put_string(std::string_view s) {
     buf_.insert(buf_.end(), s.begin(), s.end());

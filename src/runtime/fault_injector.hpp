@@ -39,6 +39,7 @@ inline constexpr std::string_view kPlanBuildStall = "plan_cache.build_stall";  /
 inline constexpr std::string_view kExecutorAlloc = "executor.alloc";      ///< scratch allocation failure
 inline constexpr std::string_view kExecutorStall = "executor.stall";      ///< worker stall before execute
 inline constexpr std::string_view kPlanRead = "plan_io.read";             ///< corrupt plan-file bytes
+inline constexpr std::string_view kPoolExhausted = "pool.exhausted";      ///< buffer-pool pressure
 }  // namespace fault_sites
 
 /// The exception an armed `maybe_throw` site raises. Carries the

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "util/bits.hpp"
+#include "util/buffer_pool.hpp"
 
 namespace hmm::runtime {
 namespace {
@@ -99,6 +100,17 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.degraded_executions = degraded_.load(std::memory_order_relaxed);
   s.build_retries = build_retries_.load(std::memory_order_relaxed);
+  s.batches_executed = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.batch_size_p50 = batch_size_.quantile(0.50);
+  s.batch_size_max = batch_size_.max();
+  {
+    const util::BufferPool::Stats pool = util::BufferPool::global().stats();
+    s.pool_hits = pool.hits;
+    s.pool_misses = pool.misses;
+    s.pool_outstanding_bytes = pool.outstanding_bytes;
+    s.pool_pooled_bytes = pool.pooled_bytes;
+  }
   for (std::size_t i = 0; i < kPhaseCount; ++i) {
     const LogHistogram& h = phase_ns_[i];
     PhaseStats& p = s.phases[i];
@@ -129,6 +141,9 @@ void ServiceMetrics::reset() {
   deadline_exceeded_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);
   build_retries_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  batched_requests_.store(0, std::memory_order_relaxed);
+  batch_size_.reset();
   execute_ns_.reset();
   for (auto& h : phase_ns_) h.reset();
 }
@@ -154,6 +169,15 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"deadline_exceeded\":" << deadline_exceeded
      << ",\"degraded_executions\":" << degraded_executions
      << ",\"build_retries\":" << build_retries << "},"
+     << "\"batching\":{"
+     << "\"batches_executed\":" << batches_executed
+     << ",\"batched_requests\":" << batched_requests
+     << ",\"batch_size_p50\":" << batch_size_p50
+     << ",\"batch_size_max\":" << batch_size_max << "},"
+     << "\"pool\":{"
+     << "\"hits\":" << pool_hits << ",\"misses\":" << pool_misses
+     << ",\"outstanding_bytes\":" << pool_outstanding_bytes
+     << ",\"pooled_bytes\":" << pool_pooled_bytes << "},"
      << "\"phases\":{";
   bool first = true;
   for (Phase p : all_phases()) {
@@ -194,6 +218,17 @@ util::Table MetricsSnapshot::to_table() const {
   t.add_row({"degraded executions", util::format_count(degraded_executions)});
   t.add_row({"plan build retries", util::format_count(build_retries)});
   t.add_separator();
+  t.add_row({"batches executed", util::format_count(batches_executed)});
+  t.add_row({"batched requests", util::format_count(batched_requests)});
+  if (batches_executed > 0) {
+    t.add_row({"batch size p50/max", util::format_count(batch_size_p50) + " / " +
+                                         util::format_count(batch_size_max)});
+  }
+  t.add_row({"pool hits", util::format_count(pool_hits)});
+  t.add_row({"pool misses", util::format_count(pool_misses)});
+  t.add_row({"pool outstanding", util::format_bytes(pool_outstanding_bytes)});
+  t.add_row({"pool cached", util::format_bytes(pool_pooled_bytes)});
+  t.add_separator();
   for (Phase p : all_phases()) {
     const PhaseStats& st = phase(p);
     if (st.count == 0) continue;  // keep the table terse: only phases that ran
@@ -226,6 +261,13 @@ std::string MetricsSnapshot::to_prometheus() const {
   counter("hmm_degraded_executions_total", "Requests served by the conventional fallback.",
           degraded_executions);
   counter("hmm_build_retries_total", "Transient plan-build failures retried.", build_retries);
+  counter("hmm_batches_executed_total", "Fused same-plan batch sweeps executed.", batches_executed);
+  counter("hmm_batched_requests_total", "Requests carried by fused batch sweeps.",
+          batched_requests);
+  counter("hmm_pool_hits_total", "Buffer-pool acquisitions served from the free lists.",
+          pool_hits);
+  counter("hmm_pool_misses_total", "Buffer-pool acquisitions that hit the allocator.",
+          pool_misses);
   // Per-phase digests as summaries. Quantiles come from the log2
   // histogram (factor-of-two resolution); _sum/_count are exact.
   os << "# HELP hmm_phase_duration_seconds Wall time attributed to each serving phase.\n"

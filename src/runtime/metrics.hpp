@@ -92,6 +92,20 @@ struct MetricsSnapshot {
   std::uint64_t deadline_exceeded = 0;   ///< resolved kDeadlineExceeded at any stage
   std::uint64_t degraded_executions = 0; ///< served via the conventional fallback
   std::uint64_t build_retries = 0;       ///< transient plan-build failures retried
+  // Same-plan batching (see Executor::BatchOptions). `batches_executed`
+  // counts fused kernel sweeps; `batched_requests` counts the requests
+  // those sweeps carried, so batched_requests / batches_executed is the
+  // realized amortization factor.
+  std::uint64_t batches_executed = 0;
+  std::uint64_t batched_requests = 0;
+  std::uint64_t batch_size_p50 = 0;
+  std::uint64_t batch_size_max = 0;
+  // Process-wide scratch buffer pool (util::BufferPool::global()).
+  // Executors configured with a private pool are not reflected here.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t pool_outstanding_bytes = 0;
+  std::uint64_t pool_pooled_bytes = 0;
   // Per-phase latency digests, indexed by runtime::Phase.
   std::array<PhaseStats, kPhaseCount> phases{};
 
@@ -158,6 +172,13 @@ class ServiceMetrics {
     }
   }
 
+  /// One fused batch sweep executed, carrying `size` requests.
+  void record_batch(std::uint64_t size) noexcept {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(size, std::memory_order_relaxed);
+    batch_size_.record(size);
+  }
+
   void record_rejected() noexcept { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void record_cancelled() noexcept { cancelled_.fetch_add(1, std::memory_order_relaxed); }
   void record_deadline_exceeded() noexcept {
@@ -196,6 +217,9 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::uint64_t> build_retries_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  LogHistogram batch_size_;
   LogHistogram execute_ns_;
   std::array<LogHistogram, kPhaseCount> phase_ns_;
 };

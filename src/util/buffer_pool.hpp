@@ -1,0 +1,213 @@
+#pragma once
+/// \file buffer_pool.hpp
+/// \brief Size-classed, thread-safe free list of 128-byte-aligned
+///        buffers for the serving hot path.
+///
+/// The paper's offline plan exists so the online phase pays no
+/// per-request planning cost; this pool exists so it pays no
+/// per-request *allocation* cost either. Every steady-state PERMUTE
+/// needs the same three transient buffers — executor scratch, the
+/// decoded request elements, and the response elements — and their
+/// sizes repeat as long as the plan mix repeats. The pool turns those
+/// allocations into a mutex-guarded free-list pop (a "hit") after the
+/// first request of each size warms it up.
+///
+/// Design:
+///  - **Size classes** are powers of two, floored at
+///    `Config::min_class_bytes`. A request is rounded up to its class,
+///    so a buffer released by one request is reusable by any request
+///    within 2x of its size — the worst-case internal fragmentation the
+///    classing costs.
+///  - **Alignment** is fixed at `kBufferAlignment` (128 bytes), the
+///    same boundary `util::aligned_vector` uses, so pooled scratch is
+///    interchangeable with the kernels' expectations.
+///  - **Caps.** `max_outstanding_bytes` bounds live (acquired) bytes:
+///    at the cap `try_acquire` returns an invalid buffer and `acquire`
+///    throws `std::bad_alloc` (the executor maps either to
+///    `kResourceExhausted`). `max_pooled_bytes` bounds *cached* free
+///    bytes: beyond it a released buffer is freed instead of pooled
+///    (counted in `Stats::trims`), so one burst of giant requests
+///    cannot pin memory forever.
+///  - **Stats** are relaxed atomics (advisory, never synchronization),
+///    cheap enough to stay on in production; the serving metrics
+///    snapshot surfaces the global pool's stats. The miss counter is
+///    the zero-allocation acceptance test: at steady state it stays
+///    flat while requests flow.
+///  - **Sanitizers.** Under ASan, cached (free-listed) blocks are
+///    poisoned while they sit in the pool, so a use-after-release of a
+///    pooled buffer reports like a heap use-after-free instead of
+///    silently reading recycled bytes.
+///
+/// `PooledBuffer` is the move-only RAII handle; destruction returns
+/// the block to its pool. Buffers must not outlive the pool that
+/// issued them (the process-wide `BufferPool::global()` makes that
+/// trivial for the serving stack; scoped pools in tests own their
+/// buffers' lifetimes).
+///
+/// Layering: util cannot see the runtime's FaultInjector, so the
+/// `pool.exhausted` fault site is armed by *callers* (executor, net)
+/// before they touch the pool — see runtime/fault_injector.hpp.
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <mutex>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hmm::util {
+
+/// Alignment of every pooled buffer: matches `util::aligned_vector`'s
+/// 128-byte boundary (two cache lines; SIMD- and DMA-friendly).
+inline constexpr std::size_t kBufferAlignment = 128;
+
+class BufferPool;
+
+/// Move-only RAII handle to one pooled block. An invalid (default or
+/// moved-from) handle owns nothing; `reset()` releases early.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  ~PooledBuffer() { reset(); }
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : pool_(other.pool_), data_(other.data_), capacity_(other.capacity_) {
+    other.pool_ = nullptr;
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.pool_ = nullptr;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  /// True for a handle that owns a block (zero-byte acquires are valid
+  /// and own nothing but still report valid()).
+  [[nodiscard]] bool valid() const noexcept { return pool_ != nullptr; }
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  /// Usable bytes: the size class, >= the requested size.
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// View the block as `count` elements of T. The caller asserts the
+  /// fit; the pool's class rounding guarantees it for the acquire size.
+  template <class T>
+  [[nodiscard]] std::span<T> as_span(std::size_t count) noexcept {
+    HMM_CHECK(count * sizeof(T) <= capacity_);
+    return {reinterpret_cast<T*>(data_), count};
+  }
+
+  /// Return the block to the pool now (idempotent).
+  void reset() noexcept;
+
+ private:
+  friend class BufferPool;
+  PooledBuffer(BufferPool* pool, std::uint8_t* data, std::size_t capacity) noexcept
+      : pool_(pool), data_(data), capacity_(capacity) {}
+
+  BufferPool* pool_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+class BufferPool {
+ public:
+  struct Config {
+    /// Smallest size class (power of two). Requests below it share one
+    /// class so tiny header buffers don't fragment the classing.
+    std::size_t min_class_bytes = 4096;
+    /// Cached-free-bytes cap: a release that would exceed it frees the
+    /// block instead of pooling it (counted in Stats::trims).
+    std::size_t max_pooled_bytes = 256ull << 20;
+    /// Live-bytes cap: an acquire that would exceed it fails
+    /// (try_acquire -> invalid handle, acquire -> std::bad_alloc).
+    /// 0 = unbounded.
+    std::size_t max_outstanding_bytes = 0;
+  };
+
+  /// Point-in-time counters (relaxed reads; advisory).
+  struct Stats {
+    std::uint64_t hits = 0;              ///< acquires served from the free list
+    std::uint64_t misses = 0;            ///< acquires that hit the allocator
+    std::uint64_t releases = 0;          ///< blocks returned (pooled or trimmed)
+    std::uint64_t trims = 0;             ///< releases freed because of max_pooled_bytes
+    std::uint64_t acquire_failures = 0;  ///< acquires refused at max_outstanding_bytes
+    std::uint64_t outstanding_bytes = 0; ///< live (acquired, unreleased) bytes
+    std::uint64_t pooled_bytes = 0;      ///< cached free-list bytes
+  };
+
+  BufferPool() : BufferPool(Config{}) {}
+  explicit BufferPool(Config config);
+
+  /// Frees every cached block. Outstanding buffers must already be
+  /// released — a PooledBuffer must not outlive its pool.
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Acquire a block of at least `bytes` (rounded up to its size
+  /// class). Returns an invalid handle when the outstanding-bytes cap
+  /// would be exceeded. `bytes == 0` returns a valid, empty handle
+  /// without touching the pool.
+  [[nodiscard]] PooledBuffer try_acquire(std::size_t bytes);
+
+  /// `try_acquire` that throws `std::bad_alloc` on cap exhaustion, for
+  /// paths whose error channel is already an exception.
+  [[nodiscard]] PooledBuffer acquire(std::size_t bytes);
+
+  /// Free every cached block (outstanding buffers are unaffected).
+  void trim();
+
+  [[nodiscard]] Stats stats() const noexcept;
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// The size class `bytes` rounds up to under `min_class_bytes`.
+  [[nodiscard]] static std::size_t class_bytes(std::size_t bytes,
+                                               std::size_t min_class_bytes) noexcept;
+
+  /// Process-wide pool the serving stack (executor scratch, server
+  /// payload/element buffers) shares by default.
+  [[nodiscard]] static BufferPool& global();
+
+ private:
+  friend class PooledBuffer;
+  void release(std::uint8_t* data, std::size_t capacity) noexcept;
+
+  [[nodiscard]] std::size_t class_index(std::size_t class_size) const noexcept;
+
+  Config config_;
+  mutable std::mutex mutex_;
+  /// Free lists indexed by size class (class_bytes = min << index).
+  std::vector<std::vector<std::uint8_t*>> free_lists_;
+  std::size_t pooled_bytes_ = 0;  ///< guarded by mutex_
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> releases_{0};
+  std::atomic<std::uint64_t> trims_{0};
+  std::atomic<std::uint64_t> acquire_failures_{0};
+  std::atomic<std::uint64_t> outstanding_bytes_{0};
+};
+
+inline void PooledBuffer::reset() noexcept {
+  if (pool_ != nullptr && data_ != nullptr) pool_->release(data_, capacity_);
+  pool_ = nullptr;
+  data_ = nullptr;
+  capacity_ = 0;
+}
+
+}  // namespace hmm::util

@@ -753,5 +753,251 @@ TEST(NetLoopback, ServerStartStopIsIdempotent) {
   EXPECT_FALSE(loop.server.running());
 }
 
+// ------------------------------------------------------ zero-copy wire
+
+TEST(WireZeroCopy, ChecksumExtendMatchesChecksumOverConcatenation) {
+  std::vector<std::uint8_t> bytes(301);
+  for (std::size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  const std::uint64_t whole = net::checksum_bytes(bytes);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{17}, bytes.size()}) {
+    std::uint64_t state = net::checksum_seed();
+    state = net::checksum_extend(state, std::span<const std::uint8_t>(bytes).first(split));
+    state = net::checksum_extend(state, std::span<const std::uint8_t>(bytes).subspan(split));
+    EXPECT_EQ(state, whole) << "split at " << split;
+  }
+  // Three-way split, including an empty middle part.
+  std::uint64_t state = net::checksum_seed();
+  state = net::checksum_extend(state, std::span<const std::uint8_t>(bytes).first(100));
+  state = net::checksum_extend(state, std::span<const std::uint8_t>(bytes).subspan(100, 0));
+  state = net::checksum_extend(state, std::span<const std::uint8_t>(bytes).subspan(100));
+  EXPECT_EQ(state, whole);
+}
+
+TEST(WireZeroCopy, WriteFramePartsRoundTripsThroughReadFrame) {
+  auto bound = net::TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(bound.ok()) << bound.status().to_string();
+  net::TcpListener listener = std::move(bound).value();
+  auto connecting = net::tcp_connect("127.0.0.1", listener.port(), 2'000ms);
+  ASSERT_TRUE(connecting.ok());
+  net::TcpStream sender = std::move(connecting).value();
+  auto accepted = listener.accept(2'000ms);
+  ASSERT_TRUE(accepted.ok());
+  net::TcpStream receiver = std::move(accepted).value();
+
+  // A payload scattered across three non-contiguous parts (one empty):
+  // the receiver must see one contiguous checksum-valid frame.
+  const std::vector<std::uint8_t> head = {0x01, 0x02, 0x03};
+  const std::vector<std::uint32_t> elems = {0xdeadbeefu, 0x01020304u, 0x0badf00du};
+  const net::ConstBuffer parts[] = {
+      {head.data(), head.size()},
+      {nullptr, 0},
+      {elems.data(), elems.size() * sizeof(std::uint32_t)},
+  };
+  const Status sent = net::write_frame_parts(
+      sender, static_cast<std::uint16_t>(net::MsgKind::kPing), 77, parts);
+  ASSERT_TRUE(sent.is_ok()) << sent.to_string();
+
+  auto got = net::read_frame(receiver);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(got.value().kind, static_cast<std::uint16_t>(net::MsgKind::kPing));
+  EXPECT_EQ(got.value().request_id, 77u);
+  ASSERT_EQ(got.value().payload.size(), head.size() + elems.size() * sizeof(std::uint32_t));
+  EXPECT_EQ(0, std::memcmp(got.value().payload.data(), head.data(), head.size()));
+  EXPECT_EQ(0, std::memcmp(got.value().payload.data() + head.size(), elems.data(),
+                           elems.size() * sizeof(std::uint32_t)));
+}
+
+TEST(WireZeroCopy, ReadFrameViewReusesPooledStorageAcrossFrames) {
+  auto bound = net::TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(bound.ok());
+  net::TcpListener listener = std::move(bound).value();
+  auto connecting = net::tcp_connect("127.0.0.1", listener.port(), 2'000ms);
+  ASSERT_TRUE(connecting.ok());
+  net::TcpStream sender = std::move(connecting).value();
+  auto accepted = listener.accept(2'000ms);
+  ASSERT_TRUE(accepted.ok());
+  net::TcpStream receiver = std::move(accepted).value();
+
+  util::BufferPool pool;
+  util::PooledBuffer storage;
+  net::Frame f = sample_frame();
+  const std::uint8_t* storage_data = nullptr;
+  for (int i = 0; i < 5; ++i) {
+    f.request_id = static_cast<std::uint64_t>(i);
+    ASSERT_TRUE(net::write_frame(sender, f).is_ok());
+    auto view = net::read_frame_view(receiver, pool, storage);
+    ASSERT_TRUE(view.ok()) << view.status().to_string();
+    EXPECT_EQ(view.value().request_id, static_cast<std::uint64_t>(i));
+    ASSERT_EQ(view.value().payload.size(), f.payload.size());
+    EXPECT_EQ(0, std::memcmp(view.value().payload.data(), f.payload.data(), f.payload.size()));
+    if (i == 0) {
+      storage_data = storage.data();
+    } else {
+      // Same-size frames: the storage block must be reused, not
+      // reacquired (the steady-state zero-allocation property).
+      EXPECT_EQ(storage.data(), storage_data);
+    }
+  }
+  EXPECT_EQ(pool.stats().misses, 1u);
+}
+
+TEST(WireZeroCopy, PermuteRequestViewMatchesOwningDecode) {
+  net::PermuteRequest request;
+  request.plan_id = 0x1122334455667788ull;
+  request.deadline_ms = 250;
+  request.data = {5, 4, 3, 2, 1, 0, 9, 8};
+  const std::vector<std::uint8_t> payload = request.encode();
+
+  auto owning = net::PermuteRequest::decode(payload, 1 << 20);
+  ASSERT_TRUE(owning.ok());
+  auto view = net::PermuteRequestView::decode(payload, 1 << 20);
+  ASSERT_TRUE(view.ok()) << view.status().to_string();
+  EXPECT_EQ(view.value().plan_id, owning.value().plan_id);
+  EXPECT_EQ(view.value().deadline_ms, owning.value().deadline_ms);
+  ASSERT_EQ(view.value().data.count, owning.value().data.size());
+
+  std::vector<std::uint32_t> copied(view.value().data.count);
+  view.value().data.copy_to({copied.data(), copied.size()});
+  EXPECT_EQ(copied, owning.value().data);
+
+  const std::span<const std::uint32_t> in_place = view.value().data.in_place();
+  if (!in_place.empty()) {
+    // Borrowed, not copied: the span must point into the payload bytes.
+    EXPECT_EQ(static_cast<const void*>(in_place.data()),
+              static_cast<const void*>(view.value().data.bytes.data()));
+    EXPECT_TRUE(std::equal(in_place.begin(), in_place.end(), copied.begin()));
+  }
+}
+
+TEST(WireZeroCopy, ViewDecodersRejectMalformedPayloadsLikeOwningOnes) {
+  net::PermuteRequest request;
+  request.plan_id = 9;
+  request.data = {1, 2, 3, 4};
+  const std::vector<std::uint8_t> payload = request.encode();
+
+  // Truncated element region, truncated header, over-budget count.
+  for (std::size_t cut : {payload.size() - 1, std::size_t{5}}) {
+    const std::span<const std::uint8_t> bad(payload.data(), cut);
+    EXPECT_FALSE(net::PermuteRequestView::decode(bad, 1 << 20).ok()) << "cut=" << cut;
+    EXPECT_FALSE(net::PermuteRequest::decode(bad, 1 << 20).ok()) << "cut=" << cut;
+  }
+  EXPECT_FALSE(net::PermuteRequestView::decode(payload, 2).ok());
+
+  net::SubmitPlanRequest plan_request;
+  plan_request.mapping = {1, 0, 3, 2};
+  const std::vector<std::uint8_t> plan_payload = plan_request.encode();
+  EXPECT_TRUE(net::SubmitPlanRequestView::decode(plan_payload, 1 << 20).ok());
+  EXPECT_FALSE(
+      net::SubmitPlanRequestView::decode(
+          std::span<const std::uint8_t>(plan_payload.data(), plan_payload.size() - 2), 1 << 20)
+          .ok());
+  EXPECT_FALSE(net::SubmitPlanRequestView::decode(plan_payload, 2).ok());
+}
+
+TEST(WireZeroCopy, PermuteResponseDecodeIntoMatchesDecode) {
+  net::PermuteResponse response;
+  response.data = {10, 20, 30, 40, 50};
+  const std::vector<std::uint8_t> payload = response.encode();
+
+  auto owning = net::PermuteResponse::decode(payload, 1 << 20);
+  ASSERT_TRUE(owning.ok());
+  std::vector<std::uint32_t> out(5);
+  ASSERT_TRUE(net::PermuteResponse::decode_into(payload, {out.data(), out.size()}).is_ok());
+  EXPECT_EQ(out, owning.value().data);
+
+  // Count mismatch with the caller's buffer is an error, not a resize.
+  std::vector<std::uint32_t> wrong(4);
+  EXPECT_FALSE(net::PermuteResponse::decode_into(payload, {wrong.data(), wrong.size()}).is_ok());
+}
+
+TEST(WireZeroCopy, MakeOkFrameMovesThePayload) {
+  std::vector<std::uint8_t> payload(1024, 0xab);
+  const std::uint8_t* bytes = payload.data();
+  const net::Frame frame =
+      net::make_ok_frame(7, net::MsgKind::kPermuteOk, std::move(payload));
+  // Moved, not copied: the frame owns the very same allocation.
+  EXPECT_EQ(frame.payload.data(), bytes);
+  EXPECT_EQ(frame.request_id, 7u);
+}
+
+// ------------------------------------------------- hot-path loopback
+
+TEST(NetLoopback, SteadyStatePermuteIsPoolMissFree) {
+  // The wire-level zero-allocation acceptance check: after warmup, 100
+  // PERMUTEs over one connection must never miss the buffer pool — the
+  // request payload, response elements, and executor scratch all come
+  // from warmed size classes.
+  const std::uint64_t n = 1 << 13;
+  Loopback loop;
+  net::Client client(loop.client_config());
+  const perm::Permutation p = perm::bit_reversal(n);
+  auto plan = client.submit_plan(p);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+
+  std::vector<std::uint32_t> a(n), b(n);
+  for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i ^ 0x55);
+  for (int r = 0; r < 8; ++r) {  // warmup
+    ASSERT_TRUE(client.permute(plan.value(), {a.data(), n}, {b.data(), n}).is_ok());
+  }
+  const std::uint64_t misses_before = loop.service.metrics().snapshot().pool_misses;
+  for (int r = 0; r < 100; ++r) {
+    ASSERT_TRUE(client.permute(plan.value(), {a.data(), n}, {b.data(), n}).is_ok());
+  }
+  EXPECT_EQ(loop.service.metrics().snapshot().pool_misses, misses_before);
+  for (std::uint64_t i = 0; i < n; ++i) ASSERT_EQ(b[p(i)], a[i]);
+}
+
+TEST(NetLoopback, BatchedServerMatchesLocalApplyAndExecutesBatches) {
+  // Four concurrent clients against a batching server: the gather
+  // window is generous, so the four requests coalesce into fused
+  // sweeps; outputs must still match the local apply per client.
+  const std::uint64_t n = 1 << 13;
+  runtime::RobustPermuteService::Config config;
+  config.executor.batch.max_batch = 4;
+  config.executor.batch.max_delay = std::chrono::milliseconds(500);
+  Loopback loop(config);
+  const perm::Permutation p = perm::bit_reversal(n);
+
+  std::uint64_t plan_id = 0;
+  {
+    net::Client setup(loop.client_config());
+    auto plan = setup.submit_plan(p);
+    ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+    plan_id = plan.value();
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::vector<Status> outcomes(kClients, Status::ok());
+  std::vector<std::vector<std::uint32_t>> inputs(kClients), outputs(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    inputs[c].resize(n);
+    outputs[c].resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      inputs[c][i] = static_cast<std::uint32_t>(i * (c + 1));
+    }
+    clients.emplace_back([&, c] {
+      net::Client client(loop.client_config());
+      for (int r = 0; r < kRounds; ++r) {
+        const Status s = client.permute(plan_id, {inputs[c].data(), n}, {outputs[c].data(), n});
+        if (!s.is_ok()) {
+          outcomes[c] = s;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(outcomes[c].is_ok()) << "client " << c << ": " << outcomes[c].to_string();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(outputs[c][p(i)], inputs[c][i]) << "client " << c << " diverged at " << i;
+    }
+  }
+  EXPECT_GE(loop.service.metrics().snapshot().batches_executed, 1u);
+}
+
 }  // namespace
 }  // namespace hmm

@@ -18,19 +18,28 @@
 ///                 [--requests 100] [--duration-s 0] [--n 16K]
 ///                 [--perms 12] [--zipf 1.0] [--seed 42]
 ///                 [--deadline-ms 0] [--timeout-ms 30000] [--json]
+///                 [--require-batching]
 ///
 /// `--requests` is per connection; `--duration-s` (if > 0) stops the
 /// run early. The final report includes the server's own
 /// ServiceMetrics::to_json() snapshot, so one loadgen run captures
 /// both sides of the wire.
+///
+/// `--require-batching` turns the run into a batching smoke: it fails
+/// (exit 1) unless the server's final STATS report shows at least one
+/// fused batch executed AND a nonzero buffer-pool hit count — the CI
+/// guard that the hot-path machinery is actually engaged, not silently
+/// bypassed.
 
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -112,12 +121,25 @@ struct Tally {
   }
 };
 
+/// Pull `"key":<u64>` out of a flat JSON dump. Good enough for the
+/// metrics snapshot this tool itself requested; not a JSON parser.
+bool scrape_u64(const std::string& json, std::string_view key, std::uint64_t& out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  const char* p = json.c_str() + at + needle.size();
+  if (*p < '0' || *p > '9') return false;
+  out = std::strtoull(p, nullptr, 10);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "connections", "requests", "duration-s", "n", "perms",
-                         "zipf", "seed", "deadline-ms", "timeout-ms", "json"},
+                         "zipf", "seed", "deadline-ms", "timeout-ms", "json",
+                         "require-batching"},
                         std::cerr)) {
     return 2;
   }
@@ -138,6 +160,7 @@ int main(int argc, char** argv) {
   const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
   const std::int64_t timeout_ms = cli.get_int("timeout-ms", 30'000);
   const bool json = cli.get_bool("json");
+  const bool require_batching = cli.get_bool("require-batching");
 
   if (!util::is_pow2(n) || n < 64) {
     std::cerr << "permd_loadgen: --n must be a power of two >= 64 (got " << n << ")\n";
@@ -306,6 +329,22 @@ int main(int argc, char** argv) {
     std::cerr << "permd_loadgen: FAILED (garbled/hung connections, wrong data, or no "
                  "requests completed)\n";
     return 1;
+  }
+  if (require_batching) {
+    std::uint64_t batches = 0, pool_hits = 0;
+    // "hits" also names the plan-cache counter, so anchor the pool
+    // scrape at its own object.
+    const std::size_t pool_at = server_stats.value().find("\"pool\":{");
+    const bool scraped = scrape_u64(server_stats.value(), "batches_executed", batches) &&
+                         pool_at != std::string::npos &&
+                         scrape_u64(server_stats.value().substr(pool_at), "hits", pool_hits);
+    std::cout << "batching smoke: batches_executed=" << batches << " pool_hits=" << pool_hits
+              << "\n";
+    if (!scraped || batches == 0 || pool_hits == 0) {
+      std::cerr << "permd_loadgen: FAILED --require-batching (server reports no fused "
+                   "batches or no buffer-pool hits; hot-path machinery not engaged)\n";
+      return 1;
+    }
   }
   std::cout << "permd_loadgen: all " << total
             << " requests received well-formed typed responses (" << ok << " ok)\n";

@@ -20,8 +20,13 @@
 ///               [--io-timeout-ms 30000] [--duration-s 0]
 ///               [--metrics-json <path>] [--json]
 ///               [--prom-file <path>] [--slow-ms 0]
+///               [--batch-max 1] [--batch-delay-us 200]
 ///               [--fault-rate 0.0] [--fault-seed 1]
 ///               [--fault-sites plan_cache.build] [--fault-stall-ms 50]
+///
+/// `--batch-max N` (N > 1) turns on same-plan request batching in the
+/// executor: up to N queued PERMUTEs that share a compiled plan run as
+/// one fused kernel sweep, gathered for at most `--batch-delay-us`.
 ///
 /// `--prom-file` rewrites the Prometheus text exposition roughly once
 /// per second while serving (textfile-collector style) and once more
@@ -64,8 +69,9 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "port-file", "cache-mb", "max-in-flight", "reject",
                          "max-connections", "max-payload-mb", "io-timeout-ms", "duration-s",
-                         "metrics-json", "json", "prom-file", "slow-ms", "fault-rate",
-                         "fault-seed", "fault-sites", "fault-stall-ms"},
+                         "metrics-json", "json", "prom-file", "slow-ms", "batch-max",
+                         "batch-delay-us", "fault-rate", "fault-seed", "fault-sites",
+                         "fault-stall-ms"},
                         std::cerr)) {
     return 2;
   }
@@ -86,6 +92,8 @@ int main(int argc, char** argv) {
   const bool json = cli.get_bool("json");
   const std::string prom_file = cli.get("prom-file");
   const std::int64_t slow_ms = cli.get_int("slow-ms", 0);
+  const std::int64_t batch_max = cli.get_int("batch-max", 1);
+  const std::int64_t batch_delay_us = cli.get_int("batch-delay-us", 200);
   const double fault_rate = cli.get_double("fault-rate", 0.0);
   const std::uint64_t fault_seed = static_cast<std::uint64_t>(cli.get_int("fault-seed", 1));
   const std::string fault_sites =
@@ -118,6 +126,10 @@ int main(int argc, char** argv) {
   if (slow_ms > 0) {
     service_config.executor.slow_log_threshold = std::chrono::milliseconds(slow_ms);
   }
+  if (batch_max > 1) {
+    service_config.executor.batch.max_batch = static_cast<std::uint32_t>(batch_max);
+    service_config.executor.batch.max_delay = std::chrono::microseconds(batch_delay_us);
+  }
   runtime::RobustPermuteService service(pool, service_config);
 
   net::Server::Config server_config;
@@ -134,6 +146,9 @@ int main(int argc, char** argv) {
   }
   std::cout << "permd_serve: listening on " << host << ":" << server.port() << "  (pool="
             << pool.size() << " threads, cache=" << util::format_bytes(cache_bytes);
+  if (batch_max > 1) {
+    std::cout << ", batching max=" << batch_max << " delay=" << batch_delay_us << "us";
+  }
   if (fault_rate > 0.0) {
     std::cout << ", chaos rate=" << fault_rate << " seed=" << fault_seed;
   }
