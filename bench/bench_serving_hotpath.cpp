@@ -35,8 +35,10 @@
 #include "net/server.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/program.hpp"
 #include "runtime/service.hpp"
 #include "util/buffer_pool.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -197,12 +199,105 @@ void run_sweep(const perm::Permutation& p, std::uint64_t n, std::uint64_t lanes,
   }
 }
 
+/// Program-fusion run: one depth-k chain of registered random plans,
+/// applied to every request, served two ways over the same loopback
+/// wire — one EXECUTE_PROGRAM round trip (the service fuses the chain
+/// into a single composite plan) vs k sequential PERMUTE round trips,
+/// each feeding the previous response back in (what a client without
+/// the PROGRAM op chain is forced to do). A "request" in both rows is
+/// one whole chain, so req/s compares like with like and the latency
+/// histogram records chain completion time.
+void run_program_compare(std::uint64_t n, std::uint64_t depth, std::uint64_t connections,
+                         std::uint64_t requests_per_conn, RunResult& fused,
+                         RunResult& sequential) {
+  auto& pool = util::ThreadPool::global();
+  runtime::RobustPermuteService service(pool, {});
+  net::Server server(service, {});
+  if (runtime::Status s = server.start(); !s.is_ok()) {
+    std::cerr << "bench_serving_hotpath: " << s.to_string() << "\n";
+    std::exit(1);
+  }
+  net::Client::Config client_config;
+  client_config.port = server.port();
+
+  std::vector<std::uint64_t> plan_ids(depth);
+  std::vector<runtime::ProgramOp> ops(depth);
+  {
+    net::Client setup(client_config);
+    util::Xoshiro256 rng(2026);
+    for (std::uint64_t d = 0; d < depth; ++d) {
+      runtime::StatusOr<std::uint64_t> id = setup.submit_plan(perm::random(n, rng));
+      if (!id.ok()) {
+        std::cerr << "bench_serving_hotpath: SUBMIT_PLAN failed: " << id.status().to_string()
+                  << "\n";
+        std::exit(1);
+      }
+      plan_ids[d] = id.value();
+      ops[d] = {runtime::ProgramOpCode::kPermute, plan_ids[d]};
+    }
+    // Warmup compiles the composite once (and each stage plan for the
+    // sequential side), so both measured windows run on a hot cache.
+    std::vector<std::uint32_t> a(n), b(n);
+    for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i);
+    for (int i = 0; i < 4; ++i) {
+      (void)setup.execute_program({ops.data(), ops.size()}, {a.data(), n}, {b.data(), n});
+      for (std::uint64_t d = 0; d < depth; ++d) {
+        (void)setup.permute(plan_ids[d], {a.data(), n}, {b.data(), n});
+      }
+    }
+  }
+
+  const auto run_mode = [&](bool use_program, RunResult& result) {
+    std::atomic<std::uint64_t> failures{0};
+    util::Stopwatch wall;
+    std::vector<std::thread> workers;
+    workers.reserve(connections);
+    for (std::uint64_t w = 0; w < connections; ++w) {
+      workers.emplace_back([&, w] {
+        net::Client client(client_config);
+        std::vector<std::uint32_t> a(n), b(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          a[i] = static_cast<std::uint32_t>(i + w * 1315423911u);
+        }
+        for (std::uint64_t r = 0; r < requests_per_conn; ++r) {
+          util::Stopwatch sw;
+          bool ok = true;
+          if (use_program) {
+            ok = client
+                     .execute_program({ops.data(), ops.size()}, {a.data(), n}, {b.data(), n})
+                     .is_ok();
+          } else {
+            // k round trips, each feeding the next: the response lands
+            // in b, then becomes the next request's input.
+            std::span<const std::uint32_t> src{a.data(), n};
+            for (std::uint64_t d = 0; d < depth && ok; ++d) {
+              ok = client.permute(plan_ids[d], src, {b.data(), n}).is_ok();
+              src = {b.data(), n};
+            }
+          }
+          result.latency_ns.record(static_cast<std::uint64_t>(sw.nanos()));
+          if (!ok) failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    result.wall_s = wall.millis() / 1e3;
+    result.requests = connections * requests_per_conn;
+    result.failures = failures.load();
+  };
+
+  run_mode(false, sequential);
+  run_mode(true, fused);
+  server.stop();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  if (!cli.expect_flags({"n", "connections", "requests", "batch", "batch-delay-us", "json"},
-                        std::cerr)) {
+  if (!cli.expect_flags(
+          {"n", "connections", "requests", "batch", "batch-delay-us", "program-depth", "json"},
+          std::cerr)) {
     return 2;
   }
   const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 8 << 10));
@@ -210,7 +305,13 @@ int main(int argc, char** argv) {
   const std::uint64_t requests = static_cast<std::uint64_t>(cli.get_int("requests", 200));
   const auto batch_max = static_cast<std::uint32_t>(cli.get_int("batch", 8));
   const auto batch_delay = std::chrono::microseconds(cli.get_int("batch-delay-us", 500));
+  const auto program_depth = static_cast<std::uint64_t>(cli.get_int("program-depth", 4));
   const bool json = cli.get_bool("json");
+  if (program_depth < 1 || program_depth > runtime::kMaxProgramOps) {
+    std::cerr << "bench_serving_hotpath: --program-depth must be in [1, "
+              << runtime::kMaxProgramOps << "]\n";
+    return 2;
+  }
 
   if (!util::is_pow2(n) || n < 64) {
     std::cerr << "bench_serving_hotpath: --n must be a power of two >= 64\n";
@@ -257,18 +358,31 @@ int main(int argc, char** argv) {
   run_once(p, n, connections, requests, batch_max, batch_delay, batched);
   batched_rps = add("wire-batched", batched);
 
+  RunResult program_fused, program_sequential;
+  run_program_compare(n, program_depth, connections, requests, program_fused,
+                      program_sequential);
+  const std::string seq_label = "chain-" + std::to_string(program_depth) + "x-roundtrip";
+  const double program_seq_rps = add(seq_label.c_str(), program_sequential);
+  const double program_fused_rps = add("chain-program-fused", program_fused);
+
   table.print(std::cout);
   std::cout << "\nwire batched/unbatched: " << util::format_double(batched_rps / unbatched_rps, 2)
             << "x    fused-sweep speedup: "
             << util::format_double(sweep_batched_rps / sweep_unbatched_rps, 2)
-            << "x at batch " << sweep_lanes
+            << "x at batch " << sweep_lanes << "    program fusion speedup: "
+            << util::format_double(program_fused_rps / program_seq_rps, 2) << "x at depth "
+            << program_depth
             << "\n'sweep' rows compare the fused five-pass kernel sequence against\n"
                "the same lanes swept sequentially — the schedule-read amortization\n"
                "batching buys. The 'wire' rows carry the full per-request framing,\n"
                "checksum, and syscall cost, which batching cannot remove (and which\n"
                "dominates loopback on few-core hosts). 'miss/req' ~ 0 means the\n"
                "buffer pool absorbs every per-request allocation; 'mean batch' is\n"
-               "requests per fused sweep.\n";
+               "requests per fused sweep. The 'chain' rows serve one depth-k\n"
+               "permutation chain per request: k PERMUTE round trips (each feeding\n"
+               "the next) vs one EXECUTE_PROGRAM the service fuses into a single\n"
+               "composite plan — k kernel sweeps, k wire copies, and k-1 round\n"
+               "trips collapse into one of each.\n";
   if (json) {
     std::cout << "\n";
     table.print_json_rows(std::cout, "\"bench\":\"serving_hotpath\"");

@@ -164,6 +164,44 @@ Status Client::permute(std::uint64_t plan_id, std::span<const std::uint32_t> dat
   return Status::ok();
 }
 
+Status Client::execute_program(std::span<const runtime::ProgramOp> ops,
+                               std::span<const std::uint32_t> data, std::span<std::uint32_t> out,
+                               std::chrono::milliseconds deadline, bool staged) {
+  if (out.size() != data.size()) {
+    return Status(StatusCode::kInvalidArgument, "output span size does not match input");
+  }
+  if (ops.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty program");
+  }
+  if (ops.size() > runtime::kMaxProgramOps) {
+    return Status(StatusCode::kInvalidArgument, "program op count exceeds the limit");
+  }
+  // Serialize straight from the caller's spans, mirroring permute().
+  ByteWriter w;
+  w.put_u32(PermuteRequest::clamp_deadline(deadline));
+  w.put_u32(kElemBytes);
+  w.put_u32(staged ? kProgramFlagStaged : 0);
+  w.put_u32(static_cast<std::uint32_t>(ops.size()));
+  for (const runtime::ProgramOp& op : ops) {
+    w.put_u32(static_cast<std::uint32_t>(op.op));
+    w.put_u32(0);  // reserved
+    w.put_u64(op.arg);
+  }
+  w.put_u64(data.size());
+  w.put_u32_span(data);
+
+  StatusOr<Frame> response = roundtrip(MsgKind::kExecuteProgram, w.take());
+  if (!response.ok()) return response.status();
+  const Frame& frame = response.value();
+  if (is_error(frame)) return decode_error(frame);
+  // PROGRAM_OK carries the PERMUTE_OK layout; decode straight into the
+  // caller's span.
+  if (Status s = PermuteResponse::decode_into(frame.payload, out); !s.is_ok()) {
+    return Status(StatusCode::kUnavailable, "malformed PROGRAM_OK payload: " + s.message());
+  }
+  return Status::ok();
+}
+
 StatusOr<std::string> Client::stats_json() {
   StatusOr<Frame> response = roundtrip(MsgKind::kStats, {});
   if (!response.ok()) return response.status();

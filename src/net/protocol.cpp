@@ -12,10 +12,12 @@ std::string_view to_string(MsgKind kind) noexcept {
     case MsgKind::kSubmitPlan: return "SUBMIT_PLAN";
     case MsgKind::kPermute: return "PERMUTE";
     case MsgKind::kStats: return "STATS";
+    case MsgKind::kExecuteProgram: return "EXECUTE_PROGRAM";
     case MsgKind::kPingOk: return "PING_OK";
     case MsgKind::kPlanOk: return "PLAN_OK";
     case MsgKind::kPermuteOk: return "PERMUTE_OK";
     case MsgKind::kStatsOk: return "STATS_OK";
+    case MsgKind::kProgramOk: return "PROGRAM_OK";
     case MsgKind::kError: return "ERROR";
   }
   return "UNKNOWN";
@@ -27,6 +29,7 @@ bool is_request_kind(std::uint16_t kind) noexcept {
     case MsgKind::kSubmitPlan:
     case MsgKind::kPermute:
     case MsgKind::kStats:
+    case MsgKind::kExecuteProgram:
       return true;
     default:
       return false;
@@ -260,6 +263,104 @@ Status PermuteResponse::decode_into(std::span<const std::uint8_t> payload,
   if (!words.ok()) return words.status();
   words.value().copy_to(out);
   return Status::ok();
+}
+
+namespace {
+
+/// Shared EXECUTE_PROGRAM prefix decoder: everything before the element
+/// region. On success `count_out` holds the wire element count and `r`
+/// sits at the first element byte. Strict: any malformed field is a
+/// typed kInvalidArgument, never an exception or a partial decode.
+Status decode_program_prefix(ByteReader& r, std::uint32_t& deadline_ms, std::uint32_t& flags,
+                             std::vector<runtime::ProgramOp>& ops, std::uint64_t& count_out) {
+  std::uint32_t elem_bytes = 0;
+  std::uint32_t op_count = 0;
+  if (!r.get_u32(deadline_ms) || !r.get_u32(elem_bytes) || !r.get_u32(flags) ||
+      !r.get_u32(op_count)) {
+    return Status(StatusCode::kInvalidArgument, "EXECUTE_PROGRAM: truncated header");
+  }
+  if (elem_bytes != kElemBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "EXECUTE_PROGRAM: unsupported element width (v1 speaks 4-byte elements)");
+  }
+  if ((flags & ~kProgramFlagsMask) != 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "EXECUTE_PROGRAM: unknown flag bits (reserved bits must be zero)");
+  }
+  if (op_count == 0) {
+    return Status(StatusCode::kInvalidArgument, "EXECUTE_PROGRAM: empty program");
+  }
+  if (op_count > runtime::kMaxProgramOps) {
+    return Status(StatusCode::kInvalidArgument,
+                  "EXECUTE_PROGRAM: program op count exceeds the limit");
+  }
+  ops.clear();
+  ops.reserve(op_count);
+  for (std::uint32_t i = 0; i < op_count; ++i) {
+    std::uint32_t opcode = 0;
+    std::uint32_t reserved = 0;
+    std::uint64_t arg = 0;
+    if (!r.get_u32(opcode) || !r.get_u32(reserved) || !r.get_u64(arg)) {
+      return Status(StatusCode::kInvalidArgument, "EXECUTE_PROGRAM: truncated op list");
+    }
+    if (reserved != 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "EXECUTE_PROGRAM: reserved op field must be zero");
+    }
+    if (!runtime::is_known_opcode(opcode)) {
+      return Status(StatusCode::kInvalidArgument, "EXECUTE_PROGRAM: unknown program opcode");
+    }
+    ops.push_back(runtime::ProgramOp{static_cast<runtime::ProgramOpCode>(opcode), arg});
+  }
+  if (!r.get_u64(count_out)) {
+    return Status(StatusCode::kInvalidArgument, "EXECUTE_PROGRAM: truncated element count");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ExecuteProgramRequest::encode() const {
+  ByteWriter w;
+  w.put_u32(deadline_ms);
+  w.put_u32(kElemBytes);
+  w.put_u32(flags);
+  w.put_u32(static_cast<std::uint32_t>(ops.size()));
+  for (const runtime::ProgramOp& op : ops) {
+    w.put_u32(static_cast<std::uint32_t>(op.op));
+    w.put_u32(0);  // reserved
+    w.put_u64(op.arg);
+  }
+  w.put_u64(data.size());
+  w.put_u32_span(data);
+  return w.take();
+}
+
+StatusOr<ExecuteProgramRequest> ExecuteProgramRequest::decode(
+    std::span<const std::uint8_t> payload, std::uint64_t max_elements) {
+  ByteReader r(payload);
+  ExecuteProgramRequest req;
+  std::uint64_t count = 0;
+  Status prefix = decode_program_prefix(r, req.deadline_ms, req.flags, req.ops, count);
+  if (!prefix.is_ok()) return prefix;
+  StatusOr<std::vector<std::uint32_t>> words =
+      decode_words(r, count, max_elements, "EXECUTE_PROGRAM");
+  if (!words.ok()) return words.status();
+  req.data = std::move(words).value();
+  return req;
+}
+
+StatusOr<ExecuteProgramRequestView> ExecuteProgramRequestView::decode(
+    std::span<const std::uint8_t> payload, std::uint64_t max_elements) {
+  ByteReader r(payload);
+  ExecuteProgramRequestView view;
+  std::uint64_t count = 0;
+  Status prefix = decode_program_prefix(r, view.deadline_ms, view.flags, view.ops, count);
+  if (!prefix.is_ok()) return prefix;
+  StatusOr<WordsView> words = decode_words_view(r, count, max_elements, "EXECUTE_PROGRAM");
+  if (!words.ok()) return words.status();
+  view.data = words.value();
+  return view;
 }
 
 std::vector<std::uint8_t> ErrorResponse::encode() const {

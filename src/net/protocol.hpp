@@ -8,12 +8,19 @@
 /// frames (no pipelining in v1; see docs/PROTOCOL.md for the normative
 /// spec). Four request kinds cover the serving surface:
 ///
-///   PING         liveness probe; the payload is echoed back verbatim
-///   SUBMIT_PLAN  register a permutation mapping; returns a 64-bit plan
-///                id (the mapping's fingerprint) for later PERMUTE calls
-///   PERMUTE      apply a registered plan to a payload of elements,
-///                under an optional relative deadline
-///   STATS        fetch the server's ServiceMetrics snapshot as JSON
+///   PING             liveness probe; the payload is echoed back verbatim
+///   SUBMIT_PLAN      register a permutation mapping; returns a 64-bit
+///                    plan id (the mapping's fingerprint) for later
+///                    PERMUTE / EXECUTE_PROGRAM calls
+///   PERMUTE          apply a registered plan to a payload of elements,
+///                    under an optional relative deadline
+///   EXECUTE_PROGRAM  apply an op *chain* (registered plans, their
+///                    inverses, and parametric generators — see
+///                    runtime/program.hpp) to a payload in one round
+///                    trip; the server fuses the chain into a single
+///                    composite plan unless flag bit0 forces the staged
+///                    path
+///   STATS            fetch the server's ServiceMetrics snapshot as JSON
 ///
 /// Every failure travels as an ERROR response whose code is the wire
 /// image of the `runtime::Status` the serving stack produced — the
@@ -32,6 +39,18 @@
 ///                      u32 elem_bytes (4 in v1), u64 count,
 ///                      u8 data[count * elem_bytes]
 ///   PERMUTE_OK   resp: u64 count, u8 data[count * elem_bytes]
+///   EXECUTE_PROGRAM
+///                req:  u32 deadline_ms (0 = none), u32 elem_bytes (4),
+///                      u32 flags (bit0 = force staged; rest must be 0),
+///                      u32 op_count (1..kMaxProgramOps),
+///                      op_count x { u32 opcode, u32 reserved (0),
+///                                   u64 arg },
+///                      u64 count, u8 data[count * elem_bytes]
+///                      (the data offset, 24 + 16*op_count, is a
+///                      multiple of 8, so pooled payloads stay 4-byte
+///                      aligned and decode in place)
+///   PROGRAM_OK   resp: u64 count, u8 data[count * elem_bytes]
+///                      (identical layout to PERMUTE_OK)
 ///   STATS_OK     resp: UTF-8 JSON bytes
 ///   ERROR        resp: u32 code, UTF-8 message bytes
 
@@ -44,6 +63,7 @@
 #include <vector>
 
 #include "net/wire.hpp"
+#include "runtime/program.hpp"
 #include "runtime/status.hpp"
 
 namespace hmm::net {
@@ -55,10 +75,12 @@ enum class MsgKind : std::uint16_t {
   kSubmitPlan = 0x02,
   kPermute = 0x03,
   kStats = 0x04,
+  kExecuteProgram = 0x05,
   kPingOk = 0x81,
   kPlanOk = 0x82,
   kPermuteOk = 0x83,
   kStatsOk = 0x84,
+  kProgramOk = 0x85,
   kError = 0xff,
 };
 
@@ -184,6 +206,46 @@ struct PermuteRequestView {
   WordsView data;
 
   [[nodiscard]] static runtime::StatusOr<PermuteRequestView> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+// --- EXECUTE_PROGRAM -------------------------------------------------
+
+/// Wire flags for EXECUTE_PROGRAM. Bits outside the mask are reserved
+/// and must be zero (strictly rejected, so they stay available for
+/// future revs).
+inline constexpr std::uint32_t kProgramFlagStaged = 0x1;  ///< force the staged path
+inline constexpr std::uint32_t kProgramFlagsMask = kProgramFlagStaged;
+
+/// Owning EXECUTE_PROGRAM request (client-side encode + strict decode).
+struct ExecuteProgramRequest {
+  std::uint32_t deadline_ms = 0;  ///< relative; 0 = no deadline
+  std::uint32_t flags = 0;        ///< kProgramFlag* bits
+  std::vector<runtime::ProgramOp> ops;
+  std::vector<std::uint32_t> data;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static runtime::StatusOr<ExecuteProgramRequest> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+/// Borrowing decode of EXECUTE_PROGRAM for the serving hot path. The op
+/// list is small (<= runtime::kMaxProgramOps) and is copied; only the
+/// element region is borrowed. Validation is strict: unsupported
+/// element width, unknown flag bits, zero / over-cap op counts, nonzero
+/// reserved op fields, and unknown opcodes are all typed
+/// kInvalidArgument — nothing malformed survives to the service layer.
+struct ExecuteProgramRequestView {
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t flags = 0;
+  std::vector<runtime::ProgramOp> ops;
+  WordsView data;
+
+  [[nodiscard]] bool force_staged() const noexcept {
+    return (flags & kProgramFlagStaged) != 0;
+  }
+
+  [[nodiscard]] static runtime::StatusOr<ExecuteProgramRequestView> decode(
       std::span<const std::uint8_t> payload, std::uint64_t max_elements);
 };
 

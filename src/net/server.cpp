@@ -195,6 +195,8 @@ Status Server::respond(TcpStream& stream, const FrameView& request, bool& wrote_
         return write_timed(stream, handle_submit_plan(request), wrote_error);
       case MsgKind::kPermute:
         return respond_permute(stream, request, wrote_error);
+      case MsgKind::kExecuteProgram:
+        return respond_program(stream, request, wrote_error);
       case MsgKind::kStats:
         return write_timed(stream, handle_stats(request.request_id), wrote_error);
       default:
@@ -362,6 +364,93 @@ Status Server::respond_permute(TcpStream& stream, const FrameView& request, bool
   const ConstBuffer parts[] = {{count_header, sizeof(count_header)},
                                {out_span.data(), count * sizeof(std::uint32_t)}};
   return write_timed_parts(stream, MsgKind::kPermuteOk, request.request_id, parts);
+}
+
+Status Server::respond_program(TcpStream& stream, const FrameView& request, bool& wrote_error) {
+  const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
+  StatusOr<ExecuteProgramRequestView> req =
+      ExecuteProgramRequestView::decode(request.payload, max_elements);
+  if (!req.ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
+  }
+  const ExecuteProgramRequestView& program_req = req.value();
+  const std::uint64_t count = program_req.data.count;
+
+  runtime::ProgramRequestOptions opts;
+  if (program_req.deadline_ms > 0) {
+    opts.deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(program_req.deadline_ms);
+  }
+  opts.trace_id = request.request_id;
+  opts.force_staged = program_req.force_staged();
+
+  // The wire plan id is the mapping fingerprint, so the registry *is*
+  // the resolver. The lambda takes the lock per lookup — an op chain
+  // has at most kMaxProgramOps of them.
+  const runtime::PlanResolver resolver =
+      [this](std::uint64_t fingerprint) -> std::shared_ptr<const perm::Permutation> {
+    std::lock_guard lock(plans_mutex_);
+    const auto it = plans_.find(fingerprint);
+    return it == plans_.end() ? nullptr : it->second;
+  };
+
+  util::BufferPool& pool = util::BufferPool::global();
+
+  // Input elements in place when aligned (the EXECUTE_PROGRAM data
+  // offset, 24 + 16*op_count, is a multiple of 8); bounded pooled copy
+  // otherwise — same contract as PERMUTE.
+  std::span<const std::uint32_t> in = program_req.data.in_place();
+  util::PooledBuffer in_copy;
+  if (in.empty()) {
+    in_copy = pool.try_acquire(count * sizeof(std::uint32_t));
+    if (!in_copy.valid()) {
+      return write_timed(stream,
+                         make_error_frame(request.request_id,
+                                          Status(StatusCode::kResourceExhausted,
+                                                 "buffer pool refused the request buffer")),
+                         wrote_error);
+    }
+    const std::span<std::uint32_t> copy_span = in_copy.as_span<std::uint32_t>(count);
+    program_req.data.copy_to(copy_span);
+    in = copy_span;
+  }
+
+  util::PooledBuffer out = pool.try_acquire(count * sizeof(std::uint32_t));
+  if (!out.valid()) {
+    return write_timed(stream,
+                       make_error_frame(request.request_id,
+                                        Status(StatusCode::kResourceExhausted,
+                                               "buffer pool refused the response buffer")),
+                       wrote_error);
+  }
+  const std::span<std::uint32_t> out_span = out.as_span<std::uint32_t>(count);
+
+  runtime::Program program;
+  program.ops = program_req.ops;
+  StatusOr<std::future<Status>> submitted =
+      service_.submit_program<std::uint32_t>(program, resolver, in, out_span, opts);
+  if (!submitted.ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, submitted.status()),
+                       wrote_error);
+  }
+  const Status outcome = submitted.value().get();
+  if (!outcome.is_ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, outcome), wrote_error);
+  }
+
+  // PROGRAM_OK mirrors PERMUTE_OK byte for byte: count header + the
+  // pooled result, scatter-gathered.
+  std::uint8_t count_header[8];
+  for (int i = 0; i < 8; ++i) count_header[i] = static_cast<std::uint8_t>(count >> (8 * i));
+  if constexpr (std::endian::native != std::endian::little) {
+    for (std::uint32_t& w : out_span) {
+      w = ((w & 0xff000000u) >> 24) | ((w & 0x00ff0000u) >> 8) | ((w & 0x0000ff00u) << 8) |
+          ((w & 0x000000ffu) << 24);
+    }
+  }
+  const ConstBuffer parts[] = {{count_header, sizeof(count_header)},
+                               {out_span.data(), count * sizeof(std::uint32_t)}};
+  return write_timed_parts(stream, MsgKind::kProgramOk, request.request_id, parts);
 }
 
 Frame Server::handle_stats(std::uint64_t request_id) {

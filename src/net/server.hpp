@@ -134,6 +134,14 @@ class Server {
   runtime::Status respond_permute(TcpStream& stream, const FrameView& request,
                                   bool& wrote_error);
 
+  /// EXECUTE_PROGRAM: same pooled/scatter-gather shape as PERMUTE, with
+  /// the op chain resolved against the SUBMIT_PLAN registry and handed
+  /// to the service's program path (fused unless wire flag bit0 forces
+  /// staged). Every malformed or unresolvable program is a typed ERROR
+  /// frame.
+  runtime::Status respond_program(TcpStream& stream, const FrameView& request,
+                                  bool& wrote_error);
+
   Frame handle_submit_plan(const FrameView& request);
   Frame handle_stats(std::uint64_t request_id);
 

@@ -104,6 +104,12 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   s.batch_size_p50 = batch_size_.quantile(0.50);
   s.batch_size_max = batch_size_.max();
+  s.programs_executed = programs_executed_.load(std::memory_order_relaxed);
+  s.programs_fused = programs_fused_.load(std::memory_order_relaxed);
+  s.programs_staged = programs_staged_.load(std::memory_order_relaxed);
+  s.programs_identity = programs_identity_.load(std::memory_order_relaxed);
+  s.program_stages_p50 = program_stages_.quantile(0.50);
+  s.program_stages_max = program_stages_.max();
   {
     const util::BufferPool::Stats pool = util::BufferPool::global().stats();
     s.pool_hits = pool.hits;
@@ -143,6 +149,11 @@ void ServiceMetrics::reset() {
   build_retries_.store(0, std::memory_order_relaxed);
   batches_.store(0, std::memory_order_relaxed);
   batched_requests_.store(0, std::memory_order_relaxed);
+  programs_executed_.store(0, std::memory_order_relaxed);
+  programs_fused_.store(0, std::memory_order_relaxed);
+  programs_staged_.store(0, std::memory_order_relaxed);
+  programs_identity_.store(0, std::memory_order_relaxed);
+  program_stages_.reset();
   batch_size_.reset();
   execute_ns_.reset();
   for (auto& h : phase_ns_) h.reset();
@@ -174,6 +185,11 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"batched_requests\":" << batched_requests
      << ",\"batch_size_p50\":" << batch_size_p50
      << ",\"batch_size_max\":" << batch_size_max << "},"
+     << "\"programs\":{"
+     << "\"executed\":" << programs_executed << ",\"fused\":" << programs_fused
+     << ",\"staged\":" << programs_staged << ",\"identity\":" << programs_identity
+     << ",\"stages_p50\":" << program_stages_p50
+     << ",\"stages_max\":" << program_stages_max << "},"
      << "\"pool\":{"
      << "\"hits\":" << pool_hits << ",\"misses\":" << pool_misses
      << ",\"outstanding_bytes\":" << pool_outstanding_bytes
@@ -224,6 +240,14 @@ util::Table MetricsSnapshot::to_table() const {
     t.add_row({"batch size p50/max", util::format_count(batch_size_p50) + " / " +
                                          util::format_count(batch_size_max)});
   }
+  t.add_row({"programs executed", util::format_count(programs_executed)});
+  if (programs_executed > 0) {
+    t.add_row({"programs fused", util::format_count(programs_fused)});
+    t.add_row({"programs staged", util::format_count(programs_staged)});
+    t.add_row({"programs identity", util::format_count(programs_identity)});
+    t.add_row({"program stages p50/max", util::format_count(program_stages_p50) + " / " +
+                                             util::format_count(program_stages_max)});
+  }
   t.add_row({"pool hits", util::format_count(pool_hits)});
   t.add_row({"pool misses", util::format_count(pool_misses)});
   t.add_row({"pool outstanding", util::format_bytes(pool_outstanding_bytes)});
@@ -264,6 +288,12 @@ std::string MetricsSnapshot::to_prometheus() const {
   counter("hmm_batches_executed_total", "Fused same-plan batch sweeps executed.", batches_executed);
   counter("hmm_batched_requests_total", "Requests carried by fused batch sweeps.",
           batched_requests);
+  counter("hmm_programs_executed_total", "EXECUTE_PROGRAM requests accepted.", programs_executed);
+  counter("hmm_programs_fused_total", "Programs served as one fused composite plan.",
+          programs_fused);
+  counter("hmm_programs_staged_total", "Programs served stage-by-stage.", programs_staged);
+  counter("hmm_programs_identity_total", "Programs whose composite folded to the identity.",
+          programs_identity);
   counter("hmm_pool_hits_total", "Buffer-pool acquisitions served from the free lists.",
           pool_hits);
   counter("hmm_pool_misses_total", "Buffer-pool acquisitions that hit the allocator.",

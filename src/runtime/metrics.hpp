@@ -100,6 +100,16 @@ struct MetricsSnapshot {
   std::uint64_t batched_requests = 0;
   std::uint64_t batch_size_p50 = 0;
   std::uint64_t batch_size_max = 0;
+  // Programs (see runtime/program.hpp). `programs_executed` counts every
+  // accepted EXECUTE_PROGRAM/submit_program; each is additionally one of
+  // fused (one composite plan), staged (back-to-back stages), or
+  // identity (composite folded to P(i) = i; echoed without kernels).
+  std::uint64_t programs_executed = 0;
+  std::uint64_t programs_fused = 0;
+  std::uint64_t programs_staged = 0;
+  std::uint64_t programs_identity = 0;
+  std::uint64_t program_stages_p50 = 0;
+  std::uint64_t program_stages_max = 0;
   // Process-wide scratch buffer pool (util::BufferPool::global()).
   // Executors configured with a private pool are not reflected here.
   std::uint64_t pool_hits = 0;
@@ -179,6 +189,27 @@ class ServiceMetrics {
     batch_size_.record(size);
   }
 
+  /// How an accepted program was served (see runtime/program.hpp).
+  enum class ProgramPath { kFused, kStaged, kIdentity };
+
+  /// One program accepted for execution: its stage count (the chain
+  /// depth) and the path the fusion decision took.
+  void record_program(std::uint64_t stages, ProgramPath path) noexcept {
+    programs_executed_.fetch_add(1, std::memory_order_relaxed);
+    switch (path) {
+      case ProgramPath::kFused:
+        programs_fused_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ProgramPath::kStaged:
+        programs_staged_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ProgramPath::kIdentity:
+        programs_identity_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    program_stages_.record(stages);
+  }
+
   void record_rejected() noexcept { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void record_cancelled() noexcept { cancelled_.fetch_add(1, std::memory_order_relaxed); }
   void record_deadline_exceeded() noexcept {
@@ -219,6 +250,11 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> build_retries_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> programs_executed_{0};
+  std::atomic<std::uint64_t> programs_fused_{0};
+  std::atomic<std::uint64_t> programs_staged_{0};
+  std::atomic<std::uint64_t> programs_identity_{0};
+  LogHistogram program_stages_;
   LogHistogram batch_size_;
   LogHistogram execute_ns_;
   std::array<LogHistogram, kPhaseCount> phase_ns_;

@@ -6,7 +6,7 @@ namespace {
 constexpr std::array<std::string_view, kPhaseCount> kLabels = {
     "admission_wait", "queue_wait",  "plan_lookup", "plan_build",
     "row_pass_1",     "transpose_1", "row_pass_2",  "transpose_2",
-    "row_pass_3",     "conventional_kernel", "serialize",
+    "row_pass_3",     "conventional_kernel", "serialize",  "program_compile",
 };
 
 /// Parse the unsigned decimal run starting at `pos`; false if none.

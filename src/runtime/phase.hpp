@@ -43,9 +43,10 @@ enum class Phase : std::uint8_t {
   kKernelRowPass3,      ///< scheduled kernel 5: row-wise pass
   kKernelConventional,  ///< single conventional kernel (chosen or degraded)
   kSerialize,           ///< response encode + socket write
+  kProgramCompile,      ///< program resolve + fuse (compose/inverse/generators)
 };
 
-inline constexpr std::size_t kPhaseCount = 11;
+inline constexpr std::size_t kPhaseCount = 12;
 
 /// Snake-case label, stable across JSON keys, table rows, and the
 /// Prometheus `phase="..."` label. Frozen once exported.

@@ -32,11 +32,17 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <future>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/permuter.hpp"
 #include "core/plan_io.hpp"
@@ -45,6 +51,7 @@
 #include "runtime/fault_injector.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/plan_cache.hpp"
+#include "runtime/program.hpp"
 #include "runtime/status.hpp"
 #include "util/thread_pool.hpp"
 
@@ -59,6 +66,17 @@ struct RequestOptions {
   /// Correlation id echoed in the slow-request log (the net server
   /// forwards the HMMP request_id). 0 = unnamed.
   std::uint64_t trace_id = 0;
+};
+
+/// Program-request controls: everything a plain request has, plus the
+/// fusion override.
+struct ProgramRequestOptions : RequestOptions {
+  /// Force the staged fallback — run the chain back-to-back through
+  /// pooled intermediates instead of compiling one composite plan.
+  /// Wire flag bit0 maps here; differential tests and chaos drills
+  /// (the `program.stage` fault site only exists on this path) are the
+  /// other users. Default: let the service fuse.
+  bool force_staged = false;
 };
 
 class RobustPermuteService {
@@ -77,6 +95,11 @@ class RobustPermuteService {
     /// Serve via the conventional D-designated permuter when the
     /// scheduled plan is unavailable. Off = surface the build error.
     bool allow_degraded = true;
+    /// LRU bound on memoized composite permutations (program
+    /// fingerprint -> fused mapping). This caches the *composition*
+    /// (O(k*n) table walks); the compiled composite plan is separately
+    /// content-addressed by PlanCache. 0 disables memoization.
+    std::uint64_t max_cached_composites = 64;
   };
 
   explicit RobustPermuteService(util::ThreadPool& pool)
@@ -157,6 +180,179 @@ class RobustPermuteService {
     StatusOr<std::future<Status>> submitted =
         executor_.try_submit<T>(std::move(permuter), a, b, std::move(submit_opts));
     if (submitted.ok() && degraded) metrics_.record_degraded();
+    return submitted;
+  }
+
+  /// Execute a permutation *program* — a validated op chain over
+  /// registered plans and parametric generators (see
+  /// runtime/program.hpp) — as one request. The compiler resolves and
+  /// fuses the chain into a single composite permutation (attributed to
+  /// the `program_compile` phase and cached under the program's
+  /// order-sensitive fingerprint, so repeats skip both resolution and
+  /// composition; the composite *plan* is additionally content-addressed
+  /// by PlanCache, which single-flights concurrent first builds). The
+  /// fused composite then rides the normal degradation ladder. Two
+  /// shortcuts bracket it:
+  ///
+  ///  - **Identity**: a chain that folds to P(i) = i (e.g. P then
+  ///    INVERSE P) is answered with one memcpy — no plan, no kernels —
+  ///    and counted in `programs_identity`.
+  ///  - **Staged** (`opts.force_staged`): each stage acquires its own
+  ///    permuter and the executor runs them back-to-back through pooled
+  ///    ping-pong intermediates (`Executor::submit_program`). Bitwise
+  ///    identical to the fused path; used by differential tests, chaos
+  ///    drills, and wire flag bit0.
+  ///
+  /// All validation failures (unknown opcode, unregistered fingerprint,
+  /// stage-size mismatch, generator preconditions) surface as typed
+  /// kInvalidArgument *before* any composition runs — a hostile program
+  /// can never reach an HMM_CHECK abort.
+  template <class T>
+  StatusOr<std::future<Status>> submit_program(const Program& program,
+                                               const PlanResolver& resolver,
+                                               std::span<const T> a, std::span<T> b,
+                                               ProgramRequestOptions opts = {}) {
+    if (a.size() == 0) return Status(StatusCode::kInvalidArgument, "empty program input");
+    if (a.size() != b.size()) {
+      return Status(StatusCode::kInvalidArgument, "program input/output sizes differ");
+    }
+    if (a.data() == b.data()) {
+      return Status(StatusCode::kInvalidArgument, "in-place permutation is not supported");
+    }
+    if (opts.cancel.cancelled()) {
+      metrics_.record_cancelled();
+      return Status(StatusCode::kCancelled, "cancelled before submission");
+    }
+    if (deadline_expired(opts.deadline)) {
+      metrics_.record_deadline_exceeded();
+      return Status(StatusCode::kDeadlineExceeded, "deadline already expired at submission");
+    }
+
+    const std::uint64_t n = a.size();
+    const std::uint64_t chain_depth = program.ops.size();
+    auto phases = std::make_shared<PhaseBreakdown>();
+
+    // --- Compile: resolve + fuse, under the program_compile phase. ---
+    util::Stopwatch compile_clock;
+    const Fingerprint fp = program_fingerprint(program.ops, n);
+    std::shared_ptr<const perm::Permutation> composite;
+    ResolvedProgram resolved;
+    if (!opts.force_staged) composite = cached_composite(fp.value);
+    if (!composite) {
+      StatusOr<ResolvedProgram> r = resolve_program(program, n, resolver);
+      if (!r.ok()) {
+        phases->add(Phase::kProgramCompile, static_cast<std::uint64_t>(compile_clock.nanos()));
+        metrics_.record_phases(*phases);
+        return r.status();
+      }
+      resolved = std::move(r).value();
+      if (!opts.force_staged) {
+        StatusOr<perm::Permutation> fused = fuse_program(resolved);
+        if (!fused.ok()) {
+          phases->add(Phase::kProgramCompile, static_cast<std::uint64_t>(compile_clock.nanos()));
+          metrics_.record_phases(*phases);
+          return fused.status();
+        }
+        composite = std::make_shared<const perm::Permutation>(std::move(fused).value());
+        cache_composite(fp.value, composite);
+      }
+    }
+    phases->add(Phase::kProgramCompile, static_cast<std::uint64_t>(compile_clock.nanos()));
+
+    // --- Staged fallback: per-stage permuters, one executor request. ---
+    if (opts.force_staged) {
+      std::vector<std::shared_ptr<const core::OfflinePermuter<T>>> stages;
+      stages.reserve(resolved.stages.size());
+      bool degraded = false;
+      for (const auto& stage_perm : resolved.stages) {
+        std::shared_ptr<const core::OfflinePermuter<T>> permuter;
+        if (!should_skip_build_for_deadline<T>(*stage_perm, opts)) {
+          StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> acquired =
+              acquire_with_retry<T>(*stage_perm, opts, phases.get());
+          if (acquired.ok()) {
+            permuter = std::move(acquired).value();
+          } else if (!config_.allow_degraded || !is_transient(acquired.status().code())) {
+            metrics_.record_phases(*phases);
+            return acquired.status();
+          }
+        }
+        if (!permuter) {
+          util::Stopwatch build_clock;
+          StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> fallback =
+              build_conventional<T>(*stage_perm);
+          phases->add(Phase::kPlanBuild, static_cast<std::uint64_t>(build_clock.nanos()));
+          if (!fallback.ok()) {
+            metrics_.record_phases(*phases);
+            return fallback.status();
+          }
+          permuter = std::move(fallback).value();
+          degraded = true;
+        }
+        stages.push_back(std::move(permuter));
+      }
+      Executor::SubmitOptions submit_opts;
+      submit_opts.deadline = opts.deadline;
+      submit_opts.cancel = opts.cancel;
+      submit_opts.trace_id = opts.trace_id;
+      submit_opts.phases = std::move(phases);
+      StatusOr<std::future<Status>> submitted =
+          executor_.submit_program<T>(std::move(stages), a, b, std::move(submit_opts));
+      if (submitted.ok()) {
+        metrics_.record_program(chain_depth, ServiceMetrics::ProgramPath::kStaged);
+        if (degraded) metrics_.record_degraded();
+      }
+      return submitted;
+    }
+
+    // --- Identity fast-path: the chain folded to P(i) = i. ---
+    if (composite->is_identity()) {
+      std::memcpy(b.data(), a.data(), n * sizeof(T));
+      metrics_.record_program(chain_depth, ServiceMetrics::ProgramPath::kIdentity);
+      metrics_.record_phases(*phases);
+      std::promise<Status> done;
+      done.set_value(Status::ok());
+      return done.get_future();
+    }
+
+    // --- Fused: the composite rides the normal degradation ladder. ---
+    std::shared_ptr<const core::OfflinePermuter<T>> permuter;
+    bool degraded = false;
+    if (should_skip_build_for_deadline<T>(*composite, opts)) {
+      degraded = true;
+    } else {
+      StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> acquired =
+          acquire_with_retry<T>(*composite, opts, phases.get());
+      if (acquired.ok()) {
+        permuter = std::move(acquired).value();
+      } else if (config_.allow_degraded && is_transient(acquired.status().code())) {
+        degraded = true;
+      } else {
+        metrics_.record_phases(*phases);
+        return acquired.status();
+      }
+    }
+    if (degraded) {
+      util::Stopwatch build_clock;
+      StatusOr<std::shared_ptr<const core::OfflinePermuter<T>>> fallback =
+          build_conventional<T>(*composite);
+      phases->add(Phase::kPlanBuild, static_cast<std::uint64_t>(build_clock.nanos()));
+      if (!fallback.ok()) {
+        metrics_.record_phases(*phases);
+        return fallback.status();
+      }
+      permuter = std::move(fallback).value();
+    }
+    Executor::SubmitOptions submit_opts;
+    submit_opts.deadline = opts.deadline;
+    submit_opts.cancel = opts.cancel;
+    submit_opts.trace_id = opts.trace_id;
+    submit_opts.phases = std::move(phases);
+    StatusOr<std::future<Status>> submitted =
+        executor_.try_submit<T>(std::move(permuter), a, b, std::move(submit_opts));
+    if (submitted.ok()) {
+      metrics_.record_program(chain_depth, ServiceMetrics::ProgramPath::kFused);
+      if (degraded) metrics_.record_degraded();
+    }
     return submitted;
   }
 
@@ -241,11 +437,41 @@ class RobustPermuteService {
     }
   }
 
+  /// Composite-permutation memo lookup (program fingerprint keyed);
+  /// a hit refreshes LRU order. nullptr on miss or when disabled.
+  [[nodiscard]] std::shared_ptr<const perm::Permutation> cached_composite(std::uint64_t key) {
+    std::lock_guard lock(composites_mutex_);
+    const auto it = composites_.find(key);
+    if (it == composites_.end()) return nullptr;
+    composites_lru_.splice(composites_lru_.begin(), composites_lru_, it->second.second);
+    return it->second.first;
+  }
+
+  void cache_composite(std::uint64_t key, std::shared_ptr<const perm::Permutation> composite) {
+    if (config_.max_cached_composites == 0) return;
+    std::lock_guard lock(composites_mutex_);
+    if (composites_.count(key) != 0) return;  // racing first submissions: keep the incumbent
+    composites_lru_.push_front(key);
+    composites_.emplace(key, std::make_pair(std::move(composite), composites_lru_.begin()));
+    while (composites_.size() > config_.max_cached_composites) {
+      composites_.erase(composites_lru_.back());
+      composites_lru_.pop_back();
+    }
+  }
+
   util::ThreadPool& pool_;
   Config config_;
   ServiceMetrics metrics_;
   PlanCache cache_;
   Executor executor_;
+
+  // Composite-permutation memo (see Config::max_cached_composites).
+  std::mutex composites_mutex_;
+  std::list<std::uint64_t> composites_lru_;
+  std::unordered_map<std::uint64_t,
+                     std::pair<std::shared_ptr<const perm::Permutation>,
+                               std::list<std::uint64_t>::iterator>>
+      composites_;
 };
 
 /// Load a serialized plan as a typed Status instead of a bare nullopt:

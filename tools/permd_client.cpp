@@ -11,11 +11,22 @@
 ///             permute requests, and verify every response locally
 ///             against perm::Permutation::apply (the same ground truth
 ///             the test suite uses)
+///   program   run an op *chain* in one EXECUTE_PROGRAM round trip and
+///             verify the response against applying each op locally in
+///             order. `--ops` is a comma-separated chain; tokens:
+///               plan:<family>     SUBMIT_PLAN the family, then PERMUTE it
+///               inverse:<family>  SUBMIT_PLAN the family, then INVERSE it
+///               transpose | reverse | shuffle | unshuffle | bit-reversal
+///               rotate:<shift>
+///             `--staged true` forces the server's staged path (results
+///             must be bit-identical to fused).
 ///
 /// Usage:
-///   permd_client <ping|stats|phases|permute> --port P [--host 127.0.0.1]
-///                [--n 64K] [--family bit-reversal] [--seed 42]
-///                [--count 4] [--deadline-ms 0] [--timeout-ms 30000]
+///   permd_client <ping|stats|phases|permute|program> --port P
+///                [--host 127.0.0.1] [--n 64K] [--family bit-reversal]
+///                [--seed 42] [--count 4] [--deadline-ms 0]
+///                [--timeout-ms 30000] [--ops plan:random,bit-reversal]
+///                [--staged false]
 ///
 /// Exit code: 0 on success, 1 on any typed error or verification
 /// failure, 2 on usage errors.
@@ -31,6 +42,8 @@
 #include "perm/generators.hpp"
 #include "perm/permutation.hpp"
 #include "runtime/phase.hpp"
+#include "runtime/program.hpp"
+#include "util/bits.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -40,12 +53,12 @@ int main(int argc, char** argv) {
 
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "n", "family", "seed", "count", "deadline-ms",
-                         "timeout-ms"},
+                         "timeout-ms", "ops", "staged"},
                         std::cerr)) {
     return 2;
   }
   if (cli.positional().size() != 1) {
-    std::cerr << "usage: permd_client <ping|stats|phases|permute> --port P [flags]\n";
+    std::cerr << "usage: permd_client <ping|stats|phases|permute|program> --port P [flags]\n";
     return 2;
   }
   const std::string command = cli.positional()[0];
@@ -104,6 +117,113 @@ int main(int argc, char** argv) {
                  util::format_ms(static_cast<double>(row.max) / 1e6) + " ms"});
     }
     t.print(std::cout);
+    return 0;
+  }
+
+  if (command == "program") {
+    const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 64 << 10));
+    const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const std::int64_t count = cli.get_int("count", 1);
+    const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+    const bool staged = cli.get_bool("staged", false);
+    const std::string ops_spec = cli.get("ops", "plan:random,bit-reversal");
+
+    // Parse the chain, registering plan:/inverse: families as we go and
+    // building the same chain locally for ground-truth verification.
+    std::vector<runtime::ProgramOp> ops;
+    std::vector<perm::Permutation> local;
+    std::size_t start = 0;
+    while (start <= ops_spec.size()) {
+      const std::size_t comma = ops_spec.find(',', start);
+      const std::string token = ops_spec.substr(
+          start, comma == std::string::npos ? std::string::npos : comma - start);
+      start = comma == std::string::npos ? ops_spec.size() + 1 : comma + 1;
+      if (token.empty()) continue;
+
+      if (token.rfind("plan:", 0) == 0 || token.rfind("inverse:", 0) == 0) {
+        const bool inverse = token[0] == 'i';
+        const std::string family = token.substr(token.find(':') + 1);
+        const perm::Permutation p = perm::by_name(family, n, seed);
+        const runtime::StatusOr<std::uint64_t> plan = client.submit_plan(p);
+        if (!plan.ok()) {
+          std::cerr << "permd_client: submit_plan for '" << token
+                    << "' failed: " << plan.status().to_string() << "\n";
+          return 1;
+        }
+        ops.push_back({inverse ? runtime::ProgramOpCode::kInverse
+                               : runtime::ProgramOpCode::kPermute,
+                       plan.value()});
+        local.push_back(inverse ? p.inverse() : p);
+      } else if (token.rfind("rotate:", 0) == 0) {
+        const std::uint64_t shift =
+            static_cast<std::uint64_t>(std::stoll(token.substr(token.find(':') + 1)));
+        ops.push_back({runtime::ProgramOpCode::kRotate, shift});
+        local.push_back(perm::rotation(n, shift % n));
+      } else if (token == "transpose") {
+        std::uint64_t root = 0;
+        while ((root + 1) * (root + 1) <= n) ++root;
+        if (root * root != n) {
+          std::cerr << "permd_client: transpose needs a perfect-square --n\n";
+          return 2;
+        }
+        ops.push_back({runtime::ProgramOpCode::kTranspose, 0});
+        local.push_back(perm::transpose(root, root));
+      } else if (token == "reverse" || token == "shuffle" || token == "unshuffle" ||
+                 token == "bit-reversal") {
+        if (!util::is_pow2(n)) {
+          std::cerr << "permd_client: '" << token << "' needs a power-of-two --n\n";
+          return 2;
+        }
+        if (token == "reverse") {
+          ops.push_back({runtime::ProgramOpCode::kReverse, 0});
+          local.push_back(perm::bit_complement(n));
+        } else if (token == "shuffle") {
+          ops.push_back({runtime::ProgramOpCode::kShuffle, 0});
+          local.push_back(perm::shuffle(n));
+        } else if (token == "unshuffle") {
+          ops.push_back({runtime::ProgramOpCode::kUnshuffle, 0});
+          local.push_back(perm::unshuffle(n));
+        } else {
+          ops.push_back({runtime::ProgramOpCode::kBitReversal, 0});
+          local.push_back(perm::bit_reversal(n));
+        }
+      } else {
+        std::cerr << "permd_client: unknown op token '" << token << "'\n";
+        return 2;
+      }
+    }
+    if (ops.empty()) {
+      std::cerr << "permd_client: --ops parsed to an empty chain\n";
+      return 2;
+    }
+
+    // Ground truth: apply the chain locally, op by op.
+    std::vector<std::uint32_t> a(n), b(n), expect(n), tmp(n);
+    for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i * 2654435761u);
+    expect = a;
+    for (const perm::Permutation& p : local) {
+      p.apply<std::uint32_t>({expect.data(), n}, {tmp.data(), n});
+      expect.swap(tmp);
+    }
+
+    std::cout << "program depth=" << ops.size() << " n=" << n
+              << (staged ? " (staged)" : " (fused)") << "\n";
+    for (std::int64_t r = 0; r < count; ++r) {
+      util::Stopwatch sw;
+      const runtime::Status s =
+          client.execute_program({ops.data(), ops.size()}, {a.data(), n}, {b.data(), n},
+                                 std::chrono::milliseconds(deadline_ms), staged);
+      if (!s.is_ok()) {
+        std::cerr << "permd_client: program " << r << " failed: " << s.to_string() << "\n";
+        return 1;
+      }
+      if (b != expect) {
+        std::cerr << "permd_client: program " << r << " returned wrong data\n";
+        return 1;
+      }
+      std::cout << "program " << r << ": ok, verified, " << util::format_ms(sw.millis())
+                << " ms\n";
+    }
     return 0;
   }
 

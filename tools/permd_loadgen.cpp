@@ -18,7 +18,16 @@
 ///                 [--requests 100] [--duration-s 0] [--n 16K]
 ///                 [--perms 12] [--zipf 1.0] [--seed 42]
 ///                 [--deadline-ms 0] [--timeout-ms 30000] [--json]
-///                 [--require-batching]
+///                 [--require-batching] [--program-depth 0]
+///                 [--program-staged false]
+///
+/// `--program-depth k` (k > 0) switches every request from PERMUTE to
+/// EXECUTE_PROGRAM carrying a depth-k chain of Zipf-sampled registered
+/// plans — one round trip does k permutations' work. Responses are
+/// spot-verified against the chained ground truth (index-chasing
+/// through each stage mapping: O(1) per checked index, no composed
+/// table on the client). `--program-staged true` forces the server's
+/// staged path.
 ///
 /// `--requests` is per connection; `--duration-s` (if > 0) stops the
 /// run early. The final report includes the server's own
@@ -49,6 +58,7 @@
 #include "perm/permutation.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/phase.hpp"
+#include "runtime/program.hpp"
 #include "runtime/status.hpp"
 #include "util/bits.hpp"
 #include "util/cli.hpp"
@@ -139,7 +149,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "connections", "requests", "duration-s", "n", "perms",
                          "zipf", "seed", "deadline-ms", "timeout-ms", "json",
-                         "require-batching"},
+                         "require-batching", "program-depth", "program-staged"},
                         std::cerr)) {
     return 2;
   }
@@ -161,6 +171,15 @@ int main(int argc, char** argv) {
   const std::int64_t timeout_ms = cli.get_int("timeout-ms", 30'000);
   const bool json = cli.get_bool("json");
   const bool require_batching = cli.get_bool("require-batching");
+  const std::uint64_t program_depth =
+      static_cast<std::uint64_t>(cli.get_int("program-depth", 0));
+  const bool program_staged = cli.get_bool("program-staged");
+
+  if (program_depth > runtime::kMaxProgramOps) {
+    std::cerr << "permd_loadgen: --program-depth exceeds the protocol op cap ("
+              << runtime::kMaxProgramOps << ")\n";
+    return 2;
+  }
 
   if (!util::is_pow2(n) || n < 64) {
     std::cerr << "permd_loadgen: --n must be a power of two >= 64 (got " << n << ")\n";
@@ -202,6 +221,9 @@ int main(int argc, char** argv) {
             << " requests/conn=" << requests_per_conn << " n=" << n << " perms=" << num_perms
             << " zipf=" << zipf_s;
   if (deadline_ms > 0) std::cout << " deadline=" << deadline_ms << "ms";
+  if (program_depth > 0) {
+    std::cout << " program-depth=" << program_depth << (program_staged ? " (staged)" : " (fused)");
+  }
   std::cout << "\n";
 
   Tally tally;
@@ -219,6 +241,9 @@ int main(int argc, char** argv) {
     ZipfSampler sample(num_perms, zipf_s);
     std::vector<std::uint32_t> a(n), b(n);
 
+    std::vector<std::uint64_t> chain(program_depth);
+    std::vector<runtime::ProgramOp> ops(program_depth);
+
     for (std::uint64_t r = 0; r < requests_per_conn && !stop.load(std::memory_order_relaxed);
          ++r) {
       const std::uint64_t rank = sample(rng);
@@ -227,18 +252,46 @@ int main(int argc, char** argv) {
         a[i] = stamp + static_cast<std::uint32_t>(i);
       }
       util::Stopwatch sw;
-      const runtime::Status s =
-          client.permute(plan_ids[rank], {a.data(), n}, {b.data(), n},
-                         std::chrono::milliseconds(deadline_ms));
+      runtime::Status s = runtime::Status::ok();
+      if (program_depth > 0) {
+        // A depth-k chain of Zipf-sampled registered plans; one
+        // EXECUTE_PROGRAM round trip does k permutations' work.
+        for (std::uint64_t d = 0; d < program_depth; ++d) {
+          chain[d] = sample(rng);
+          ops[d] = {runtime::ProgramOpCode::kPermute, plan_ids[chain[d]]};
+        }
+        s = client.execute_program({ops.data(), ops.size()}, {a.data(), n}, {b.data(), n},
+                                   std::chrono::milliseconds(deadline_ms), program_staged);
+      } else {
+        s = client.permute(plan_ids[rank], {a.data(), n}, {b.data(), n},
+                           std::chrono::milliseconds(deadline_ms));
+      }
       tally.latency_ns.record(static_cast<std::uint64_t>(sw.nanos()));
       tally.record(s.code());
       if (s.is_ok()) {
         // Spot-check the permuted image (full check would dominate).
-        const perm::Permutation& p = population[rank];
-        for (std::uint64_t i = 0; i < n; i += 97) {
-          if (b[p(i)] != a[i]) {
-            tally.verify_failures.fetch_add(1, std::memory_order_relaxed);
-            break;
+        if (program_depth > 0) {
+          // Chase each checked index through the chain: stage d moves
+          // position idx to P_d(idx), so the final resting place of
+          // a[i] is P_k(...P_1(i)...) — O(depth) per index, no composed
+          // table needed client-side.
+          for (std::uint64_t i = 0; i < n; i += 97) {
+            std::uint64_t idx = i;
+            for (std::uint64_t d = 0; d < program_depth; ++d) {
+              idx = population[chain[d]](idx);
+            }
+            if (b[idx] != a[i]) {
+              tally.verify_failures.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+          }
+        } else {
+          const perm::Permutation& p = population[rank];
+          for (std::uint64_t i = 0; i < n; i += 97) {
+            if (b[p(i)] != a[i]) {
+              tally.verify_failures.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
           }
         }
       } else if (s.code() == runtime::StatusCode::kUnavailable ||
