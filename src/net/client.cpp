@@ -44,10 +44,18 @@ StatusOr<Frame> Client::roundtrip_once(MsgKind kind, const std::vector<std::uint
   StatusOr<Frame> response = read_frame(stream_, config_.max_payload_bytes);
   if (!response.ok()) return response;
   const Frame& frame = response.value();
+  const auto resp_kind = static_cast<MsgKind>(frame.kind);
   if (frame.request_id != request_id) {
+    if (frame.request_id == 0 && resp_kind == MsgKind::kError) {
+      // Pre-frame admission rejection (the server answers a connection
+      // it will not serve with an ERROR frame addressed to no request,
+      // then closes). Surface the typed code — usually RETRY_LATER from
+      // the connection cap — so the retry loop backs off instead of
+      // treating this as a protocol violation.
+      return decode_error(frame);
+    }
     return Status(StatusCode::kUnavailable, "response id does not match the request");
   }
-  const auto resp_kind = static_cast<MsgKind>(frame.kind);
   if (resp_kind != MsgKind::kError &&
       frame.kind != (static_cast<std::uint16_t>(kind) | 0x80u)) {
     return Status(StatusCode::kUnavailable, "response kind does not answer the request");

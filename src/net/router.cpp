@@ -1,0 +1,951 @@
+#include "net/router.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "perm/permutation.hpp"
+#include "runtime/fingerprint.hpp"
+#include "runtime/program.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace hmm::net {
+
+using runtime::Status;
+using runtime::StatusCode;
+using runtime::StatusOr;
+
+/// Per-backend runtime state. Health flags are written by the health
+/// thread and read by every connection thread; the breaker is driven
+/// from the request path. Everything is atomics — no lock is ever held
+/// on the routing decision.
+struct Router::Backend {
+  BackendAddress addr;
+  std::string label;
+
+  std::atomic<bool> ejected{false};
+  std::atomic<std::uint32_t> probe_failures{0};
+
+  std::atomic<std::uint32_t> consecutive_failures{0};
+  /// steady_clock nanos the breaker stays open until; 0 = closed.
+  std::atomic<std::int64_t> breaker_open_until_ns{0};
+  /// Claimed by the single half-open trial request after the cooldown.
+  std::atomic<bool> trial_in_flight{false};
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> typed_errors{0};
+  std::atomic<std::uint64_t> retry_later{0};
+  std::atomic<std::uint64_t> transport_failures{0};
+  std::atomic<std::uint64_t> failovers_to{0};
+  std::atomic<std::uint64_t> ejections{0};
+  std::atomic<std::uint64_t> recoveries{0};
+  std::atomic<std::uint64_t> breaker_opens{0};
+  std::atomic<std::uint64_t> plans_synced{0};
+  runtime::LogHistogram forward_ns;
+};
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// splitmix64 finalizer: cheap, well-mixed 64->64 for ring points and
+/// backoff jitter.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_bytes(const void* data, std::size_t len) noexcept {
+  runtime::Fnv1a64 h;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < len; ++i) h.update_byte(p[i]);
+  return h.digest();
+}
+
+Status decode_error_view(std::span<const std::uint8_t> payload) {
+  StatusOr<ErrorResponse> err = ErrorResponse::decode(payload);
+  return err.ok() ? err.value().to_status()
+                  : Status(StatusCode::kUnavailable, "malformed ERROR frame from backend");
+}
+
+/// Capped jittered pause before failover hop `hop` (1-based). Same
+/// recipe as Client::retry_backoff, salted by the request id so
+/// concurrent failovers don't march in lockstep, yet replay runs
+/// deterministically.
+std::chrono::microseconds failover_pause(const Router::Config& config, int hop,
+                                         std::uint64_t salt) noexcept {
+  if (hop <= 0 || config.failover_backoff_base.count() <= 0) {
+    return std::chrono::microseconds{0};
+  }
+  const auto base_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(config.failover_backoff_base)
+          .count());
+  const auto cap_us = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0,
+      std::chrono::duration_cast<std::chrono::microseconds>(config.failover_backoff_cap)
+          .count()));
+  const int shift = std::min(hop - 1, 20);
+  const std::uint64_t delay_us = std::min(base_us << shift, cap_us);
+  const std::uint64_t x = mix64(config.failover_jitter_seed ^
+                                (0x9e3779b97f4a7c15ull * (salt + static_cast<std::uint64_t>(hop))));
+  const std::uint64_t jitter_us = delay_us == 0 ? 0 : x % delay_us;
+  return std::chrono::microseconds(delay_us + jitter_us);
+}
+
+constexpr std::uint8_t kProbePayload[] = {'h', 'm', 'm', 'p', '?'};
+
+}  // namespace
+
+Router::Router(Config config) : config_(std::move(config)) {
+  if (config_.virtual_nodes == 0) config_.virtual_nodes = 1;
+  backends_.reserve(config_.backends.size());
+  for (const BackendAddress& addr : config_.backends) {
+    auto b = std::make_unique<Backend>();
+    b->addr = addr;
+    b->label = addr.label();
+    backends_.push_back(std::move(b));
+  }
+  build_ring();
+}
+
+Router::~Router() { stop(); }
+
+void Router::build_ring() {
+  ring_.clear();
+  ring_.reserve(backends_.size() * config_.virtual_nodes);
+  for (std::uint32_t idx = 0; idx < backends_.size(); ++idx) {
+    // Points are derived from the backend's *address*, not its list
+    // position: reordering the --backends flag does not reshuffle keys.
+    const std::uint64_t base = hash_bytes(backends_[idx]->label.data(),
+                                          backends_[idx]->label.size());
+    for (std::uint32_t v = 0; v < config_.virtual_nodes; ++v) {
+      ring_.push_back(RingPoint{mix64(base ^ (0x9e3779b97f4a7c15ull * (v + 1))), idx});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const RingPoint& a, const RingPoint& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.backend < b.backend;
+  });
+}
+
+std::vector<std::size_t> Router::preference(std::uint64_t key) const {
+  std::vector<std::size_t> order;
+  if (ring_.empty()) return order;
+  order.reserve(backends_.size());
+  std::vector<bool> seen(backends_.size(), false);
+  const std::uint64_t point = mix64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const RingPoint& rp, std::uint64_t v) { return rp.hash < v; });
+  for (std::size_t walked = 0;
+       walked < ring_.size() && order.size() < backends_.size(); ++walked, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->backend]) {
+      seen[it->backend] = true;
+      order.push_back(it->backend);
+    }
+  }
+  return order;
+}
+
+bool Router::backend_healthy(std::size_t idx) const {
+  return idx < backends_.size() && !backends_[idx]->ejected.load(std::memory_order_acquire);
+}
+
+bool Router::backend_breaker_open(std::size_t idx) const {
+  if (idx >= backends_.size()) return false;
+  const std::int64_t until =
+      backends_[idx]->breaker_open_until_ns.load(std::memory_order_acquire);
+  return until != 0 && steady_now_ns() < until;
+}
+
+std::uint64_t Router::plans() const {
+  std::lock_guard lock(plans_mutex_);
+  return plans_.size();
+}
+
+Status Router::start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status(StatusCode::kInvalidArgument, "router already running");
+  }
+  if (backends_.empty()) {
+    return Status(StatusCode::kInvalidArgument, "router needs at least one backend");
+  }
+  StatusOr<TcpListener> bound = TcpListener::bind(config_.host, config_.port);
+  if (!bound.ok()) return bound.status();
+  listener_ = std::move(bound).value();
+  port_ = listener_.port();
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  health_thread_ = std::thread([this] { health_loop(); });
+  return Status::ok();
+}
+
+void Router::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (health_thread_.joinable()) health_thread_.join();
+  listener_.close();
+  std::lock_guard lock(conn_mutex_);
+  for (ConnSlot& slot : connections_) {
+    if (slot.thread.joinable()) slot.thread.join();
+  }
+  connections_.clear();
+}
+
+void Router::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    StatusOr<TcpStream> conn = listener_.accept(config_.poll_interval);
+    {
+      std::lock_guard lock(conn_mutex_);
+      reap_finished_locked();
+    }
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;  // poll slice
+      break;  // listener is gone; stop() owns cleanup
+    }
+    TcpStream stream = std::move(conn).value();
+    (void)stream.set_io_timeout(config_.io_timeout, config_.io_timeout);
+
+    if (active_connections_.load(std::memory_order_acquire) >= config_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      (void)write_frame(stream, make_error_frame(
+                                    0, Status(StatusCode::kResourceExhausted,
+                                              "router at connection capacity; retry later")));
+      continue;
+    }
+
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard lock(conn_mutex_);
+    connections_.push_back(ConnSlot{
+        std::thread([this, s = std::move(stream), done]() mutable {
+          serve_connection(std::move(s));
+          active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+          done->store(true, std::memory_order_release);
+        }),
+        done});
+  }
+}
+
+void Router::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->done->load(std::memory_order_acquire)) {
+      if (it->thread.joinable()) it->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Router::serve_connection(TcpStream stream) {
+  // One pooled request buffer per client connection, plus one cached
+  // link (connection + pooled response buffer) per backend, reused
+  // across requests: a steady proxied stream touches neither the
+  // allocator nor the pool's free lists, and the payload is never
+  // copied inside the router.
+  util::BufferPool& pool = util::BufferPool::global();
+  util::PooledBuffer payload_storage;
+  std::vector<BackendLink> links(backends_.size());
+  while (!stop_.load(std::memory_order_acquire)) {
+    StatusOr<bool> readable = stream.poll_readable(config_.poll_interval);
+    if (!readable.ok()) return;
+    if (!readable.value()) continue;
+
+    StatusOr<FrameView> request =
+        read_frame_view(stream, pool, payload_storage, config_.max_payload_bytes);
+    if (!request.ok()) {
+      const StatusCode code = request.status().code();
+      if (code == StatusCode::kInvalidArgument) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        (void)write_frame(stream, make_error_frame(0, request.status()));
+      } else if (code == StatusCode::kResourceExhausted) {
+        (void)write_frame(stream, make_error_frame(0, request.status()));
+      }
+      return;  // transport errors (EOF/reset/timeout) close quietly
+    }
+
+    bool wrote_error = false;
+    const Status written = respond(stream, links, request.value(), wrote_error);
+    if (!written.is_ok()) return;
+  }
+}
+
+Status Router::respond(TcpStream& client, std::vector<BackendLink>& links,
+                       const FrameView& request, bool& wrote_error) {
+  try {
+    switch (static_cast<MsgKind>(request.kind)) {
+      case MsgKind::kPing: {
+        // Answered locally: PING through the router probes the router.
+        const ConstBuffer parts[] = {{request.payload.data(), request.payload.size()}};
+        return write_frame_parts(client, static_cast<std::uint16_t>(MsgKind::kPingOk),
+                                 request.request_id, parts);
+      }
+      case MsgKind::kStats: {
+        // The router's own snapshot, not any single backend's.
+        ByteWriter w;
+        w.put_string(snapshot().to_json());
+        return write_frame(client,
+                           make_ok_frame(request.request_id, MsgKind::kStatsOk, w.take()));
+      }
+      case MsgKind::kSubmitPlan:
+        return handle_submit_plan(client, links, request, wrote_error);
+      case MsgKind::kPermute:
+      case MsgKind::kExecuteProgram:
+        return route_request(client, links, request, wrote_error);
+      default:
+        wrote_error = true;
+        return write_frame(client,
+                           make_error_frame(request.request_id,
+                                            Status(StatusCode::kInvalidArgument,
+                                                   "unknown request kind")));
+    }
+  } catch (const std::bad_alloc&) {
+    wrote_error = true;
+    return write_frame(client, make_error_frame(request.request_id,
+                                                Status(StatusCode::kResourceExhausted,
+                                                       "allocation failed")));
+  } catch (const std::exception& e) {
+    wrote_error = true;
+    return write_frame(client, make_error_frame(request.request_id,
+                                                Status(StatusCode::kUnavailable, e.what())));
+  }
+}
+
+Router::RouteKey Router::route_key(const FrameView& request) {
+  RouteKey rk;
+  const std::span<const std::uint8_t> p = request.payload;
+  const auto read_u32 = [&p](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[off + i]) << (8 * i);
+    return v;
+  };
+  const auto read_u64 = [&p](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[off + i]) << (8 * i);
+    return v;
+  };
+  const auto kind = static_cast<MsgKind>(request.kind);
+  if (kind == MsgKind::kPermute && p.size() >= 8) {
+    // PERMUTE: [u64 plan_id | ...] — the plan id is the fingerprint.
+    rk.key = read_u64(0);
+    rk.referenced.push_back(rk.key);
+    return rk;
+  }
+  if (kind == MsgKind::kExecuteProgram && p.size() >= 16) {
+    // EXECUTE_PROGRAM: [u32 deadline | u32 elem | u32 flags |
+    // u32 op_count | op_count x {u32 opcode, u32 reserved, u64 arg} |
+    // ...]. Route on the first registered-plan operand so a chain and
+    // the PERMUTEs it replaces land on the same shard; a chain that
+    // references several plans colocates with its *first* one and lazy
+    // resync covers the rest.
+    const std::uint32_t op_count = read_u32(12);
+    if (op_count >= 1 && op_count <= runtime::kMaxProgramOps &&
+        p.size() >= 16 + 16ull * op_count) {
+      for (std::uint32_t i = 0; i < op_count; ++i) {
+        const std::size_t off = 16 + 16ull * i;
+        const std::uint32_t opcode = read_u32(off);
+        if (opcode == static_cast<std::uint32_t>(runtime::ProgramOpCode::kPermute) ||
+            opcode == static_cast<std::uint32_t>(runtime::ProgramOpCode::kInverse)) {
+          rk.referenced.push_back(read_u64(off + 8));
+        }
+      }
+      if (!rk.referenced.empty()) {
+        rk.key = rk.referenced.front();
+        return rk;
+      }
+      // Generator-only chain: stateless, so spread it by op content.
+      rk.key = hash_bytes(p.data() + 16, 16ull * op_count);
+      return rk;
+    }
+  }
+  // Malformed payload: still route deterministically (content hash) and
+  // let the backend own the typed rejection.
+  rk.key = hash_bytes(p.data(), std::min<std::size_t>(p.size(), 256));
+  return rk;
+}
+
+bool Router::routable(Backend& b, bool& half_open_trial) {
+  half_open_trial = false;
+  if (b.ejected.load(std::memory_order_acquire)) return false;
+  const std::int64_t until = b.breaker_open_until_ns.load(std::memory_order_acquire);
+  if (until == 0) return true;
+  if (steady_now_ns() < until) return false;  // open: shed in O(1)
+  // Cooldown elapsed: exactly one caller wins the half-open trial slot;
+  // everyone else keeps shedding until the trial reports back.
+  bool expected = false;
+  if (b.trial_in_flight.compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+    half_open_trial = true;
+    return true;
+  }
+  return false;
+}
+
+void Router::record_backend_success(Backend& b) {
+  b.consecutive_failures.store(0, std::memory_order_relaxed);
+  b.breaker_open_until_ns.store(0, std::memory_order_release);
+  b.trial_in_flight.store(false, std::memory_order_release);
+}
+
+void Router::record_backend_transport_failure(Backend& b, bool half_open_trial) {
+  b.transport_failures.fetch_add(1, std::memory_order_relaxed);
+  const auto cooldown_ns = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(config_.breaker_cooldown).count());
+  const std::uint32_t fails = b.consecutive_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (half_open_trial) {
+    // Failed trial: restart the cooldown before releasing the slot.
+    b.breaker_open_until_ns.store(steady_now_ns() + cooldown_ns, std::memory_order_release);
+    b.trial_in_flight.store(false, std::memory_order_release);
+    b.breaker_opens.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (fails >= config_.breaker_threshold) {
+    std::int64_t expected = 0;
+    if (b.breaker_open_until_ns.compare_exchange_strong(
+            expected, steady_now_ns() + cooldown_ns, std::memory_order_acq_rel)) {
+      b.breaker_opens.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+StatusOr<FrameView> Router::forward_once(std::size_t idx, BackendLink& link,
+                                         std::uint16_t kind, std::uint64_t request_id,
+                                         std::span<const std::uint8_t> payload,
+                                         std::chrono::milliseconds connect_budget,
+                                         std::chrono::milliseconds io_budget) {
+  Backend& b = *backends_[idx];
+  util::BufferPool& pool = util::BufferPool::global();
+  bool fresh = false;
+  // Up to one transparent reconnect-and-resend: a cached link the
+  // backend quietly closed between requests (idle timeout, restart)
+  // shows up as a send failure or an immediate EOF. Requests are pure
+  // (PERMUTE/PROGRAM compute a function of the payload; SUBMIT_PLAN is
+  // idempotent), so a single resend is safe.
+  for (int round = 0; round < 2; ++round) {
+    if (!link.stream.valid()) {
+      StatusOr<TcpStream> conn = tcp_connect(b.addr.host, b.addr.port, connect_budget);
+      if (!conn.ok()) return conn.status();
+      link.stream = std::move(conn).value();
+      (void)link.stream.set_io_timeout(io_budget, io_budget);
+      fresh = true;
+    }
+    const ConstBuffer parts[] = {{payload.data(), payload.size()}};
+    if (Status written = write_frame_parts(link.stream, kind, request_id, parts);
+        !written.is_ok()) {
+      link.stream.close();
+      if (fresh) return written;
+      continue;
+    }
+    StatusOr<FrameView> response =
+        read_frame_view(link.stream, pool, link.storage, config_.max_payload_bytes);
+    if (!response.ok()) {
+      link.stream.close();
+      // Only the peer-gone taxonomy is retriable here; a timeout means
+      // the backend may still be working the request — resending would
+      // double the load exactly when it is struggling.
+      if (fresh || response.status().code() != StatusCode::kUnavailable) {
+        return response.status();
+      }
+      continue;
+    }
+    const FrameView& frame = response.value();
+    if (frame.request_id == 0 && static_cast<MsgKind>(frame.kind) == MsgKind::kError) {
+      // Pre-frame ERROR: the backend's connection cap answered the
+      // *connection*, not our frame (and will close it). Surface the
+      // typed frame; the caller maps it like any other ERROR answer.
+      link.stream.close();
+      return response;
+    }
+    if (frame.request_id != request_id ||
+        (static_cast<MsgKind>(frame.kind) != MsgKind::kError &&
+         frame.kind != static_cast<std::uint16_t>(kind | 0x80u))) {
+      link.stream.close();
+      return Status(StatusCode::kUnavailable, "backend response does not answer the request");
+    }
+    return response;
+  }
+  return Status(StatusCode::kUnavailable, "backend connection could not be re-established");
+}
+
+Status Router::push_plans(std::size_t idx, BackendLink& link,
+                          std::span<const std::uint64_t> fingerprints) {
+  Backend& b = *backends_[idx];
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const std::vector<std::uint8_t>>>>
+      to_sync;
+  {
+    std::lock_guard lock(plans_mutex_);
+    if (fingerprints.empty()) {
+      to_sync.reserve(plans_.size());
+      for (const auto& [fp, payload] : plans_) to_sync.emplace_back(fp, payload);
+    } else {
+      for (const std::uint64_t fp : fingerprints) {
+        const auto it = plans_.find(fp);
+        if (it == plans_.end()) {
+          return Status(StatusCode::kInvalidArgument,
+                        "plan is not in the router registry");
+        }
+        to_sync.emplace_back(fp, it->second);
+      }
+    }
+  }
+  for (const auto& [fp, payload] : to_sync) {
+    (void)fp;
+    StatusOr<FrameView> response = forward_once(
+        idx, link, static_cast<std::uint16_t>(MsgKind::kSubmitPlan),
+        next_router_request_id(), {payload->data(), payload->size()},
+        config_.connect_timeout, config_.io_timeout);
+    if (!response.ok()) return response.status();
+    const FrameView& frame = response.value();
+    if (static_cast<MsgKind>(frame.kind) != MsgKind::kPlanOk) {
+      const Status typed = decode_error_view(frame.payload);
+      return typed.is_ok()
+                 ? Status(StatusCode::kUnavailable, "unexpected resync response kind")
+                 : typed;
+    }
+    b.plans_synced.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::ok();
+}
+
+Status Router::route_request(TcpStream& client, std::vector<BackendLink>& links,
+                             const FrameView& request, bool& wrote_error) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  const RouteKey rk = route_key(request);
+  const std::vector<std::size_t> prefs = preference(rk.key);
+  const std::size_t primary = prefs.empty() ? 0 : prefs[0];
+
+  const auto relay = [&](const FrameView& frame, std::size_t idx) -> Status {
+    if (idx != primary) {
+      failovers_total_.fetch_add(1, std::memory_order_relaxed);
+      backends_[idx]->failovers_to.fetch_add(1, std::memory_order_relaxed);
+    }
+    const ConstBuffer parts[] = {{frame.payload.data(), frame.payload.size()}};
+    return write_frame_parts(client, frame.kind, request.request_id, parts);
+  };
+
+  Status last(StatusCode::kUnavailable, "no routable backend");
+  bool attempted_any = false;
+  int hop = 0;
+  for (const std::size_t idx : prefs) {
+    Backend& b = *backends_[idx];
+    bool trial = false;
+    if (!routable(b, trial)) {
+      if (!b.ejected.load(std::memory_order_relaxed)) {
+        breaker_short_circuits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    if (attempted_any) {
+      ++hop;
+      const std::chrono::microseconds pause = failover_pause(config_, hop, request.request_id);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    }
+    attempted_any = true;
+
+    bool next_backend = false;
+    for (int pass = 0; pass < 2 && !next_backend; ++pass) {
+      b.requests.fetch_add(1, std::memory_order_relaxed);
+      util::Stopwatch clock;
+      StatusOr<FrameView> response =
+          forward_once(idx, links[idx], request.kind, request.request_id, request.payload,
+                       config_.connect_timeout, config_.io_timeout);
+      if (!response.ok()) {
+        record_backend_transport_failure(b, trial);
+        last = response.status();
+        next_backend = true;
+        break;
+      }
+      b.forward_ns.record(static_cast<std::uint64_t>(clock.nanos()));
+      record_backend_success(b);
+      trial = false;  // the trial reported back; later outcomes are ordinary
+      const FrameView& frame = response.value();
+      if (static_cast<MsgKind>(frame.kind) != MsgKind::kError) {
+        b.ok.fetch_add(1, std::memory_order_relaxed);
+        return relay(frame, idx);
+      }
+      const Status typed = decode_error_view(frame.payload);
+      if (typed.code() == StatusCode::kResourceExhausted) {
+        // RETRY_LATER is failover-eligible: the backend is alive but
+        // full, and the replica may have headroom right now.
+        b.retry_later.fetch_add(1, std::memory_order_relaxed);
+        retry_later_failovers_.fetch_add(1, std::memory_order_relaxed);
+        last = typed;
+        next_backend = true;
+        break;
+      }
+      if (typed.code() == StatusCode::kInvalidArgument && pass == 0 &&
+          !rk.referenced.empty() &&
+          push_plans(idx, links[idx], rk.referenced).is_ok()) {
+        // "Unknown plan" from a backend that restarted since the health
+        // checker's last resync: replay the referenced plans on this
+        // very connection and retry once. (A genuinely malformed
+        // request re-earns the same typed error on the retry.)
+        plan_resyncs_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      // Any other typed error is an answer; relay it verbatim.
+      b.typed_errors.fetch_add(1, std::memory_order_relaxed);
+      wrote_error = true;
+      return relay(frame, idx);
+    }
+  }
+
+  if (!attempted_any) no_backend_available_.fetch_add(1, std::memory_order_relaxed);
+  wrote_error = true;
+  return write_frame(client, make_error_frame(request.request_id, last));
+}
+
+Status Router::handle_submit_plan(TcpStream& client, std::vector<BackendLink>& links,
+                                  const FrameView& request, bool& wrote_error) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
+  StatusOr<SubmitPlanRequestView> req =
+      SubmitPlanRequestView::decode(request.payload, max_elements);
+  if (!req.ok()) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    wrote_error = true;
+    return write_frame(client, make_error_frame(request.request_id, req.status()));
+  }
+  const WordsView& mapping = req.value().mapping;
+
+  // Validate + fingerprint before touching any backend: a mapping the
+  // fleet would reject must not be replicated or remembered.
+  std::span<const std::uint32_t> words = mapping.in_place();
+  std::vector<std::uint32_t> words_copy;
+  if (words.empty() && mapping.count > 0) {
+    words_copy.resize(mapping.count);
+    mapping.copy_to(words_copy);
+    words = words_copy;
+  }
+  if (!perm::Permutation::is_valid(words)) {
+    wrote_error = true;
+    return write_frame(
+        client, make_error_frame(request.request_id,
+                                 Status(StatusCode::kInvalidArgument,
+                                        "SUBMIT_PLAN: mapping is not a bijection")));
+  }
+  const std::uint64_t fingerprint = runtime::fingerprint_mapping(words).value;
+
+  {
+    std::lock_guard lock(plans_mutex_);
+    const auto it = plans_.find(fingerprint);
+    if (it == plans_.end()) {
+      if (plans_.size() >= config_.max_plans) {
+        wrote_error = true;
+        return write_frame(
+            client, make_error_frame(request.request_id,
+                                     Status(StatusCode::kResourceExhausted,
+                                            "router plan registry full; retry later")));
+      }
+      plans_.emplace(fingerprint, std::make_shared<const std::vector<std::uint8_t>>(
+                                      request.payload.begin(), request.payload.end()));
+      plans_registered_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Replicate to the first `replication` routable backends of the
+  // fingerprint's preference list. One ack answers the client — the
+  // health checker's resync heals any replica that missed its copy.
+  const std::vector<std::size_t> prefs = preference(fingerprint);
+  const auto want = std::max<std::uint32_t>(
+      1, std::min<std::uint32_t>(config_.replication,
+                                 static_cast<std::uint32_t>(backends_.size())));
+  std::uint32_t acked = 0;
+  Status last(StatusCode::kUnavailable, "no routable backend");
+  for (const std::size_t idx : prefs) {
+    if (acked >= want) break;
+    Backend& b = *backends_[idx];
+    bool trial = false;
+    if (!routable(b, trial)) continue;
+    b.requests.fetch_add(1, std::memory_order_relaxed);
+    util::Stopwatch clock;
+    StatusOr<FrameView> response =
+        forward_once(idx, links[idx], request.kind, request.request_id, request.payload,
+                     config_.connect_timeout, config_.io_timeout);
+    if (!response.ok()) {
+      record_backend_transport_failure(b, trial);
+      last = response.status();
+      continue;
+    }
+    b.forward_ns.record(static_cast<std::uint64_t>(clock.nanos()));
+    record_backend_success(b);
+    const FrameView& frame = response.value();
+    if (static_cast<MsgKind>(frame.kind) == MsgKind::kPlanOk) {
+      b.ok.fetch_add(1, std::memory_order_relaxed);
+      ++acked;
+      continue;
+    }
+    const Status typed = decode_error_view(frame.payload);
+    (typed.code() == StatusCode::kResourceExhausted ? b.retry_later : b.typed_errors)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (!typed.is_ok()) last = typed;
+  }
+
+  if (acked == 0) {
+    wrote_error = true;
+    return write_frame(client, make_error_frame(request.request_id, last));
+  }
+  // The PLAN_OK payload is the fingerprint we computed — identical to
+  // what every backend answered.
+  ByteWriter w;
+  w.put_u64(fingerprint);
+  return write_frame(client, make_ok_frame(request.request_id, MsgKind::kPlanOk, w.take()));
+}
+
+void Router::health_loop() {
+  std::vector<BackendLink> links(backends_.size());
+
+  const auto probe = [this](std::size_t idx, BackendLink& link) -> Status {
+    StatusOr<FrameView> response = forward_once(
+        idx, link, static_cast<std::uint16_t>(MsgKind::kPing), next_router_request_id(),
+        {kProbePayload, sizeof(kProbePayload)}, config_.probe_timeout, config_.probe_timeout);
+    if (!response.ok()) return response.status();
+    const FrameView& frame = response.value();
+    if (static_cast<MsgKind>(frame.kind) == MsgKind::kError) {
+      const Status typed = decode_error_view(frame.payload);
+      if (typed.code() == StatusCode::kResourceExhausted) {
+        // At connection capacity — busy, but alive. Ejecting it would
+        // only dogpile the survivors.
+        return Status::ok();
+      }
+      return typed.is_ok() ? Status(StatusCode::kUnavailable, "probe answered with ERROR")
+                           : typed;
+    }
+    if (frame.payload.size() != sizeof(kProbePayload) ||
+        std::memcmp(frame.payload.data(), kProbePayload, sizeof(kProbePayload)) != 0) {
+      return Status(StatusCode::kUnavailable, "probe echo mismatch");
+    }
+    return Status::ok();
+  };
+
+  auto next_probe = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_probe) {
+      // Sleep in poll slices so stop() stays prompt.
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(next_probe - now);
+      std::this_thread::sleep_for(std::min(config_.poll_interval, remaining));
+      continue;
+    }
+    next_probe = now + config_.probe_interval;
+    for (std::size_t idx = 0; idx < backends_.size(); ++idx) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      Backend& b = *backends_[idx];
+      const Status outcome = probe(idx, links[idx]);
+      if (outcome.is_ok()) {
+        b.probe_failures.store(0, std::memory_order_relaxed);
+        if (b.ejected.load(std::memory_order_acquire)) {
+          // Recovery = successful probe + a full registry replay, in
+          // that order: a restarted backend rejoins the ring already
+          // holding every plan it may be asked to serve.
+          if (push_plans(idx, links[idx], {}).is_ok()) {
+            b.consecutive_failures.store(0, std::memory_order_relaxed);
+            b.breaker_open_until_ns.store(0, std::memory_order_release);
+            b.trial_in_flight.store(false, std::memory_order_release);
+            b.ejected.store(false, std::memory_order_release);
+            b.recoveries.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            links[idx].stream.close();
+          }
+        }
+      } else {
+        links[idx].stream.close();
+        const std::uint32_t fails =
+            b.probe_failures.fetch_add(1, std::memory_order_acq_rel) + 1;
+        if (fails >= config_.eject_after &&
+            !b.ejected.exchange(true, std::memory_order_acq_rel)) {
+          b.ejections.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+Router::Snapshot Router::snapshot() const {
+  Snapshot s;
+  s.requests_total = requests_total_.load(std::memory_order_relaxed);
+  s.failovers_total = failovers_total_.load(std::memory_order_relaxed);
+  s.retry_later_failovers = retry_later_failovers_.load(std::memory_order_relaxed);
+  s.breaker_short_circuits = breaker_short_circuits_.load(std::memory_order_relaxed);
+  s.no_backend_available = no_backend_available_.load(std::memory_order_relaxed);
+  s.plan_resyncs = plan_resyncs_.load(std::memory_order_relaxed);
+  s.plans_registered = plans_registered_.load(std::memory_order_relaxed);
+  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.backends.reserve(backends_.size());
+  const std::int64_t now_ns = steady_now_ns();
+  for (const auto& bp : backends_) {
+    const Backend& b = *bp;
+    BackendStats bs;
+    bs.backend = b.label;
+    bs.healthy = !b.ejected.load(std::memory_order_acquire);
+    const std::int64_t until = b.breaker_open_until_ns.load(std::memory_order_acquire);
+    bs.breaker_open = until != 0 && now_ns < until;
+    bs.requests = b.requests.load(std::memory_order_relaxed);
+    bs.ok = b.ok.load(std::memory_order_relaxed);
+    bs.typed_errors = b.typed_errors.load(std::memory_order_relaxed);
+    bs.retry_later = b.retry_later.load(std::memory_order_relaxed);
+    bs.transport_failures = b.transport_failures.load(std::memory_order_relaxed);
+    bs.failovers_to = b.failovers_to.load(std::memory_order_relaxed);
+    bs.ejections = b.ejections.load(std::memory_order_relaxed);
+    bs.recoveries = b.recoveries.load(std::memory_order_relaxed);
+    bs.breaker_opens = b.breaker_opens.load(std::memory_order_relaxed);
+    bs.plans_synced = b.plans_synced.load(std::memory_order_relaxed);
+    bs.forward_count = b.forward_ns.count();
+    bs.forward_ns_sum = b.forward_ns.sum();
+    bs.forward_ns_p50 = b.forward_ns.quantile(0.5);
+    bs.forward_ns_p99 = b.forward_ns.quantile(0.99);
+    bs.forward_ns_max = b.forward_ns.max();
+    s.backends.push_back(std::move(bs));
+  }
+  return s;
+}
+
+std::string Router::Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"router\":{";
+  os << "\"requests_total\":" << requests_total;
+  os << ",\"failovers_total\":" << failovers_total;
+  os << ",\"retry_later_failovers\":" << retry_later_failovers;
+  os << ",\"breaker_short_circuits\":" << breaker_short_circuits;
+  os << ",\"no_backend_available\":" << no_backend_available;
+  os << ",\"plan_resyncs\":" << plan_resyncs;
+  os << ",\"plans_registered\":" << plans_registered;
+  os << ",\"connections_accepted\":" << connections_accepted;
+  os << ",\"connections_rejected\":" << connections_rejected;
+  os << ",\"protocol_errors\":" << protocol_errors;
+  os << ",\"backends\":[";
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    const BackendStats& b = backends[i];
+    if (i > 0) os << ",";
+    os << "{\"backend\":\"" << b.backend << "\"";
+    os << ",\"healthy\":" << (b.healthy ? "true" : "false");
+    os << ",\"breaker_open\":" << (b.breaker_open ? "true" : "false");
+    os << ",\"requests\":" << b.requests;
+    os << ",\"ok\":" << b.ok;
+    os << ",\"typed_errors\":" << b.typed_errors;
+    os << ",\"retry_later\":" << b.retry_later;
+    os << ",\"transport_failures\":" << b.transport_failures;
+    os << ",\"failovers_to\":" << b.failovers_to;
+    os << ",\"ejections\":" << b.ejections;
+    os << ",\"recoveries\":" << b.recoveries;
+    os << ",\"breaker_opens\":" << b.breaker_opens;
+    os << ",\"plans_synced\":" << b.plans_synced;
+    os << ",\"forward_count\":" << b.forward_count;
+    os << ",\"forward_ns_sum\":" << b.forward_ns_sum;
+    os << ",\"forward_ns_p50\":" << b.forward_ns_p50;
+    os << ",\"forward_ns_p99\":" << b.forward_ns_p99;
+    os << ",\"forward_ns_max\":" << b.forward_ns_max;
+    os << "}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+std::string Router::Snapshot::to_prometheus() const {
+  std::ostringstream os;
+  const auto counter = [&os](std::string_view name, std::string_view help,
+                             std::uint64_t value) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " counter\n"
+       << name << " " << value << "\n";
+  };
+  counter("hmm_router_requests_total", "Client requests routed to backends.", requests_total);
+  counter("hmm_router_failovers_total", "Requests served off their key's primary backend.",
+          failovers_total);
+  counter("hmm_router_retry_later_failovers_total",
+          "RETRY_LATER answers treated as failover-eligible.", retry_later_failovers);
+  counter("hmm_router_breaker_short_circuits_total",
+          "Attempts skipped because a breaker was open.", breaker_short_circuits);
+  counter("hmm_router_no_backend_available_total",
+          "Requests with zero routable backends.", no_backend_available);
+  counter("hmm_router_plan_resyncs_total", "Lazy per-request plan resyncs.", plan_resyncs);
+  counter("hmm_router_plans_registered_total", "Distinct plans remembered for replication.",
+          plans_registered);
+  counter("hmm_router_connections_accepted_total", "Client connections accepted.",
+          connections_accepted);
+  counter("hmm_router_connections_rejected_total",
+          "Client connections refused at the connection cap.", connections_rejected);
+  counter("hmm_router_protocol_errors_total", "Malformed client frames.", protocol_errors);
+
+  const auto per_backend = [&os, this](std::string_view name, std::string_view help,
+                                       auto field) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " counter\n";
+    for (const BackendStats& b : backends) {
+      os << name << "{backend=\"" << b.backend << "\"} " << field(b) << "\n";
+    }
+  };
+  per_backend("hmm_router_backend_requests_total", "Forward attempts per backend.",
+              [](const BackendStats& b) { return b.requests; });
+  per_backend("hmm_router_backend_ok_total", "Success responses relayed per backend.",
+              [](const BackendStats& b) { return b.ok; });
+  per_backend("hmm_router_backend_typed_errors_total",
+              "Non-RETRY_LATER typed errors relayed per backend.",
+              [](const BackendStats& b) { return b.typed_errors; });
+  per_backend("hmm_router_backend_retry_later_total", "RETRY_LATER answers per backend.",
+              [](const BackendStats& b) { return b.retry_later; });
+  per_backend("hmm_router_backend_transport_failures_total",
+              "Transport-level forward failures per backend.",
+              [](const BackendStats& b) { return b.transport_failures; });
+  per_backend("hmm_router_backend_failovers_to_total",
+              "Requests this backend absorbed off-primary.",
+              [](const BackendStats& b) { return b.failovers_to; });
+  per_backend("hmm_router_backend_ejections_total", "Health-check ejections.",
+              [](const BackendStats& b) { return b.ejections; });
+  per_backend("hmm_router_backend_recoveries_total",
+              "Rejoins after a successful probe + plan resync.",
+              [](const BackendStats& b) { return b.recoveries; });
+  per_backend("hmm_router_backend_breaker_opens_total", "Circuit-breaker opens.",
+              [](const BackendStats& b) { return b.breaker_opens; });
+  per_backend("hmm_router_backend_plans_synced_total", "SUBMIT_PLANs replayed by resync.",
+              [](const BackendStats& b) { return b.plans_synced; });
+
+  os << "# HELP hmm_router_backend_healthy 1 while the backend is in the ring.\n"
+     << "# TYPE hmm_router_backend_healthy gauge\n";
+  for (const BackendStats& b : backends) {
+    os << "hmm_router_backend_healthy{backend=\"" << b.backend << "\"} "
+       << (b.healthy ? 1 : 0) << "\n";
+  }
+  os << "# HELP hmm_router_backend_breaker_open 1 while the circuit breaker sheds load.\n"
+     << "# TYPE hmm_router_backend_breaker_open gauge\n";
+  for (const BackendStats& b : backends) {
+    os << "hmm_router_backend_breaker_open{backend=\"" << b.backend << "\"} "
+       << (b.breaker_open ? 1 : 0) << "\n";
+  }
+
+  // Forward latency as a summary per backend, quantiles from the log2
+  // histogram (factor-of-two resolution); _sum/_count are exact.
+  os << "# HELP hmm_router_backend_forward_latency_seconds Round-trip time to the backend.\n"
+     << "# TYPE hmm_router_backend_forward_latency_seconds summary\n";
+  const auto seconds = [](std::uint64_t ns) {
+    return util::format_double(static_cast<double>(ns) / 1e9, 9);
+  };
+  for (const BackendStats& b : backends) {
+    os << "hmm_router_backend_forward_latency_seconds{backend=\"" << b.backend
+       << "\",quantile=\"0.5\"} " << seconds(b.forward_ns_p50) << "\n";
+    os << "hmm_router_backend_forward_latency_seconds{backend=\"" << b.backend
+       << "\",quantile=\"0.99\"} " << seconds(b.forward_ns_p99) << "\n";
+    os << "hmm_router_backend_forward_latency_seconds_sum{backend=\"" << b.backend << "\"} "
+       << seconds(b.forward_ns_sum) << "\n";
+    os << "hmm_router_backend_forward_latency_seconds_count{backend=\"" << b.backend
+       << "\"} " << b.forward_count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hmm::net

@@ -1,0 +1,306 @@
+#pragma once
+/// \file router.hpp
+/// \brief `net::Router` — the permd fleet front door: a consistent-hash
+///        proxy that shards the plan space across N backend permd
+///        instances and keeps serving through backend failures.
+///
+/// Design:
+///
+///  - **Route by plan fingerprint.** The wire plan id *is* the mapping
+///    fingerprint (see runtime/fingerprint.hpp), so every request kind
+///    carries its own routing key: SUBMIT_PLAN hashes the mapping it
+///    carries, PERMUTE routes on its `plan_id` field, EXECUTE_PROGRAM
+///    on the first registered-plan operand of its op chain (generator-
+///    only chains hash the op list — stateless, any backend serves
+///    them). Keys land on a ring of `virtual_nodes` points per backend;
+///    the walk order from a key's ring position is its **preference
+///    list** — the same list drives replication and failover, so the
+///    replica that holds a plan is exactly the backend a failed request
+///    falls over to.
+///  - **Replication makes failover a hit.** SUBMIT_PLAN is forwarded to
+///    the first `replication` routable backends of its preference list
+///    and remembered in the router's own registry (payload bytes keyed
+///    by fingerprint). A restarted backend comes back empty; the health
+///    checker replays the registry into it *before* marking it healthy,
+///    and the request path lazily re-submits referenced plans when a
+///    backend answers "unknown plan" for a plan the router holds.
+///  - **Active health checking.** A dedicated thread PINGs every
+///    backend each `probe_interval` under `probe_timeout`;
+///    `eject_after` consecutive probe failures eject the backend from
+///    routing. Ejected backends keep being probed — the probe *is* the
+///    half-open trial — and rejoin only after a successful probe plus a
+///    full plan resync.
+///  - **Per-backend circuit breakers.** `breaker_threshold` consecutive
+///    request-path transport failures open the breaker; while open the
+///    backend is skipped with two atomic loads (a dead shard sheds load
+///    in O(1), no connect timeout burned per request). After
+///    `breaker_cooldown` the breaker goes half-open and admits a single
+///    trial request; success closes it, failure re-opens the cooldown.
+///  - **Failover, typed.** Transport failures and RETRY_LATER answers
+///    are failover-eligible: the request is re-sent to the next backend
+///    of its preference list after a capped, deterministically jittered
+///    backoff. Any other typed ERROR is an *answer* and is relayed
+///    as-is. When every replica is exhausted the client gets the last
+///    typed error (or UNAVAILABLE "no routable backend").
+///  - **Zero payload copies.** Requests are read into pooled storage
+///    (`read_frame_view`) and proxied with scatter-gather writes
+///    (`write_frame_parts`); responses relay straight out of the
+///    per-backend pooled read buffer. The router never concatenates or
+///    re-encodes a payload it did not originate.
+///
+/// PING and STATS are answered locally: PING probes the router itself,
+/// STATS returns the router's own snapshot (per-backend health,
+/// breaker state, failovers, forward-latency histograms) as JSON.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame_io.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "runtime/metrics.hpp"
+#include "runtime/status.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace hmm::net {
+
+/// One backend permd instance, by address.
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string label() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+class Router {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+    std::vector<BackendAddress> backends;
+    std::uint32_t max_payload_bytes = kDefaultMaxPayload;
+    /// Client-side connection cap; excess connections get RETRY_LATER.
+    std::uint32_t max_connections = 256;
+    /// Bound on remembered SUBMIT_PLAN payloads (fingerprint-deduped).
+    std::uint32_t max_plans = 4096;
+    /// How many backends of a plan's preference list receive its
+    /// SUBMIT_PLAN (clamped to the backend count). 2 = primary + one
+    /// replica, so single-backend loss never loses a plan.
+    std::uint32_t replication = 2;
+    /// Ring points per backend; more points = smoother key spread.
+    std::uint32_t virtual_nodes = 64;
+    /// Active health check cadence and per-probe budget.
+    std::chrono::milliseconds probe_interval{250};
+    std::chrono::milliseconds probe_timeout{1'000};
+    /// Consecutive failed probes before a backend is ejected.
+    std::uint32_t eject_after = 2;
+    /// Consecutive request-path transport failures that open the
+    /// breaker, and how long it stays open before the half-open trial.
+    std::uint32_t breaker_threshold = 5;
+    std::chrono::milliseconds breaker_cooldown{1'000};
+    /// Pause before failover hop k (1-based): base << (k-1), capped,
+    /// plus deterministic jitter of up to the same amount.
+    std::chrono::milliseconds failover_backoff_base{2};
+    std::chrono::milliseconds failover_backoff_cap{50};
+    std::uint64_t failover_jitter_seed = 0xf417'0e5e'edf4'170eull;
+    /// Transport budgets for backend links.
+    std::chrono::milliseconds connect_timeout{1'000};
+    std::chrono::milliseconds io_timeout{30'000};
+    /// Stop-flag poll slice for accept/connection/health loops.
+    std::chrono::milliseconds poll_interval{50};
+  };
+
+  /// Point-in-time per-backend view (plain integers, safe to format).
+  struct BackendStats {
+    std::string backend;  ///< "host:port"
+    bool healthy = true;  ///< not ejected by the health checker
+    bool breaker_open = false;
+    std::uint64_t requests = 0;  ///< forward attempts (incl. failures)
+    std::uint64_t ok = 0;        ///< success responses relayed
+    std::uint64_t typed_errors = 0;
+    std::uint64_t retry_later = 0;  ///< RETRY_LATER answers (failover-eligible)
+    std::uint64_t transport_failures = 0;
+    std::uint64_t failovers_to = 0;  ///< requests served here off-primary
+    std::uint64_t ejections = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t plans_synced = 0;  ///< SUBMIT_PLANs replayed by resync
+    std::uint64_t forward_count = 0;
+    std::uint64_t forward_ns_sum = 0;
+    std::uint64_t forward_ns_p50 = 0;
+    std::uint64_t forward_ns_p99 = 0;
+    std::uint64_t forward_ns_max = 0;
+  };
+
+  struct Snapshot {
+    std::vector<BackendStats> backends;
+    std::uint64_t requests_total = 0;       ///< routed client requests
+    std::uint64_t failovers_total = 0;      ///< served off the key's primary
+    std::uint64_t retry_later_failovers = 0;
+    std::uint64_t breaker_short_circuits = 0;
+    std::uint64_t no_backend_available = 0;
+    std::uint64_t plan_resyncs = 0;         ///< lazy per-request resyncs
+    std::uint64_t plans_registered = 0;
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;
+    std::uint64_t protocol_errors = 0;
+
+    [[nodiscard]] std::string to_json() const;
+    /// Prometheus text exposition (0.0.4), `hmm_router_*` families with
+    /// a `backend="host:port"` label on the per-backend series.
+    [[nodiscard]] std::string to_prometheus() const;
+  };
+
+  explicit Router(Config config);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Bind + listen + start the accept and health-check loops. Error if
+  /// already running, no backends are configured, or the bind fails.
+  runtime::Status start();
+
+  /// Graceful shutdown: stop accepting, let in-flight requests finish,
+  /// join every thread. Idempotent; also called by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (valid after a successful start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] Snapshot snapshot() const;
+  /// Plans remembered for replication/resync.
+  [[nodiscard]] std::uint64_t plans() const;
+
+  // Introspection for tests and tools (stable, cheap):
+
+  /// Backend indexes in ring-walk order for `key` — preference()[0] is
+  /// the key's primary, the tail its failover order. Ignores health.
+  [[nodiscard]] std::vector<std::size_t> preference(std::uint64_t key) const;
+  [[nodiscard]] bool backend_healthy(std::size_t idx) const;
+  [[nodiscard]] bool backend_breaker_open(std::size_t idx) const;
+
+ private:
+  /// A cached connection to one backend plus the pooled storage its
+  /// response payloads land in. Owned by exactly one thread.
+  struct BackendLink {
+    TcpStream stream;
+    util::PooledBuffer storage;
+  };
+
+  struct Backend;
+  struct ConnSlot {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  struct RingPoint {
+    std::uint64_t hash = 0;
+    std::uint32_t backend = 0;
+  };
+
+  void build_ring();
+  void accept_loop();
+  void health_loop();
+  void reap_finished_locked();
+  void serve_connection(TcpStream stream);
+
+  /// Dispatch one client frame: answer PING/STATS locally, proxy the
+  /// rest. Returns the transport outcome of the client-side write.
+  runtime::Status respond(TcpStream& client, std::vector<BackendLink>& links,
+                          const FrameView& request, bool& wrote_error);
+  runtime::Status handle_submit_plan(TcpStream& client, std::vector<BackendLink>& links,
+                                     const FrameView& request, bool& wrote_error);
+  /// PERMUTE / EXECUTE_PROGRAM: walk the preference list with breaker
+  /// gating, failover backoff, and lazy plan resync.
+  runtime::Status route_request(TcpStream& client, std::vector<BackendLink>& links,
+                                const FrameView& request, bool& wrote_error);
+
+  /// One request/response exchange with backend `idx` over `link`,
+  /// reconnecting a stale cached connection once. A pre-frame ERROR
+  /// (request_id 0 — the backend's connection cap) is returned as a
+  /// view like any typed answer.
+  runtime::StatusOr<FrameView> forward_once(std::size_t idx, BackendLink& link,
+                                            std::uint16_t kind, std::uint64_t request_id,
+                                            std::span<const std::uint8_t> payload,
+                                            std::chrono::milliseconds connect_budget,
+                                            std::chrono::milliseconds io_budget);
+
+  /// Replay SUBMIT_PLANs for `fingerprints` (empty = the whole
+  /// registry) over `link`; every plan must be acked with PLAN_OK.
+  runtime::Status push_plans(std::size_t idx, BackendLink& link,
+                             std::span<const std::uint64_t> fingerprints);
+
+  /// Breaker/health gate. O(1): two atomic loads on the common path.
+  /// Sets `half_open_trial` when this call claimed the single half-open
+  /// probe slot (the caller must report the outcome via record_*).
+  bool routable(Backend& b, bool& half_open_trial);
+  void record_backend_success(Backend& b);
+  void record_backend_transport_failure(Backend& b, bool half_open_trial);
+
+  [[nodiscard]] std::uint64_t next_router_request_id() noexcept {
+    return kRouterIdTag | (router_seq_.fetch_add(1, std::memory_order_relaxed) &
+                           0x0000'ffff'ffff'ffffull);
+  }
+
+  /// Routing keys: the plan fingerprint a request should rendezvous on,
+  /// plus every registered-plan fingerprint it references (for lazy
+  /// resync). Malformed payloads get a deterministic content hash — the
+  /// backend owns rejecting them.
+  struct RouteKey {
+    std::uint64_t key = 0;
+    std::vector<std::uint64_t> referenced;
+  };
+  [[nodiscard]] static RouteKey route_key(const FrameView& request);
+
+  /// High-bits tag for router-originated request ids (probes, resyncs)
+  /// so they can never collide with a proxied client id stream (client
+  /// ids put a u32 trace prefix in the high half; this tag is not a
+  /// plausible prefix and is never 0).
+  static constexpr std::uint64_t kRouterIdTag = 0xdb00'0000'0000'0000ull;
+
+  Config config_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::vector<RingPoint> ring_;
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::thread health_thread_;
+
+  mutable std::mutex conn_mutex_;
+  std::list<ConnSlot> connections_;
+  std::atomic<std::uint32_t> active_connections_{0};
+
+  mutable std::mutex plans_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const std::vector<std::uint8_t>>> plans_;
+
+  std::atomic<std::uint64_t> router_seq_{1};
+  std::atomic<std::uint64_t> requests_total_{0};
+  std::atomic<std::uint64_t> failovers_total_{0};
+  std::atomic<std::uint64_t> retry_later_failovers_{0};
+  std::atomic<std::uint64_t> breaker_short_circuits_{0};
+  std::atomic<std::uint64_t> no_backend_available_{0};
+  std::atomic<std::uint64_t> plan_resyncs_{0};
+  std::atomic<std::uint64_t> plans_registered_{0};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace hmm::net

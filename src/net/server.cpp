@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -64,6 +65,7 @@ Server::Counters Server::counters() const {
   c.requests_error = requests_error_.load(std::memory_order_relaxed);
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   c.plans_registered = plans_registered_.load(std::memory_order_relaxed);
+  c.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -128,11 +130,24 @@ void Server::serve_connection(TcpStream stream) {
   // stream touches neither the allocator nor the pool's free lists.
   util::BufferPool& pool = util::BufferPool::global();
   util::PooledBuffer payload_storage;
+  // Idle accounting runs between frames only: once a frame has started,
+  // the per-direction io_timeout owns the slow-read budget.
+  const bool idle_limited = config_.idle_timeout.count() > 0;
+  auto last_frame = std::chrono::steady_clock::now();
   while (!stop_.load(std::memory_order_acquire)) {
     // Poll in short slices so stop() is honored between requests.
     StatusOr<bool> readable = stream.poll_readable(config_.poll_interval);
     if (!readable.ok()) return;
-    if (!readable.value()) continue;
+    if (!readable.value()) {
+      if (idle_limited &&
+          std::chrono::steady_clock::now() - last_frame >= config_.idle_timeout) {
+        // A slot-holding connection that never starts a frame: close it
+        // quietly (no ERROR — there is no request to answer).
+        idle_closed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      continue;
+    }
 
     StatusOr<FrameView> request =
         read_frame_view(stream, pool, payload_storage, config_.max_payload_bytes);
@@ -158,6 +173,7 @@ void Server::serve_connection(TcpStream stream) {
     // count it by what it was — a served error is not a served success.
     if (!written.is_ok()) return;
     (wrote_error ? requests_error_ : requests_ok_).fetch_add(1, std::memory_order_relaxed);
+    last_frame = std::chrono::steady_clock::now();
   }
 }
 
@@ -454,9 +470,28 @@ Status Server::respond_program(TcpStream& stream, const FrameView& request, bool
 }
 
 Frame Server::handle_stats(std::uint64_t request_id) {
-  const std::string json = service_.metrics().snapshot().to_json();
+  const std::string service_json = service_.metrics().snapshot().to_json();
+  // Splice the server-side counters the service layer cannot see
+  // (connection admission, framing violations, idle closes) in front of
+  // the service fields: {"server":{...},<service fields>}.
+  const Counters c = counters();
+  std::ostringstream os;
+  os << "{\"server\":{"
+     << "\"connections_accepted\":" << c.connections_accepted
+     << ",\"connections_rejected\":" << c.connections_rejected
+     << ",\"requests_ok\":" << c.requests_ok
+     << ",\"requests_error\":" << c.requests_error
+     << ",\"protocol_errors\":" << c.protocol_errors
+     << ",\"plans_registered\":" << c.plans_registered
+     << ",\"idle_closed\":" << c.idle_closed
+     << ",\"plans\":" << plans() << "}";
+  if (service_json.size() > 2 && service_json.front() == '{') {
+    os << "," << service_json.substr(1);
+  } else {
+    os << "}";
+  }
   ByteWriter w;
-  w.put_string(json);
+  w.put_string(os.str());
   return make_ok_frame(request_id, MsgKind::kStatsOk, w.take());
 }
 

@@ -66,6 +66,12 @@ class Server {
     std::uint32_t max_connections = 256;
     /// Per-direction socket timeout while inside a frame.
     std::chrono::milliseconds io_timeout{30'000};
+    /// Close a connection that has not *started* a frame for this long
+    /// (0 = never). A slow-loris peer that opens a connection and sends
+    /// nothing holds a slot of the connection cap indefinitely —
+    /// `io_timeout` only covers the mid-frame reads. Closed quietly,
+    /// counted in `Counters::idle_closed`.
+    std::chrono::milliseconds idle_timeout{0};
     /// How long stop() waits for the executor to drain.
     std::chrono::milliseconds drain_timeout{10'000};
     /// Stop-flag poll slice for accept and connection loops.
@@ -80,6 +86,7 @@ class Server {
     std::uint64_t requests_error = 0;  ///< ERROR responses actually written
     std::uint64_t protocol_errors = 0;       ///< framing violations received
     std::uint64_t plans_registered = 0;
+    std::uint64_t idle_closed = 0;  ///< connections closed by idle_timeout
 
     /// Responses of either kind delivered to a client. (The pre-split
     /// `requests_served` also counted responses whose socket write
@@ -175,6 +182,7 @@ class Server {
   std::atomic<std::uint64_t> requests_error_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> plans_registered_{0};
+  std::atomic<std::uint64_t> idle_closed_{0};
 };
 
 }  // namespace hmm::net

@@ -16,10 +16,14 @@ Fnv1a64& Fnv1a64::update_u32_span(std::span<const std::uint32_t> words) noexcept
 }
 
 Fingerprint fingerprint_permutation(const perm::Permutation& p) {
+  return fingerprint_mapping(p.data());
+}
+
+Fingerprint fingerprint_mapping(std::span<const std::uint32_t> words) {
   Fnv1a64 h;
   h.update_u64(kKeySchemaVersion);
-  h.update_u64(p.size());
-  h.update_u32_span(p.data());
+  h.update_u64(words.size());
+  h.update_u32_span(words);
   return Fingerprint{h.digest()};
 }
 

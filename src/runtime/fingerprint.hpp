@@ -66,6 +66,12 @@ struct Fingerprint {
 /// Hash of the permutation mapping alone (no machine / strategy).
 [[nodiscard]] Fingerprint fingerprint_permutation(const perm::Permutation& p);
 
+/// Same hash over a raw mapping span (host order). This *is* the wire
+/// plan id: SUBMIT_PLAN answers it and the router consistent-hashes on
+/// it, so it must agree bit-for-bit with `fingerprint_permutation` of a
+/// Permutation built from the same words (tested as such).
+[[nodiscard]] Fingerprint fingerprint_mapping(std::span<const std::uint32_t> words);
+
 /// Full plan-cache key: permutation words + machine parameters +
 /// strategy tag + element width in bytes. `strategy_tag` is the integer
 /// value of `core::Strategy` (kept as an int here so this header does

@@ -746,6 +746,62 @@ TEST(NetLoopback, ClientReconnectsAfterClose) {
   EXPECT_TRUE(client.connected());
 }
 
+TEST(NetLoopback, IdleConnectionsAreClosedAndCounted) {
+  net::Server::Config server_config;
+  server_config.idle_timeout = 100ms;
+  server_config.poll_interval = 10ms;
+  Loopback loop({}, server_config);
+
+  // A slow-loris peer: connects, sends nothing, holds a slot.
+  auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+  ASSERT_TRUE(conn.ok()) << conn.status().to_string();
+  net::TcpStream idle = std::move(conn).value();
+  ASSERT_TRUE(idle.set_io_timeout(5'000ms, 5'000ms).is_ok());
+
+  // The server closes it quietly (no ERROR frame): the read sees EOF.
+  auto got = net::read_frame(idle, net::kDefaultMaxPayload);
+  EXPECT_FALSE(got.ok());
+  EXPECT_GE(loop.server.counters().idle_closed, 1u);
+
+  // An active connection is unaffected: requests reset the idle clock.
+  net::Client client(loop.client_config());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(client.ping().is_ok());
+    std::this_thread::sleep_for(40ms);
+  }
+  EXPECT_TRUE(client.connected());
+}
+
+// Regression: the server's pre-frame connection-cap rejection is an
+// ERROR frame addressed to request id 0. The client used to classify
+// it as "response id does not match the request" (UNAVAILABLE) — a
+// protocol violation — instead of the typed RETRY_LATER it is.
+TEST(NetLoopback, ConnectionCapRejectionSurfacesTypedRetryLater) {
+  net::Server::Config server_config;
+  server_config.max_connections = 1;
+  Loopback loop({}, server_config);
+
+  // Occupy the only slot, and prove it is held by completing a request.
+  auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+  ASSERT_TRUE(conn.ok()) << conn.status().to_string();
+  net::TcpStream occupant = std::move(conn).value();
+  net::Frame ping;
+  ping.kind = static_cast<std::uint16_t>(net::MsgKind::kPing);
+  ping.request_id = 1;
+  ping.payload = {'h', 'i'};
+  ASSERT_TRUE(net::write_frame(occupant, ping).is_ok());
+  ASSERT_TRUE(net::read_frame(occupant, net::kDefaultMaxPayload).ok());
+
+  net::Client::Config config = loop.client_config();
+  config.max_retries = 0;  // surface the first answer, no backoff loop
+  net::Client client(config);
+  const Status s = client.ping();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted)
+      << "expected typed RETRY_LATER, got " << s.to_string();
+  EXPECT_GE(loop.server.counters().connections_rejected, 1u);
+}
+
 TEST(NetLoopback, ServerStartStopIsIdempotent) {
   Loopback loop;
   loop.server.stop();

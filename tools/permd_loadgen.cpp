@@ -19,7 +19,21 @@
 ///                 [--perms 12] [--zipf 1.0] [--seed 42]
 ///                 [--deadline-ms 0] [--timeout-ms 30000] [--json]
 ///                 [--require-batching] [--program-depth 0]
-///                 [--program-staged false]
+///                 [--program-staged false] [--retry-later-max 0]
+///                 [--router]
+///
+/// `--retry-later-max k` (k > 0) resends a request that came back
+/// RETRY_LATER up to k times (exponential pause between attempts)
+/// before recording the final outcome. Resends are tallied separately
+/// (`retry_later retries`); the per-request taxonomy still counts one
+/// final code per request. This is the knob chaos fleet runs use: a
+/// router failing over around a killed backend may legitimately answer
+/// RETRY_LATER for a beat, and the run should press on, not give up.
+///
+/// `--router` declares the target a permd_router, not a permd_serve:
+/// the final STATS fetch is reported as the router's fleet snapshot
+/// (failovers, breaker short-circuits, per-backend health) instead of
+/// the single-server phase breakdown.
 ///
 /// `--program-depth k` (k > 0) switches every request from PERMUTE to
 /// EXECUTE_PROGRAM carrying a depth-k chain of Zipf-sampled registered
@@ -119,6 +133,10 @@ struct Tally {
   static constexpr int kCodes = 7;  // StatusCode values 0..6
   std::array<std::atomic<std::uint64_t>, kCodes> by_code{};
   std::atomic<std::uint64_t> verify_failures{0};
+  /// Resends triggered by RETRY_LATER under --retry-later-max; kept
+  /// out of by_code so each request still contributes exactly one
+  /// final outcome to the taxonomy.
+  std::atomic<std::uint64_t> retry_later_retries{0};
   runtime::LogHistogram latency_ns;
 
   void record(runtime::StatusCode code) {
@@ -149,7 +167,8 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "connections", "requests", "duration-s", "n", "perms",
                          "zipf", "seed", "deadline-ms", "timeout-ms", "json",
-                         "require-batching", "program-depth", "program-staged"},
+                         "require-batching", "program-depth", "program-staged",
+                         "retry-later-max", "router"},
                         std::cerr)) {
     return 2;
   }
@@ -174,6 +193,8 @@ int main(int argc, char** argv) {
   const std::uint64_t program_depth =
       static_cast<std::uint64_t>(cli.get_int("program-depth", 0));
   const bool program_staged = cli.get_bool("program-staged");
+  const std::int64_t retry_later_max = cli.get_int("retry-later-max", 0);
+  const bool router_mode = cli.get_bool("router");
 
   if (program_depth > runtime::kMaxProgramOps) {
     std::cerr << "permd_loadgen: --program-depth exceeds the protocol op cap ("
@@ -255,16 +276,31 @@ int main(int argc, char** argv) {
       runtime::Status s = runtime::Status::ok();
       if (program_depth > 0) {
         // A depth-k chain of Zipf-sampled registered plans; one
-        // EXECUTE_PROGRAM round trip does k permutations' work.
+        // EXECUTE_PROGRAM round trip does k permutations' work. Sampled
+        // once per request, outside the RETRY_LATER loop: a resend is
+        // the same request.
         for (std::uint64_t d = 0; d < program_depth; ++d) {
           chain[d] = sample(rng);
           ops[d] = {runtime::ProgramOpCode::kPermute, plan_ids[chain[d]]};
         }
-        s = client.execute_program({ops.data(), ops.size()}, {a.data(), n}, {b.data(), n},
-                                   std::chrono::milliseconds(deadline_ms), program_staged);
-      } else {
-        s = client.permute(plan_ids[rank], {a.data(), n}, {b.data(), n},
-                           std::chrono::milliseconds(deadline_ms));
+      }
+      for (std::int64_t attempt = 0;; ++attempt) {
+        if (program_depth > 0) {
+          s = client.execute_program({ops.data(), ops.size()}, {a.data(), n}, {b.data(), n},
+                                     std::chrono::milliseconds(deadline_ms), program_staged);
+        } else {
+          s = client.permute(plan_ids[rank], {a.data(), n}, {b.data(), n},
+                             std::chrono::milliseconds(deadline_ms));
+        }
+        if (s.code() != runtime::StatusCode::kResourceExhausted || attempt >= retry_later_max ||
+            stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        tally.retry_later_retries.fetch_add(1, std::memory_order_relaxed);
+        // The server asked for "later": capped exponential pause, not a
+        // hot resend loop.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1LL << std::min<std::int64_t>(attempt, 6)));
       }
       tally.latency_ns.record(static_cast<std::uint64_t>(sw.nanos()));
       tally.record(s.code());
@@ -336,6 +372,10 @@ int main(int argc, char** argv) {
   report.add_separator();
   report.add_row({"ok", util::format_count(ok)});
   report.add_row({"retry_later", util::format_count(tally.count(StatusCode::kResourceExhausted))});
+  if (retry_later_max > 0) {
+    report.add_row({"retry_later retries",
+                    util::format_count(tally.retry_later_retries.load())});
+  }
   report.add_row({"deadline_exceeded",
                   util::format_count(tally.count(StatusCode::kDeadlineExceeded))});
   report.add_row({"plan_build_failed",
@@ -353,7 +393,20 @@ int main(int argc, char** argv) {
   // would export, fetched over the wire it describes.
   net::Client stats_client(client_config);
   runtime::StatusOr<std::string> server_stats = stats_client.stats_json();
-  if (server_stats.ok()) {
+  if (server_stats.ok() && router_mode) {
+    // Fleet-side half of the story: what the router did to keep the
+    // run alive (failovers, breaker trips, lazy plan resyncs).
+    std::uint64_t routed = 0, failovers = 0, shorted = 0, no_backend = 0, resyncs = 0;
+    (void)scrape_u64(server_stats.value(), "requests_total", routed);
+    (void)scrape_u64(server_stats.value(), "failovers_total", failovers);
+    (void)scrape_u64(server_stats.value(), "breaker_short_circuits", shorted);
+    (void)scrape_u64(server_stats.value(), "no_backend_available", no_backend);
+    (void)scrape_u64(server_stats.value(), "plan_resyncs", resyncs);
+    std::cout << "\nrouter: routed " << routed << " requests, failovers " << failovers
+              << ", breaker short-circuits " << shorted << ", no-backend " << no_backend
+              << ", plan resyncs " << resyncs << "\n";
+    if (json) std::cout << server_stats.value() << "\n";
+  } else if (server_stats.ok()) {
     // Where the server says the time went, phase by phase — the
     // breakdown that pairs with the client-side latency percentiles
     // above.

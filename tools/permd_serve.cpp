@@ -17,7 +17,8 @@
 ///   permd_serve [--host 127.0.0.1] [--port 0] [--port-file <path>]
 ///               [--cache-mb 64] [--max-in-flight 0] [--reject]
 ///               [--max-connections 256] [--max-payload-mb 64]
-///               [--io-timeout-ms 30000] [--duration-s 0]
+///               [--io-timeout-ms 30000] [--idle-timeout-ms 0]
+///               [--duration-s 0]
 ///               [--metrics-json <path>] [--json]
 ///               [--prom-file <path>] [--slow-ms 0]
 ///               [--batch-max 1] [--batch-delay-us 200]
@@ -68,7 +69,8 @@ int main(int argc, char** argv) {
 
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "port-file", "cache-mb", "max-in-flight", "reject",
-                         "max-connections", "max-payload-mb", "io-timeout-ms", "duration-s",
+                         "max-connections", "max-payload-mb", "io-timeout-ms",
+                         "idle-timeout-ms", "duration-s",
                          "metrics-json", "json", "prom-file", "slow-ms", "batch-max",
                          "batch-delay-us", "fault-rate", "fault-seed", "fault-sites",
                          "fault-stall-ms"},
@@ -87,6 +89,7 @@ int main(int argc, char** argv) {
   const auto max_payload_bytes =
       static_cast<std::uint32_t>(cli.get_int("max-payload-mb", 64) << 20);
   const std::int64_t io_timeout_ms = cli.get_int("io-timeout-ms", 30'000);
+  const std::int64_t idle_timeout_ms = cli.get_int("idle-timeout-ms", 0);
   const std::int64_t duration_s = cli.get_int("duration-s", 0);
   const std::string metrics_json = cli.get("metrics-json");
   const bool json = cli.get_bool("json");
@@ -138,6 +141,7 @@ int main(int argc, char** argv) {
   server_config.max_connections = max_connections;
   server_config.max_payload_bytes = max_payload_bytes;
   server_config.io_timeout = std::chrono::milliseconds(io_timeout_ms);
+  server_config.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
   net::Server server(service, server_config);
 
   if (runtime::Status s = server.start(); !s.is_ok()) {
@@ -202,7 +206,7 @@ int main(int argc, char** argv) {
             << counters.connections_rejected << "; requests ok " << counters.requests_ok
             << ", error " << counters.requests_error << "; protocol errors "
             << counters.protocol_errors << "; plans registered " << counters.plans_registered
-            << "\n";
+            << "; idle closed " << counters.idle_closed << "\n";
   if (fault_rate > 0.0) {
     std::cout << "faults fired: " << runtime::FaultInjector::instance().total_fired() << "\n";
   }
