@@ -18,7 +18,9 @@
 ///
 /// Usage: bench_serving_hotpath [--n 8K] [--connections 8]
 ///                              [--requests 200] [--batch 8]
-///                              [--batch-delay-us 500] [--json]
+///                              [--batch-delay-us 500]
+///                              [--dist-n 1M] [--dist-shards 4]
+///                              [--dist-requests 12] [--json]
 ///
 /// `--json` appends one JSON object per row (JSON Lines) after the
 /// table — the repo's BENCH_*.json trajectory format
@@ -30,8 +32,10 @@
 #include <atomic>
 #include <thread>
 
+#include "core/layout.hpp"
 #include "core/permuter.hpp"
 #include "net/client.hpp"
+#include "net/distributed.hpp"
 #include "net/server.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/plan_cache.hpp"
@@ -291,13 +295,98 @@ void run_program_compare(std::uint64_t n, std::uint64_t depth, std::uint64_t con
   server.stop();
 }
 
+/// Distributed-vs-single comparison over the same plan and data: one
+/// row drives plain PERMUTEs at a single shard, the others fan the same
+/// request out as SHARD_EXEC row bands across S in-process shards (the
+/// peer-to-peer column exchange included). On one machine over loopback
+/// this measures the sharding *overhead* — the exchange's extra wire
+/// hops — not a speedup; the row exists so the trajectory catches
+/// regressions in the distributed path's constant factors.
+void run_distributed_compare(std::uint64_t n, std::uint32_t shard_count,
+                             std::uint64_t requests, RunResult& single, RunResult& dist) {
+  auto& pool = util::ThreadPool::global();
+  const perm::Permutation p = perm::by_name("random", n, 2026);
+  const core::MatrixShape shape = core::shape_for(n, 32);
+
+  std::vector<std::unique_ptr<runtime::RobustPermuteService>> services;
+  std::vector<std::unique_ptr<net::Server>> servers;
+  std::vector<net::ShardTarget> targets;
+  std::uint64_t plan_id = 0;
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    services.push_back(std::make_unique<runtime::RobustPermuteService>(
+        pool, runtime::RobustPermuteService::Config{}));
+    servers.push_back(std::make_unique<net::Server>(*services.back(), net::Server::Config{}));
+    if (runtime::Status st = servers.back()->start(); !st.is_ok()) {
+      std::cerr << "bench_serving_hotpath: " << st.to_string() << "\n";
+      std::exit(1);
+    }
+    net::Client::Config cc;
+    cc.port = servers.back()->port();
+    net::Client setup(cc);
+    runtime::StatusOr<std::uint64_t> id = setup.submit_plan(p);
+    if (!id.ok()) {
+      std::cerr << "bench_serving_hotpath: SUBMIT_PLAN failed: " << id.status().to_string()
+                << "\n";
+      std::exit(1);
+    }
+    plan_id = id.value();
+    targets.push_back(net::ShardTarget{"127.0.0.1", servers.back()->port(), s});
+  }
+
+  std::vector<std::uint32_t> a(n), b(n);
+  for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i * 2654435761u);
+
+  // Single-node row against shard 0 (warmup compiles the plan there).
+  {
+    net::Client::Config cc;
+    cc.port = servers[0]->port();
+    net::Client client(cc);
+    for (int i = 0; i < 2; ++i) (void)client.permute(plan_id, {a.data(), n}, {b.data(), n});
+    util::Stopwatch wall;
+    for (std::uint64_t r = 0; r < requests; ++r) {
+      util::Stopwatch sw;
+      if (!client.permute(plan_id, {a.data(), n}, {b.data(), n}).is_ok()) single.failures++;
+      single.latency_ns.record(static_cast<std::uint64_t>(sw.nanos()));
+    }
+    single.wall_s = wall.millis() / 1e3;
+    single.requests = requests;
+  }
+
+  // Distributed row: same data, fanned out as row bands.
+  net::DistributedPermuter::Config config;
+  config.max_payload_bytes = net::kDefaultMaxPayload;
+  config.io_timeout = std::chrono::milliseconds(120'000);
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(a.data()), n * sizeof(std::uint32_t));
+  const auto fire = [&](std::uint64_t session) {
+    return net::DistributedPermuter::execute(config, session, plan_id, 0, shape.rows,
+                                             shape.cols, bytes, targets, [](std::size_t) {});
+  };
+  if (auto warm = fire(0xbe9c0000u); !warm.ok()) {
+    std::cerr << "bench_serving_hotpath: distributed warmup failed: "
+              << warm.status().to_string() << "\n";
+    std::exit(1);
+  }
+  util::Stopwatch wall;
+  for (std::uint64_t r = 0; r < requests; ++r) {
+    util::Stopwatch sw;
+    auto result = fire(0xbe9c1000u + r);
+    dist.latency_ns.record(static_cast<std::uint64_t>(sw.nanos()));
+    if (!result.ok()) dist.failures++;
+  }
+  dist.wall_s = wall.millis() / 1e3;
+  dist.requests = requests;
+
+  for (auto& server : servers) server->stop();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
-  if (!cli.expect_flags(
-          {"n", "connections", "requests", "batch", "batch-delay-us", "program-depth", "json"},
-          std::cerr)) {
+  if (!cli.expect_flags({"n", "connections", "requests", "batch", "batch-delay-us",
+                         "program-depth", "dist-n", "dist-shards", "dist-requests", "json"},
+                        std::cerr)) {
     return 2;
   }
   const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 8 << 10));
@@ -306,6 +395,10 @@ int main(int argc, char** argv) {
   const auto batch_max = static_cast<std::uint32_t>(cli.get_int("batch", 8));
   const auto batch_delay = std::chrono::microseconds(cli.get_int("batch-delay-us", 500));
   const auto program_depth = static_cast<std::uint64_t>(cli.get_int("program-depth", 4));
+  const std::uint64_t dist_n = static_cast<std::uint64_t>(cli.get_int("dist-n", 1 << 20));
+  const auto dist_shards = static_cast<std::uint32_t>(cli.get_int("dist-shards", 4));
+  const std::uint64_t dist_requests =
+      static_cast<std::uint64_t>(cli.get_int("dist-requests", 12));
   const bool json = cli.get_bool("json");
   if (program_depth < 1 || program_depth > runtime::kMaxProgramOps) {
     std::cerr << "bench_serving_hotpath: --program-depth must be in [1, "
@@ -365,6 +458,12 @@ int main(int argc, char** argv) {
   const double program_seq_rps = add(seq_label.c_str(), program_sequential);
   const double program_fused_rps = add("chain-program-fused", program_fused);
 
+  RunResult dist_single, dist_sharded;
+  run_distributed_compare(dist_n, dist_shards, dist_requests, dist_single, dist_sharded);
+  const double dist_single_rps = add("dist-single", dist_single);
+  const std::string dist_label = "dist-" + std::to_string(dist_shards) + "shard";
+  const double dist_sharded_rps = add(dist_label.c_str(), dist_sharded);
+
   table.print(std::cout);
   std::cout << "\nwire batched/unbatched: " << util::format_double(batched_rps / unbatched_rps, 2)
             << "x    fused-sweep speedup: "
@@ -382,7 +481,14 @@ int main(int argc, char** argv) {
                "permutation chain per request: k PERMUTE round trips (each feeding\n"
                "the next) vs one EXECUTE_PROGRAM the service fuses into a single\n"
                "composite plan — k kernel sweeps, k wire copies, and k-1 round\n"
-               "trips collapse into one of each.\n";
+               "trips collapse into one of each.\n"
+            << "distributed " << dist_shards << "-shard/single: "
+            << util::format_double(dist_sharded_rps / dist_single_rps, 2) << "x at n="
+            << util::format_count(dist_n)
+            << " — 'dist' rows run the same request single-node vs sharded into row\n"
+               "bands with the peer-to-peer column exchange; on one loopback host\n"
+               "this prices the exchange overhead (the win is capacity: each shard\n"
+               "holds and permutes only its band).\n";
   if (json) {
     std::cout << "\n";
     table.print_json_rows(std::cout, "\"bench\":\"serving_hotpath\"");

@@ -1,5 +1,6 @@
 #include "core/row_schedule.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <vector>
 
@@ -74,6 +75,21 @@ RowScheduleSet build_row_schedules(util::ThreadPool& pool, std::span<const std::
                        algo);
   });
   return set;
+}
+
+RowScheduleSet slice_rows(const RowScheduleSet& full, std::uint64_t row_begin,
+                          std::uint64_t row_end) {
+  HMM_CHECK_MSG(row_begin <= row_end && row_end <= full.rows,
+                "slice_rows: band out of range");
+  RowScheduleSet band;
+  band.rows = row_end - row_begin;
+  band.cols = full.cols;
+  band.phat.resize(band.rows * band.cols);
+  band.q.resize(band.rows * band.cols);
+  const std::uint64_t offset = row_begin * full.cols;
+  std::copy_n(full.phat.data() + offset, band.phat.size(), band.phat.data());
+  std::copy_n(full.q.data() + offset, band.q.size(), band.q.data());
+  return band;
 }
 
 bool row_schedule_valid(std::span<const std::uint16_t> g, std::span<const std::uint16_t> phat,

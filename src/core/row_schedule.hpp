@@ -59,6 +59,14 @@ RowScheduleSet build_row_schedules(util::ThreadPool& pool, std::span<const std::
                                    std::uint64_t rows, std::uint64_t cols, std::uint32_t width,
                                    graph::ColoringAlgorithm algo = graph::ColoringAlgorithm::kAuto);
 
+/// Copy rows [row_begin, row_end) of `full` into a standalone set whose
+/// row 0 is `full`'s row `row_begin`. The slice's schedules are
+/// bit-identical to the corresponding rows of the full set, so a shard
+/// executing its band reproduces exactly the rows a single node would
+/// run (runtime/distributed.hpp builds band plans on top of this).
+RowScheduleSet slice_rows(const RowScheduleSet& full, std::uint64_t row_begin,
+                          std::uint64_t row_end);
+
 /// Verify the schedule invariants for one row (used by tests and
 /// `ScheduledPlan::validate`): p̂ and q are permutations, `g = q ∘ p̂⁻¹`,
 /// and every schedule warp touches w distinct banks on both sides.

@@ -1,0 +1,165 @@
+#include "net/distributed.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "net/frame_io.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace hmm::net {
+
+using runtime::Status;
+using runtime::StatusCode;
+using runtime::StatusOr;
+
+namespace {
+
+/// Outcome slot of one shard thread. Written by exactly one thread,
+/// read after the join barrier — no locking needed.
+struct ShardOutcome {
+  Status status = Status::ok();
+  bool transport = false;  ///< connect/send/recv failure vs typed answer
+  DistributedPermuter::Band band;
+};
+
+/// Run one shard end to end: connect, ship the band, block until the
+/// shard finished its three passes (the response *is* the completion
+/// signal), gather the band response into pooled storage.
+void run_shard(const DistributedPermuter::Config& config, std::uint64_t session_id,
+               std::uint64_t plan_id, std::uint32_t deadline_ms, std::uint64_t rows,
+               std::uint64_t cols, const std::vector<ShardPeer>& peers, std::uint32_t shard,
+               std::span<const std::uint8_t> band_bytes, std::uint64_t band_elems,
+               ShardOutcome& out) {
+  const auto transport_fail = [&](Status why) {
+    out.status = std::move(why);
+    out.transport = true;
+  };
+
+  StatusOr<TcpStream> conn =
+      tcp_connect(peers[shard].host, peers[shard].port, config.connect_timeout);
+  if (!conn.ok()) return transport_fail(conn.status());
+  TcpStream stream = std::move(conn).value();
+  (void)stream.set_io_timeout(config.io_timeout, config.io_timeout);
+
+  ShardExecRequest req;
+  req.session_id = session_id;
+  req.plan_id = plan_id;
+  req.deadline_ms = deadline_ms;
+  req.shard_index = shard;
+  req.rows = rows;
+  req.cols = cols;
+  req.peers = peers;
+  const std::vector<std::uint8_t> prefix = req.encode_prefix(band_elems);
+  const ConstBuffer parts[] = {{prefix.data(), prefix.size()},
+                               {band_bytes.data(), band_bytes.size()}};
+  if (Status sent = write_frame_parts(stream, static_cast<std::uint16_t>(MsgKind::kShardExec),
+                                      session_id, parts);
+      !sent.is_ok()) {
+    return transport_fail(std::move(sent));
+  }
+
+  util::BufferPool& pool = util::BufferPool::global();
+  StatusOr<FrameView> response =
+      read_frame_view(stream, pool, out.band.storage, config.max_payload_bytes);
+  if (!response.ok()) return transport_fail(response.status());
+  const FrameView& frame = response.value();
+  if (static_cast<MsgKind>(frame.kind) == MsgKind::kError) {
+    StatusOr<ErrorResponse> err = ErrorResponse::decode(frame.payload);
+    out.status = err.ok() ? err.value().to_status()
+                          : Status(StatusCode::kUnavailable,
+                                   "malformed ERROR frame from shard");
+    out.transport = !err.ok();
+    return;
+  }
+  if (static_cast<MsgKind>(frame.kind) != MsgKind::kShardExecOk ||
+      frame.request_id != session_id) {
+    return transport_fail(
+        Status(StatusCode::kUnavailable, "shard response does not answer SHARD_EXEC"));
+  }
+  StatusOr<WordsResponseView> band =
+      WordsResponseView::decode(frame.payload, config.max_payload_bytes / kElemBytes);
+  if (!band.ok()) return transport_fail(band.status());
+  if (band.value().data.count != band_elems) {
+    return transport_fail(Status(StatusCode::kUnavailable,
+                                 "shard returned a band of the wrong size"));
+  }
+  out.band.bytes = band.value().data.bytes;
+  out.band.elements = band_elems;
+}
+
+}  // namespace
+
+StatusOr<DistributedPermuter::Result> DistributedPermuter::execute(
+    const Config& config, std::uint64_t session_id, std::uint64_t plan_id,
+    std::uint32_t deadline_ms, std::uint64_t rows, std::uint64_t cols,
+    std::span<const std::uint8_t> data_bytes, std::span<const ShardTarget> targets,
+    const std::function<void(std::size_t)>& on_transport_failure) {
+  const auto shards = static_cast<std::uint32_t>(targets.size());
+  StatusOr<runtime::BandPlan> bands_or = runtime::BandPlan::build(rows, cols, shards);
+  if (!bands_or.ok()) return bands_or.status();
+  const runtime::BandPlan& bands = bands_or.value();
+  if (data_bytes.size() != rows * cols * kElemBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "distributed permute: element count does not match the matrix shape");
+  }
+
+  std::vector<ShardPeer> peers;
+  peers.reserve(shards);
+  for (const ShardTarget& t : targets) peers.push_back(ShardPeer{t.host, t.port});
+
+  // One thread per shard: every SHARD_EXEC must be in flight
+  // concurrently — the shards rendezvous with each other mid-request,
+  // so shipping the bands serially would deadlock on the first
+  // exchange round.
+  std::vector<ShardOutcome> outcomes(shards);
+  std::vector<std::thread> threads;
+  threads.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint64_t offset_bytes = bands.band_offset(s) * kElemBytes;
+    const std::uint64_t band_elems = bands.band_elements(s);
+    const std::span<const std::uint8_t> band_bytes =
+        data_bytes.subspan(offset_bytes, band_elems * kElemBytes);
+    threads.emplace_back([&config, session_id, plan_id, deadline_ms, rows, cols, &peers, s,
+                          band_bytes, band_elems, &outcomes] {
+      run_shard(config, session_id, plan_id, deadline_ms, rows, cols, peers, s, band_bytes,
+                band_elems, outcomes[s]);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Prefer a typed shard answer over transport noise: when one shard
+  // dies, its peers' timeouts are a *consequence* — the root cause is
+  // the transport failure, but a typed kInvalidArgument (bad plan,
+  // shape mismatch) from any shard explains the failure better than
+  // "peer unreachable" collateral.
+  Status first_transport = Status::ok();
+  Status first_typed = Status::ok();
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    if (outcomes[s].status.is_ok()) continue;
+    if (outcomes[s].transport) {
+      on_transport_failure(targets[s].caller_index);
+      if (first_transport.is_ok()) first_transport = outcomes[s].status;
+    } else if (first_typed.is_ok()) {
+      first_typed = outcomes[s].status;
+    }
+  }
+  if (!first_typed.is_ok() || !first_transport.is_ok()) {
+    if (!first_typed.is_ok() && first_typed.code() != StatusCode::kUnavailable) {
+      return first_typed;
+    }
+    Status root = !first_transport.is_ok() ? first_transport : first_typed;
+    return Status(StatusCode::kUnavailable,
+                  "distributed permute failed: " + root.message());
+  }
+
+  Result result;
+  result.bands.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    result.total_elements += outcomes[s].band.elements;
+    result.bands.push_back(std::move(outcomes[s].band));
+  }
+  return result;
+}
+
+}  // namespace hmm::net

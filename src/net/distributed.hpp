@@ -1,0 +1,87 @@
+#pragma once
+/// \file distributed.hpp
+/// \brief The coordinator side of a distributed PERMUTE: fan a request's
+///        element array out to shard permd instances as SHARD_EXEC row
+///        bands, and gather the band responses for a zero-copy relay.
+///
+/// The engine is deliberately router-agnostic: it takes a list of shard
+/// targets (address + an opaque caller index) and the request's wire
+/// bytes, and reports per-target transport failures through a callback
+/// so the caller (the router) can feed its breakers and health state.
+/// The cross-shard column exchange itself is peer-to-peer — the
+/// coordinator only ships each band once and reads each band back once,
+/// so its network cost is one pass over the data regardless of the
+/// shard count.
+///
+/// Failure discipline: distribution is all-or-nothing. Once SHARD_EXEC
+/// frames are in flight there is no single-node fallback — a shard that
+/// dies mid-exchange fails the whole request typed (kUnavailable), the
+/// surviving shards abort their sessions on their own exchange
+/// deadlines, and every pooled staging byte is released (tests verify
+/// via pool-stats deltas). Falling back would re-run a half-exchanged
+/// permutation and double the load exactly when the fleet is degraded.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/distributed.hpp"
+#include "runtime/status.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace hmm::net {
+
+/// One shard of a distributed execution. `caller_index` is opaque to the
+/// engine — the router stores the backend index there so transport
+/// failures can be attributed.
+struct ShardTarget {
+  std::string host;
+  std::uint16_t port = 0;
+  std::size_t caller_index = 0;
+};
+
+class DistributedPermuter {
+ public:
+  struct Config {
+    /// Response cap when reading SHARD_EXEC_OK frames.
+    std::uint32_t max_payload_bytes = 0;
+    /// Per-shard connect and I/O budgets. The I/O budget must cover the
+    /// shard's whole three-pass execution including both exchange
+    /// rounds, not just the frame transfer.
+    std::chrono::milliseconds connect_timeout{1'000};
+    std::chrono::milliseconds io_timeout{30'000};
+  };
+
+  /// One gathered band response: the pooled frame storage plus the band
+  /// element bytes borrowed from it (wire order, relayed verbatim).
+  struct Band {
+    util::PooledBuffer storage;
+    std::span<const std::uint8_t> bytes;
+    std::uint64_t elements = 0;
+  };
+
+  struct Result {
+    std::vector<Band> bands;  ///< shard order; concatenation = output
+    std::uint64_t total_elements = 0;
+  };
+
+  /// Execute `rows x cols` (= count) elements of plan `plan_id` across
+  /// `targets.size()` shards. `data_bytes` is the request's element
+  /// region in wire order (count * 4 bytes); band `s` is shipped as a
+  /// borrowed subspan, never copied. `deadline_ms` (0 = none) rides to
+  /// every shard. `on_transport_failure(i)` fires for each target whose
+  /// failure was transport-level (connect/send/recv), not a typed
+  /// answer. Blocks until every shard thread finished; on error the
+  /// first failure (typed answers preferred over transport noise) is
+  /// returned.
+  [[nodiscard]] static runtime::StatusOr<Result> execute(
+      const Config& config, std::uint64_t session_id, std::uint64_t plan_id,
+      std::uint32_t deadline_ms, std::uint64_t rows, std::uint64_t cols,
+      std::span<const std::uint8_t> data_bytes, std::span<const ShardTarget> targets,
+      const std::function<void(std::size_t)>& on_transport_failure);
+};
+
+}  // namespace hmm::net

@@ -13,11 +13,15 @@ std::string_view to_string(MsgKind kind) noexcept {
     case MsgKind::kPermute: return "PERMUTE";
     case MsgKind::kStats: return "STATS";
     case MsgKind::kExecuteProgram: return "EXECUTE_PROGRAM";
+    case MsgKind::kShardExec: return "SHARD_EXEC";
+    case MsgKind::kShardXchg: return "SHARD_XCHG";
     case MsgKind::kPingOk: return "PING_OK";
     case MsgKind::kPlanOk: return "PLAN_OK";
     case MsgKind::kPermuteOk: return "PERMUTE_OK";
     case MsgKind::kStatsOk: return "STATS_OK";
     case MsgKind::kProgramOk: return "PROGRAM_OK";
+    case MsgKind::kShardExecOk: return "SHARD_EXEC_OK";
+    case MsgKind::kShardXchgOk: return "SHARD_XCHG_OK";
     case MsgKind::kError: return "ERROR";
   }
   return "UNKNOWN";
@@ -30,6 +34,8 @@ bool is_request_kind(std::uint16_t kind) noexcept {
     case MsgKind::kPermute:
     case MsgKind::kStats:
     case MsgKind::kExecuteProgram:
+    case MsgKind::kShardExec:
+    case MsgKind::kShardXchg:
       return true;
     default:
       return false;
@@ -263,6 +269,235 @@ Status PermuteResponse::decode_into(std::span<const std::uint8_t> payload,
   if (!words.ok()) return words.status();
   words.value().copy_to(out);
   return Status::ok();
+}
+
+namespace {
+
+/// Shared SHARD_EXEC prefix decoder: fixed header, peer table, and the
+/// zero padding that puts the band on an 8-byte payload offset. On
+/// success `count_out` holds the band element count and `r` sits at the
+/// first band byte. Strict: every malformed field is a typed
+/// kInvalidArgument.
+Status decode_shard_exec_prefix(ByteReader& r, std::size_t payload_len,
+                                std::uint64_t& session_id, std::uint64_t& plan_id,
+                                std::uint32_t& deadline_ms, std::uint32_t& shard_index,
+                                std::uint64_t& rows, std::uint64_t& cols,
+                                std::vector<ShardPeer>& peers, std::uint64_t& count_out) {
+  std::uint32_t version = 0;
+  std::uint32_t elem_bytes = 0;
+  std::uint32_t shard_count = 0;
+  std::uint32_t reserved = 0;
+  if (!r.get_u32(version) || !r.get_u32(elem_bytes) || !r.get_u64(session_id) ||
+      !r.get_u64(plan_id) || !r.get_u32(deadline_ms) || !r.get_u32(shard_index) ||
+      !r.get_u32(shard_count) || !r.get_u32(reserved) || !r.get_u64(rows) ||
+      !r.get_u64(cols)) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: truncated header");
+  }
+  if (version != kShardProtocolVersion) {
+    return Status(StatusCode::kInvalidArgument,
+                  "SHARD_EXEC: unsupported shard protocol version");
+  }
+  if (elem_bytes != kElemBytes) {
+    return Status(StatusCode::kInvalidArgument,
+                  "SHARD_EXEC: unsupported element width (v1 speaks 4-byte elements)");
+  }
+  if (reserved != 0) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: reserved field must be zero");
+  }
+  if (shard_count == 0 || shard_count > kMaxWireShards) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: shard count out of range");
+  }
+  if (shard_index >= shard_count) {
+    return Status(StatusCode::kInvalidArgument,
+                  "SHARD_EXEC: shard index out of range for the shard count");
+  }
+  if (rows == 0 || cols == 0 || rows > (1ull << 32) || cols > (1ull << 32)) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: matrix shape out of range");
+  }
+  peers.clear();
+  peers.reserve(shard_count);
+  for (std::uint32_t i = 0; i < shard_count; ++i) {
+    std::uint16_t port = 0;
+    std::uint16_t host_len = 0;
+    std::span<const std::uint8_t> host;
+    if (!r.get_u16(port) || !r.get_u16(host_len) ||
+        !r.get_bytes(host_len, host)) {
+      return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: truncated peer table");
+    }
+    if (port == 0) {
+      return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: peer port must be nonzero");
+    }
+    if (host_len == 0 || host_len > kMaxShardHostLen) {
+      return Status(StatusCode::kInvalidArgument,
+                    "SHARD_EXEC: peer host length out of range");
+    }
+    peers.push_back(ShardPeer{
+        std::string(reinterpret_cast<const char*>(host.data()), host.size()), port});
+  }
+  const std::size_t consumed = payload_len - r.remaining();
+  const std::size_t pad = (8 - consumed % 8) % 8;
+  std::span<const std::uint8_t> pad_bytes;
+  if (!r.get_bytes(pad, pad_bytes)) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: truncated padding");
+  }
+  for (std::uint8_t b : pad_bytes) {
+    if (b != 0) {
+      return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: padding must be zero");
+    }
+  }
+  if (!r.get_u64(count_out)) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_EXEC: truncated element count");
+  }
+  return Status::ok();
+}
+
+/// Everything of a SHARD_EXEC frame before the band bytes.
+std::vector<std::uint8_t> encode_shard_exec_prefix(
+    std::uint64_t session_id, std::uint64_t plan_id, std::uint32_t deadline_ms,
+    std::uint32_t shard_index, std::uint64_t rows, std::uint64_t cols,
+    std::span<const ShardPeer> peers, std::uint64_t count) {
+  ByteWriter w;
+  w.put_u32(kShardProtocolVersion);
+  w.put_u32(kElemBytes);
+  w.put_u64(session_id);
+  w.put_u64(plan_id);
+  w.put_u32(deadline_ms);
+  w.put_u32(shard_index);
+  w.put_u32(static_cast<std::uint32_t>(peers.size()));
+  w.put_u32(0);  // reserved
+  w.put_u64(rows);
+  w.put_u64(cols);
+  std::size_t offset = 56;
+  for (const ShardPeer& peer : peers) {
+    w.put_u16(peer.port);
+    w.put_u16(static_cast<std::uint16_t>(peer.host.size()));
+    w.put_string(peer.host);
+    offset += 4 + peer.host.size();
+  }
+  const std::size_t pad = (8 - offset % 8) % 8;
+  for (std::size_t i = 0; i < pad; ++i) w.put_u8(0);
+  w.put_u64(count);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> ShardExecRequest::encode() const {
+  std::vector<std::uint8_t> out = encode_prefix(band.size());
+  ByteWriter w;
+  w.put_u32_span(band);
+  std::vector<std::uint8_t> data = w.take();
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::vector<std::uint8_t> ShardExecRequest::encode_prefix(std::uint64_t count) const {
+  return encode_shard_exec_prefix(session_id, plan_id, deadline_ms, shard_index, rows, cols,
+                                  peers, count);
+}
+
+StatusOr<ShardExecRequest> ShardExecRequest::decode(std::span<const std::uint8_t> payload,
+                                                    std::uint64_t max_elements) {
+  ByteReader r(payload);
+  ShardExecRequest req;
+  std::uint64_t count = 0;
+  Status prefix = decode_shard_exec_prefix(r, payload.size(), req.session_id, req.plan_id,
+                                           req.deadline_ms, req.shard_index, req.rows,
+                                           req.cols, req.peers, count);
+  if (!prefix.is_ok()) return prefix;
+  StatusOr<std::vector<std::uint32_t>> words = decode_words(r, count, max_elements, "SHARD_EXEC");
+  if (!words.ok()) return words.status();
+  req.band = std::move(words).value();
+  return req;
+}
+
+StatusOr<ShardExecRequestView> ShardExecRequestView::decode(
+    std::span<const std::uint8_t> payload, std::uint64_t max_elements) {
+  ByteReader r(payload);
+  ShardExecRequestView view;
+  std::uint64_t count = 0;
+  Status prefix = decode_shard_exec_prefix(r, payload.size(), view.session_id, view.plan_id,
+                                           view.deadline_ms, view.shard_index, view.rows,
+                                           view.cols, view.peers, count);
+  if (!prefix.is_ok()) return prefix;
+  StatusOr<WordsView> words = decode_words_view(r, count, max_elements, "SHARD_EXEC");
+  if (!words.ok()) return words.status();
+  view.band = words.value();
+  return view;
+}
+
+std::vector<std::uint8_t> ShardXchgRequest::encode() const {
+  std::vector<std::uint8_t> out = encode_prefix(block.size());
+  ByteWriter w;
+  w.put_u32_span(block);
+  std::vector<std::uint8_t> data = w.take();
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::vector<std::uint8_t> ShardXchgRequest::encode_prefix(std::uint64_t count) const {
+  ByteWriter w;
+  w.put_u64(session_id);
+  w.put_u32(round);
+  w.put_u32(src_shard);
+  w.put_u64(count);
+  return w.take();
+}
+
+StatusOr<ShardXchgRequest> ShardXchgRequest::decode(std::span<const std::uint8_t> payload,
+                                                    std::uint64_t max_elements) {
+  ByteReader r(payload);
+  ShardXchgRequest req;
+  std::uint64_t count = 0;
+  if (!r.get_u64(req.session_id) || !r.get_u32(req.round) || !r.get_u32(req.src_shard) ||
+      !r.get_u64(count)) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_XCHG: truncated header");
+  }
+  if (req.round != 1 && req.round != 2) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_XCHG: round must be 1 or 2");
+  }
+  if (req.src_shard >= kMaxWireShards) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_XCHG: source shard out of range");
+  }
+  StatusOr<std::vector<std::uint32_t>> words = decode_words(r, count, max_elements, "SHARD_XCHG");
+  if (!words.ok()) return words.status();
+  req.block = std::move(words).value();
+  return req;
+}
+
+StatusOr<ShardXchgRequestView> ShardXchgRequestView::decode(
+    std::span<const std::uint8_t> payload, std::uint64_t max_elements) {
+  ByteReader r(payload);
+  ShardXchgRequestView view;
+  std::uint64_t count = 0;
+  if (!r.get_u64(view.session_id) || !r.get_u32(view.round) || !r.get_u32(view.src_shard) ||
+      !r.get_u64(count)) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_XCHG: truncated header");
+  }
+  if (view.round != 1 && view.round != 2) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_XCHG: round must be 1 or 2");
+  }
+  if (view.src_shard >= kMaxWireShards) {
+    return Status(StatusCode::kInvalidArgument, "SHARD_XCHG: source shard out of range");
+  }
+  StatusOr<WordsView> words = decode_words_view(r, count, max_elements, "SHARD_XCHG");
+  if (!words.ok()) return words.status();
+  view.block = words.value();
+  return view;
+}
+
+StatusOr<WordsResponseView> WordsResponseView::decode(std::span<const std::uint8_t> payload,
+                                                      std::uint64_t max_elements) {
+  ByteReader r(payload);
+  std::uint64_t count = 0;
+  if (!r.get_u64(count)) {
+    return Status(StatusCode::kInvalidArgument, "PERMUTE_OK: truncated header");
+  }
+  StatusOr<WordsView> words = decode_words_view(r, count, max_elements, "PERMUTE_OK");
+  if (!words.ok()) return words.status();
+  WordsResponseView view;
+  view.data = words.value();
+  return view;
 }
 
 namespace {

@@ -21,6 +21,11 @@
 ///                    composite plan unless flag bit0 forces the staged
 ///                    path
 ///   STATS            fetch the server's ServiceMetrics snapshot as JSON
+///   SHARD_EXEC       coordinator -> shard: execute one row band of a
+///                    distributed PERMUTE (three passes; the transposes
+///                    happen as peer-to-peer column exchanges)
+///   SHARD_XCHG       shard -> shard: one column block of an exchange
+///                    round (each (src, dst) block moves exactly once)
 ///
 /// Every failure travels as an ERROR response whose code is the wire
 /// image of the `runtime::Status` the serving stack produced — the
@@ -52,6 +57,24 @@
 ///   PROGRAM_OK   resp: u64 count, u8 data[count * elem_bytes]
 ///                      (identical layout to PERMUTE_OK)
 ///   STATS_OK     resp: UTF-8 JSON bytes
+///   SHARD_EXEC   req:  u32 version (1), u32 elem_bytes (4),
+///                      u64 session_id, u64 plan_id, u32 deadline_ms,
+///                      u32 shard_index, u32 shard_count (1..64),
+///                      u32 reserved (0), u64 rows, u64 cols,
+///                      shard_count x { u16 port, u16 host_len (1..255),
+///                                      u8 host[host_len] },
+///                      u8 pad[] (zeros, to an 8-byte boundary),
+///                      u64 count, u8 data[count * elem_bytes]
+///                      (the pad puts the band data on an 8-byte
+///                      boundary so pooled payloads decode in place)
+///   SHARD_EXEC_OK
+///                resp: u64 count, u8 data[count * elem_bytes]
+///                      (identical layout to PERMUTE_OK)
+///   SHARD_XCHG   req:  u64 session_id, u32 round (1 | 2),
+///                      u32 src_shard, u64 count,
+///                      u8 data[count * elem_bytes]
+///   SHARD_XCHG_OK
+///                resp: empty
 ///   ERROR        resp: u32 code, UTF-8 message bytes
 
 #include <chrono>
@@ -76,11 +99,15 @@ enum class MsgKind : std::uint16_t {
   kPermute = 0x03,
   kStats = 0x04,
   kExecuteProgram = 0x05,
+  kShardExec = 0x06,
+  kShardXchg = 0x07,
   kPingOk = 0x81,
   kPlanOk = 0x82,
   kPermuteOk = 0x83,
   kStatsOk = 0x84,
   kProgramOk = 0x85,
+  kShardExecOk = 0x86,
+  kShardXchgOk = 0x87,
   kError = 0xff,
 };
 
@@ -206,6 +233,108 @@ struct PermuteRequestView {
   WordsView data;
 
   [[nodiscard]] static runtime::StatusOr<PermuteRequestView> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+// --- SHARD_EXEC / SHARD_XCHG -----------------------------------------
+// Distributed permutation (docs/PROTOCOL.md §3.8): the coordinator
+// splits a PERMUTE into row bands, sends each shard its band via
+// SHARD_EXEC, and the shards realize the two transposes as direct
+// peer-to-peer SHARD_XCHG block exchanges keyed by session_id.
+
+/// SHARD_EXEC wire revision. Bumped only for incompatible layout
+/// changes; a shard strictly rejects versions it does not speak.
+inline constexpr std::uint32_t kShardProtocolVersion = 1;
+
+/// Wire bound on the shard count (mirrors runtime::kMaxShards).
+inline constexpr std::uint32_t kMaxWireShards = 64;
+
+/// Bound on a peer hostname in the SHARD_EXEC peer table.
+inline constexpr std::size_t kMaxShardHostLen = 255;
+
+/// One entry of the SHARD_EXEC peer table. Entry `shard_index` is the
+/// receiving shard itself (unused for sends, kept for symmetry).
+struct ShardPeer {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Owning SHARD_EXEC request. The coordinator hot path encodes with
+/// `encode_prefix` + a borrowed band part (scatter-gather send); the
+/// owning `encode`/`decode` pair serves tests and non-pooled callers.
+struct ShardExecRequest {
+  std::uint64_t session_id = 0;
+  std::uint64_t plan_id = 0;
+  std::uint32_t deadline_ms = 0;  ///< relative; 0 = none
+  std::uint32_t shard_index = 0;
+  std::uint64_t rows = 0;  ///< matrix rows of the full plan's shape
+  std::uint64_t cols = 0;  ///< matrix cols of the full plan's shape
+  std::vector<ShardPeer> peers;  ///< size = shard_count, band order
+  std::vector<std::uint32_t> band;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Everything before the band bytes (including the u64 count), padded
+  /// so the band lands on an 8-byte payload offset.
+  [[nodiscard]] std::vector<std::uint8_t> encode_prefix(std::uint64_t count) const;
+  [[nodiscard]] static runtime::StatusOr<ShardExecRequest> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+/// Borrowing decode of SHARD_EXEC: the peer table is small and copied,
+/// the band bytes are borrowed from the pooled payload (8-byte aligned
+/// by layout, so `band.in_place()` succeeds on little-endian hosts).
+struct ShardExecRequestView {
+  std::uint64_t session_id = 0;
+  std::uint64_t plan_id = 0;
+  std::uint32_t deadline_ms = 0;
+  std::uint32_t shard_index = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::vector<ShardPeer> peers;
+  WordsView band;
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(peers.size());
+  }
+
+  [[nodiscard]] static runtime::StatusOr<ShardExecRequestView> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+/// Owning SHARD_XCHG request (one column block of an exchange round).
+struct ShardXchgRequest {
+  std::uint64_t session_id = 0;
+  std::uint32_t round = 0;      ///< 1 after pass 1, 2 after pass 2
+  std::uint32_t src_shard = 0;  ///< sender's shard index
+  std::vector<std::uint32_t> block;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// The 24-byte header before the block bytes (scatter-gather send).
+  [[nodiscard]] std::vector<std::uint8_t> encode_prefix(std::uint64_t count) const;
+  [[nodiscard]] static runtime::StatusOr<ShardXchgRequest> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+/// Borrowing decode of SHARD_XCHG (block offset 24 — 8-byte aligned in
+/// pooled storage, so the scatter reads the block in place).
+struct ShardXchgRequestView {
+  std::uint64_t session_id = 0;
+  std::uint32_t round = 0;
+  std::uint32_t src_shard = 0;
+  WordsView block;
+
+  [[nodiscard]] static runtime::StatusOr<ShardXchgRequestView> decode(
+      std::span<const std::uint8_t> payload, std::uint64_t max_elements);
+};
+
+/// Borrowing decode of the "u64 count + words" response layout shared
+/// by PERMUTE_OK, PROGRAM_OK, and SHARD_EXEC_OK — the coordinator
+/// gathers band responses zero-copy and relays them with scatter-gather
+/// writes instead of reassembling the full array.
+struct WordsResponseView {
+  WordsView data;
+
+  [[nodiscard]] static runtime::StatusOr<WordsResponseView> decode(
       std::span<const std::uint8_t> payload, std::uint64_t max_elements);
 };
 

@@ -6,9 +6,12 @@
 #include <thread>
 #include <utility>
 
+#include "core/layout.hpp"
+#include "net/distributed.hpp"
 #include "perm/permutation.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/program.hpp"
+#include "util/bits.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -519,9 +522,121 @@ Status Router::push_plans(std::size_t idx, BackendLink& link,
   return Status::ok();
 }
 
+Status Router::route_distributed(TcpStream& client, std::vector<BackendLink>& links,
+                                 const FrameView& request, bool& wrote_error,
+                                 bool& handled) {
+  handled = false;
+  const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
+  StatusOr<PermuteRequestView> req = PermuteRequestView::decode(request.payload, max_elements);
+  if (!req.ok()) return Status::ok();  // single-node path owns the rejection
+  const std::uint64_t n = req.value().data.count;
+  const std::uint64_t data_bytes = n * kElemBytes;
+  if (data_bytes <= config_.distributed_max_bytes) return Status::ok();
+
+  // Band-splittability gate, checked *before* any shard is touched: a
+  // request the shards could not schedule must take the single-node
+  // path (where the degradation ladder can still serve it).
+  if (!util::is_pow2(n) || !util::is_pow2(config_.distributed_width) ||
+      config_.distributed_width == 0) {
+    return Status::ok();
+  }
+  const unsigned k = util::log2_floor(n);
+  const unsigned wk = util::log2_floor(config_.distributed_width);
+  if (k - (k + 1) / 2 < wk) return Status::ok();  // rows < width: unschedulable
+  const core::MatrixShape shape = core::shape_for(n, config_.distributed_width);
+
+  // The shard set: walk the plan's preference list (deterministic per
+  // plan, same order failover uses) keeping backends that are healthy
+  // with a closed breaker. Read-only checks — the half-open trial slot
+  // stays available for the single-node path.
+  const std::uint64_t plan_id = req.value().plan_id;
+  std::vector<std::size_t> usable;
+  for (const std::size_t idx : preference(plan_id)) {
+    if (backend_healthy(idx) && !backend_breaker_open(idx)) usable.push_back(idx);
+  }
+  const std::uint64_t want_by_size =
+      (data_bytes + config_.distributed_max_bytes - 1) / config_.distributed_max_bytes;
+  std::uint64_t shards = std::max<std::uint64_t>(2, want_by_size);
+  shards = std::min<std::uint64_t>({shards, config_.distributed_max_shards,
+                                    runtime::kMaxShards, usable.size(), shape.rows});
+  if (shards < 2) return Status::ok();  // not enough fleet: single-node path
+
+  // Every shard must hold the plan before its band arrives — replay it
+  // from the registry over the cached links. A backend that cannot be
+  // primed is dropped (and its breaker fed) rather than failing the
+  // request; distribution only proceeds while two shards remain.
+  std::vector<std::size_t> primed;
+  for (const std::size_t idx : usable) {
+    if (primed.size() >= shards) break;
+    const std::uint64_t fp[] = {plan_id};
+    const Status pushed = push_plans(idx, links[idx], fp);
+    if (pushed.is_ok()) {
+      primed.push_back(idx);
+    } else if (pushed.code() == StatusCode::kInvalidArgument) {
+      // The plan is not in the router registry (or the backend rejects
+      // it): no shard can be primed — single-node path owns the answer.
+      return Status::ok();
+    } else {
+      record_backend_transport_failure(*backends_[idx], false);
+    }
+  }
+  if (primed.size() < 2) return Status::ok();
+  shards = primed.size();
+
+  handled = true;
+  dist_requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<ShardTarget> targets;
+  targets.reserve(shards);
+  for (const std::size_t idx : primed) {
+    targets.push_back(ShardTarget{backends_[idx]->addr.host, backends_[idx]->addr.port, idx});
+  }
+
+  DistributedPermuter::Config dconfig;
+  dconfig.max_payload_bytes = config_.max_payload_bytes;
+  dconfig.connect_timeout = config_.connect_timeout;
+  dconfig.io_timeout = config_.io_timeout;
+  StatusOr<DistributedPermuter::Result> result = DistributedPermuter::execute(
+      dconfig, next_router_request_id(), plan_id, req.value().deadline_ms, shape.rows,
+      shape.cols, req.value().data.bytes, targets, [this](std::size_t idx) {
+        record_backend_transport_failure(*backends_[idx], false);
+      });
+  if (!result.ok()) {
+    // No fallback once distribution was attempted: the client gets the
+    // typed failure and owns the retry decision.
+    dist_failures_.fetch_add(1, std::memory_order_relaxed);
+    wrote_error = true;
+    return write_frame(client, make_error_frame(request.request_id, result.status()));
+  }
+  for (const std::size_t idx : primed) {
+    record_backend_success(*backends_[idx]);
+    backends_[idx]->ok.fetch_add(1, std::memory_order_relaxed);
+  }
+  dist_bytes_.fetch_add(data_bytes, std::memory_order_relaxed);
+
+  // Relay as one PERMUTE_OK: count header + the band payloads straight
+  // out of each shard's pooled response buffer, in band order.
+  std::uint8_t count_header[8];
+  for (int i = 0; i < 8; ++i) count_header[i] = static_cast<std::uint8_t>(n >> (8 * i));
+  std::vector<ConstBuffer> parts;
+  parts.reserve(1 + result.value().bands.size());
+  parts.push_back(ConstBuffer{count_header, sizeof(count_header)});
+  for (const DistributedPermuter::Band& band : result.value().bands) {
+    parts.push_back(ConstBuffer{band.bytes.data(), band.bytes.size()});
+  }
+  return write_frame_parts(client, static_cast<std::uint16_t>(MsgKind::kPermuteOk),
+                           request.request_id, parts);
+}
+
 Status Router::route_request(TcpStream& client, std::vector<BackendLink>& links,
                              const FrameView& request, bool& wrote_error) {
   requests_total_.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<MsgKind>(request.kind) == MsgKind::kPermute &&
+      config_.distributed_max_bytes > 0) {
+    bool handled = false;
+    const Status outcome = route_distributed(client, links, request, wrote_error, handled);
+    if (handled) return outcome;
+  }
   const RouteKey rk = route_key(request);
   const std::vector<std::size_t> prefs = preference(rk.key);
   const std::size_t primary = prefs.empty() ? 0 : prefs[0];
@@ -782,6 +897,9 @@ Router::Snapshot Router::snapshot() const {
   s.breaker_short_circuits = breaker_short_circuits_.load(std::memory_order_relaxed);
   s.no_backend_available = no_backend_available_.load(std::memory_order_relaxed);
   s.plan_resyncs = plan_resyncs_.load(std::memory_order_relaxed);
+  s.dist_requests = dist_requests_.load(std::memory_order_relaxed);
+  s.dist_failures = dist_failures_.load(std::memory_order_relaxed);
+  s.dist_bytes = dist_bytes_.load(std::memory_order_relaxed);
   s.plans_registered = plans_registered_.load(std::memory_order_relaxed);
   s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
   s.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
@@ -824,6 +942,9 @@ std::string Router::Snapshot::to_json() const {
   os << ",\"breaker_short_circuits\":" << breaker_short_circuits;
   os << ",\"no_backend_available\":" << no_backend_available;
   os << ",\"plan_resyncs\":" << plan_resyncs;
+  os << ",\"distributed_requests\":" << dist_requests;
+  os << ",\"distributed_failures\":" << dist_failures;
+  os << ",\"distributed_bytes\":" << dist_bytes;
   os << ",\"plans_registered\":" << plans_registered;
   os << ",\"connections_accepted\":" << connections_accepted;
   os << ",\"connections_rejected\":" << connections_rejected;
@@ -874,6 +995,12 @@ std::string Router::Snapshot::to_prometheus() const {
   counter("hmm_router_no_backend_available_total",
           "Requests with zero routable backends.", no_backend_available);
   counter("hmm_router_plan_resyncs_total", "Lazy per-request plan resyncs.", plan_resyncs);
+  counter("hmm_router_distributed_requests_total",
+          "PERMUTEs executed as distributed shard bands.", dist_requests);
+  counter("hmm_router_distributed_failures_total",
+          "Distributed executions that failed after being attempted.", dist_failures);
+  counter("hmm_router_distributed_bytes_total",
+          "Element bytes served through the distributed path.", dist_bytes);
   counter("hmm_router_plans_registered_total", "Distinct plans remembered for replication.",
           plans_registered);
   counter("hmm_router_connections_accepted_total", "Client connections accepted.",

@@ -118,6 +118,20 @@ class Router {
     std::chrono::milliseconds io_timeout{30'000};
     /// Stop-flag poll slice for accept/connection/health loops.
     std::chrono::milliseconds poll_interval{50};
+    /// Distributed execution: a PERMUTE whose element bytes exceed this
+    /// is split into row bands across the healthy backends (SHARD_EXEC
+    /// + peer-to-peer SHARD_XCHG) instead of forwarded whole. 0 =
+    /// disabled. Requests that are not band-splittable (non-power-of-
+    /// two size, unschedulable plan, fewer than two usable backends)
+    /// fall back to single-node routing *before* any shard is touched;
+    /// once distribution starts there is no fallback.
+    std::uint64_t distributed_max_bytes = 0;
+    /// Cap on the shard fan-out of one distributed request.
+    std::uint32_t distributed_max_shards = 8;
+    /// Machine width the shards schedule against (permd's default
+    /// machine model). The coordinator derives the matrix shape from
+    /// it, and the shards reject a shape mismatch typed.
+    std::uint32_t distributed_width = 32;
   };
 
   /// Point-in-time per-backend view (plain integers, safe to format).
@@ -150,6 +164,9 @@ class Router {
     std::uint64_t breaker_short_circuits = 0;
     std::uint64_t no_backend_available = 0;
     std::uint64_t plan_resyncs = 0;         ///< lazy per-request resyncs
+    std::uint64_t dist_requests = 0;   ///< PERMUTEs executed as shard bands
+    std::uint64_t dist_failures = 0;   ///< distributed attempts that failed
+    std::uint64_t dist_bytes = 0;      ///< element bytes moved distributed
     std::uint64_t plans_registered = 0;
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_rejected = 0;
@@ -229,6 +246,14 @@ class Router {
   runtime::Status route_request(TcpStream& client, std::vector<BackendLink>& links,
                                 const FrameView& request, bool& wrote_error);
 
+  /// Oversized PERMUTE: split into row bands across the healthy
+  /// backends and gather (see net/distributed.hpp). Sets `handled` when
+  /// a response (success or typed error) was written; leaves it false
+  /// when the request should take the single-node path instead.
+  runtime::Status route_distributed(TcpStream& client, std::vector<BackendLink>& links,
+                                    const FrameView& request, bool& wrote_error,
+                                    bool& handled);
+
   /// One request/response exchange with backend `idx` over `link`,
   /// reconnecting a stale cached connection once. A pre-frame ERROR
   /// (request_id 0 — the backend's connection cap) is returned as a
@@ -297,6 +322,9 @@ class Router {
   std::atomic<std::uint64_t> breaker_short_circuits_{0};
   std::atomic<std::uint64_t> no_backend_available_{0};
   std::atomic<std::uint64_t> plan_resyncs_{0};
+  std::atomic<std::uint64_t> dist_requests_{0};
+  std::atomic<std::uint64_t> dist_failures_{0};
+  std::atomic<std::uint64_t> dist_bytes_{0};
   std::atomic<std::uint64_t> plans_registered_{0};
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};

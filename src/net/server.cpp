@@ -1,15 +1,20 @@
 #include "net/server.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <sstream>
 #include <utility>
 #include <vector>
 
+#include "core/permuter.hpp"
+#include "cpu/kernels.hpp"
+#include "runtime/distributed.hpp"
 #include "runtime/fingerprint.hpp"
 #include "runtime/metrics.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hmm::net {
 
@@ -18,7 +23,12 @@ using runtime::StatusCode;
 using runtime::StatusOr;
 
 Server::Server(runtime::RobustPermuteService& service, Config config)
-    : service_(service), config_(std::move(config)) {}
+    : service_(service),
+      config_(std::move(config)),
+      shard_sessions_(
+          ShardSessionRegistry::Config{config_.shard_exchange_timeout,
+                                       config_.max_shard_sessions},
+          util::BufferPool::global()) {}
 
 Server::~Server() { stop(); }
 
@@ -66,6 +76,9 @@ Server::Counters Server::counters() const {
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   c.plans_registered = plans_registered_.load(std::memory_order_relaxed);
   c.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  c.shard_execs = shard_execs_.load(std::memory_order_relaxed);
+  c.shard_blocks = shard_blocks_.load(std::memory_order_relaxed);
+  c.shard_aborts = shard_aborts_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -213,6 +226,10 @@ Status Server::respond(TcpStream& stream, const FrameView& request, bool& wrote_
         return respond_permute(stream, request, wrote_error);
       case MsgKind::kExecuteProgram:
         return respond_program(stream, request, wrote_error);
+      case MsgKind::kShardExec:
+        return respond_shard_exec(stream, request, wrote_error);
+      case MsgKind::kShardXchg:
+        return respond_shard_xchg(stream, request, wrote_error);
       case MsgKind::kStats:
         return write_timed(stream, handle_stats(request.request_id), wrote_error);
       default:
@@ -469,6 +486,310 @@ Status Server::respond_program(TcpStream& stream, const FrameView& request, bool
   return write_timed_parts(stream, MsgKind::kProgramOk, request.request_id, parts);
 }
 
+namespace {
+
+/// Milliseconds left until `deadline`, floored at 1ms so socket
+/// timeouts stay armed right up to the abort.
+std::chrono::milliseconds budget_until(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  return std::max(left, std::chrono::milliseconds(1));
+}
+
+/// Push one exchange block at a peer and wait for its ack. The link is
+/// connected lazily on the first round and reused for the second.
+Status send_shard_block(TcpStream& link, bool& connected, const ShardPeer& peer,
+                        std::uint64_t session_id, std::uint32_t round, std::uint32_t src,
+                        std::span<const std::uint32_t> block,
+                        std::chrono::steady_clock::time_point deadline,
+                        util::BufferPool& pool) {
+  if (!connected) {
+    StatusOr<TcpStream> conn = tcp_connect(peer.host, peer.port, budget_until(deadline));
+    if (!conn.ok()) return conn.status();
+    link = std::move(conn).value();
+    connected = true;
+  }
+  const auto budget = budget_until(deadline);
+  (void)link.set_io_timeout(budget, budget);
+
+  ShardXchgRequest header;
+  header.session_id = session_id;
+  header.round = round;
+  header.src_shard = src;
+  const std::vector<std::uint8_t> prefix = header.encode_prefix(block.size());
+  Status sent;
+  if constexpr (std::endian::native == std::endian::little) {
+    // Native words are already wire order: the block leaves straight
+    // from the extraction scratch, scatter-gathered.
+    const ConstBuffer parts[] = {{prefix.data(), prefix.size()},
+                                 {block.data(), block.size() * sizeof(std::uint32_t)}};
+    sent = write_frame_parts(link, static_cast<std::uint16_t>(MsgKind::kShardXchg),
+                             session_id, parts);
+  } else {
+    header.block.assign(block.begin(), block.end());
+    sent = write_frame(link, make_ok_frame(session_id, MsgKind::kShardXchg, header.encode()));
+  }
+  if (!sent.is_ok()) return sent;
+
+  util::PooledBuffer ack_storage;
+  StatusOr<FrameView> ack = read_frame_view(link, pool, ack_storage, 4096);
+  if (!ack.ok()) return ack.status();
+  if (static_cast<MsgKind>(ack.value().kind) == MsgKind::kError) {
+    StatusOr<ErrorResponse> err = ErrorResponse::decode(ack.value().payload);
+    if (err.ok()) return err.value().to_status();
+    return Status(StatusCode::kUnavailable, "peer shard sent a malformed error frame");
+  }
+  if (static_cast<MsgKind>(ack.value().kind) != MsgKind::kShardXchgOk ||
+      ack.value().request_id != session_id) {
+    return Status(StatusCode::kUnavailable, "peer shard sent an unexpected exchange ack");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status Server::respond_shard_exec(TcpStream& stream, const FrameView& request,
+                                  bool& wrote_error) {
+  const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
+  StatusOr<ShardExecRequestView> req = ShardExecRequestView::decode(request.payload, max_elements);
+  if (!req.ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
+  }
+  const ShardExecRequestView& exec = req.value();
+  const std::uint32_t me = exec.shard_index;
+
+  auto fail = [&](const Status& why) {
+    shard_aborts_.fetch_add(1, std::memory_order_relaxed);
+    return write_timed(stream, make_error_frame(request.request_id, why), wrote_error);
+  };
+
+  StatusOr<runtime::BandPlan> bands_or =
+      runtime::BandPlan::build(exec.rows, exec.cols, exec.shard_count());
+  if (!bands_or.ok()) return fail(bands_or.status());
+  if (exec.band.count != bands_or.value().band_elements(me)) {
+    return fail(Status(StatusCode::kInvalidArgument,
+                       "SHARD_EXEC: band element count does not match the band split"));
+  }
+
+  // Open the session *before* the (possibly slow) plan compile: peers'
+  // round-1 blocks can land in staging while this shard still builds.
+  StatusOr<std::shared_ptr<ShardSession>> session_or =
+      shard_sessions_.create(exec.session_id, std::move(bands_or).value(), me);
+  if (!session_or.ok()) return fail(session_or.status());
+  std::shared_ptr<ShardSession> session = std::move(session_or).value();
+  struct SessionGuard {
+    ShardSessionRegistry& registry;
+    std::uint64_t id;
+    ~SessionGuard() { registry.erase(id); }
+  } session_guard{shard_sessions_, exec.session_id};
+  const runtime::BandPlan& bands = session->plan();
+
+  // The exchange budget is the server's knob, tightened by the
+  // request's own deadline when it carries one.
+  const auto started = std::chrono::steady_clock::now();
+  auto deadline = started + config_.shard_exchange_timeout;
+  if (exec.deadline_ms > 0) {
+    deadline = std::min(deadline, started + std::chrono::milliseconds(exec.deadline_ms));
+  }
+
+  std::shared_ptr<const perm::Permutation> plan;
+  {
+    std::lock_guard lock(plans_mutex_);
+    auto it = plans_.find(exec.plan_id);
+    if (it != plans_.end()) plan = it->second;
+  }
+  if (plan == nullptr) {
+    return fail(Status(StatusCode::kInvalidArgument,
+                       "SHARD_EXEC: unknown plan id (SUBMIT_PLAN it first)"));
+  }
+  if (plan->size() != exec.rows * exec.cols) {
+    return fail(Status(StatusCode::kInvalidArgument,
+                       "SHARD_EXEC: matrix shape does not match the plan size"));
+  }
+
+  // Compile (or fetch) the *full* scheduled plan — cached by
+  // fingerprint, so every band of a hot plan shares one compile — and
+  // slice this shard's rows of each pass as subspans.
+  std::shared_ptr<const core::OfflinePermuter<std::uint32_t>> permuter =
+      service_.cache().acquire<std::uint32_t>(*plan, service_.config().machine,
+                                              core::Strategy::kScheduled);
+  const core::ScheduledPlan* splan = permuter->plan();
+  if (splan == nullptr) {
+    return fail(Status(StatusCode::kInvalidArgument,
+                       "SHARD_EXEC: plan is not schedulable on this machine"));
+  }
+  if (splan->shape().rows != exec.rows || splan->shape().cols != exec.cols) {
+    return fail(Status(StatusCode::kInvalidArgument,
+                       "SHARD_EXEC: matrix shape does not match the compiled plan"));
+  }
+  StatusOr<runtime::BandPlanner> planner_or =
+      runtime::BandPlanner::build(*splan, exec.shard_count());
+  if (!planner_or.ok()) return fail(planner_or.status());
+  const runtime::BandPlanner& planner = planner_or.value();
+
+  util::BufferPool& pool = util::BufferPool::global();
+  const std::uint64_t band_elems = bands.band_elements(me);
+
+  std::span<const std::uint32_t> in = exec.band.in_place();
+  util::PooledBuffer in_copy;
+  if (in.empty()) {
+    in_copy = pool.try_acquire(band_elems * sizeof(std::uint32_t));
+    if (!in_copy.valid()) {
+      return fail(Status(StatusCode::kResourceExhausted,
+                         "buffer pool refused the shard input buffer"));
+    }
+    const std::span<std::uint32_t> copy_span = in_copy.as_span<std::uint32_t>(band_elems);
+    exec.band.copy_to(copy_span);
+    in = copy_span;
+  }
+
+  std::uint64_t max_block = 0;
+  for (std::uint32_t dst = 0; dst < bands.shards(); ++dst) {
+    max_block = std::max({max_block, bands.block(1, me, dst).elements(),
+                          bands.block(2, me, dst).elements()});
+  }
+  util::PooledBuffer y = pool.try_acquire(band_elems * sizeof(std::uint32_t));
+  util::PooledBuffer w =
+      pool.try_acquire(bands.transposed_elements(me) * sizeof(std::uint32_t));
+  util::PooledBuffer result = pool.try_acquire(band_elems * sizeof(std::uint32_t));
+  util::PooledBuffer scratch = pool.try_acquire(max_block * sizeof(std::uint32_t));
+  if (!y.valid() || !w.valid() || !result.valid() || !scratch.valid()) {
+    return fail(Status(StatusCode::kResourceExhausted,
+                       "buffer pool refused the shard pass buffers"));
+  }
+  const std::span<std::uint32_t> y_span = y.as_span<std::uint32_t>(band_elems);
+  const std::span<std::uint32_t> w_span =
+      w.as_span<std::uint32_t>(bands.transposed_elements(me));
+  const std::span<std::uint32_t> result_span = result.as_span<std::uint32_t>(band_elems);
+
+  util::ThreadPool& workers = util::ThreadPool::global();
+
+  // Pass 1 (row-wise over this band's rows of the rows x cols view).
+  const runtime::BandPassView p1 = planner.pass1(me);
+  cpu::row_wise_pass<std::uint32_t>(workers, in, y_span, p1.rows, p1.cols, p1.phat, p1.q);
+
+  // Round-1 exchange: one block per peer, each exactly once; the self
+  // block scatters locally through the same exactly-once bookkeeping.
+  std::vector<TcpStream> links(bands.shards());
+  std::vector<std::uint8_t> connected(bands.shards(), 0);
+  auto run_round = [&](std::uint32_t round,
+                       std::span<const std::uint32_t> local) -> Status {
+    for (std::uint32_t dst = 0; dst < bands.shards(); ++dst) {
+      const std::uint64_t elems = bands.block(round, me, dst).elements();
+      const std::span<std::uint32_t> block = scratch.as_span<std::uint32_t>(elems);
+      if (round == 1) {
+        runtime::extract_block_round1(bands, me, dst, local, block);
+      } else {
+        runtime::extract_block_round2(bands, me, dst, local, block);
+      }
+      if (dst == me) {
+        const Status local_st = session->accept_block(round, me, block);
+        if (!local_st.is_ok()) return local_st;
+        continue;
+      }
+      bool link_up = connected[dst] != 0;
+      const Status sent =
+          send_shard_block(links[dst], link_up, exec.peers[dst], exec.session_id, round, me,
+                           block, deadline, pool);
+      connected[dst] = link_up ? 1 : 0;
+      if (!sent.is_ok()) {
+        // A dead peer mid-exchange is the canonical distributed
+        // failure: surface it transient so the coordinator fails the
+        // request typed instead of hanging on this shard.
+        if (sent.code() == StatusCode::kInvalidArgument) return sent;
+        return Status(StatusCode::kUnavailable,
+                      "peer shard " + std::to_string(dst) +
+                          " unreachable during exchange: " + sent.message());
+      }
+    }
+    return Status::ok();
+  };
+
+  Status round_st = run_round(1, y_span);
+  if (!round_st.is_ok()) return fail(round_st);
+  round_st = session->wait_round(1, deadline);
+  if (!round_st.is_ok()) return fail(round_st);
+
+  // Pass 2 (row-wise over this shard's rows of the transposed view).
+  const runtime::BandPassView p2 = planner.pass2(me);
+  cpu::row_wise_pass<std::uint32_t>(workers, std::span<const std::uint32_t>(session->z_span()),
+                                    w_span, p2.rows, p2.cols, p2.phat, p2.q);
+
+  round_st = run_round(2, w_span);
+  if (!round_st.is_ok()) return fail(round_st);
+  round_st = session->wait_round(2, deadline);
+  if (!round_st.is_ok()) return fail(round_st);
+
+  // Pass 3 (row-wise, back in the rows x cols view): the result is this
+  // band's rows of the final array, contiguous.
+  const runtime::BandPassView p3 = planner.pass3(me);
+  cpu::row_wise_pass<std::uint32_t>(workers, std::span<const std::uint32_t>(session->x_span()),
+                                    result_span, p3.rows, p3.cols, p3.phat, p3.q);
+
+  shard_execs_.fetch_add(1, std::memory_order_relaxed);
+  std::uint8_t count_header[8];
+  for (int i = 0; i < 8; ++i) {
+    count_header[i] = static_cast<std::uint8_t>(band_elems >> (8 * i));
+  }
+  if constexpr (std::endian::native != std::endian::little) {
+    for (std::uint32_t& word : result_span) {
+      word = ((word & 0xff000000u) >> 24) | ((word & 0x00ff0000u) >> 8) |
+             ((word & 0x0000ff00u) << 8) | ((word & 0x000000ffu) << 24);
+    }
+  }
+  const ConstBuffer parts[] = {{count_header, sizeof(count_header)},
+                               {result_span.data(), band_elems * sizeof(std::uint32_t)}};
+  return write_timed_parts(stream, MsgKind::kShardExecOk, request.request_id, parts);
+}
+
+Status Server::respond_shard_xchg(TcpStream& stream, const FrameView& request,
+                                  bool& wrote_error) {
+  const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
+  StatusOr<ShardXchgRequestView> req = ShardXchgRequestView::decode(request.payload, max_elements);
+  if (!req.ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
+  }
+  const ShardXchgRequestView& xchg = req.value();
+
+  // The block may outrace this shard's own SHARD_EXEC: wait (bounded)
+  // for the session instead of bouncing the peer into a retry loop.
+  std::shared_ptr<ShardSession> session = shard_sessions_.await(
+      xchg.session_id, std::chrono::steady_clock::now() + config_.shard_exchange_timeout);
+  if (session == nullptr) {
+    return write_timed(stream,
+                       make_error_frame(request.request_id,
+                                        Status(StatusCode::kUnavailable,
+                                               "SHARD_XCHG: no such shard session")),
+                       wrote_error);
+  }
+
+  std::span<const std::uint32_t> block = xchg.block.in_place();
+  util::PooledBuffer block_copy;
+  if (block.empty()) {
+    util::BufferPool& pool = util::BufferPool::global();
+    block_copy = pool.try_acquire(xchg.block.count * sizeof(std::uint32_t));
+    if (!block_copy.valid()) {
+      return write_timed(stream,
+                         make_error_frame(request.request_id,
+                                          Status(StatusCode::kResourceExhausted,
+                                                 "buffer pool refused the block buffer")),
+                         wrote_error);
+    }
+    const std::span<std::uint32_t> copy_span =
+        block_copy.as_span<std::uint32_t>(xchg.block.count);
+    xchg.block.copy_to(copy_span);
+    block = copy_span;
+  }
+
+  const Status accepted = session->accept_block(xchg.round, xchg.src_shard, block);
+  if (!accepted.is_ok()) {
+    return write_timed(stream, make_error_frame(request.request_id, accepted), wrote_error);
+  }
+  shard_blocks_.fetch_add(1, std::memory_order_relaxed);
+  return write_timed(stream, make_ok_frame(request.request_id, MsgKind::kShardXchgOk, {}),
+                     wrote_error);
+}
+
 Frame Server::handle_stats(std::uint64_t request_id) {
   const std::string service_json = service_.metrics().snapshot().to_json();
   // Splice the server-side counters the service layer cannot see
@@ -484,6 +805,10 @@ Frame Server::handle_stats(std::uint64_t request_id) {
      << ",\"protocol_errors\":" << c.protocol_errors
      << ",\"plans_registered\":" << c.plans_registered
      << ",\"idle_closed\":" << c.idle_closed
+     << ",\"shard_execs\":" << c.shard_execs
+     << ",\"shard_blocks\":" << c.shard_blocks
+     << ",\"shard_aborts\":" << c.shard_aborts
+     << ",\"shard_sessions\":" << shard_sessions_.size()
      << ",\"plans\":" << plans() << "}";
   if (service_json.size() > 2 && service_json.front() == '{') {
     os << "," << service_json.substr(1);

@@ -45,6 +45,7 @@
 
 #include "net/frame_io.hpp"
 #include "net/protocol.hpp"
+#include "net/shard.hpp"
 #include "net/socket.hpp"
 #include "perm/permutation.hpp"
 #include "runtime/service.hpp"
@@ -76,6 +77,14 @@ class Server {
     std::chrono::milliseconds drain_timeout{10'000};
     /// Stop-flag poll slice for accept and connection loops.
     std::chrono::milliseconds poll_interval{50};
+    /// Distributed execution: bound on waiting for peer SHARD_XCHG
+    /// blocks (exec side) and for the local SHARD_EXEC to open the
+    /// session (xchg side). A shard whose peer dies mid-exchange fails
+    /// typed (kUnavailable) and releases its staging after this long.
+    std::chrono::milliseconds shard_exchange_timeout{10'000};
+    /// Concurrent distributed executions this shard admits; excess
+    /// SHARD_EXECs answer RETRY_LATER.
+    std::uint32_t max_shard_sessions = 32;
   };
 
   /// Monotonic counters (relaxed; advisory).
@@ -87,6 +96,9 @@ class Server {
     std::uint64_t protocol_errors = 0;       ///< framing violations received
     std::uint64_t plans_registered = 0;
     std::uint64_t idle_closed = 0;  ///< connections closed by idle_timeout
+    std::uint64_t shard_execs = 0;        ///< SHARD_EXEC band executions completed
+    std::uint64_t shard_blocks = 0;       ///< SHARD_XCHG blocks accepted
+    std::uint64_t shard_aborts = 0;       ///< shard sessions that failed mid-flight
 
     /// Responses of either kind delivered to a client. (The pre-split
     /// `requests_served` also counted responses whose socket write
@@ -149,6 +161,19 @@ class Server {
   runtime::Status respond_program(TcpStream& stream, const FrameView& request,
                                   bool& wrote_error);
 
+  /// SHARD_EXEC: run this shard's row band of a distributed PERMUTE —
+  /// pass 1, push round-1 blocks at the peers, wait for theirs, pass 2,
+  /// round-2 exchange, pass 3, respond with the band. Every failure
+  /// aborts + erases the session (staging released) and answers typed.
+  runtime::Status respond_shard_exec(TcpStream& stream, const FrameView& request,
+                                     bool& wrote_error);
+
+  /// SHARD_XCHG: rendezvous with the local session (bounded wait — the
+  /// block may outrace this shard's own SHARD_EXEC) and scatter the
+  /// block into its staging buffer.
+  runtime::Status respond_shard_xchg(TcpStream& stream, const FrameView& request,
+                                     bool& wrote_error);
+
   Frame handle_submit_plan(const FrameView& request);
   Frame handle_stats(std::uint64_t request_id);
 
@@ -176,6 +201,8 @@ class Server {
   mutable std::mutex plans_mutex_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const perm::Permutation>> plans_;
 
+  ShardSessionRegistry shard_sessions_;
+
   std::atomic<std::uint64_t> connections_accepted_{0};
   std::atomic<std::uint64_t> connections_rejected_{0};
   std::atomic<std::uint64_t> requests_ok_{0};
@@ -183,6 +210,9 @@ class Server {
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> plans_registered_{0};
   std::atomic<std::uint64_t> idle_closed_{0};
+  std::atomic<std::uint64_t> shard_execs_{0};
+  std::atomic<std::uint64_t> shard_blocks_{0};
+  std::atomic<std::uint64_t> shard_aborts_{0};
 };
 
 }  // namespace hmm::net

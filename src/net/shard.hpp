@@ -1,0 +1,125 @@
+#pragma once
+/// \file shard.hpp
+/// \brief Shard-side state of a distributed PERMUTE: the session
+///        registry that pairs one SHARD_EXEC execution with the
+///        SHARD_XCHG blocks its peers push at it.
+///
+/// A distributed execution is keyed by a coordinator-chosen session id.
+/// The SHARD_EXEC handler creates the session (allocating both exchange
+/// staging buffers from the shared BufferPool up front), runs the three
+/// band-local passes, and between them waits for the session to collect
+/// all `shards` blocks of the active round. SHARD_XCHG connections
+/// arrive on independent server threads — possibly *before* the local
+/// SHARD_EXEC has been decoded — so `await` blocks (bounded) for the
+/// session to appear, then scatters the block straight into staging.
+///
+/// Failure discipline: every exit path erases the session, and the
+/// staging buffers are pooled RAII handles — a shard that aborts
+/// mid-exchange (peer died, deadline passed, malformed block) releases
+/// every staged byte, which the tests verify via pool-stats deltas.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/distributed.hpp"
+#include "runtime/status.hpp"
+#include "util/buffer_pool.hpp"
+
+namespace hmm::net {
+
+/// One in-flight distributed execution on this shard. Thread-safe: the
+/// exec thread and any number of SHARD_XCHG connection threads share
+/// it. Blocks from distinct sources land in disjoint staging regions,
+/// so scatters run outside the lock; arrival bookkeeping is locked.
+class ShardSession {
+ public:
+  ShardSession(runtime::BandPlan plan, std::uint32_t shard_index, util::PooledBuffer z,
+               util::PooledBuffer x);
+
+  [[nodiscard]] const runtime::BandPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint32_t shard_index() const noexcept { return shard_index_; }
+
+  /// Shard's slice of the transposed view (round-1 target, pass-2 input).
+  [[nodiscard]] std::span<std::uint32_t> z_span() noexcept;
+  /// Shard's pass-3 input (round-2 target).
+  [[nodiscard]] std::span<std::uint32_t> x_span() noexcept;
+
+  /// Scatter one round-`round` block from `src` into staging and mark
+  /// it arrived. Exactly-once: a duplicate (round, src) block, a wrong
+  /// block size, or an out-of-range source is a typed kInvalidArgument;
+  /// a block for an aborted session reports the abort reason.
+  [[nodiscard]] runtime::Status accept_block(std::uint32_t round, std::uint32_t src,
+                                             std::span<const std::uint32_t> block);
+
+  /// Block until all `shards` blocks of `round` arrived, the session
+  /// aborted, or `deadline` passed (kUnavailable — a missing peer block
+  /// is a transient fleet condition, not a caller bug).
+  [[nodiscard]] runtime::Status wait_round(std::uint32_t round,
+                                           std::chrono::steady_clock::time_point deadline);
+
+  /// Fail the session: pending and future waits/accepts observe `why`.
+  void abort(runtime::Status why);
+
+ private:
+  runtime::BandPlan plan_;
+  std::uint32_t shard_index_ = 0;
+  util::PooledBuffer z_;
+  util::PooledBuffer x_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  runtime::Status aborted_;  ///< OK = live
+  std::vector<std::uint8_t> claimed_[2];
+  std::uint32_t arrived_[2] = {0, 0};
+};
+
+/// The shard's session table. Sessions are created by SHARD_EXEC and
+/// erased on every exit path of the exec handler; SHARD_XCHG handlers
+/// rendezvous through `await`.
+class ShardSessionRegistry {
+ public:
+  struct Config {
+    /// Bound on waiting for peer blocks (exec side) and for the local
+    /// SHARD_EXEC to create the session (xchg side).
+    std::chrono::milliseconds exchange_timeout{10'000};
+    /// Concurrent distributed executions this shard admits.
+    std::uint32_t max_sessions = 32;
+  };
+
+  explicit ShardSessionRegistry(Config config, util::BufferPool& pool)
+      : config_(config), pool_(pool) {}
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Create the session for `id`, acquiring both staging buffers from
+  /// the pool. kResourceExhausted at the session cap or when the pool
+  /// refuses; kInvalidArgument for a duplicate id.
+  [[nodiscard]] runtime::StatusOr<std::shared_ptr<ShardSession>> create(
+      std::uint64_t id, runtime::BandPlan plan, std::uint32_t shard_index);
+
+  /// Wait up to `deadline` for session `id` (SHARD_XCHG can outrace the
+  /// local SHARD_EXEC). nullptr = never appeared.
+  [[nodiscard]] std::shared_ptr<ShardSession> await(
+      std::uint64_t id, std::chrono::steady_clock::time_point deadline);
+
+  /// Drop the session. Staging is released when the last holder lets
+  /// go of the shared_ptr (an in-flight scatter finishes safely first).
+  void erase(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  Config config_;
+  util::BufferPool& pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<ShardSession>> sessions_;
+};
+
+}  // namespace hmm::net

@@ -1,0 +1,214 @@
+#pragma once
+/// \file distributed.hpp
+/// \brief Band decomposition of the scheduled permutation across shards
+///        (ROADMAP "horizontal sharding, phase 2").
+///
+/// The paper executes a permutation on n = rows x cols elements as
+/// row-wise pass -> transpose -> row-wise pass -> transpose -> row-wise
+/// pass. The distributed analogue splits the matrix into contiguous
+/// *row bands*, one per shard: every row-wise pass is embarrassingly
+/// band-local (a row never leaves its band), and each transpose becomes
+/// an all-to-all *column exchange* — shard s owns rows R_s of the
+/// rows x cols view and rows C_s (its column band) of the transposed
+/// cols x rows view, so the transpose moves exactly the block
+/// R_s x C_t from shard s to shard t, for every ordered pair (s, t).
+/// Each block moves exactly once and the per-link volumes are balanced
+/// (they differ only by the +/-1 row remainder of the band split), so
+/// the exchange is contention-free in the same sense the bank schedules
+/// make the shared-memory scatters conflict-free — one level up.
+///
+/// `BandPlan` is pure geometry (band ranges + the exchange block list);
+/// `BandPlanner` binds the geometry to a compiled `core::ScheduledPlan`
+/// and hands out the band's rows of each pass schedule as zero-copy
+/// subspans of the full `RowScheduleSet` — the rows a shard runs are
+/// bit-identical to the rows a single node would run (see
+/// `core::slice_rows` for the owning variant).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/row_schedule.hpp"
+#include "runtime/status.hpp"
+
+namespace hmm::runtime {
+
+/// Most shards one distributed execution may span (wire-level bound;
+/// coordinators typically use far fewer).
+inline constexpr std::uint32_t kMaxShards = 64;
+
+/// Half-open row range [begin, end).
+struct BandRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] std::uint64_t rows() const noexcept { return end - begin; }
+};
+
+/// One block of the column exchange: shard `src` sends rows
+/// [row_begin, row_end) x columns [col_begin, col_end) of *its current
+/// local view* to shard `dst`, laid out row-major within the block.
+struct BlockTransfer {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t row_begin = 0;
+  std::uint64_t row_end = 0;
+  std::uint64_t col_begin = 0;
+  std::uint64_t col_end = 0;
+
+  [[nodiscard]] std::uint64_t elements() const noexcept {
+    return (row_end - row_begin) * (col_end - col_begin);
+  }
+};
+
+/// Band geometry + exchange schedule for a rows x cols matrix split
+/// across `shards` row bands. Value type: cheap to copy (O(shards^2)).
+class BandPlan {
+ public:
+  /// Build the split. Fails (kInvalidArgument) when `shards` is 0,
+  /// exceeds `kMaxShards`, or exceeds rows (every band needs at least
+  /// one row of both the natural and the transposed view; rows <= cols
+  /// by shape_for, so rows is the binding bound).
+  [[nodiscard]] static StatusOr<BandPlan> build(std::uint64_t rows, std::uint64_t cols,
+                                                std::uint32_t shards);
+
+  [[nodiscard]] std::uint64_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::uint64_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::uint32_t shards() const noexcept {
+    return static_cast<std::uint32_t>(row_bands_.size());
+  }
+
+  /// Shard s's rows of the rows x cols view (passes 1 and 3).
+  [[nodiscard]] const BandRange& row_band(std::uint32_t s) const noexcept {
+    return row_bands_[s];
+  }
+  /// Shard s's rows of the transposed cols x rows view (pass 2).
+  [[nodiscard]] const BandRange& col_band(std::uint32_t s) const noexcept {
+    return col_bands_[s];
+  }
+
+  /// Element offset / length of shard s's band in the flat n-array
+  /// (bands are contiguous, in shard order — the coordinator slices the
+  /// input and concatenates the outputs with no reshuffling).
+  [[nodiscard]] std::uint64_t band_offset(std::uint32_t s) const noexcept {
+    return row_bands_[s].begin * cols_;
+  }
+  [[nodiscard]] std::uint64_t band_elements(std::uint32_t s) const noexcept {
+    return row_bands_[s].rows() * cols_;
+  }
+  /// Elements of shard s's slice of the transposed view (the staging
+  /// buffer the first exchange assembles).
+  [[nodiscard]] std::uint64_t transposed_elements(std::uint32_t s) const noexcept {
+    return col_bands_[s].rows() * rows_;
+  }
+
+  /// The full exchange schedule of round 1 (after pass 1; blocks of the
+  /// rows x cols view) or round 2 (after pass 2; blocks of the
+  /// cols x rows view). shards^2 entries, each (src, dst) exactly once.
+  [[nodiscard]] std::span<const BlockTransfer> exchange(std::uint32_t round) const noexcept {
+    return round == 1 ? std::span<const BlockTransfer>(round1_)
+                      : std::span<const BlockTransfer>(round2_);
+  }
+
+  /// The single block shard `src` sends shard `dst` in `round`.
+  [[nodiscard]] const BlockTransfer& block(std::uint32_t round, std::uint32_t src,
+                                           std::uint32_t dst) const noexcept {
+    const auto& sched = round == 1 ? round1_ : round2_;
+    return sched[static_cast<std::size_t>(src) * shards() + dst];
+  }
+
+ private:
+  BandPlan() = default;
+
+  std::uint64_t rows_ = 0;
+  std::uint64_t cols_ = 0;
+  std::vector<BandRange> row_bands_;
+  std::vector<BandRange> col_bands_;
+  std::vector<BlockTransfer> round1_;  ///< src-major, dst-minor
+  std::vector<BlockTransfer> round2_;
+};
+
+/// One band's rows of a pass schedule, borrowed from the full plan.
+struct BandPassView {
+  std::uint64_t rows = 0;  ///< rows this band executes
+  std::uint64_t cols = 0;  ///< row length of the pass
+  std::span<const std::uint16_t> phat;
+  std::span<const std::uint16_t> q;
+};
+
+/// Binds a `BandPlan` to a compiled plan and serves each shard its
+/// slice of the three pass schedules. Borrows `plan` — the caller keeps
+/// it alive (shards hold the plan-cache entry).
+class BandPlanner {
+ public:
+  /// Fails (kInvalidArgument) when the split is infeasible for the
+  /// plan's shape (see BandPlan::build).
+  [[nodiscard]] static StatusOr<BandPlanner> build(const core::ScheduledPlan& plan,
+                                                   std::uint32_t shards);
+
+  [[nodiscard]] const BandPlan& bands() const noexcept { return bands_; }
+  [[nodiscard]] const core::ScheduledPlan& plan() const noexcept { return *plan_; }
+
+  /// Shard s's rows of pass 1 / 2 / 3. Pass 1 and 3 run over the row
+  /// band of the rows x cols view; pass 2 over the column band of the
+  /// transposed cols x rows view.
+  [[nodiscard]] BandPassView pass1(std::uint32_t shard) const noexcept {
+    return slice(plan_->pass1(), bands_.row_band(shard));
+  }
+  [[nodiscard]] BandPassView pass2(std::uint32_t shard) const noexcept {
+    return slice(plan_->pass2(), bands_.col_band(shard));
+  }
+  [[nodiscard]] BandPassView pass3(std::uint32_t shard) const noexcept {
+    return slice(plan_->pass3(), bands_.row_band(shard));
+  }
+
+ private:
+  BandPlanner(const core::ScheduledPlan& plan, BandPlan bands)
+      : plan_(&plan), bands_(std::move(bands)) {}
+
+  [[nodiscard]] static BandPassView slice(const core::RowScheduleSet& set,
+                                          const BandRange& band) noexcept {
+    const std::uint64_t offset = band.begin * set.cols;
+    const std::uint64_t len = band.rows() * set.cols;
+    return BandPassView{
+        .rows = band.rows(),
+        .cols = set.cols,
+        .phat = std::span<const std::uint16_t>(set.phat.data() + offset, len),
+        .q = std::span<const std::uint16_t>(set.q.data() + offset, len),
+    };
+  }
+
+  const core::ScheduledPlan* plan_ = nullptr;
+  BandPlan bands_;
+};
+
+/// Extract the round-1 block (src -> dst) from shard src's pass-1
+/// output `y_local` (its row band of the rows x cols view, row-major)
+/// into `block` (row-major, band_rows(src) x col_rows(dst) entries).
+void extract_block_round1(const BandPlan& plan, std::uint32_t src, std::uint32_t dst,
+                          std::span<const std::uint32_t> y_local,
+                          std::span<std::uint32_t> block);
+
+/// Scatter a round-1 block from `src` into shard dst's slice of the
+/// transposed view `z_local` (col_band(dst).rows() x rows, row-major):
+/// the receive side of transpose 1.
+void scatter_block_round1(const BandPlan& plan, std::uint32_t src, std::uint32_t dst,
+                          std::span<const std::uint32_t> block,
+                          std::span<std::uint32_t> z_local);
+
+/// Extract the round-2 block (src -> dst) from shard src's pass-2
+/// output `w_local` (its column band of the cols x rows view,
+/// row-major) into `block` (row-major, col_rows(src) x band_rows(dst)).
+void extract_block_round2(const BandPlan& plan, std::uint32_t src, std::uint32_t dst,
+                          std::span<const std::uint32_t> w_local,
+                          std::span<std::uint32_t> block);
+
+/// Scatter a round-2 block from `src` into shard dst's pass-3 input
+/// `x_local` (band_rows(dst) x cols, row-major): the receive side of
+/// transpose 2.
+void scatter_block_round2(const BandPlan& plan, std::uint32_t src, std::uint32_t dst,
+                          std::span<const std::uint32_t> block,
+                          std::span<std::uint32_t> x_local);
+
+}  // namespace hmm::runtime

@@ -114,6 +114,9 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
     const util::BufferPool::Stats pool = util::BufferPool::global().stats();
     s.pool_hits = pool.hits;
     s.pool_misses = pool.misses;
+    s.pool_releases = pool.releases;
+    s.pool_trims = pool.trims;
+    s.pool_acquire_failures = pool.acquire_failures;
     s.pool_outstanding_bytes = pool.outstanding_bytes;
     s.pool_pooled_bytes = pool.pooled_bytes;
   }
@@ -192,6 +195,8 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"stages_max\":" << program_stages_max << "},"
      << "\"pool\":{"
      << "\"hits\":" << pool_hits << ",\"misses\":" << pool_misses
+     << ",\"releases\":" << pool_releases << ",\"trims\":" << pool_trims
+     << ",\"acquire_failures\":" << pool_acquire_failures
      << ",\"outstanding_bytes\":" << pool_outstanding_bytes
      << ",\"pooled_bytes\":" << pool_pooled_bytes << "},"
      << "\"phases\":{";
@@ -250,6 +255,11 @@ util::Table MetricsSnapshot::to_table() const {
   }
   t.add_row({"pool hits", util::format_count(pool_hits)});
   t.add_row({"pool misses", util::format_count(pool_misses)});
+  t.add_row({"pool releases", util::format_count(pool_releases)});
+  if (pool_trims > 0) t.add_row({"pool trims", util::format_count(pool_trims)});
+  if (pool_acquire_failures > 0) {
+    t.add_row({"pool acquire failures", util::format_count(pool_acquire_failures)});
+  }
   t.add_row({"pool outstanding", util::format_bytes(pool_outstanding_bytes)});
   t.add_row({"pool cached", util::format_bytes(pool_pooled_bytes)});
   t.add_separator();
@@ -298,6 +308,23 @@ std::string MetricsSnapshot::to_prometheus() const {
           pool_hits);
   counter("hmm_pool_misses_total", "Buffer-pool acquisitions that hit the allocator.",
           pool_misses);
+  counter("hmm_pool_releases_total", "Buffers returned to the pool.", pool_releases);
+  counter("hmm_pool_trims_total", "Pooled buffers dropped by cap or explicit trim.",
+          pool_trims);
+  counter("hmm_pool_acquire_failures_total",
+          "Acquisitions refused at the outstanding-bytes cap.", pool_acquire_failures);
+  // Byte gauges: outstanding tracks leaks (a steady workload must
+  // return to its baseline), pooled tracks the free-list footprint.
+  const auto gauge = [&os](std::string_view name, std::string_view help,
+                           std::uint64_t value) {
+    os << "# HELP " << name << " " << help << "\n"
+       << "# TYPE " << name << " gauge\n"
+       << name << " " << value << "\n";
+  };
+  gauge("hmm_pool_outstanding_bytes", "Bytes currently held by live pooled buffers.",
+        pool_outstanding_bytes);
+  gauge("hmm_pool_pooled_bytes", "Bytes parked on the pool's free lists.",
+        pool_pooled_bytes);
   // Per-phase digests as summaries. Quantiles come from the log2
   // histogram (factor-of-two resolution); _sum/_count are exact.
   os << "# HELP hmm_phase_duration_seconds Wall time attributed to each serving phase.\n"

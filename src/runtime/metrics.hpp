@@ -114,6 +114,9 @@ struct MetricsSnapshot {
   // Executors configured with a private pool are not reflected here.
   std::uint64_t pool_hits = 0;
   std::uint64_t pool_misses = 0;
+  std::uint64_t pool_releases = 0;
+  std::uint64_t pool_trims = 0;
+  std::uint64_t pool_acquire_failures = 0;
   std::uint64_t pool_outstanding_bytes = 0;
   std::uint64_t pool_pooled_bytes = 0;
   // Per-phase latency digests, indexed by runtime::Phase.

@@ -71,6 +71,41 @@ TEST(Fingerprint, PermutationSizeIsPartOfTheKey) {
             runtime::fingerprint_permutation(perm::identical(512)));
 }
 
+TEST(Fingerprint, MappingSpanAgreesWithPermutation) {
+  // fingerprint_mapping over raw words IS the wire plan id, so it must
+  // agree bit-for-bit with fingerprint_permutation of a Permutation
+  // built from the same words — across sizes and mapping families.
+  for (const std::uint64_t n : {16ull, 256ull, 4096ull}) {
+    for (const char* name : {"identical", "bit-reversal", "random"}) {
+      const perm::Permutation p = perm::by_name(name, n, 11);
+      const std::span<const std::uint32_t> words(p.data().data(), p.data().size());
+      EXPECT_EQ(runtime::fingerprint_mapping(words), runtime::fingerprint_permutation(p))
+          << name << " n=" << n;
+
+      // Same words in a freshly copied vector (different address, same
+      // content) — the hash is over values, never identity.
+      util::aligned_vector<std::uint32_t> copy(words.begin(), words.end());
+      EXPECT_EQ(runtime::fingerprint_mapping({copy.data(), copy.size()}),
+                runtime::fingerprint_permutation(p))
+          << name << " n=" << n;
+    }
+  }
+}
+
+TEST(Fingerprint, MappingSpanDiscriminatesContentAndLength) {
+  const perm::Permutation p = perm::bit_reversal(512);
+  const std::span<const std::uint32_t> words(p.data().data(), p.data().size());
+  const Fingerprint base = runtime::fingerprint_mapping(words);
+
+  // A single swapped pair changes the hash.
+  util::aligned_vector<std::uint32_t> tweaked(words.begin(), words.end());
+  std::swap(tweaked[3], tweaked[4]);
+  EXPECT_NE(base, runtime::fingerprint_mapping({tweaked.data(), tweaked.size()}));
+
+  // A strict prefix changes the hash (length is mixed in).
+  EXPECT_NE(base, runtime::fingerprint_mapping(words.first(words.size() / 2)));
+}
+
 // ----------------------------------------------------------------- histogram
 
 TEST(LogHistogram, QuantilesAndCounters) {

@@ -4,7 +4,10 @@
 ///
 /// Commands (first positional argument):
 ///   ping      liveness probe (echo round-trip)
-///   stats     print the server's ServiceMetrics snapshot JSON
+///   stats     print the server's ServiceMetrics snapshot JSON; against
+///             a permd_router the fleet snapshot is rendered as a
+///             per-backend table (state, breaker, forwards, failovers)
+///             instead — `--json true` forces the raw JSON either way
 ///   phases    fetch the same snapshot and render the per-phase
 ///             latency breakdown as a table
 ///   permute   register a named permutation family, send `--count`
@@ -20,21 +23,30 @@
 ///               rotate:<shift>
 ///             `--staged true` forces the server's staged path (results
 ///             must be bit-identical to fused).
+///   dpermute  distributed permute smoke against a permd_router: one
+///             verified permute round-trip sized for the router's
+///             --distributed-max-bytes threshold, then a before/after
+///             scrape of the router's distributed counters.
+///             `--require-distributed true` fails (exit 1) unless the
+///             request was actually served by the sharded path.
 ///
 /// Usage:
-///   permd_client <ping|stats|phases|permute|program> --port P
+///   permd_client <ping|stats|phases|permute|program|dpermute> --port P
 ///                [--host 127.0.0.1] [--n 64K] [--family bit-reversal]
 ///                [--seed 42] [--count 4] [--deadline-ms 0]
 ///                [--timeout-ms 30000] [--ops plan:random,bit-reversal]
-///                [--staged false]
+///                [--staged false] [--json false]
+///                [--require-distributed false] [--max-payload-mb 64]
 ///
 /// Exit code: 0 on success, 1 on any typed error or verification
 /// failure, 2 on usage errors.
 
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/client.hpp"
@@ -48,17 +60,100 @@
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
+namespace {
+
+/// Pull `"key":<u64>` out of a JSON dump starting at `from`. Good
+/// enough for the snapshots this tool itself requested.
+bool scrape_u64(const std::string& json, std::string_view key, std::uint64_t& out,
+                std::size_t from = 0) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return false;
+  const char* p = json.c_str() + at + needle.size();
+  if (*p < '0' || *p > '9') return false;
+  out = std::strtoull(p, nullptr, 10);
+  return true;
+}
+
+/// Pull `"key":"<string>"` out of a JSON dump starting at `from`.
+bool scrape_string(const std::string& json, std::string_view key, std::string& out,
+                   std::size_t from = 0) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = json.find('"', begin);
+  if (end == std::string::npos) return false;
+  out = json.substr(begin, end - begin);
+  return true;
+}
+
+bool scrape_bool(const std::string& json, std::string_view key, bool& out,
+                 std::size_t from = 0) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return false;
+  out = json.compare(at + needle.size(), 4, "true") == 0;
+  return true;
+}
+
+/// Render a router fleet snapshot as a per-backend table. Returns false
+/// when `json` is not router-shaped (single-server ServiceMetrics).
+bool print_router_stats(const std::string& json, std::ostream& os) {
+  if (json.find("\"router\":{") == std::string::npos) return false;
+  using hmm::util::format_count;
+  std::uint64_t routed = 0, failovers = 0, shorted = 0, dist = 0, dist_failed = 0;
+  (void)scrape_u64(json, "requests_total", routed);
+  (void)scrape_u64(json, "failovers_total", failovers);
+  (void)scrape_u64(json, "breaker_short_circuits", shorted);
+  (void)scrape_u64(json, "distributed_requests", dist);
+  (void)scrape_u64(json, "distributed_failures", dist_failed);
+  os << "router: " << routed << " requests routed, " << failovers << " failovers, "
+     << shorted << " breaker short-circuits";
+  if (dist > 0 || dist_failed > 0) {
+    os << ", " << dist << " distributed (" << dist_failed << " failed)";
+  }
+  os << "\n";
+
+  hmm::util::Table t({"backend", "state", "breaker", "requests", "ok", "transport-fail",
+                      "failovers-to", "plans-synced"});
+  std::size_t at = json.find("\"backend\":\"");
+  while (at != std::string::npos) {
+    std::string label;
+    bool healthy = true, breaker = false;
+    std::uint64_t requests = 0, ok = 0, transport = 0, failovers_to = 0, synced = 0;
+    (void)scrape_string(json, "backend", label, at);
+    (void)scrape_bool(json, "healthy", healthy, at);
+    (void)scrape_bool(json, "breaker_open", breaker, at);
+    (void)scrape_u64(json, "requests", requests, at);
+    (void)scrape_u64(json, "ok", ok, at);
+    (void)scrape_u64(json, "transport_failures", transport, at);
+    (void)scrape_u64(json, "failovers_to", failovers_to, at);
+    (void)scrape_u64(json, "plans_synced", synced, at);
+    t.add_row({label, healthy ? "healthy" : "EJECTED", breaker ? "open" : "closed",
+               format_count(requests), format_count(ok), format_count(transport),
+               format_count(failovers_to), format_count(synced)});
+    at = json.find("\"backend\":\"", at + 1);
+  }
+  t.print(os);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace hmm;
 
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "n", "family", "seed", "count", "deadline-ms",
-                         "timeout-ms", "ops", "staged"},
+                         "timeout-ms", "ops", "staged", "json", "require-distributed",
+                         "max-payload-mb"},
                         std::cerr)) {
     return 2;
   }
   if (cli.positional().size() != 1) {
-    std::cerr << "usage: permd_client <ping|stats|phases|permute|program> --port P [flags]\n";
+    std::cerr << "usage: permd_client <ping|stats|phases|permute|program|dpermute> "
+                 "--port P [flags]\n";
     return 2;
   }
   const std::string command = cli.positional()[0];
@@ -73,6 +168,8 @@ int main(int argc, char** argv) {
   config.host = cli.get("host", "127.0.0.1");
   config.port = port;
   config.io_timeout = std::chrono::milliseconds(cli.get_int("timeout-ms", 30'000));
+  config.max_payload_bytes =
+      static_cast<std::uint32_t>(cli.get_int("max-payload-mb", 64) << 20);
   net::Client client(config);
 
   if (command == "ping") {
@@ -93,7 +190,71 @@ int main(int argc, char** argv) {
       std::cerr << "permd_client: stats failed: " << stats.status().to_string() << "\n";
       return 1;
     }
-    std::cout << stats.value() << "\n";
+    // A router answers STATS with its fleet snapshot — render that as a
+    // per-backend table; a plain server's ServiceMetrics stays raw JSON.
+    if (cli.get_bool("json") || !print_router_stats(stats.value(), std::cout)) {
+      std::cout << stats.value() << "\n";
+    }
+    return 0;
+  }
+
+  if (command == "dpermute") {
+    const std::uint64_t n = static_cast<std::uint64_t>(cli.get_int("n", 1 << 20));
+    const std::string family = cli.get("family", "bit-reversal");
+    const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    const std::int64_t count = cli.get_int("count", 1);
+    const std::int64_t deadline_ms = cli.get_int("deadline-ms", 0);
+    const bool require_distributed = cli.get_bool("require-distributed");
+
+    const runtime::StatusOr<std::string> before = client.stats_json();
+    if (!before.ok()) {
+      std::cerr << "permd_client: stats failed: " << before.status().to_string() << "\n";
+      return 1;
+    }
+    std::uint64_t dist_before = 0;
+    const bool is_router = scrape_u64(before.value(), "distributed_requests", dist_before);
+    if (require_distributed && !is_router) {
+      std::cerr << "permd_client: --require-distributed needs a permd_router target\n";
+      return 1;
+    }
+
+    const perm::Permutation p = perm::by_name(family, n, seed);
+    const runtime::StatusOr<std::uint64_t> plan = client.submit_plan(p);
+    if (!plan.ok()) {
+      std::cerr << "permd_client: submit_plan failed: " << plan.status().to_string() << "\n";
+      return 1;
+    }
+    std::vector<std::uint32_t> a(n), b(n), expect(n);
+    for (std::uint64_t i = 0; i < n; ++i) a[i] = static_cast<std::uint32_t>(i * 2654435761u);
+    p.apply<std::uint32_t>({a.data(), n}, {expect.data(), n});
+
+    for (std::int64_t r = 0; r < count; ++r) {
+      util::Stopwatch sw;
+      const runtime::Status s = client.permute(plan.value(), {a.data(), n}, {b.data(), n},
+                                               std::chrono::milliseconds(deadline_ms));
+      if (!s.is_ok()) {
+        std::cerr << "permd_client: dpermute " << r << " failed: " << s.to_string() << "\n";
+        return 1;
+      }
+      if (b != expect) {
+        std::cerr << "permd_client: dpermute " << r << " returned wrong data\n";
+        return 1;
+      }
+      std::cout << "dpermute " << r << ": ok, verified, " << util::format_ms(sw.millis())
+                << " ms\n";
+    }
+
+    const runtime::StatusOr<std::string> after = client.stats_json();
+    std::uint64_t dist_after = 0;
+    if (after.ok()) (void)scrape_u64(after.value(), "distributed_requests", dist_after);
+    const std::uint64_t delta = dist_after - dist_before;
+    std::cout << "distributed requests: " << delta << " of " << count
+              << " served by the sharded path\n";
+    if (require_distributed && delta == 0) {
+      std::cerr << "permd_client: FAILED --require-distributed (the router served the "
+                   "request single-node; check --distributed-max-bytes and fleet size)\n";
+      return 1;
+    }
     return 0;
   }
 

@@ -20,7 +20,7 @@
 ///                 [--deadline-ms 0] [--timeout-ms 30000] [--json]
 ///                 [--require-batching] [--program-depth 0]
 ///                 [--program-staged false] [--retry-later-max 0]
-///                 [--router]
+///                 [--router] [--distributed] [--max-payload-mb 64]
 ///
 /// `--retry-later-max k` (k > 0) resends a request that came back
 /// RETRY_LATER up to k times (exponential pause between attempts)
@@ -53,6 +53,12 @@
 /// fused batch executed AND a nonzero buffer-pool hit count — the CI
 /// guard that the hot-path machinery is actually engaged, not silently
 /// bypassed.
+///
+/// `--distributed` (implies --router) turns the run into a distributed
+/// smoke: it fails (exit 1) unless the router's final STATS report a
+/// nonzero `distributed_requests` — the guard that requests sized above
+/// the router's --distributed-max-bytes actually took the sharded path
+/// (SHARD_EXEC fan-out + peer exchange), not the single-node fallback.
 
 #include <array>
 #include <atomic>
@@ -168,7 +174,7 @@ int main(int argc, char** argv) {
   if (!cli.expect_flags({"host", "port", "connections", "requests", "duration-s", "n", "perms",
                          "zipf", "seed", "deadline-ms", "timeout-ms", "json",
                          "require-batching", "program-depth", "program-staged",
-                         "retry-later-max", "router"},
+                         "retry-later-max", "router", "distributed", "max-payload-mb"},
                         std::cerr)) {
     return 2;
   }
@@ -194,7 +200,8 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("program-depth", 0));
   const bool program_staged = cli.get_bool("program-staged");
   const std::int64_t retry_later_max = cli.get_int("retry-later-max", 0);
-  const bool router_mode = cli.get_bool("router");
+  const bool distributed = cli.get_bool("distributed");
+  const bool router_mode = cli.get_bool("router") || distributed;
 
   if (program_depth > runtime::kMaxProgramOps) {
     std::cerr << "permd_loadgen: --program-depth exceeds the protocol op cap ("
@@ -217,6 +224,8 @@ int main(int argc, char** argv) {
   client_config.host = host;
   client_config.port = port;
   client_config.io_timeout = std::chrono::milliseconds(timeout_ms);
+  client_config.max_payload_bytes =
+      static_cast<std::uint32_t>(cli.get_int("max-payload-mb", 64) << 20);
 
   // Register the whole population once up front; workers share the ids
   // (and the server's PlanCache shares the compiled plans).
@@ -397,14 +406,18 @@ int main(int argc, char** argv) {
     // Fleet-side half of the story: what the router did to keep the
     // run alive (failovers, breaker trips, lazy plan resyncs).
     std::uint64_t routed = 0, failovers = 0, shorted = 0, no_backend = 0, resyncs = 0;
+    std::uint64_t dist = 0, dist_failed = 0;
     (void)scrape_u64(server_stats.value(), "requests_total", routed);
     (void)scrape_u64(server_stats.value(), "failovers_total", failovers);
     (void)scrape_u64(server_stats.value(), "breaker_short_circuits", shorted);
     (void)scrape_u64(server_stats.value(), "no_backend_available", no_backend);
     (void)scrape_u64(server_stats.value(), "plan_resyncs", resyncs);
+    (void)scrape_u64(server_stats.value(), "distributed_requests", dist);
+    (void)scrape_u64(server_stats.value(), "distributed_failures", dist_failed);
     std::cout << "\nrouter: routed " << routed << " requests, failovers " << failovers
               << ", breaker short-circuits " << shorted << ", no-backend " << no_backend
-              << ", plan resyncs " << resyncs << "\n";
+              << ", plan resyncs " << resyncs << ", distributed " << dist << " ("
+              << dist_failed << " failed)\n";
     if (json) std::cout << server_stats.value() << "\n";
   } else if (server_stats.ok()) {
     // Where the server says the time went, phase by phase — the
@@ -449,6 +462,16 @@ int main(int argc, char** argv) {
     if (!scraped || batches == 0 || pool_hits == 0) {
       std::cerr << "permd_loadgen: FAILED --require-batching (server reports no fused "
                    "batches or no buffer-pool hits; hot-path machinery not engaged)\n";
+      return 1;
+    }
+  }
+  if (distributed) {
+    std::uint64_t dist = 0;
+    const bool scraped = scrape_u64(server_stats.value(), "distributed_requests", dist);
+    std::cout << "distributed smoke: distributed_requests=" << dist << "\n";
+    if (!scraped || dist == 0) {
+      std::cerr << "permd_loadgen: FAILED --distributed (the router served every request "
+                   "single-node; sharded path not engaged)\n";
       return 1;
     }
   }

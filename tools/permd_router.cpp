@@ -20,8 +20,16 @@
 ///                [--max-connections 256] [--max-payload-mb 64]
 ///                [--max-plans 4096]
 ///                [--connect-timeout-ms 1000] [--io-timeout-ms 30000]
+///                [--distributed-max-bytes 0] [--distributed-max-shards 8]
+///                [--distributed-width 32]
 ///                [--duration-s 0] [--metrics-json <path>] [--json]
 ///                [--prom-file <path>]
+///
+/// `--distributed-max-bytes B` (B > 0) enables distributed permutation:
+/// a PERMUTE whose element bytes exceed B is split into row bands
+/// across the healthy backends (SHARD_EXEC + peer-to-peer SHARD_XCHG)
+/// instead of forwarded to a single backend. `--distributed-width` must
+/// match the shards' machine width (permd_serve's default model).
 ///
 /// `--prom-file` rewrites the Prometheus text exposition roughly once
 /// per second while serving (textfile-collector style, atomic rename)
@@ -88,7 +96,8 @@ int main(int argc, char** argv) {
                          "eject-after", "breaker-threshold", "breaker-cooldown-ms",
                          "failover-backoff-ms", "failover-backoff-cap-ms",
                          "max-connections", "max-payload-mb", "max-plans",
-                         "connect-timeout-ms", "io-timeout-ms", "duration-s",
+                         "connect-timeout-ms", "io-timeout-ms", "distributed-max-bytes",
+                         "distributed-max-shards", "distributed-width", "duration-s",
                          "metrics-json", "json", "prom-file"},
                         std::cerr)) {
     return 2;
@@ -118,6 +127,12 @@ int main(int argc, char** argv) {
   config.connect_timeout =
       std::chrono::milliseconds(cli.get_int("connect-timeout-ms", 1'000));
   config.io_timeout = std::chrono::milliseconds(cli.get_int("io-timeout-ms", 30'000));
+  config.distributed_max_bytes =
+      static_cast<std::uint64_t>(cli.get_int("distributed-max-bytes", 0));
+  config.distributed_max_shards =
+      static_cast<std::uint32_t>(cli.get_int("distributed-max-shards", 8));
+  config.distributed_width =
+      static_cast<std::uint32_t>(cli.get_int("distributed-width", 32));
   const std::int64_t duration_s = cli.get_int("duration-s", 0);
   const std::string port_file = cli.get("port-file");
   const std::string metrics_json = cli.get("metrics-json");
@@ -183,6 +198,11 @@ int main(int argc, char** argv) {
             << "); breaker short-circuits " << snap.breaker_short_circuits
             << "; no-backend " << snap.no_backend_available << "; plans "
             << snap.plans_registered << " (lazy resyncs " << snap.plan_resyncs << ")\n";
+  if (snap.dist_requests > 0 || snap.dist_failures > 0) {
+    std::cout << "distributed: " << snap.dist_requests << " requests ("
+              << snap.dist_failures << " failed), " << snap.dist_bytes
+              << " element bytes sharded\n";
+  }
   for (const net::Router::BackendStats& b : snap.backends) {
     std::cout << "  " << b.backend << (b.healthy ? "  healthy" : "  EJECTED")
               << (b.breaker_open ? " breaker-open" : "") << "  requests " << b.requests

@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "port-file", "cache-mb", "max-in-flight", "reject",
                          "max-connections", "max-payload-mb", "io-timeout-ms",
-                         "idle-timeout-ms", "duration-s",
+                         "idle-timeout-ms", "shard-exchange-timeout-ms", "duration-s",
                          "metrics-json", "json", "prom-file", "slow-ms", "batch-max",
                          "batch-delay-us", "fault-rate", "fault-seed", "fault-sites",
                          "fault-stall-ms"},
@@ -142,6 +142,8 @@ int main(int argc, char** argv) {
   server_config.max_payload_bytes = max_payload_bytes;
   server_config.io_timeout = std::chrono::milliseconds(io_timeout_ms);
   server_config.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
+  server_config.shard_exchange_timeout =
+      std::chrono::milliseconds(cli.get_int("shard-exchange-timeout-ms", 10'000));
   net::Server server(service, server_config);
 
   if (runtime::Status s = server.start(); !s.is_ok()) {
