@@ -10,11 +10,20 @@
 ///   batched    batch.max_batch = B, gather window = D microseconds
 ///
 /// Each run drives C concurrent connections through a real net::Server
-/// (thread per connection, HMMP frames, checksums — nothing mocked) and
+/// (epoll reactor, HMMP frames, checksums — nothing mocked) and
 /// reports client-side p50/p99/throughput plus the server's own
 /// counters: fused batches executed, mean batch size, and buffer-pool
 /// misses per request (the steady-state allocation rate; ~0 means the
 /// pool is absorbing every per-request buffer).
+///
+/// The `srv-epoll-*` rows stress what the reactor specifically buys:
+/// `srv-epoll-cNN` runs the batched wire workload at 4x the connection
+/// count (a wider concurrent window feeds fuller same-plan batches),
+/// and `srv-epoll-idle1k` runs the base batched workload while 1'000
+/// idle connections are parked on the same server — idle connections
+/// cost a map entry, not a thread, so the row should match the plain
+/// wire-batched row (the thread-per-connection design could not open
+/// them at all past its thread budget).
 ///
 /// Usage: bench_serving_hotpath [--n 8K] [--connections 8]
 ///                              [--requests 200] [--batch 8]
@@ -27,6 +36,8 @@
 /// (results/BENCH_serving.json keeps the committed baseline).
 
 #include "bench_common.hpp"
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -48,6 +59,17 @@ namespace {
 
 using namespace hmm;
 
+/// Best-effort RLIMIT_NOFILE raise for the idle-connection row (each
+/// parked connection is one client fd + one server fd).
+bool raise_fd_limit(rlim_t want) {
+  struct rlimit lim {};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  if (lim.rlim_cur >= want) return true;
+  if (lim.rlim_max != RLIM_INFINITY && lim.rlim_max < want) return false;
+  lim.rlim_cur = want;
+  return setrlimit(RLIMIT_NOFILE, &lim) == 0;
+}
+
 struct RunResult {
   double wall_s = 0;
   std::uint64_t requests = 0;
@@ -61,10 +83,13 @@ struct RunResult {
 /// One full loopback run: fresh service + server, one hot plan, C
 /// client threads each issuing R PERMUTEs. The pool-miss delta is
 /// captured after a warmup pass so it reflects steady state, not
-/// first-touch growth.
+/// first-touch growth. `idle_conns` connections are opened before the
+/// measured window and left parked (never written to) for its whole
+/// duration — the reactor must carry them for free.
 void run_once(const perm::Permutation& p, std::uint64_t n, std::uint64_t connections,
               std::uint64_t requests_per_conn, std::uint32_t batch_max,
-              std::chrono::microseconds batch_delay, RunResult& result) {
+              std::chrono::microseconds batch_delay, RunResult& result,
+              std::uint64_t idle_conns = 0) {
   auto& pool = util::ThreadPool::global();
   runtime::RobustPermuteService::Config config;
   if (batch_max > 1) {
@@ -72,7 +97,10 @@ void run_once(const perm::Permutation& p, std::uint64_t n, std::uint64_t connect
     config.executor.batch.max_delay = batch_delay;
   }
   runtime::RobustPermuteService service(pool, config);
-  net::Server server(service, {});
+  net::Server::Config server_config;
+  server_config.max_connections =
+      static_cast<std::uint32_t>(std::max<std::uint64_t>(256, idle_conns + connections + 16));
+  net::Server server(service, server_config);
   if (runtime::Status s = server.start(); !s.is_ok()) {
     std::cerr << "bench_serving_hotpath: " << s.to_string() << "\n";
     std::exit(1);
@@ -80,6 +108,19 @@ void run_once(const perm::Permutation& p, std::uint64_t n, std::uint64_t connect
 
   net::Client::Config client_config;
   client_config.port = server.port();
+
+  std::vector<net::TcpStream> parked;
+  parked.reserve(idle_conns);
+  for (std::uint64_t i = 0; i < idle_conns; ++i) {
+    runtime::StatusOr<net::TcpStream> conn =
+        net::tcp_connect("127.0.0.1", server.port(), std::chrono::milliseconds(2'000));
+    if (!conn.ok()) {
+      std::cerr << "bench_serving_hotpath: idle connection " << i
+                << " failed: " << conn.status().to_string() << "\n";
+      std::exit(1);
+    }
+    parked.push_back(std::move(conn).value());
+  }
 
   std::uint64_t plan_id = 0;
   {
@@ -420,12 +461,14 @@ int main(int argc, char** argv) {
   util::Table table({"mode", "conns", "reqs", "req/s", "p50 ms", "p99 ms", "miss/req",
                      "batches", "mean batch"});
   double unbatched_rps = 0, batched_rps = 0;
-  const auto add = [&](const char* mode, const RunResult& r) {
+  const auto add = [&](const char* mode, const RunResult& r,
+                       std::uint64_t conns = 0) {
+    if (conns == 0) conns = connections;
     const double rps = static_cast<double>(r.requests) / r.wall_s;
     const double mean_batch =
         r.batches == 0 ? 1.0
                        : static_cast<double>(r.batched_requests) / static_cast<double>(r.batches);
-    table.add_row({mode, util::format_count(connections), util::format_count(r.requests),
+    table.add_row({mode, util::format_count(conns), util::format_count(r.requests),
                    util::format_double(rps, 1),
                    util::format_ms(static_cast<double>(r.latency_ns.quantile(0.5)) / 1e6),
                    util::format_ms(static_cast<double>(r.latency_ns.quantile(0.99)) / 1e6),
@@ -450,6 +493,23 @@ int main(int argc, char** argv) {
   unbatched_rps = add("wire-unbatched", unbatched);
   run_once(p, n, connections, requests, batch_max, batch_delay, batched);
   batched_rps = add("wire-batched", batched);
+
+  // Reactor-specific rows: a 4x-wide concurrent window (fuller
+  // same-plan batches) and the base batched workload with 1'000 idle
+  // connections parked on the same server.
+  const std::uint64_t wide_conns = connections * 4;
+  RunResult epoll_wide, epoll_idle;
+  run_once(p, n, wide_conns, requests, batch_max, batch_delay, epoll_wide);
+  const std::string wide_label = "srv-epoll-c" + std::to_string(wide_conns);
+  add(wide_label.c_str(), epoll_wide, wide_conns);
+  const bool idle_row = raise_fd_limit(4096);
+  if (idle_row) {
+    run_once(p, n, connections, requests, batch_max, batch_delay, epoll_idle, 1'000);
+    add("srv-epoll-idle1k", epoll_idle);
+  } else {
+    std::cerr << "bench_serving_hotpath: RLIMIT_NOFILE too low for the "
+                 "srv-epoll-idle1k row; skipping it\n";
+  }
 
   RunResult program_fused, program_sequential;
   run_program_compare(n, program_depth, connections, requests, program_fused,
@@ -488,7 +548,11 @@ int main(int argc, char** argv) {
             << " — 'dist' rows run the same request single-node vs sharded into row\n"
                "bands with the peer-to-peer column exchange; on one loopback host\n"
                "this prices the exchange overhead (the win is capacity: each shard\n"
-               "holds and permutes only its band).\n";
+               "holds and permutes only its band).\n"
+               "'srv-epoll-*' rows are reactor-specific: the cNN row widens the\n"
+               "concurrent window (fuller same-plan batches), the idle1k row parks\n"
+               "1'000 idle connections alongside the batched workload — both were\n"
+               "impossible under thread-per-connection.\n";
   if (json) {
     std::cout << "\n";
     table.print_json_rows(std::cout, "\"bench\":\"serving_hotpath\"");

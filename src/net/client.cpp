@@ -42,7 +42,22 @@ StatusOr<Frame> Client::roundtrip_once(MsgKind kind, const std::vector<std::uint
   if (Status s = write_frame(stream_, request); !s.is_ok()) return s;
 
   StatusOr<Frame> response = read_frame(stream_, config_.max_payload_bytes);
-  if (!response.ok()) return response;
+  if (!response.ok()) {
+    // The request reached the wire. A clean EOF before any response
+    // byte means the server never started answering (idle close, a
+    // restart) — safe to resend. EOF *inside* a response frame means
+    // the server was mid-answer when the connection died (a drain
+    // deadline, a crash after execution): the request may well have
+    // executed, so surface kCancelled — "outcome unknown" — instead of
+    // a generic transport error the retry loop would resend blindly.
+    const Status& s = response.status();
+    if (s.code() == StatusCode::kUnavailable &&
+        s.message().find("mid-frame") != std::string::npos) {
+      return Status(StatusCode::kCancelled,
+                    "connection closed mid-response; request outcome unknown");
+    }
+    return response;
+  }
   const Frame& frame = response.value();
   const auto resp_kind = static_cast<MsgKind>(frame.kind);
   if (frame.request_id != request_id) {
@@ -109,6 +124,12 @@ StatusOr<Frame> Client::roundtrip(MsgKind kind, std::vector<std::uint8_t> payloa
     if (last.code() == StatusCode::kInvalidArgument) {
       // Framing violation from the server: do not hammer a confused
       // peer with resends.
+      return last;
+    }
+    if (last.code() == StatusCode::kCancelled) {
+      // Torn response: the request may have executed server-side.
+      // Resending is the application's call (idempotent PERMUTEs can;
+      // anything with side effects must not), so never retry here.
       return last;
     }
   }

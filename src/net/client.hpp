@@ -16,6 +16,12 @@
 /// Protocol violations from the server (bad framing, response id or
 /// kind mismatch) surface as `kUnavailable` after dropping the
 /// connection, since nothing after a framing error is trustworthy.
+///
+/// A connection that dies *inside* a response frame (the server hit
+/// its drain deadline, or crashed after executing the request) is the
+/// one transport failure that is **not** retried: the request may have
+/// executed, so it surfaces as `kCancelled` ("outcome unknown") and
+/// the resend decision belongs to the caller.
 
 #include <chrono>
 #include <cstdint>

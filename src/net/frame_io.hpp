@@ -11,8 +11,11 @@
 /// unrecoverable. Transport failures keep their socket.hpp taxonomy
 /// (`kUnavailable` peer-gone, `kDeadlineExceeded` timeout).
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <span>
+#include <vector>
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -55,5 +58,117 @@ struct FrameView {
 runtime::StatusOr<FrameView> read_frame_view(TcpStream& stream, util::BufferPool& pool,
                                              util::PooledBuffer& storage,
                                              std::uint32_t max_payload = kDefaultMaxPayload);
+
+// ---------------------------------------------------------------------------
+// Resumable frame machines for nonblocking streams (the reactor server).
+// Same validation, same error taxonomy, same pooled grow-only storage as
+// the blocking calls above — but each pump does at most what the socket
+// will take right now and parks mid-frame instead of sleeping.
+// ---------------------------------------------------------------------------
+
+/// Incremental HMMP decoder over a nonblocking stream. Feed it
+/// readiness via `poll()`; it assembles header-then-payload across any
+/// number of partial reads (a slow-loris peer trickling one byte per
+/// round costs one buffered byte per round, not a blocked thread).
+///
+/// `poll()` returns OK(true) when a full, checksum-verified frame is
+/// ready in `view()`; OK(false) when the socket would block (re-arm
+/// EPOLLIN and come back); otherwise the read_frame error taxonomy
+/// (kInvalidArgument protocol violation, kResourceExhausted pool
+/// refusal, kUnavailable peer gone — with EOF between frames kept
+/// distinguishable via `mid_frame()`). After consuming the view, call
+/// `consume()` to rearm for the next frame; the payload storage is
+/// reused grow-only across frames.
+class FrameReader {
+ public:
+  explicit FrameReader(util::BufferPool& pool,
+                       std::uint32_t max_payload = kDefaultMaxPayload) noexcept
+      : pool_(&pool), max_payload_(max_payload) {}
+
+  runtime::StatusOr<bool> poll(TcpStream& stream);
+
+  /// Valid only after poll() returned OK(true) and before consume().
+  [[nodiscard]] FrameView view() const noexcept;
+  void consume() noexcept;
+
+  /// True while a frame is partially assembled (≥1 byte consumed toward
+  /// the next frame). EOF here is a torn frame; EOF otherwise is a
+  /// quiet close. Also the anchor for slow-read deadlines: the caller
+  /// timestamps the transition into mid-frame.
+  [[nodiscard]] bool mid_frame() const noexcept {
+    return state_ == State::kPayload || (state_ == State::kHeader && have_ > 0);
+  }
+
+  /// Hand the payload storage back (e.g. to sample gauges in tests).
+  [[nodiscard]] const util::PooledBuffer& storage() const noexcept { return storage_; }
+
+ private:
+  enum class State : std::uint8_t { kHeader, kPayload, kReady };
+
+  util::BufferPool* pool_;
+  std::uint32_t max_payload_;
+  State state_ = State::kHeader;
+  std::size_t have_ = 0;  // bytes assembled in the current state
+  std::array<std::uint8_t, kHeaderBytes> header_{};
+  std::uint16_t kind_ = 0;
+  std::uint64_t request_id_ = 0;
+  std::uint32_t payload_len_ = 0;
+  std::uint64_t checksum_ = 0;
+  util::PooledBuffer storage_;
+};
+
+/// One queued outbound frame: the 28-byte wire header plus a small
+/// inline payload head (e.g. PERMUTE_OK's 8-byte count header) live in
+/// `prefix`; the bulk payload rides as a pooled buffer and/or an owned
+/// vector, never copied. `tag` is an opaque caller label reported back
+/// on completion (the server uses it to split ok/error counters at the
+/// moment the frame actually reaches the wire).
+struct OutboundFrame {
+  std::array<std::uint8_t, kHeaderBytes + 24> prefix{};
+  std::size_t prefix_len = 0;
+  util::PooledBuffer pooled;
+  std::size_t pooled_len = 0;
+  std::vector<std::uint8_t> owned;
+  std::size_t offset = 0;  // flush progress across the concatenation
+  std::uint8_t tag = 0;
+
+  [[nodiscard]] std::size_t total() const noexcept {
+    return prefix_len + pooled_len + owned.size();
+  }
+};
+
+/// Build an OutboundFrame. Payload = inline_payload ∥ pooled[0,
+/// pooled_len) ∥ owned; the checksum is streamed across all three.
+/// `inline_payload.size()` must fit the prefix tail (≤ 24 bytes).
+runtime::StatusOr<OutboundFrame> make_outbound_frame(
+    std::uint16_t kind, std::uint64_t request_id,
+    std::span<const std::uint8_t> inline_payload, util::PooledBuffer pooled,
+    std::size_t pooled_len, std::vector<std::uint8_t> owned, std::uint8_t tag = 0);
+
+/// Incremental scatter-gather flusher for a nonblocking stream: a FIFO
+/// of OutboundFrames drained with at most one sendmsg per pump round,
+/// resuming mid-frame across partial writes. `flush()` returns OK(true)
+/// when the queue is empty, OK(false) when the socket would block
+/// (arm EPOLLOUT and come back), or the transport error. `on_complete`
+/// (optional) fires once per frame the moment its last byte is
+/// accepted by the kernel.
+class FrameWriter {
+ public:
+  void enqueue(OutboundFrame frame) {
+    pending_bytes_ += frame.total();
+    queue_.push_back(std::move(frame));
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept { return pending_bytes_; }
+
+  using CompletionFn = void (*)(void* ctx, const OutboundFrame& frame);
+  runtime::StatusOr<bool> flush(TcpStream& stream, CompletionFn on_complete = nullptr,
+                                void* ctx = nullptr);
+
+ private:
+  std::deque<OutboundFrame> queue_;
+  std::size_t pending_bytes_ = 0;
+};
 
 }  // namespace hmm::net

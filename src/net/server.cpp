@@ -1,6 +1,7 @@
 #include "net/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstring>
 #include <sstream>
@@ -27,7 +28,8 @@ Server::Server(runtime::RobustPermuteService& service, Config config)
       config_(std::move(config)),
       shard_sessions_(
           ShardSessionRegistry::Config{config_.shard_exchange_timeout,
-                                       config_.max_shard_sessions},
+                                       config_.max_shard_sessions,
+                                       config_.max_shard_hold_bytes},
           util::BufferPool::global()) {}
 
 Server::~Server() { stop(); }
@@ -40,30 +42,89 @@ Status Server::start() {
   if (!bound.ok()) return bound.status();
   listener_ = std::move(bound).value();
   port_ = listener_.port();
+
+  const std::uint32_t io_threads = std::max(1u, config_.io_threads);
+  reactors_.clear();
+  reactors_.reserve(io_threads);
+  for (std::uint32_t i = 0; i < io_threads; ++i) {
+    auto reactor = std::make_unique<Reactor>();
+    StatusOr<Epoll> epoll = Epoll::create();
+    StatusOr<EventFd> wakeup = EventFd::create();
+    if (!epoll.ok() || !wakeup.ok()) {
+      reactors_.clear();
+      listener_.close();
+      return !epoll.ok() ? epoll.status() : wakeup.status();
+    }
+    reactor->epoll = std::move(epoll).value();
+    reactor->wakeup = std::move(wakeup).value();
+    // Connection ids start at 1; id 0 is the reactor's own doorbell.
+    if (Status s = reactor->epoll.add(reactor->wakeup.fd(), kEpollIn, 0); !s.is_ok()) {
+      reactors_.clear();
+      listener_.close();
+      return s;
+    }
+    reactors_.push_back(std::move(reactor));
+  }
+
   stop_.store(false, std::memory_order_release);
+  {
+    std::lock_guard lock(work_mutex_);
+    workers_stop_ = false;
+    work_.clear();
+  }
   running_.store(true, std::memory_order_release);
+
+  for (auto& reactor : reactors_) {
+    reactor->thread = std::thread([this, r = reactor.get()] { reactor_loop(*r); });
+  }
+  std::uint32_t handlers = config_.handler_threads;
+  if (handlers == 0) {
+    handlers = std::max(16u, 2 * std::max(1u, std::thread::hardware_concurrency()));
+  }
+  handler_threads_.reserve(handlers);
+  for (std::uint32_t i = 0; i < handlers; ++i) {
+    handler_threads_.emplace_back([this] { handler_loop(); });
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
   return Status::ok();
 }
 
 void Server::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // drain_deadline_ is published by the release store on stop_ and read
+  // only after reactors observe stop_ == true.
+  drain_deadline_ = std::chrono::steady_clock::now() + config_.drain_timeout;
   stop_.store(true, std::memory_order_release);
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.close();
-  // Connection threads exit at their next between-requests poll slice;
-  // a thread inside a request finishes it (and its response) first —
-  // that is the drain guarantee.
+
+  // Reactors drain: every in-flight request finishes and its response
+  // is flushed (bounded by drain_timeout) before the loop exits. The
+  // handler pool must outlive them — it is what completes those
+  // requests — so it joins after.
+  for (auto& reactor : reactors_) reactor->wakeup.signal();
+  for (auto& reactor : reactors_) {
+    if (reactor->thread.joinable()) reactor->thread.join();
+  }
   {
-    std::lock_guard lock(conn_mutex_);
-    for (ConnSlot& slot : connections_) {
+    std::lock_guard lock(work_mutex_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : handler_threads_) {
+    if (t.joinable()) t.join();
+  }
+  handler_threads_.clear();
+  {
+    std::lock_guard lock(shard_thread_mutex_);
+    for (ShardSlot& slot : shard_threads_) {
       if (slot.thread.joinable()) slot.thread.join();
     }
-    connections_.clear();
+    shard_threads_.clear();
   }
-  // Every request was awaited by its connection thread, so the executor
-  // is normally idle already; the timeout guards against a stalled
-  // worker holding teardown hostage.
+  // Every request was awaited by a handler, so the executor is normally
+  // idle already; the timeout guards against a stalled worker holding
+  // teardown hostage.
   (void)service_.wait_idle_for(config_.drain_timeout);
 }
 
@@ -79,6 +140,7 @@ Server::Counters Server::counters() const {
   c.shard_execs = shard_execs_.load(std::memory_order_relaxed);
   c.shard_blocks = shard_blocks_.load(std::memory_order_relaxed);
   c.shard_aborts = shard_aborts_.load(std::memory_order_relaxed);
+  c.shard_hold_rejections = shard_sessions_.hold_rejections();
   return c;
 }
 
@@ -87,170 +149,410 @@ std::uint64_t Server::plans() const {
   return plans_.size();
 }
 
+// ---------------------------------------------------------------------------
+// Accept path
+// ---------------------------------------------------------------------------
+
 void Server::accept_loop() {
+  util::BufferPool& pool = util::BufferPool::global();
+  std::size_t round_robin = 0;
   while (!stop_.load(std::memory_order_acquire)) {
-    StatusOr<TcpStream> conn = listener_.accept(config_.poll_interval);
-    {
-      std::lock_guard lock(conn_mutex_);
-      reap_finished_locked();
-    }
-    if (!conn.ok()) {
-      if (conn.status().code() == StatusCode::kDeadlineExceeded) continue;  // poll slice
+    StatusOr<TcpStream> accepted = listener_.accept(config_.poll_interval);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) continue;  // poll slice
       break;  // listener is gone; stop() owns cleanup
     }
-    TcpStream stream = std::move(conn).value();
-    (void)stream.set_io_timeout(config_.io_timeout, config_.io_timeout);
+    TcpStream stream = std::move(accepted).value();
+    (void)stream.set_nonblocking(true);
 
+    const std::uint64_t id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<Conn> conn;
     if (active_connections_.load(std::memory_order_acquire) >= config_.max_connections) {
       // Typed rejection instead of a dropped connection: the client
       // sees RETRY_LATER (request_id 0: this answers the connection
-      // attempt, not any frame).
+      // attempt, not any frame). The frame is flushed by a reactor
+      // under reject_write_budget — the accept thread never writes, so
+      // a hostile peer that refuses to read cannot freeze accepts.
       connections_rejected_.fetch_add(1, std::memory_order_relaxed);
-      (void)write_frame(stream, make_error_frame(
-                                    0, Status(StatusCode::kResourceExhausted,
-                                              "server at connection capacity; retry later")));
-      continue;
+      conn = std::make_shared<Conn>(id, std::move(stream), pool, config_.max_payload_bytes);
+      conn->rejected = true;
+      conn->closing = true;
+      conn->reject_deadline =
+          std::chrono::steady_clock::now() + config_.reject_write_budget;
+      conn->writer.enqueue(to_outbound_tagged(
+          make_error_frame(0, Status(StatusCode::kResourceExhausted,
+                                     "server at connection capacity; retry later")),
+          kTagNone));
+    } else {
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      active_connections_.fetch_add(1, std::memory_order_acq_rel);
+      conn = std::make_shared<Conn>(id, std::move(stream), pool, config_.max_payload_bytes);
     }
 
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    active_connections_.fetch_add(1, std::memory_order_acq_rel);
-    auto done = std::make_shared<std::atomic<bool>>(false);
-    std::lock_guard lock(conn_mutex_);
-    connections_.push_back(ConnSlot{
-        std::thread([this, s = std::move(stream), done]() mutable {
-          serve_connection(std::move(s));
-          active_connections_.fetch_sub(1, std::memory_order_acq_rel);
-          done->store(true, std::memory_order_release);
-        }),
-        done});
+    Reactor& reactor = *reactors_[round_robin++ % reactors_.size()];
+    {
+      std::lock_guard lock(reactor.inbox_mutex);
+      reactor.incoming.push_back(std::move(conn));
+    }
+    reactor.wakeup.signal();
   }
 }
 
-void Server::reap_finished_locked() {
-  for (auto it = connections_.begin(); it != connections_.end();) {
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+void Server::on_frame_complete(void* ctx, const OutboundFrame& frame) {
+  auto* self = static_cast<Server*>(ctx);
+  if (frame.tag == kTagOk) {
+    self->requests_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else if (frame.tag == kTagError) {
+    self->requests_error_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::update_interest(Reactor& r, Conn& conn) {
+  if (conn.closed) return;
+  std::uint32_t want = 0;
+  if (!conn.closing && !conn.in_flight && !stop_.load(std::memory_order_acquire)) {
+    want |= kEpollIn;
+  }
+  if (!conn.writer.idle()) want |= kEpollOut;
+  if (want != conn.armed) {
+    // events == 0 is legal: ERR/HUP are still delivered, so a parked
+    // in-flight connection's death is noticed.
+    if (r.epoll.mod(conn.stream.fd(), want, conn.id).is_ok()) conn.armed = want;
+  }
+}
+
+void Server::close_conn(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  (void)r.epoll.del(conn->stream.fd());
+  conn->stream.close();
+  if (!conn->rejected) active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+  r.conns.erase(conn->id);
+}
+
+void Server::flush_conn(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  StatusOr<bool> drained = conn->writer.flush(conn->stream, &Server::on_frame_complete, this);
+  conn->last_activity = std::chrono::steady_clock::now();
+  if (!drained.ok()) {
+    close_conn(r, conn);
+    return;
+  }
+  if (drained.value() && conn->closing) {
+    close_conn(r, conn);
+    return;
+  }
+  update_interest(r, *conn);
+}
+
+void Server::dispatch(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  conn->in_flight = true;
+  const auto kind = static_cast<MsgKind>(conn->reader.view().kind);
+  if (kind == MsgKind::kShardExec || kind == MsgKind::kShardXchg) {
+    // Shard ops run on dedicated threads, never the bounded pool: a
+    // SHARD_EXEC blocks on *peer* exchanges, so a pool full of execs
+    // across shards would deadlock a distributed round.
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard lock(shard_thread_mutex_);
+    reap_shard_threads_locked();
+    shard_threads_.push_back(ShardSlot{
+        std::thread([this, reactor = &r, conn, done]() mutable {
+          run_request(*reactor, std::move(conn));
+          done->store(true, std::memory_order_release);
+        }),
+        done});
+    return;
+  }
+  {
+    std::lock_guard lock(work_mutex_);
+    work_.push_back(Work{&r, conn});
+  }
+  work_cv_.notify_one();
+}
+
+void Server::pump_reads(Reactor& r, const std::shared_ptr<Conn>& conn) {
+  if (conn->closed || conn->closing || conn->in_flight) return;
+  StatusOr<bool> ready = conn->reader.poll(conn->stream);
+  conn->last_activity = std::chrono::steady_clock::now();
+  if (!ready.ok()) {
+    const StatusCode code = ready.status().code();
+    if (code == StatusCode::kInvalidArgument) {
+      // Framing violation: answer typed (best effort), then close —
+      // the stream position is unrecoverable.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn->writer.enqueue(to_outbound_tagged(make_error_frame(0, ready.status()), kTagNone));
+      conn->closing = true;
+      flush_conn(r, conn);
+    } else if (code == StatusCode::kResourceExhausted) {
+      // The pool refused the payload buffer with the payload still on
+      // the socket — same unrecoverable position, but the client gets
+      // RETRY_LATER rather than a protocol error.
+      conn->writer.enqueue(to_outbound_tagged(make_error_frame(0, ready.status()), kTagNone));
+      conn->closing = true;
+      flush_conn(r, conn);
+    } else {
+      close_conn(r, conn);  // transport errors (EOF/reset) close quietly
+    }
+    return;
+  }
+  if (ready.value()) {
+    dispatch(r, conn);  // strict alternation: EPOLLIN pauses below
+  }
+  update_interest(r, *conn);
+}
+
+void Server::drain_inbox(Reactor& r) {
+  std::vector<std::shared_ptr<Conn>> incoming;
+  std::vector<Reactor::Completion> completions;
+  {
+    std::lock_guard lock(r.inbox_mutex);
+    incoming.swap(r.incoming);
+    completions.swap(r.completions);
+  }
+  const bool draining = stop_.load(std::memory_order_acquire);
+  for (std::shared_ptr<Conn>& conn : incoming) {
+    if (draining && !conn->closing) {
+      // Raced past stop(): the listener is closing anyway.
+      conn->closed = true;
+      conn->stream.close();
+      if (!conn->rejected) active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    conn->last_activity = std::chrono::steady_clock::now();
+    const std::uint32_t want = conn->closing ? kEpollOut : kEpollIn;
+    if (!r.epoll.add(conn->stream.fd(), want, conn->id).is_ok()) {
+      conn->closed = true;
+      conn->stream.close();
+      if (!conn->rejected) active_connections_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    conn->armed = want;
+    r.conns.emplace(conn->id, conn);
+    // The rejection frame usually fits the empty send buffer whole:
+    // flush now and the connection is gone before its first event.
+    if (conn->closing) flush_conn(r, conn);
+  }
+  for (Reactor::Completion& completion : completions) {
+    const std::shared_ptr<Conn>& conn = completion.conn;
+    if (conn->closed) continue;  // died while the handler ran: drop the frame
+    conn->reader.consume();
+    conn->in_flight = false;
+    conn->writer.enqueue(std::move(completion.frame));
+    flush_conn(r, conn);
+  }
+}
+
+void Server::tick(Reactor& r, std::chrono::steady_clock::time_point now) {
+  std::vector<std::shared_ptr<Conn>> stalled;
+  std::vector<std::shared_ptr<Conn>> idle;
+  for (const auto& [id, conn] : r.conns) {
+    if (conn->rejected) {
+      if (now >= conn->reject_deadline) stalled.push_back(conn);
+      continue;
+    }
+    const bool mid_io = conn->reader.mid_frame() || !conn->writer.idle();
+    if (config_.io_timeout.count() > 0 && mid_io &&
+        now - conn->last_activity >= config_.io_timeout) {
+      // A slow-loris read or a peer that stopped draining its response:
+      // no progress inside a frame for io_timeout. Closed quietly, like
+      // the old per-direction socket timeout.
+      stalled.push_back(conn);
+      continue;
+    }
+    if (config_.idle_timeout.count() > 0 && !conn->in_flight && !mid_io &&
+        now - conn->last_activity >= config_.idle_timeout) {
+      idle.push_back(conn);
+    }
+  }
+  for (const std::shared_ptr<Conn>& conn : stalled) close_conn(r, conn);
+  for (const std::shared_ptr<Conn>& conn : idle) {
+    // A slot-holding connection that never starts a frame: close it
+    // quietly (no ERROR — there is no request to answer).
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    close_conn(r, conn);
+  }
+}
+
+void Server::reactor_loop(Reactor& r) {
+  std::array<Epoll::Event, 64> events;
+  auto last_tick = std::chrono::steady_clock::now();
+  bool draining = false;
+  for (;;) {
+    StatusOr<std::size_t> n = r.epoll.wait(events, config_.poll_interval);
+    if (!n.ok()) break;  // the epoll fd itself broke; close everything below
+    drain_inbox(r);
+    for (std::size_t i = 0; i < n.value(); ++i) {
+      const Epoll::Event& event = events[i];
+      if (event.data == 0) {
+        r.wakeup.drain();
+        continue;
+      }
+      auto it = r.conns.find(event.data);
+      if (it == r.conns.end()) continue;  // stale event for a just-closed conn
+      std::shared_ptr<Conn> conn = it->second;
+      if ((event.events & (kEpollErr | kEpollHup)) != 0) {
+        close_conn(r, conn);
+        continue;
+      }
+      if ((event.events & kEpollOut) != 0) flush_conn(r, conn);
+      if (conn->closed) continue;
+      if ((event.events & (kEpollIn | kEpollRdHup)) != 0) pump_reads(r, conn);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_tick >= config_.poll_interval) {
+      tick(r, now);
+      last_tick = now;
+    }
+    if (!draining && stop_.load(std::memory_order_acquire)) draining = true;
+    if (draining) {
+      // Drain: close connections with nothing left to deliver; keep
+      // pumping completions/flushes for the busy ones until they
+      // quiesce or the deadline passes.
+      std::vector<std::shared_ptr<Conn>> done;
+      bool busy = false;
+      for (const auto& [id, conn] : r.conns) {
+        if (conn->in_flight || !conn->writer.idle()) {
+          busy = true;
+        } else {
+          done.push_back(conn);
+        }
+      }
+      for (const std::shared_ptr<Conn>& conn : done) close_conn(r, conn);
+      if (!busy || now >= drain_deadline_) break;
+    }
+  }
+  std::vector<std::shared_ptr<Conn>> rest;
+  rest.reserve(r.conns.size());
+  for (const auto& [id, conn] : r.conns) rest.push_back(conn);
+  for (const std::shared_ptr<Conn>& conn : rest) close_conn(r, conn);
+}
+
+// ---------------------------------------------------------------------------
+// Handler pool
+// ---------------------------------------------------------------------------
+
+void Server::handler_loop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock lock(work_mutex_);
+      work_cv_.wait(lock, [&] { return workers_stop_ || !work_.empty(); });
+      if (work_.empty()) return;  // stopping and fully drained
+      work = std::move(work_.front());
+      work_.pop_front();
+    }
+    run_request(*work.reactor, std::move(work.conn));
+  }
+}
+
+void Server::run_request(Reactor& r, std::shared_ptr<Conn> conn) {
+  OutboundFrame response = handle_request(*conn);
+  {
+    std::lock_guard lock(r.inbox_mutex);
+    r.completions.push_back(Reactor::Completion{std::move(conn), std::move(response)});
+  }
+  r.wakeup.signal();
+}
+
+void Server::reap_shard_threads_locked() {
+  for (auto it = shard_threads_.begin(); it != shard_threads_.end();) {
     if (it->done->load(std::memory_order_acquire)) {
       if (it->thread.joinable()) it->thread.join();
-      it = connections_.erase(it);
+      it = shard_threads_.erase(it);
     } else {
       ++it;
     }
   }
 }
 
-void Server::serve_connection(TcpStream stream) {
-  // Per-connection pooled payload storage, reused across requests
-  // (grow-only; see read_frame_view): the read path of a steady request
-  // stream touches neither the allocator nor the pool's free lists.
-  util::BufferPool& pool = util::BufferPool::global();
-  util::PooledBuffer payload_storage;
-  // Idle accounting runs between frames only: once a frame has started,
-  // the per-direction io_timeout owns the slow-read budget.
-  const bool idle_limited = config_.idle_timeout.count() > 0;
-  auto last_frame = std::chrono::steady_clock::now();
-  while (!stop_.load(std::memory_order_acquire)) {
-    // Poll in short slices so stop() is honored between requests.
-    StatusOr<bool> readable = stream.poll_readable(config_.poll_interval);
-    if (!readable.ok()) return;
-    if (!readable.value()) {
-      if (idle_limited &&
-          std::chrono::steady_clock::now() - last_frame >= config_.idle_timeout) {
-        // A slot-holding connection that never starts a frame: close it
-        // quietly (no ERROR — there is no request to answer).
-        idle_closed_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      continue;
-    }
+// ---------------------------------------------------------------------------
+// Request dispatch (handler-side)
+// ---------------------------------------------------------------------------
 
-    StatusOr<FrameView> request =
-        read_frame_view(stream, pool, payload_storage, config_.max_payload_bytes);
-    if (!request.ok()) {
-      const StatusCode code = request.status().code();
-      if (code == StatusCode::kInvalidArgument) {
-        // Framing violation: answer typed (best effort), then close —
-        // the stream position is unrecoverable.
-        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        (void)write_frame(stream, make_error_frame(0, request.status()));
-      } else if (code == StatusCode::kResourceExhausted) {
-        // The pool refused the payload buffer with the payload still on
-        // the socket — same unrecoverable position, but the client gets
-        // RETRY_LATER rather than a protocol error.
-        (void)write_frame(stream, make_error_frame(0, request.status()));
-      }
-      return;  // transport errors (EOF/reset/timeout) close quietly
-    }
+OutboundFrame Server::to_outbound_tagged(Frame frame, std::uint8_t tag) {
+  // The serialize span covers header build + streamed checksum — the
+  // last leg of the request's wall time, invisible to the executor's
+  // breakdown. (The socket write itself happens on the reactor.)
+  util::Stopwatch serialize_clock;
+  StatusOr<OutboundFrame> out =
+      make_outbound_frame(frame.kind, frame.request_id, {}, util::PooledBuffer{}, 0,
+                          std::move(frame.payload), tag);
+  service_.metrics().record_phase(runtime::Phase::kSerialize,
+                                  static_cast<std::uint64_t>(serialize_clock.nanos()));
+  // Owned frames are always within bounds (small control payloads).
+  return std::move(out).value();
+}
 
-    bool wrote_error = false;
-    const Status written = respond(stream, request.value(), wrote_error);
-    // Count the response only once it actually reached the wire, and
-    // count it by what it was — a served error is not a served success.
-    if (!written.is_ok()) return;
-    (wrote_error ? requests_error_ : requests_ok_).fetch_add(1, std::memory_order_relaxed);
-    last_frame = std::chrono::steady_clock::now();
+OutboundFrame Server::to_outbound(Frame frame) {
+  const std::uint8_t tag =
+      static_cast<MsgKind>(frame.kind) == MsgKind::kError ? kTagError : kTagOk;
+  return to_outbound_tagged(std::move(frame), tag);
+}
+
+OutboundFrame Server::error_outbound(std::uint64_t request_id, const Status& why) {
+  return to_outbound(make_error_frame(request_id, why));
+}
+
+OutboundFrame Server::elements_outbound(MsgKind kind, std::uint64_t request_id,
+                                        util::PooledBuffer buf, std::uint64_t count) {
+  const std::span<std::uint32_t> span = buf.as_span<std::uint32_t>(count);
+  std::uint8_t count_header[8];
+  for (int i = 0; i < 8; ++i) count_header[i] = static_cast<std::uint8_t>(count >> (8 * i));
+  if constexpr (std::endian::native != std::endian::little) {
+    for (std::uint32_t& w : span) {
+      w = ((w & 0xff000000u) >> 24) | ((w & 0x00ff0000u) >> 8) | ((w & 0x0000ff00u) << 8) |
+          ((w & 0x000000ffu) << 24);
+    }
   }
-}
-
-Status Server::write_timed(TcpStream& stream, const Frame& frame, bool& wrote_error) {
-  // The serialize span covers encode + socket write: the last leg of
-  // the request's wall time, invisible to the executor's breakdown.
   util::Stopwatch serialize_clock;
-  const Status written = write_frame(stream, frame);
+  StatusOr<OutboundFrame> out = make_outbound_frame(
+      static_cast<std::uint16_t>(kind), request_id, {count_header, sizeof(count_header)},
+      std::move(buf), count * sizeof(std::uint32_t), {}, kTagOk);
   service_.metrics().record_phase(runtime::Phase::kSerialize,
                                   static_cast<std::uint64_t>(serialize_clock.nanos()));
-  wrote_error = static_cast<MsgKind>(frame.kind) == MsgKind::kError;
-  return written;
+  // count is bounded by max_payload_bytes / 4, so this cannot overflow.
+  return std::move(out).value();
 }
 
-Status Server::write_timed_parts(TcpStream& stream, MsgKind kind, std::uint64_t request_id,
-                                 std::span<const ConstBuffer> parts) {
-  util::Stopwatch serialize_clock;
-  const Status written = write_frame_parts(
-      stream, static_cast<std::uint16_t>(kind), request_id, parts);
-  service_.metrics().record_phase(runtime::Phase::kSerialize,
-                                  static_cast<std::uint64_t>(serialize_clock.nanos()));
-  return written;
-}
-
-Status Server::respond(TcpStream& stream, const FrameView& request, bool& wrote_error) {
+OutboundFrame Server::handle_request(Conn& conn) {
+  const FrameView request = conn.reader.view();
   try {
     switch (static_cast<MsgKind>(request.kind)) {
-      case MsgKind::kPing: {
-        // Zero-copy echo: the payload goes back out straight from the
-        // connection's pooled read buffer.
-        const ConstBuffer parts[] = {{request.payload.data(), request.payload.size()}};
-        return write_timed_parts(stream, MsgKind::kPingOk, request.request_id, parts);
-      }
+      case MsgKind::kPing:
+        // The echo copies out of the connection's read buffer: the
+        // response outlives the handler, the reader storage must not.
+        return to_outbound_tagged(
+            make_ok_frame(request.request_id, MsgKind::kPingOk,
+                          std::vector<std::uint8_t>(request.payload.begin(),
+                                                    request.payload.end())),
+            kTagOk);
       case MsgKind::kSubmitPlan:
-        return write_timed(stream, handle_submit_plan(request), wrote_error);
+        return to_outbound(handle_submit_plan(request));
       case MsgKind::kPermute:
-        return respond_permute(stream, request, wrote_error);
+        return handle_permute(request);
       case MsgKind::kExecuteProgram:
-        return respond_program(stream, request, wrote_error);
+        return handle_program(request);
       case MsgKind::kShardExec:
-        return respond_shard_exec(stream, request, wrote_error);
+        return handle_shard_exec(request);
       case MsgKind::kShardXchg:
-        return respond_shard_xchg(stream, request, wrote_error);
+        return handle_shard_xchg(request);
       case MsgKind::kStats:
-        return write_timed(stream, handle_stats(request.request_id), wrote_error);
+        return to_outbound(handle_stats(request.request_id));
       default:
-        return write_timed(stream,
-                           make_error_frame(request.request_id,
-                                            Status(StatusCode::kInvalidArgument,
-                                                   "unknown request kind")),
-                           wrote_error);
+        return error_outbound(request.request_id,
+                              Status(StatusCode::kInvalidArgument, "unknown request kind"));
     }
   } catch (const std::bad_alloc&) {
-    return write_timed(stream,
-                       make_error_frame(request.request_id,
-                                        Status(StatusCode::kResourceExhausted,
-                                               "allocation failed")),
-                       wrote_error);
+    return error_outbound(request.request_id,
+                          Status(StatusCode::kResourceExhausted, "allocation failed"));
   } catch (const std::exception& e) {
     // Last-resort boundary: a request must never take the connection
     // (let alone the process) down without a typed answer.
-    return write_timed(
-        stream, make_error_frame(request.request_id, Status(StatusCode::kUnavailable, e.what())),
-        wrote_error);
+    return error_outbound(request.request_id, Status(StatusCode::kUnavailable, e.what()));
   }
 }
 
@@ -293,12 +595,10 @@ Frame Server::handle_submit_plan(const FrameView& request) {
   return make_ok_frame(request.request_id, MsgKind::kPlanOk, w.take());
 }
 
-Status Server::respond_permute(TcpStream& stream, const FrameView& request, bool& wrote_error) {
+OutboundFrame Server::handle_permute(const FrameView& request) {
   const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
   StatusOr<PermuteRequestView> req = PermuteRequestView::decode(request.payload, max_elements);
-  if (!req.ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
-  }
+  if (!req.ok()) return error_outbound(request.request_id, req.status());
   const PermuteRequestView& permute = req.value();
   const std::uint64_t count = permute.data.count;
 
@@ -309,19 +609,14 @@ Status Server::respond_permute(TcpStream& stream, const FrameView& request, bool
     if (it != plans_.end()) plan = it->second;
   }
   if (plan == nullptr) {
-    return write_timed(stream,
-                       make_error_frame(request.request_id,
-                                        Status(StatusCode::kInvalidArgument,
-                                               "PERMUTE: unknown plan id (SUBMIT_PLAN it first)")),
-                       wrote_error);
+    return error_outbound(request.request_id,
+                          Status(StatusCode::kInvalidArgument,
+                                 "PERMUTE: unknown plan id (SUBMIT_PLAN it first)"));
   }
   if (count != plan->size()) {
-    return write_timed(
-        stream,
-        make_error_frame(request.request_id,
-                         Status(StatusCode::kInvalidArgument,
-                                "PERMUTE: element count does not match the plan size")),
-        wrote_error);
+    return error_outbound(request.request_id,
+                          Status(StatusCode::kInvalidArgument,
+                                 "PERMUTE: element count does not match the plan size"));
   }
 
   // The client's relative budget becomes an absolute executor deadline
@@ -341,18 +636,18 @@ Status Server::respond_permute(TcpStream& stream, const FrameView& request, bool
   // Input elements: on a little-endian host the wire bytes in the
   // pooled read buffer *are* the element array (the PERMUTE data
   // offset, 24 bytes, keeps them 4-aligned in 128-byte-aligned
-  // storage), so the kernels read the request payload in place. The
-  // fallback is one bounded copy into a pooled buffer.
+  // storage), so the kernels read the request payload in place — it is
+  // stable for the whole handler because EPOLLIN is paused while this
+  // request is in flight. The fallback is one bounded copy into a
+  // pooled buffer.
   std::span<const std::uint32_t> in = permute.data.in_place();
   util::PooledBuffer in_copy;
   if (in.empty()) {
     in_copy = pool.try_acquire(count * sizeof(std::uint32_t));
     if (!in_copy.valid()) {
-      return write_timed(stream,
-                         make_error_frame(request.request_id,
-                                          Status(StatusCode::kResourceExhausted,
-                                                 "buffer pool refused the request buffer")),
-                         wrote_error);
+      return error_outbound(request.request_id,
+                            Status(StatusCode::kResourceExhausted,
+                                   "buffer pool refused the request buffer"));
     }
     const std::span<std::uint32_t> copy_span = in_copy.as_span<std::uint32_t>(count);
     permute.data.copy_to(copy_span);
@@ -360,52 +655,30 @@ Status Server::respond_permute(TcpStream& stream, const FrameView& request, bool
   }
 
   // Output elements: pooled (a steady stream of same-sized PERMUTEs
-  // recycles the same blocks), serialized scatter-gather below without
-  // ever being copied into a response payload.
+  // recycles the same blocks), serialized scatter-gather without ever
+  // being copied into a response payload.
   util::PooledBuffer out = pool.try_acquire(count * sizeof(std::uint32_t));
   if (!out.valid()) {
-    return write_timed(stream,
-                       make_error_frame(request.request_id,
-                                        Status(StatusCode::kResourceExhausted,
-                                               "buffer pool refused the response buffer")),
-                       wrote_error);
+    return error_outbound(request.request_id,
+                          Status(StatusCode::kResourceExhausted,
+                                 "buffer pool refused the response buffer"));
   }
   const std::span<std::uint32_t> out_span = out.as_span<std::uint32_t>(count);
 
   StatusOr<std::future<Status>> submitted =
       service_.submit<std::uint32_t>(*plan, in, out_span, opts);
-  if (!submitted.ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, submitted.status()),
-                       wrote_error);
-  }
+  if (!submitted.ok()) return error_outbound(request.request_id, submitted.status());
   const Status outcome = submitted.value().get();
-  if (!outcome.is_ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, outcome), wrote_error);
-  }
+  if (!outcome.is_ok()) return error_outbound(request.request_id, outcome);
 
-  // PERMUTE_OK = [u64 count | elements]: the count header lives on the
-  // stack, the element bytes go out straight from the pooled result
-  // buffer (byteswapped in place first on a big-endian host).
-  std::uint8_t count_header[8];
-  for (int i = 0; i < 8; ++i) count_header[i] = static_cast<std::uint8_t>(count >> (8 * i));
-  if constexpr (std::endian::native != std::endian::little) {
-    for (std::uint32_t& w : out_span) {
-      w = ((w & 0xff000000u) >> 24) | ((w & 0x00ff0000u) >> 8) | ((w & 0x0000ff00u) << 8) |
-          ((w & 0x000000ffu) << 24);
-    }
-  }
-  const ConstBuffer parts[] = {{count_header, sizeof(count_header)},
-                               {out_span.data(), count * sizeof(std::uint32_t)}};
-  return write_timed_parts(stream, MsgKind::kPermuteOk, request.request_id, parts);
+  return elements_outbound(MsgKind::kPermuteOk, request.request_id, std::move(out), count);
 }
 
-Status Server::respond_program(TcpStream& stream, const FrameView& request, bool& wrote_error) {
+OutboundFrame Server::handle_program(const FrameView& request) {
   const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
   StatusOr<ExecuteProgramRequestView> req =
       ExecuteProgramRequestView::decode(request.payload, max_elements);
-  if (!req.ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
-  }
+  if (!req.ok()) return error_outbound(request.request_id, req.status());
   const ExecuteProgramRequestView& program_req = req.value();
   const std::uint64_t count = program_req.data.count;
 
@@ -437,11 +710,9 @@ Status Server::respond_program(TcpStream& stream, const FrameView& request, bool
   if (in.empty()) {
     in_copy = pool.try_acquire(count * sizeof(std::uint32_t));
     if (!in_copy.valid()) {
-      return write_timed(stream,
-                         make_error_frame(request.request_id,
-                                          Status(StatusCode::kResourceExhausted,
-                                                 "buffer pool refused the request buffer")),
-                         wrote_error);
+      return error_outbound(request.request_id,
+                            Status(StatusCode::kResourceExhausted,
+                                   "buffer pool refused the request buffer"));
     }
     const std::span<std::uint32_t> copy_span = in_copy.as_span<std::uint32_t>(count);
     program_req.data.copy_to(copy_span);
@@ -450,11 +721,9 @@ Status Server::respond_program(TcpStream& stream, const FrameView& request, bool
 
   util::PooledBuffer out = pool.try_acquire(count * sizeof(std::uint32_t));
   if (!out.valid()) {
-    return write_timed(stream,
-                       make_error_frame(request.request_id,
-                                        Status(StatusCode::kResourceExhausted,
-                                               "buffer pool refused the response buffer")),
-                       wrote_error);
+    return error_outbound(request.request_id,
+                          Status(StatusCode::kResourceExhausted,
+                                 "buffer pool refused the response buffer"));
   }
   const std::span<std::uint32_t> out_span = out.as_span<std::uint32_t>(count);
 
@@ -462,28 +731,12 @@ Status Server::respond_program(TcpStream& stream, const FrameView& request, bool
   program.ops = program_req.ops;
   StatusOr<std::future<Status>> submitted =
       service_.submit_program<std::uint32_t>(program, resolver, in, out_span, opts);
-  if (!submitted.ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, submitted.status()),
-                       wrote_error);
-  }
+  if (!submitted.ok()) return error_outbound(request.request_id, submitted.status());
   const Status outcome = submitted.value().get();
-  if (!outcome.is_ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, outcome), wrote_error);
-  }
+  if (!outcome.is_ok()) return error_outbound(request.request_id, outcome);
 
-  // PROGRAM_OK mirrors PERMUTE_OK byte for byte: count header + the
-  // pooled result, scatter-gathered.
-  std::uint8_t count_header[8];
-  for (int i = 0; i < 8; ++i) count_header[i] = static_cast<std::uint8_t>(count >> (8 * i));
-  if constexpr (std::endian::native != std::endian::little) {
-    for (std::uint32_t& w : out_span) {
-      w = ((w & 0xff000000u) >> 24) | ((w & 0x00ff0000u) >> 8) | ((w & 0x0000ff00u) << 8) |
-          ((w & 0x000000ffu) << 24);
-    }
-  }
-  const ConstBuffer parts[] = {{count_header, sizeof(count_header)},
-                               {out_span.data(), count * sizeof(std::uint32_t)}};
-  return write_timed_parts(stream, MsgKind::kProgramOk, request.request_id, parts);
+  // PROGRAM_OK mirrors PERMUTE_OK byte for byte.
+  return elements_outbound(MsgKind::kProgramOk, request.request_id, std::move(out), count);
 }
 
 namespace {
@@ -498,6 +751,8 @@ std::chrono::milliseconds budget_until(std::chrono::steady_clock::time_point dea
 
 /// Push one exchange block at a peer and wait for its ack. The link is
 /// connected lazily on the first round and reused for the second.
+/// (Peer links are plain blocking client streams — the shard-exec
+/// handler owns a dedicated thread.)
 Status send_shard_block(TcpStream& link, bool& connected, const ShardPeer& peer,
                         std::uint64_t session_id, std::uint32_t round, std::uint32_t src,
                         std::span<const std::uint32_t> block,
@@ -548,19 +803,16 @@ Status send_shard_block(TcpStream& link, bool& connected, const ShardPeer& peer,
 
 }  // namespace
 
-Status Server::respond_shard_exec(TcpStream& stream, const FrameView& request,
-                                  bool& wrote_error) {
+OutboundFrame Server::handle_shard_exec(const FrameView& request) {
   const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
   StatusOr<ShardExecRequestView> req = ShardExecRequestView::decode(request.payload, max_elements);
-  if (!req.ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
-  }
+  if (!req.ok()) return error_outbound(request.request_id, req.status());
   const ShardExecRequestView& exec = req.value();
   const std::uint32_t me = exec.shard_index;
 
   auto fail = [&](const Status& why) {
     shard_aborts_.fetch_add(1, std::memory_order_relaxed);
-    return write_timed(stream, make_error_frame(request.request_id, why), wrote_error);
+    return error_outbound(request.request_id, why);
   };
 
   StatusOr<runtime::BandPlan> bands_or =
@@ -727,40 +979,36 @@ Status Server::respond_shard_exec(TcpStream& stream, const FrameView& request,
                                     result_span, p3.rows, p3.cols, p3.phat, p3.q);
 
   shard_execs_.fetch_add(1, std::memory_order_relaxed);
-  std::uint8_t count_header[8];
-  for (int i = 0; i < 8; ++i) {
-    count_header[i] = static_cast<std::uint8_t>(band_elems >> (8 * i));
-  }
-  if constexpr (std::endian::native != std::endian::little) {
-    for (std::uint32_t& word : result_span) {
-      word = ((word & 0xff000000u) >> 24) | ((word & 0x00ff0000u) >> 8) |
-             ((word & 0x0000ff00u) << 8) | ((word & 0x000000ffu) << 24);
-    }
-  }
-  const ConstBuffer parts[] = {{count_header, sizeof(count_header)},
-                               {result_span.data(), band_elems * sizeof(std::uint32_t)}};
-  return write_timed_parts(stream, MsgKind::kShardExecOk, request.request_id, parts);
+  return elements_outbound(MsgKind::kShardExecOk, request.request_id, std::move(result),
+                           band_elems);
 }
 
-Status Server::respond_shard_xchg(TcpStream& stream, const FrameView& request,
-                                  bool& wrote_error) {
+OutboundFrame Server::handle_shard_xchg(const FrameView& request) {
   const std::uint64_t max_elements = config_.max_payload_bytes / kElemBytes;
   StatusOr<ShardXchgRequestView> req = ShardXchgRequestView::decode(request.payload, max_elements);
-  if (!req.ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, req.status()), wrote_error);
-  }
+  if (!req.ok()) return error_outbound(request.request_id, req.status());
   const ShardXchgRequestView& xchg = req.value();
 
-  // The block may outrace this shard's own SHARD_EXEC: wait (bounded)
-  // for the session instead of bouncing the peer into a retry loop.
-  std::shared_ptr<ShardSession> session = shard_sessions_.await(
-      xchg.session_id, std::chrono::steady_clock::now() + config_.shard_exchange_timeout);
+  // The block may outrace this shard's own SHARD_EXEC. The fast path —
+  // the session already exists — scatters straight through. The slow
+  // path parks this handler in `await`, pinning the block's pooled
+  // payload bytes for up to the exchange timeout, so it runs under the
+  // registry's held-bytes budget: a hostile peer spraying blocks at
+  // sessions that never materialize gets RETRY_LATER, not the pool.
+  std::shared_ptr<ShardSession> session = shard_sessions_.find(xchg.session_id);
+  ShardSessionRegistry::Hold hold;
   if (session == nullptr) {
-    return write_timed(stream,
-                       make_error_frame(request.request_id,
-                                        Status(StatusCode::kUnavailable,
-                                               "SHARD_XCHG: no such shard session")),
-                       wrote_error);
+    StatusOr<ShardSessionRegistry::Hold> hold_or =
+        shard_sessions_.try_hold(request.payload.size());
+    if (!hold_or.ok()) return error_outbound(request.request_id, hold_or.status());
+    hold = std::move(hold_or).value();
+    session = shard_sessions_.await(
+        xchg.session_id, std::chrono::steady_clock::now() + config_.shard_exchange_timeout);
+    if (session == nullptr) {
+      return error_outbound(request.request_id,
+                            Status(StatusCode::kUnavailable,
+                                   "SHARD_XCHG: no such shard session"));
+    }
   }
 
   std::span<const std::uint32_t> block = xchg.block.in_place();
@@ -769,11 +1017,9 @@ Status Server::respond_shard_xchg(TcpStream& stream, const FrameView& request,
     util::BufferPool& pool = util::BufferPool::global();
     block_copy = pool.try_acquire(xchg.block.count * sizeof(std::uint32_t));
     if (!block_copy.valid()) {
-      return write_timed(stream,
-                         make_error_frame(request.request_id,
-                                          Status(StatusCode::kResourceExhausted,
-                                                 "buffer pool refused the block buffer")),
-                         wrote_error);
+      return error_outbound(request.request_id,
+                            Status(StatusCode::kResourceExhausted,
+                                   "buffer pool refused the block buffer"));
     }
     const std::span<std::uint32_t> copy_span =
         block_copy.as_span<std::uint32_t>(xchg.block.count);
@@ -782,12 +1028,9 @@ Status Server::respond_shard_xchg(TcpStream& stream, const FrameView& request,
   }
 
   const Status accepted = session->accept_block(xchg.round, xchg.src_shard, block);
-  if (!accepted.is_ok()) {
-    return write_timed(stream, make_error_frame(request.request_id, accepted), wrote_error);
-  }
+  if (!accepted.is_ok()) return error_outbound(request.request_id, accepted);
   shard_blocks_.fetch_add(1, std::memory_order_relaxed);
-  return write_timed(stream, make_ok_frame(request.request_id, MsgKind::kShardXchgOk, {}),
-                     wrote_error);
+  return to_outbound(make_ok_frame(request.request_id, MsgKind::kShardXchgOk, {}));
 }
 
 Frame Server::handle_stats(std::uint64_t request_id) {
@@ -809,6 +1052,9 @@ Frame Server::handle_stats(std::uint64_t request_id) {
      << ",\"shard_blocks\":" << c.shard_blocks
      << ",\"shard_aborts\":" << c.shard_aborts
      << ",\"shard_sessions\":" << shard_sessions_.size()
+     << ",\"shard_hold_bytes\":" << shard_sessions_.held_bytes()
+     << ",\"shard_hold_rejections\":" << c.shard_hold_rejections
+     << ",\"io_threads\":" << reactors_.size()
      << ",\"plans\":" << plans() << "}";
   if (service_json.size() > 2 && service_json.front() == '{') {
     os << "," << service_json.substr(1);

@@ -136,6 +136,36 @@ std::shared_ptr<ShardSession> ShardSessionRegistry::await(
   return found;
 }
 
+std::shared_ptr<ShardSession> ShardSessionRegistry::find(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void ShardSessionRegistry::Hold::release() noexcept {
+  if (registry_ != nullptr) {
+    registry_->held_bytes_.fetch_sub(bytes_, std::memory_order_relaxed);
+    registry_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+StatusOr<ShardSessionRegistry::Hold> ShardSessionRegistry::try_hold(std::uint64_t bytes) {
+  // CAS loop so two racing holds cannot both sneak under the cap.
+  std::uint64_t current = held_bytes_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current + bytes > config_.max_pending_hold_bytes) {
+      hold_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status(StatusCode::kResourceExhausted,
+                    "SHARD_XCHG: early-arrival hold budget exhausted; retry later");
+    }
+    if (held_bytes_.compare_exchange_weak(current, current + bytes,
+                                          std::memory_order_relaxed)) {
+      return Hold(this, bytes);
+    }
+  }
+}
+
 void ShardSessionRegistry::erase(std::uint64_t id) {
   std::shared_ptr<ShardSession> victim;
   {

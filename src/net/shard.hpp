@@ -18,6 +18,7 @@
 /// mid-exchange (peer died, deadline passed, malformed block) releases
 /// every staged byte, which the tests verify via pool-stats deltas.
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -90,6 +91,13 @@ class ShardSessionRegistry {
     std::chrono::milliseconds exchange_timeout{10'000};
     /// Concurrent distributed executions this shard admits.
     std::uint32_t max_sessions = 32;
+    /// Cap on pooled bytes pinned by *early-arrival* SHARD_XCHG blocks
+    /// — blocks whose session has not been created yet and whose
+    /// handler would otherwise sit in `await` holding the payload for
+    /// the full exchange timeout. A hostile peer spraying blocks at
+    /// never-created sessions hits this bound and gets a typed
+    /// RETRY_LATER instead of pinning the pool dry.
+    std::uint64_t max_pending_hold_bytes = 256ull << 20;
   };
 
   explicit ShardSessionRegistry(Config config, util::BufferPool& pool)
@@ -108,6 +116,55 @@ class ShardSessionRegistry {
   [[nodiscard]] std::shared_ptr<ShardSession> await(
       std::uint64_t id, std::chrono::steady_clock::time_point deadline);
 
+  /// Non-blocking lookup: the session if it exists right now. The fast
+  /// path for SHARD_XCHG when the local exec already won the race — no
+  /// hold needed, the block scatters straight through.
+  [[nodiscard]] std::shared_ptr<ShardSession> find(std::uint64_t id);
+
+  /// RAII accounting for bytes an early-arrival SHARD_XCHG handler
+  /// pins while blocked in `await`. Releases on destruction.
+  class Hold {
+   public:
+    Hold() = default;
+    ~Hold() { release(); }
+    Hold(Hold&& other) noexcept : registry_(other.registry_), bytes_(other.bytes_) {
+      other.registry_ = nullptr;
+      other.bytes_ = 0;
+    }
+    Hold& operator=(Hold&& other) noexcept {
+      if (this != &other) {
+        release();
+        registry_ = other.registry_;
+        bytes_ = other.bytes_;
+        other.registry_ = nullptr;
+        other.bytes_ = 0;
+      }
+      return *this;
+    }
+    Hold(const Hold&) = delete;
+    Hold& operator=(const Hold&) = delete;
+    void release() noexcept;
+
+   private:
+    friend class ShardSessionRegistry;
+    Hold(ShardSessionRegistry* registry, std::uint64_t bytes) noexcept
+        : registry_(registry), bytes_(bytes) {}
+    ShardSessionRegistry* registry_ = nullptr;
+    std::uint64_t bytes_ = 0;
+  };
+
+  /// Reserve `bytes` against `max_pending_hold_bytes`. Over the cap →
+  /// kResourceExhausted (RETRY_LATER on the wire) and the rejection
+  /// counter ticks; the peer re-sends once the local exec catches up.
+  [[nodiscard]] runtime::StatusOr<Hold> try_hold(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t held_bytes() const noexcept {
+    return held_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t hold_rejections() const noexcept {
+    return hold_rejections_.load(std::memory_order_relaxed);
+  }
+
   /// Drop the session. Staging is released when the last holder lets
   /// go of the shared_ptr (an in-flight scatter finishes safely first).
   void erase(std::uint64_t id);
@@ -120,6 +177,8 @@ class ShardSessionRegistry {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::unordered_map<std::uint64_t, std::shared_ptr<ShardSession>> sessions_;
+  std::atomic<std::uint64_t> held_bytes_{0};
+  std::atomic<std::uint64_t> hold_rejections_{0};
 };
 
 }  // namespace hmm::net

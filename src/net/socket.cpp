@@ -9,11 +9,14 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace hmm::net {
@@ -33,7 +36,7 @@ Status errno_status(const char* op) {
 /// done"), which server loops treat as a quiet close.
 Status peer_gone(const char* what) { return Status(StatusCode::kUnavailable, what); }
 
-Status set_nonblocking(int fd, bool nonblocking) {
+Status set_fd_nonblocking(int fd, bool nonblocking) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return errno_status("fcntl(F_GETFL)");
   const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
@@ -197,6 +200,119 @@ StatusOr<bool> TcpStream::poll_readable(std::chrono::milliseconds timeout) {
   return true;
 }
 
+Status TcpStream::set_nonblocking(bool nonblocking) {
+  if (!valid()) return peer_gone("socket closed");
+  return set_fd_nonblocking(fd(), nonblocking);
+}
+
+StatusOr<std::size_t> TcpStream::recv_some(void* data, std::size_t len) {
+  if (!valid()) return peer_gone("socket closed");
+  for (;;) {
+    const ssize_t n = ::recv(fd(), data, len, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return peer_gone("connection closed");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::size_t{0};
+    if (errno == ECONNRESET) return peer_gone("connection reset by peer");
+    return errno_status("recv");
+  }
+}
+
+StatusOr<std::size_t> TcpStream::send_some(std::span<const ConstBuffer> parts) {
+  if (!valid()) return peer_gone("socket closed");
+  iovec iov[16];
+  std::size_t count = 0;
+  for (const ConstBuffer& part : parts) {
+    if (part.len == 0) continue;
+    if (count == std::size(iov)) break;  // the remainder goes out next round
+    iov[count++] = iovec{const_cast<void*>(part.data), part.len};
+  }
+  if (count == 0) return std::size_t{0};
+  for (;;) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    const ssize_t n = ::sendmsg(fd(), &msg, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::size_t{0};
+    if (errno == EPIPE || errno == ECONNRESET) return peer_gone("peer closed the connection");
+    return errno_status("sendmsg");
+  }
+}
+
+static_assert(kEpollIn == EPOLLIN && kEpollOut == EPOLLOUT && kEpollErr == EPOLLERR &&
+                  kEpollHup == EPOLLHUP && kEpollRdHup == EPOLLRDHUP,
+              "readiness bits must mirror the kernel's");
+
+StatusOr<Epoll> Epoll::create() {
+  Socket epfd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epfd.valid()) return errno_status("epoll_create1");
+  return Epoll(std::move(epfd));
+}
+
+Status Epoll::add(int fd, std::uint32_t events, std::uint64_t data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = data;
+  if (::epoll_ctl(epfd_.fd(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return errno_status("epoll_ctl(ADD)");
+  }
+  return Status::ok();
+}
+
+Status Epoll::mod(int fd, std::uint32_t events, std::uint64_t data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = data;
+  if (::epoll_ctl(epfd_.fd(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return errno_status("epoll_ctl(MOD)");
+  }
+  return Status::ok();
+}
+
+Status Epoll::del(int fd) {
+  if (::epoll_ctl(epfd_.fd(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return errno_status("epoll_ctl(DEL)");
+  }
+  return Status::ok();
+}
+
+StatusOr<std::size_t> Epoll::wait(std::span<Event> out, std::chrono::milliseconds timeout) {
+  if (out.empty()) return std::size_t{0};
+  epoll_event events[64];
+  const int want = static_cast<int>(std::min(out.size(), std::size(events)));
+  const int rc = ::epoll_wait(epfd_.fd(), events, want, static_cast<int>(timeout.count()));
+  if (rc < 0) {
+    if (errno == EINTR) return std::size_t{0};
+    return errno_status("epoll_wait");
+  }
+  for (int i = 0; i < rc; ++i) {
+    out[static_cast<std::size_t>(i)] = Event{events[i].data.u64, events[i].events};
+  }
+  return static_cast<std::size_t>(rc);
+}
+
+StatusOr<EventFd> EventFd::create() {
+  Socket efd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!efd.valid()) return errno_status("eventfd");
+  return EventFd(std::move(efd));
+}
+
+void EventFd::signal() noexcept {
+  if (!valid()) return;
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending
+  // wakeup; any other failure here has no recovery path worth taking.
+  [[maybe_unused]] ssize_t rc = ::write(efd_.fd(), &one, sizeof(one));
+}
+
+void EventFd::drain() noexcept {
+  if (!valid()) return;
+  std::uint64_t count = 0;
+  [[maybe_unused]] ssize_t rc = ::read(efd_.fd(), &count, sizeof(count));
+}
+
 StatusOr<TcpStream> tcp_connect(const std::string& host, std::uint16_t port,
                                 std::chrono::milliseconds timeout) {
   StatusOr<sockaddr_in> addr = resolve(host, port);
@@ -207,7 +323,7 @@ StatusOr<TcpStream> tcp_connect(const std::string& host, std::uint16_t port,
 
   // Non-blocking connect bounded by poll, then back to blocking mode
   // (everything downstream relies on SO_RCVTIMEO semantics).
-  if (Status s = set_nonblocking(sock.fd(), true); !s.is_ok()) return s;
+  if (Status s = set_fd_nonblocking(sock.fd(), true); !s.is_ok()) return s;
   const sockaddr_in& sa = addr.value();
   if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
     if (errno != EINPROGRESS) return errno_status("connect");
@@ -225,7 +341,7 @@ StatusOr<TcpStream> tcp_connect(const std::string& host, std::uint16_t port,
                     std::string("connect failed: ") + std::strerror(err));
     }
   }
-  if (Status s = set_nonblocking(sock.fd(), false); !s.is_ok()) return s;
+  if (Status s = set_fd_nonblocking(sock.fd(), false); !s.is_ok()) return s;
 
   // Frames are written whole; Nagle only adds latency here.
   const int one = 1;

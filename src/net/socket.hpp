@@ -1,13 +1,16 @@
 #pragma once
 /// \file socket.hpp
-/// \brief Thin RAII layer over blocking POSIX TCP sockets: listener,
-///        stream, connect-with-timeout, and typed I/O errors.
+/// \brief Thin RAII layer over POSIX TCP sockets: listener, stream,
+///        connect-with-timeout, typed I/O errors, and the nonblocking
+///        readiness primitives (`Epoll`, `EventFd`, single-shot
+///        `send_some`/`recv_some`) the reactor server is built on.
 ///
-/// The net layer deliberately uses blocking sockets and a
-/// thread-per-connection server (taskd-style): the executor underneath
-/// is already asynchronous, connections are long-lived, and the request
-/// path blocks on a future anyway — an event loop would buy nothing but
-/// state-machine complexity at this scale.
+/// Two I/O disciplines share this file. The client and the shard
+/// exchange links use *blocking* streams with SO_RCVTIMEO/SO_SNDTIMEO
+/// (`send_all`/`recv_all`): those paths block on a round trip anyway.
+/// The server runs *nonblocking* streams driven by epoll readiness:
+/// `set_nonblocking(true)` plus the `*_some` calls, which do at most
+/// one syscall and report would-block instead of sleeping.
 ///
 /// Error taxonomy (the same `runtime::Status` the serving stack uses):
 ///  - `kDeadlineExceeded` — an I/O timeout (SO_RCVTIMEO/SO_SNDTIMEO) or
@@ -76,9 +79,14 @@ class TcpStream {
   [[nodiscard]] bool valid() const noexcept { return sock_.valid(); }
   [[nodiscard]] int fd() const noexcept { return sock_.fd(); }
 
-  /// Per-direction I/O timeouts (0 = never time out).
+  /// Per-direction I/O timeouts (0 = never time out). Only meaningful
+  /// for blocking streams — a nonblocking fd never sleeps in a syscall.
   runtime::Status set_io_timeout(std::chrono::milliseconds recv_timeout,
                                  std::chrono::milliseconds send_timeout);
+
+  /// Toggle O_NONBLOCK. In nonblocking mode use `send_some`/`recv_some`
+  /// (the `*_all` calls would spin on would-block).
+  runtime::Status set_nonblocking(bool nonblocking);
 
   /// Send exactly `len` bytes. Typed failure, never SIGPIPE.
   runtime::Status send_all(const void* data, std::size_t len);
@@ -99,10 +107,84 @@ class TcpStream {
   /// pending, OK(false) = timeout, error = the socket is dead.
   runtime::StatusOr<bool> poll_readable(std::chrono::milliseconds timeout);
 
+  /// One nonblocking read attempt: at most one recv(2). OK(n > 0) =
+  /// `n` bytes landed, OK(0) = the socket would block (wait for
+  /// readiness); EOF and resets surface as kUnavailable. Callers that
+  /// care whether EOF tore a frame know their own parse position —
+  /// this call cannot.
+  runtime::StatusOr<std::size_t> recv_some(void* data, std::size_t len);
+
+  /// One nonblocking scatter-gather write attempt: at most one
+  /// sendmsg(2) over the parts as if concatenated. OK(n) = the kernel
+  /// accepted `n` bytes (possibly short — resume from there), OK(0) =
+  /// would block (wait for writability); EPIPE/ECONNRESET surface as
+  /// kUnavailable, never SIGPIPE. Zero-length parts are skipped.
+  runtime::StatusOr<std::size_t> send_some(std::span<const ConstBuffer> parts);
+
   void close() noexcept { sock_.close(); }
 
  private:
   Socket sock_;
+};
+
+/// Readiness bits for `Epoll`, numerically identical to the kernel's
+/// EPOLLIN/EPOLLOUT/EPOLLERR/EPOLLHUP/EPOLLRDHUP (asserted in the
+/// .cpp) so the header stays free of <sys/epoll.h>.
+inline constexpr std::uint32_t kEpollIn = 0x001;
+inline constexpr std::uint32_t kEpollOut = 0x004;
+inline constexpr std::uint32_t kEpollErr = 0x008;
+inline constexpr std::uint32_t kEpollHup = 0x010;
+inline constexpr std::uint32_t kEpollRdHup = 0x2000;
+
+/// RAII epoll(7) instance. `data` is an opaque caller key (the reactor
+/// uses connection ids, not fds, so a stale event after close can never
+/// alias a recycled descriptor). Level-triggered throughout: the frame
+/// state machines re-arm interest explicitly and never need EPOLLET's
+/// drain-to-EAGAIN contract.
+class Epoll {
+ public:
+  struct Event {
+    std::uint64_t data = 0;
+    std::uint32_t events = 0;
+  };
+
+  Epoll() = default;
+  static runtime::StatusOr<Epoll> create();
+
+  [[nodiscard]] bool valid() const noexcept { return epfd_.valid(); }
+
+  runtime::Status add(int fd, std::uint32_t events, std::uint64_t data);
+  runtime::Status mod(int fd, std::uint32_t events, std::uint64_t data);
+  runtime::Status del(int fd);
+
+  /// Wait up to `timeout` (-1ms = forever) for readiness; fills at most
+  /// `out.size()` events and returns the count (0 = timeout). EINTR is
+  /// reported as 0 events, like a timeout slice.
+  runtime::StatusOr<std::size_t> wait(std::span<Event> out,
+                                      std::chrono::milliseconds timeout);
+
+ private:
+  explicit Epoll(Socket s) noexcept : epfd_(std::move(s)) {}
+  Socket epfd_;
+};
+
+/// Nonblocking eventfd(2) wakeup: any thread `signal()`s, the owning
+/// reactor sees kEpollIn on `fd()` and `drain()`s. Coalescing is the
+/// point — N signals before a drain still cost one wakeup.
+class EventFd {
+ public:
+  EventFd() = default;
+  static runtime::StatusOr<EventFd> create();
+
+  [[nodiscard]] bool valid() const noexcept { return efd_.valid(); }
+  [[nodiscard]] int fd() const noexcept { return efd_.fd(); }
+
+  void signal() noexcept;
+  void drain() noexcept;
+
+ private:
+  explicit EventFd(Socket s) noexcept : efd_(std::move(s)) {}
+  Socket efd_;
 };
 
 /// Connect to host:port within `timeout` (non-blocking connect + poll,

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -29,6 +31,7 @@
 #include "runtime/phase.hpp"
 #include "runtime/service.hpp"
 #include "runtime/status.hpp"
+#include "util/buffer_pool.hpp"
 #include "util/thread_pool.hpp"
 
 namespace hmm {
@@ -1053,6 +1056,336 @@ TEST(NetLoopback, BatchedServerMatchesLocalApplyAndExecutesBatches) {
     }
   }
   EXPECT_GE(loop.service.metrics().snapshot().batches_executed, 1u);
+}
+
+// --------------------------------------------- reactor connection scale
+
+/// Raise the process fd soft limit so the high-connection tests can run
+/// (each loopback connection costs two fds). Returns false when even the
+/// hard limit cannot carry `want`.
+bool raise_fd_limit(rlim_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  if (lim.rlim_cur >= want) return true;
+  if (lim.rlim_max != RLIM_INFINITY && lim.rlim_max < want) return false;
+  lim.rlim_cur = want;
+  return ::setrlimit(RLIMIT_NOFILE, &lim) == 0;
+}
+
+// The tentpole acceptance check at test scale: a thousand idle
+// connections cost the reactor a map entry each, not a thread each,
+// and a request threaded past all of them is answered promptly.
+TEST(NetReactor, ThousandIdleConnectionsAreCarriedAndServed) {
+  constexpr std::size_t kIdle = 1000;
+  if (!raise_fd_limit(4096)) GTEST_SKIP() << "fd hard limit too low for 1k connections";
+
+  net::Server::Config server_config;
+  server_config.max_connections = kIdle + 64;
+  Loopback loop({}, server_config);
+
+  std::vector<net::TcpStream> idle;
+  idle.reserve(kIdle);
+  for (std::size_t i = 0; i < kIdle; ++i) {
+    auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+    ASSERT_TRUE(conn.ok()) << "connection " << i << ": " << conn.status().to_string();
+    idle.push_back(std::move(conn).value());
+  }
+
+  // With a thousand idle peers parked on the epoll set, a live client
+  // still gets served, and quickly.
+  const auto started = std::chrono::steady_clock::now();
+  net::Client client(loop.client_config());
+  const Status s = client.ping();
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_TRUE(s.is_ok()) << s.to_string();
+  EXPECT_LT(elapsed, 5s) << "ping stalled behind idle connections";
+
+  // The idle connections are still live too: a late request on one of
+  // them is served like any other.
+  net::Frame ping;
+  ping.kind = static_cast<std::uint16_t>(net::MsgKind::kPing);
+  ping.request_id = 42;
+  ping.payload = {'u', 'p', '?'};
+  for (std::size_t i : {std::size_t{0}, kIdle / 2, kIdle - 1}) {
+    ASSERT_TRUE(idle[i].set_io_timeout(5'000ms, 5'000ms).is_ok());
+    ASSERT_TRUE(net::write_frame(idle[i], ping).is_ok()) << "connection " << i;
+    auto resp = net::read_frame(idle[i], net::kDefaultMaxPayload);
+    ASSERT_TRUE(resp.ok()) << "connection " << i << ": " << resp.status().to_string();
+    EXPECT_EQ(resp.value().payload, ping.payload);
+  }
+  EXPECT_GE(loop.server.counters().connections_accepted, kIdle + 1);
+}
+
+// Open/close storm: connections that vanish instantly, mid-header, or
+// after a served request must all be reaped without wedging the
+// reactor or leaking conn slots.
+TEST(NetReactor, ConnectionChurnStormLeavesTheServerServing) {
+  Loopback loop;
+  constexpr int kStorm = 300;
+  const std::uint8_t half_header[] = {'H', 'M', 'M', 'P', 0x01, 0x00};
+  for (int i = 0; i < kStorm; ++i) {
+    auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+    ASSERT_TRUE(conn.ok()) << "connection " << i << ": " << conn.status().to_string();
+    net::TcpStream stream = std::move(conn).value();
+    if (i % 3 == 1) {
+      (void)stream.send_all(half_header, sizeof(half_header));  // torn header, then gone
+    } else if (i % 3 == 2) {
+      net::Frame ping;
+      ping.kind = static_cast<std::uint16_t>(net::MsgKind::kPing);
+      ping.request_id = static_cast<std::uint64_t>(i);
+      ASSERT_TRUE(net::write_frame(stream, ping).is_ok());
+      // Close without reading the response: the flush hits a dead peer.
+    }
+    stream.close();
+  }
+
+  // The server is still fully in business afterwards.
+  net::Client client(loop.client_config());
+  EXPECT_TRUE(client.ping().is_ok());
+  EXPECT_GE(loop.server.counters().connections_accepted,
+            static_cast<std::uint64_t>(kStorm));
+}
+
+// A slow-loris peer that trickles half a header and stalls is closed by
+// the io_timeout stall scan — the resumable decoder holds the partial
+// header, the reactor's clock bounds how long.
+TEST(NetReactor, SlowLorisPartialHeaderIsClosedByIoTimeout) {
+  net::Server::Config server_config;
+  server_config.io_timeout = 150ms;
+  server_config.poll_interval = 10ms;
+  Loopback loop({}, server_config);
+
+  auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+  ASSERT_TRUE(conn.ok()) << conn.status().to_string();
+  net::TcpStream loris = std::move(conn).value();
+  ASSERT_TRUE(loris.set_io_timeout(5'000ms, 5'000ms).is_ok());
+  const std::uint8_t torn[] = {'H', 'M', 'M', 'P', 0x01, 0x00, 0x01, 0x00, 0x07};
+  ASSERT_TRUE(loris.send_all(torn, sizeof(torn)).is_ok());
+
+  // Quiet close (EOF), not an ERROR frame, and well before the 5s
+  // blocking-read budget: the stall scan fired.
+  const auto started = std::chrono::steady_clock::now();
+  auto got = net::read_frame(loris, net::kDefaultMaxPayload);
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kUnavailable) << got.status().to_string();
+  EXPECT_LT(elapsed, 3s) << "mid-frame stall outlived io_timeout";
+}
+
+// Graceful drain under concurrency: stop() lands while several requests
+// are mid-execution; every one of them must still get its full
+// response flushed before the reactors exit.
+TEST(NetReactor, GracefulDrainFlushesAllInFlightResponses) {
+  auto loop = std::make_unique<Loopback>();
+  const std::uint64_t n = 1024;
+  const perm::Permutation p = perm::by_name("bit-reversal", n, 1);
+  std::uint64_t plan_id = 0;
+  {
+    net::Client setup(loop->client_config());
+    auto plan = setup.submit_plan(p);
+    ASSERT_TRUE(plan.ok());
+    plan_id = plan.value();
+  }
+
+  runtime::FaultInjector::Config faults;
+  faults.enabled = true;
+  faults.seed = 1;
+  faults.rate = 1.0;
+  faults.stall_ms = 200;
+  faults.sites = std::string(runtime::fault_sites::kExecutorStall);
+  runtime::ScopedFaultInjection chaos(faults);
+
+  std::vector<std::uint32_t> expect(n);
+  constexpr int kInFlight = 4;
+  std::vector<std::vector<std::uint32_t>> inputs(kInFlight), outputs(kInFlight);
+  std::vector<Status> outcomes(kInFlight, Status(StatusCode::kUnavailable, "not run"));
+  std::vector<std::thread> requests;
+  requests.reserve(kInFlight);
+  for (int c = 0; c < kInFlight; ++c) {
+    inputs[c].assign(n, 0);
+    outputs[c].assign(n, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      inputs[c][i] = static_cast<std::uint32_t>(i + static_cast<std::uint64_t>(c) * n);
+    }
+    requests.emplace_back([&, c] {
+      net::Client client(loop->client_config());
+      outcomes[c] =
+          client.permute(plan_id, {inputs[c].data(), n}, {outputs[c].data(), n});
+    });
+  }
+  std::this_thread::sleep_for(80ms);  // let the requests reach the executor
+  loop->server.stop();                // must drain all four, not drop them
+  for (std::thread& t : requests) t.join();
+
+  for (int c = 0; c < kInFlight; ++c) {
+    ASSERT_TRUE(outcomes[c].is_ok()) << "request " << c << ": " << outcomes[c].to_string();
+    p.apply<std::uint32_t>({inputs[c].data(), n}, {expect.data(), n});
+    EXPECT_EQ(outputs[c], expect) << "request " << c << " got a torn response";
+  }
+  EXPECT_FALSE(loop->server.running());
+}
+
+// Regression (PR 9): the over-cap RETRY_LATER frame used to be written
+// synchronously by the accept thread under the full io_timeout, so one
+// hostile over-cap peer could freeze admission for everyone. The frame
+// is now flushed by a reactor under reject_write_budget; the accept
+// thread never writes.
+TEST(NetReactor, CapRejectionIsFlushedOffTheAcceptPath) {
+  net::Server::Config server_config;
+  server_config.max_connections = 1;
+  server_config.io_timeout = 30'000ms;  // the old bug's worst-case stall, per peer
+  Loopback loop({}, server_config);
+
+  // Occupy the only slot and prove it serves.
+  auto conn = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+  ASSERT_TRUE(conn.ok()) << conn.status().to_string();
+  net::TcpStream occupant = std::move(conn).value();
+  ASSERT_TRUE(occupant.set_io_timeout(5'000ms, 5'000ms).is_ok());
+  net::Frame ping;
+  ping.kind = static_cast<std::uint16_t>(net::MsgKind::kPing);
+  ping.request_id = 1;
+  ASSERT_TRUE(net::write_frame(occupant, ping).is_ok());
+  ASSERT_TRUE(net::read_frame(occupant, net::kDefaultMaxPayload).ok());
+
+  // Hostile over-cap peers: connect and never read a byte. Under the
+  // old code each would have parked the accept thread in a blocking
+  // write with the whole io_timeout as budget.
+  std::vector<net::TcpStream> hostile;
+  for (int i = 0; i < 3; ++i) {
+    auto h = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+    ASSERT_TRUE(h.ok()) << h.status().to_string();
+    hostile.push_back(std::move(h).value());
+  }
+
+  // A polite over-cap client right behind them must still get its typed
+  // rejection promptly — the accept path cannot be head-of-line blocked.
+  const auto started = std::chrono::steady_clock::now();
+  net::Client::Config config = loop.client_config();
+  config.max_retries = 0;
+  net::Client late(config);
+  const Status s = late.ping();
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted)
+      << "expected typed RETRY_LATER, got " << s.to_string();
+  EXPECT_LT(elapsed, 2s) << "rejection was head-of-line blocked behind hostile peers";
+  EXPECT_GE(loop.server.counters().connections_rejected, 4u);
+
+  // And the occupant, who owns the one real slot, is unaffected.
+  ASSERT_TRUE(net::write_frame(occupant, ping).is_ok());
+  EXPECT_TRUE(net::read_frame(occupant, net::kDefaultMaxPayload).ok());
+}
+
+// Regression (PR 9): a peer spraying SHARD_XCHG blocks at sessions that
+// never materialize used to pin each block's pooled payload for the
+// full exchange timeout with no bound. The holds now run under
+// max_shard_hold_bytes: excess blocks answer typed RETRY_LATER, and
+// every pinned byte is released once the waits resolve.
+TEST(NetReactor, EarlyArrivalShardHoldsAreBoundedAndReleased) {
+  const std::uint64_t baseline = util::BufferPool::global().stats().outstanding_bytes;
+
+  net::Server::Config server_config;
+  server_config.shard_exchange_timeout = 300ms;
+  server_config.poll_interval = 10ms;
+  server_config.max_shard_hold_bytes = 4096;  // fits one 3KiB block, not two
+  {
+    Loopback loop({}, server_config);
+
+    net::ShardXchgRequest xchg;
+    xchg.round = 1;
+    xchg.src_shard = 0;
+    xchg.block.assign(768, 7);  // 3072 payload bytes
+
+    // First orphan block: admitted under the hold budget, parks waiting
+    // for a session that will never exist.
+    xchg.session_id = 0xfeed0001;
+    auto first = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+    ASSERT_TRUE(first.ok()) << first.status().to_string();
+    net::TcpStream parked = std::move(first).value();
+    ASSERT_TRUE(parked.set_io_timeout(5'000ms, 5'000ms).is_ok());
+    net::Frame frame;
+    frame.kind = static_cast<std::uint16_t>(net::MsgKind::kShardXchg);
+    frame.request_id = 1;
+    frame.payload = xchg.encode();
+    ASSERT_TRUE(net::write_frame(parked, frame).is_ok());
+    std::this_thread::sleep_for(50ms);  // let it reach the await
+
+    // Second orphan block: over the hold budget -> immediate typed
+    // RETRY_LATER, not a second pinned payload.
+    xchg.session_id = 0xfeed0002;
+    auto second = net::tcp_connect("127.0.0.1", loop.server.port(), 2'000ms);
+    ASSERT_TRUE(second.ok()) << second.status().to_string();
+    net::TcpStream rejected = std::move(second).value();
+    ASSERT_TRUE(rejected.set_io_timeout(5'000ms, 5'000ms).is_ok());
+    frame.request_id = 2;
+    frame.payload = xchg.encode();
+    const auto started = std::chrono::steady_clock::now();
+    ASSERT_TRUE(net::write_frame(rejected, frame).is_ok());
+    auto bounced = net::read_frame(rejected, net::kDefaultMaxPayload);
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    ASSERT_TRUE(bounced.ok()) << bounced.status().to_string();
+    ASSERT_EQ(static_cast<net::MsgKind>(bounced.value().kind), net::MsgKind::kError);
+    auto err = net::ErrorResponse::decode(bounced.value().payload);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err.value().to_status().code(), StatusCode::kResourceExhausted)
+        << err.value().to_status().to_string();
+    EXPECT_LT(elapsed, 2s) << "over-budget hold waited instead of bouncing";
+
+    // The parked block resolves typed (no such session) once the
+    // exchange timeout passes, releasing its hold.
+    auto resolved = net::read_frame(parked, net::kDefaultMaxPayload);
+    ASSERT_TRUE(resolved.ok()) << resolved.status().to_string();
+    ASSERT_EQ(static_cast<net::MsgKind>(resolved.value().kind), net::MsgKind::kError);
+    auto parked_err = net::ErrorResponse::decode(resolved.value().payload);
+    ASSERT_TRUE(parked_err.ok());
+    EXPECT_EQ(parked_err.value().to_status().code(), StatusCode::kUnavailable);
+
+    EXPECT_GE(loop.server.counters().shard_hold_rejections, 1u);
+  }
+  // Server gone: every pooled byte the hostile blocks pinned is back.
+  EXPECT_EQ(util::BufferPool::global().stats().outstanding_bytes, baseline);
+}
+
+// Regression (PR 9): a server that dies (or hits its drain deadline)
+// *inside* a response frame used to surface as a generic transport
+// error, which the retry loop resent blindly — even though the request
+// may have executed. It now surfaces as kCancelled and is never
+// auto-retried.
+TEST(NetClient, MidFrameCloseSurfacesCancelledAndIsNotRetried) {
+  auto bound = net::TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(bound.ok()) << bound.status().to_string();
+  net::TcpListener listener = std::move(bound).value();
+
+  // A fake server that answers with a torn frame: a complete header
+  // promising 8 payload bytes, 2 delivered, then EOF.
+  std::thread fake([&listener] {
+    auto accepted = listener.accept(5'000ms);
+    if (!accepted.ok()) return;
+    net::TcpStream conn = std::move(accepted).value();
+    auto request = net::read_frame(conn, net::kDefaultMaxPayload);
+    if (!request.ok()) return;
+    net::Frame response;
+    response.kind = request.value().kind | 0x80u;
+    response.request_id = request.value().request_id;
+    response.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+    const std::vector<std::uint8_t> bytes = net::encode_frame(response);
+    (void)conn.send_all(bytes.data(), net::kHeaderBytes + 2);
+    conn.close();
+  });
+
+  net::Client::Config config;
+  config.host = "127.0.0.1";
+  config.port = listener.port();
+  config.connect_timeout = 2'000ms;
+  config.io_timeout = 5'000ms;
+  config.max_retries = 3;  // must NOT be spent on a torn response
+  config.retry_backoff_base = 0ms;
+  net::Client client(config);
+  const Status s = client.ping();
+  fake.join();
+
+  EXPECT_EQ(s.code(), StatusCode::kCancelled) << s.to_string();
+  EXPECT_EQ(client.reconnects(), 0u) << "client retried a request with unknown outcome";
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 ///   permd_serve [--host 127.0.0.1] [--port 0] [--port-file <path>]
 ///               [--cache-mb 64] [--max-in-flight 0] [--reject]
 ///               [--max-connections 256] [--max-payload-mb 64]
+///               [--io-threads 2] [--handler-threads 0]
 ///               [--io-timeout-ms 30000] [--idle-timeout-ms 0]
 ///               [--duration-s 0]
 ///               [--metrics-json <path>] [--json]
@@ -24,6 +25,12 @@
 ///               [--batch-max 1] [--batch-delay-us 200]
 ///               [--fault-rate 0.0] [--fault-seed 1]
 ///               [--fault-sites plan_cache.build] [--fault-stall-ms 50]
+///
+/// `--io-threads N` sets the number of epoll reactor threads that own
+/// the connections (nonblocking frame assembly + response flushing);
+/// idle connections cost a map entry, not a thread, so the default of
+/// 2 carries 10k+ connections. `--handler-threads N` bounds concurrent
+/// request execution (0 = auto: max(16, 2 x hardware threads)).
 ///
 /// `--batch-max N` (N > 1) turns on same-plan request batching in the
 /// executor: up to N queued PERMUTEs that share a compiled plan run as
@@ -69,7 +76,8 @@ int main(int argc, char** argv) {
 
   util::Cli cli(argc, argv);
   if (!cli.expect_flags({"host", "port", "port-file", "cache-mb", "max-in-flight", "reject",
-                         "max-connections", "max-payload-mb", "io-timeout-ms",
+                         "max-connections", "max-payload-mb", "io-threads", "handler-threads",
+                         "io-timeout-ms",
                          "idle-timeout-ms", "shard-exchange-timeout-ms", "duration-s",
                          "metrics-json", "json", "prom-file", "slow-ms", "batch-max",
                          "batch-delay-us", "fault-rate", "fault-seed", "fault-sites",
@@ -88,6 +96,8 @@ int main(int argc, char** argv) {
   const auto max_connections = static_cast<std::uint32_t>(cli.get_int("max-connections", 256));
   const auto max_payload_bytes =
       static_cast<std::uint32_t>(cli.get_int("max-payload-mb", 64) << 20);
+  const auto io_threads = static_cast<std::uint32_t>(cli.get_int("io-threads", 2));
+  const auto handler_threads = static_cast<std::uint32_t>(cli.get_int("handler-threads", 0));
   const std::int64_t io_timeout_ms = cli.get_int("io-timeout-ms", 30'000);
   const std::int64_t idle_timeout_ms = cli.get_int("idle-timeout-ms", 0);
   const std::int64_t duration_s = cli.get_int("duration-s", 0);
@@ -140,6 +150,8 @@ int main(int argc, char** argv) {
   server_config.port = port;
   server_config.max_connections = max_connections;
   server_config.max_payload_bytes = max_payload_bytes;
+  server_config.io_threads = io_threads;
+  server_config.handler_threads = handler_threads;
   server_config.io_timeout = std::chrono::milliseconds(io_timeout_ms);
   server_config.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
   server_config.shard_exchange_timeout =
@@ -150,8 +162,9 @@ int main(int argc, char** argv) {
     std::cerr << "permd_serve: " << s.to_string() << "\n";
     return 1;
   }
-  std::cout << "permd_serve: listening on " << host << ":" << server.port() << "  (pool="
-            << pool.size() << " threads, cache=" << util::format_bytes(cache_bytes);
+  std::cout << "permd_serve: listening on " << host << ":" << server.port() << "  (io="
+            << io_threads << " reactors, pool=" << pool.size()
+            << " threads, cache=" << util::format_bytes(cache_bytes);
   if (batch_max > 1) {
     std::cout << ", batching max=" << batch_max << " delay=" << batch_delay_us << "us";
   }
