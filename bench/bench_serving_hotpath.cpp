@@ -16,6 +16,12 @@
 /// misses per request (the steady-state allocation rate; ~0 means the
 /// pool is absorbing every per-request buffer).
 ///
+/// The `sweep-seq-<variant>` / `sweep-fused-<variant>` rows re-run the
+/// sweep comparison once per selectable kernel tier (scalar, avx2,
+/// avx512 — whatever this CPU supports), so the committed trajectory
+/// prices the SIMD gather/scatter kernels against the scalar oracle on
+/// the same plan and lanes. Unsupported tiers are skipped, not failed.
+///
 /// The `srv-epoll-*` rows stress what the reactor specifically buys:
 /// `srv-epoll-cNN` runs the batched wire workload at 4x the connection
 /// count (a wider concurrent window feeds fuller same-plan batches),
@@ -45,6 +51,7 @@
 
 #include "core/layout.hpp"
 #include "core/permuter.hpp"
+#include "cpu/dispatch.hpp"
 #include "net/client.hpp"
 #include "net/distributed.hpp"
 #include "net/server.hpp"
@@ -489,6 +496,32 @@ int main(int argc, char** argv) {
   run_sweep(p, n, sweep_lanes, sweep_unbatched, sweep_batched);
   const double sweep_unbatched_rps = add("sweep-unbatched", sweep_unbatched);
   const double sweep_batched_rps = add("sweep-batched", sweep_batched);
+
+  // Per-kernel-tier sweep rows: the same plan and lanes, forced through
+  // each selectable variant. The scalar rows are the oracle baseline the
+  // SIMD tiers are measured against; tiers this CPU cannot run are
+  // skipped (set_kernel_variant clamps the request downward).
+  double scalar_fused_rps = 0, best_simd_fused_rps = 0;
+  {
+    const cpu::KernelVariant prev = cpu::kernel_variant();
+    for (const cpu::KernelVariant v : {cpu::KernelVariant::kScalar, cpu::KernelVariant::kAvx2,
+                                       cpu::KernelVariant::kAvx512}) {
+      if (cpu::set_kernel_variant(v) != v) continue;
+      RunResult seq, fused;
+      run_sweep(p, n, sweep_lanes, seq, fused);
+      const std::string name(cpu::to_string(v));
+      const double seq_rps = add(("sweep-seq-" + name).c_str(), seq);
+      const double fused_rps = add(("sweep-fused-" + name).c_str(), fused);
+      (void)seq_rps;
+      if (v == cpu::KernelVariant::kScalar) {
+        scalar_fused_rps = fused_rps;
+      } else {
+        best_simd_fused_rps = std::max(best_simd_fused_rps, fused_rps);
+      }
+    }
+    (void)cpu::set_kernel_variant(prev);
+  }
+
   run_once(p, n, connections, requests, 1, batch_delay, unbatched);
   unbatched_rps = add("wire-unbatched", unbatched);
   run_once(p, n, connections, requests, batch_max, batch_delay, batched);
@@ -528,7 +561,13 @@ int main(int argc, char** argv) {
   std::cout << "\nwire batched/unbatched: " << util::format_double(batched_rps / unbatched_rps, 2)
             << "x    fused-sweep speedup: "
             << util::format_double(sweep_batched_rps / sweep_unbatched_rps, 2)
-            << "x at batch " << sweep_lanes << "    program fusion speedup: "
+            << "x at batch " << sweep_lanes;
+  if (scalar_fused_rps > 0 && best_simd_fused_rps > 0) {
+    std::cout << "    simd/scalar fused sweep: "
+              << util::format_double(best_simd_fused_rps / scalar_fused_rps, 2)
+              << "x (best tier vs scalar oracle)";
+  }
+  std::cout << "    program fusion speedup: "
             << util::format_double(program_fused_rps / program_seq_rps, 2) << "x at depth "
             << program_depth
             << "\n'sweep' rows compare the fused five-pass kernel sequence against\n"
@@ -541,7 +580,9 @@ int main(int argc, char** argv) {
                "permutation chain per request: k PERMUTE round trips (each feeding\n"
                "the next) vs one EXECUTE_PROGRAM the service fuses into a single\n"
                "composite plan — k kernel sweeps, k wire copies, and k-1 round\n"
-               "trips collapse into one of each.\n"
+               "trips collapse into one of each. 'sweep-seq/fused-<variant>' rows\n"
+               "force one kernel tier (HMM_KERNEL_VARIANT equivalent) per pair;\n"
+               "tiers the CPU cannot run are absent, not zero.\n"
             << "distributed " << dist_shards << "-shard/single: "
             << util::format_double(dist_sharded_rps / dist_single_rps, 2) << "x at n="
             << util::format_count(dist_n)

@@ -1,0 +1,120 @@
+#pragma once
+/// \file dispatch.hpp
+/// \brief Runtime CPU-feature dispatch for the kernel tier.
+///
+/// The five kernel passes exist in up to three tiers: the scalar C++
+/// loops (the differential-test oracle, always built), an AVX2 tier
+/// (vpgatherdd reads, widened uint16 schedule loads, software prefetch
+/// of upcoming schedule entries), and an AVX-512 tier (full
+/// gather/scatter: vpgatherdd + vpscatterdd move 16 elements per step
+/// with no scalar extraction). The paper's row schedules make the SIMD
+/// tiers well-defined by construction: within a row, q is a
+/// permutation, so the destination indices inside one scatter vector
+/// are distinct — the same conflict-freedom the schedules guarantee
+/// across memory banks holds across SIMD lanes (see DESIGN.md §2.1).
+///
+/// Selection happens once, at first kernel launch:
+///   1. detect what the CPU supports (AVX2; AVX-512 F+BW+VL+DQ),
+///   2. apply the `HMM_KERNEL_VARIANT` env override
+///      (`scalar` | `avx2` | `avx512` | `auto`), clamped to what the
+///      hardware can run (a forced `avx512` on an AVX2-only box warns
+///      and degrades to `avx2`),
+///   3. cache the result; every kernel launch is then one relaxed load.
+///
+/// `set_kernel_variant` re-aims the dispatcher at runtime for the
+/// differential tests and the per-variant bench rows; it clamps the
+/// same way and returns the variant actually installed.
+///
+/// Element types dispatch by width: 4- and 8-byte elements (the
+/// uint32/uint64/float/double serving types — kernels only move bits,
+/// so float rides the u32 path bit-identically) take the SIMD tiers;
+/// every other width runs scalar.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hmm::cpu {
+
+/// Kernel tiers in ascending capability order (the dispatcher clamps
+/// downward, so the order is meaningful).
+enum class KernelVariant : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+[[nodiscard]] std::string_view to_string(KernelVariant v) noexcept;
+
+/// What the running CPU supports (cpuid, detected once). `avx512`
+/// requires the F+BW+VL+DQ subset the kernels use, not just AVX512F.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512 = false;
+};
+
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+/// The best variant this binary + CPU can run (ignores the env
+/// override; what `auto` resolves to).
+[[nodiscard]] KernelVariant best_kernel_variant() noexcept;
+
+/// The active variant: resolved on first call (hardware cap, then the
+/// `HMM_KERNEL_VARIANT` override), one relaxed atomic load after that.
+[[nodiscard]] KernelVariant kernel_variant() noexcept;
+
+/// Re-aim the dispatcher (tests, per-variant bench rows). Requests the
+/// hardware or build cannot satisfy clamp down; returns the variant
+/// actually installed. Not meant to race with in-flight kernels.
+KernelVariant set_kernel_variant(KernelVariant v) noexcept;
+
+namespace simd {
+
+/// Serial sub-range kernels for one element width, type-erased to
+/// `void*` (the kernels move bits; width is fixed per table). The
+/// thread pool templates in kernels.hpp fan chunks out and call these
+/// per chunk; any null member means "run the scalar loop instead"
+/// (e.g. AVX2 has gathers but no scatter, so its conventional-scatter
+/// slot stays null).
+struct KernelOps {
+  /// rows [r0, r1) of out[r][q[k]] = in[r][phat[k]].
+  void (*row_pass)(const void* in, void* out, std::uint64_t cols,
+                   const std::uint16_t* phat, const std::uint16_t* q,
+                   std::uint64_t r0, std::uint64_t r1);
+  /// Fused multi-lane row pass: same rows, `lanes` (src, dst) pairs
+  /// sharing one schedule decode per index step.
+  void (*row_pass_batched)(const void* const* srcs, void* const* dsts,
+                           std::uint64_t lanes, std::uint64_t cols,
+                           const std::uint16_t* phat, const std::uint16_t* q,
+                           std::uint64_t r0, std::uint64_t r1);
+  /// Tiles [t0, t1) of the blocked transpose (tile index decodes via
+  /// `tile_cols`), column-gather reads + contiguous stores.
+  void (*transpose_tiles)(const void* in, void* out, std::uint64_t rows,
+                          std::uint64_t cols, std::uint64_t tile,
+                          std::uint64_t tile_cols, std::uint64_t t0, std::uint64_t t1);
+  /// Fused multi-lane blocked transpose over the same tile range.
+  void (*transpose_tiles_batched)(const void* const* srcs, void* const* dsts,
+                                  std::uint64_t lanes, std::uint64_t rows,
+                                  std::uint64_t cols, std::uint64_t tile,
+                                  std::uint64_t tile_cols, std::uint64_t t0,
+                                  std::uint64_t t1);
+  /// b[i] = a[idx[i]] for i in [lo, hi) (conventional S-designated).
+  void (*gather)(const void* a, void* b, const std::uint32_t* idx,
+                 std::uint64_t lo, std::uint64_t hi);
+  /// b[idx[i]] = a[i] for i in [lo, hi) (conventional D-designated).
+  void (*scatter)(const void* a, void* b, const std::uint32_t* idx,
+                  std::uint64_t lo, std::uint64_t hi);
+};
+
+}  // namespace simd
+
+/// The kernel-ops table for the active variant and element width, or
+/// nullptr when that combination runs scalar (scalar variant active,
+/// width not 4/8 bytes, or the SIMD TUs were not built for this
+/// target). The x86 gather/scatter instructions take signed 32-bit
+/// element indices, so callers must additionally keep any *global*
+/// index space below 2^31 elements (row passes index within a row and
+/// are unaffected).
+[[nodiscard]] const simd::KernelOps* active_kernel_ops(std::size_t elem_size) noexcept;
+
+}  // namespace hmm::cpu

@@ -532,6 +532,10 @@ class Executor {
         FaultInjector::instance().maybe_throw(fault_sites::kPoolExhausted,
                                               StatusCode::kResourceExhausted,
                                               "buffer pool exhausted");
+        // Node-local scratch: see the placement note in
+        // run_request_body — every lane's scratch comes off the
+        // batch-running worker's node, so the whole fused batch stays
+        // on one socket.
         util::PooledBuffer scratch = buffer_pool_->try_acquire(scratch_elems * sizeof(T));
         if (!scratch.valid()) {
           if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);
@@ -587,6 +591,15 @@ class Executor {
 
     const auto batch_ns = static_cast<std::uint64_t>(clock.nanos());
     if (metrics_) metrics_->record_batch(lanes.size());
+
+    // Release every lane's scratch BEFORE resolving any promise: the
+    // instant the last item resolves, wait_idle() (and the destructor,
+    // and process exit behind it) may proceed, so nothing on this
+    // thread may touch the pool after that point. The released blocks
+    // are already hits for the next batch's acquires.
+    for (auto& lane : lanes) lane.scratch = {};
+    scratches.clear();
+
     for (std::size_t l = 0; l < lanes.size(); ++l) {
       BatchItem<T>& item = group.items[lane_items[l]];
       if (!sweep_error.is_ok()) {
@@ -608,8 +621,6 @@ class Executor {
         }
       }
     }
-    // scratches release back to the pool here, after every lane is
-    // resolved — the next batch's acquires are pool hits.
   }
 
   /// Hand a complete group to the pool. Failure to enqueue refuses
@@ -671,6 +682,12 @@ class Executor {
                                             StatusCode::kResourceExhausted,
                                             "buffer pool exhausted");
       const std::uint64_t scratch_elems = h.scratch_elements();
+      // NUMA placement: this body runs on a pool worker that (on
+      // multi-node machines) is pinned to one node, and try_acquire
+      // resolves to that node's free list — so the request's scratch,
+      // the kernel chunks the permute fans out (the pool's per-node
+      // queues prefer the submitting worker's node), and the pages
+      // first-touch-bound on a miss all share the worker's socket.
       util::PooledBuffer scratch = buffer_pool_->try_acquire(scratch_elems * sizeof(T));
       if (!scratch.valid()) {
         if (metrics_) metrics_->record_execute(static_cast<std::uint64_t>(clock.nanos()), false);

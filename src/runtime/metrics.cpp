@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <sstream>
 
+#include "cpu/dispatch.hpp"
 #include "util/bits.hpp"
 #include "util/buffer_pool.hpp"
+#include "util/numa.hpp"
 
 namespace hmm::runtime {
 namespace {
@@ -110,6 +112,8 @@ MetricsSnapshot ServiceMetrics::snapshot() const {
   s.programs_identity = programs_identity_.load(std::memory_order_relaxed);
   s.program_stages_p50 = program_stages_.quantile(0.50);
   s.program_stages_max = program_stages_.max();
+  s.kernel_variant = std::string(cpu::to_string(cpu::kernel_variant()));
+  s.numa_nodes = static_cast<std::uint32_t>(util::numa::node_count());
   {
     const util::BufferPool::Stats pool = util::BufferPool::global().stats();
     s.pool_hits = pool.hits;
@@ -193,6 +197,9 @@ std::string MetricsSnapshot::to_json() const {
      << ",\"staged\":" << programs_staged << ",\"identity\":" << programs_identity
      << ",\"stages_p50\":" << program_stages_p50
      << ",\"stages_max\":" << program_stages_max << "},"
+     << "\"runtime\":{"
+     << "\"kernel_variant\":\"" << kernel_variant << "\""
+     << ",\"numa_nodes\":" << numa_nodes << "},"
      << "\"pool\":{"
      << "\"hits\":" << pool_hits << ",\"misses\":" << pool_misses
      << ",\"releases\":" << pool_releases << ",\"trims\":" << pool_trims
@@ -215,6 +222,11 @@ std::string MetricsSnapshot::to_json() const {
 
 util::Table MetricsSnapshot::to_table() const {
   util::Table t({"metric", "value"});
+  if (!kernel_variant.empty()) {
+    t.add_row({"kernel variant", kernel_variant});
+    t.add_row({"numa nodes", util::format_count(numa_nodes)});
+    t.add_separator();
+  }
   t.add_row({"cache lookups", util::format_count(lookups)});
   t.add_row({"cache hits", util::format_count(hits)});
   t.add_row({"cache misses", util::format_count(misses)});
@@ -325,6 +337,15 @@ std::string MetricsSnapshot::to_prometheus() const {
         pool_outstanding_bytes);
   gauge("hmm_pool_pooled_bytes", "Bytes parked on the pool's free lists.",
         pool_pooled_bytes);
+  // Info-style gauge: the active kernel tier as a label, value always
+  // 1, so dashboards can attribute latency shifts to the code path.
+  if (!kernel_variant.empty()) {
+    os << "# HELP hmm_kernel_variant Active CPU kernel tier (info gauge).\n"
+       << "# TYPE hmm_kernel_variant gauge\n"
+       << "hmm_kernel_variant{variant=\"" << kernel_variant << "\"} 1\n";
+  }
+  gauge("hmm_numa_nodes", "NUMA nodes the runtime places memory and workers across.",
+        numa_nodes);
   // Per-phase digests as summaries. Quantiles come from the log2
   // histogram (factor-of-two resolution); _sum/_count are exact.
   os << "# HELP hmm_phase_duration_seconds Wall time attributed to each serving phase.\n"

@@ -110,6 +110,12 @@ struct MetricsSnapshot {
   std::uint64_t programs_identity = 0;
   std::uint64_t program_stages_p50 = 0;
   std::uint64_t program_stages_max = 0;
+  // Execution environment: which kernel tier the dispatcher selected
+  // (scalar/avx2/avx512 — see cpu/dispatch.hpp) and the machine's NUMA
+  // node count, so bench rows and production stats are attributable to
+  // the code path that actually ran.
+  std::string kernel_variant;
+  std::uint32_t numa_nodes = 1;
   // Process-wide scratch buffer pool (util::BufferPool::global()).
   // Executors configured with a private pool are not reflected here.
   std::uint64_t pool_hits = 0;

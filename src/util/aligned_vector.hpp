@@ -6,6 +6,14 @@
 /// cacheline (host backend) and an address group (simulator backend):
 /// the coalescing analysis assumes array base addresses are
 /// group-aligned exactly like `cudaMalloc` guarantees on real GPUs.
+///
+/// The SIMD kernel tier additionally relies on a 64-byte floor: a
+/// full-width AVX-512 vector load of element 0 must not split a
+/// cacheline. The kernels themselves only use unaligned load/store
+/// instructions (correctness never depends on alignment), but the
+/// floor keeps the aligned fast path on every buffer that flows
+/// through `aligned_vector` or the `BufferPool` (whose
+/// `kBufferAlignment` shares the same 128-byte boundary).
 
 #include <cstddef>
 #include <memory>
@@ -16,6 +24,8 @@ namespace hmm::util {
 /// Minimal over-aligned allocator.
 template <class T, std::size_t Align = 128>
 struct AlignedAllocator {
+  static_assert(Align >= 64 && (Align & (Align - 1)) == 0,
+                "kernel buffers guarantee at least 64-byte (vector-width) alignment");
   using value_type = T;
   static constexpr std::align_val_t alignment{Align};
 

@@ -1,6 +1,9 @@
 #include "util/buffer_pool.hpp"
 
+#include <algorithm>
 #include <bit>
+
+#include "util/numa.hpp"
 
 // ASan manual poisoning: cached blocks are poisoned while they sit in
 // the free list so a use-after-release reads like a use-after-free.
@@ -24,9 +27,12 @@ namespace hmm::util {
 
 BufferPool::BufferPool(Config config) : config_(config) {
   HMM_CHECK(config_.min_class_bytes > 0 && std::has_single_bit(config_.min_class_bytes));
-  // One list per possible power-of-two class above min_class_bytes; 64
-  // covers every representable size.
-  free_lists_.resize(64);
+  // One free-list set per NUMA node (a single set on UMA machines),
+  // with one list per possible power-of-two class above
+  // min_class_bytes; 64 covers every representable size.
+  const int nodes = std::max(1, numa::node_count());
+  free_lists_.resize(static_cast<std::size_t>(nodes));
+  for (auto& per_class : free_lists_) per_class.resize(64);
 }
 
 BufferPool::~BufferPool() { trim(); }
@@ -42,7 +48,14 @@ std::size_t BufferPool::class_index(std::size_t class_size) const noexcept {
 }
 
 PooledBuffer BufferPool::try_acquire(std::size_t bytes) {
-  if (bytes == 0) return PooledBuffer(this, nullptr, 0);
+  // On NUMA machines, prefer blocks whose pages already live on the
+  // caller's node; on UMA this resolves to node 0 with zero overhead.
+  return try_acquire_on_node(bytes, numa::aware() ? numa::current_node() : 0);
+}
+
+PooledBuffer BufferPool::try_acquire_on_node(std::size_t bytes, int node) {
+  if (node < 0 || static_cast<std::size_t>(node) >= free_lists_.size()) node = 0;
+  if (bytes == 0) return PooledBuffer(this, nullptr, 0, node);
   const std::size_t size = class_bytes(bytes, config_.min_class_bytes);
 
   if (config_.max_outstanding_bytes != 0) {
@@ -61,22 +74,27 @@ PooledBuffer BufferPool::try_acquire(std::size_t bytes) {
 
   {
     std::lock_guard lock(mutex_);
-    std::vector<std::uint8_t*>& list = free_lists_[class_index(size)];
+    std::vector<std::uint8_t*>& list =
+        free_lists_[static_cast<std::size_t>(node)][class_index(size)];
     if (!list.empty()) {
       std::uint8_t* block = list.back();
       list.pop_back();
       pooled_bytes_ -= size;
       hits_.fetch_add(1, std::memory_order_relaxed);
       HMM_POOL_UNPOISON(block, size);
-      return PooledBuffer(this, block, size);
+      return PooledBuffer(this, block, size, node);
     }
   }
 
+  // Miss: allocate fresh rather than stealing another node's cached
+  // block — fresh pages bind to whichever node first touches them
+  // (the caller's pinned workers), while a stolen block's pages are
+  // already bound to the wrong socket for the rest of its life.
   misses_.fetch_add(1, std::memory_order_relaxed);
   try {
     auto* block = static_cast<std::uint8_t*>(
         ::operator new(size, std::align_val_t{kBufferAlignment}));
-    return PooledBuffer(this, block, size);
+    return PooledBuffer(this, block, size, node);
   } catch (...) {
     outstanding_bytes_.fetch_sub(size, std::memory_order_relaxed);
     throw;
@@ -89,7 +107,8 @@ PooledBuffer BufferPool::acquire(std::size_t bytes) {
   return buf;
 }
 
-void BufferPool::release(std::uint8_t* data, std::size_t capacity) noexcept {
+void BufferPool::release(std::uint8_t* data, std::size_t capacity, int node) noexcept {
+  if (node < 0 || static_cast<std::size_t>(node) >= free_lists_.size()) node = 0;
   outstanding_bytes_.fetch_sub(capacity, std::memory_order_relaxed);
   releases_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -98,7 +117,7 @@ void BufferPool::release(std::uint8_t* data, std::size_t capacity) noexcept {
       // push_back can allocate list capacity; amortized zero at steady
       // state, and a failure here must not lose the block.
       try {
-        free_lists_[class_index(capacity)].push_back(data);
+        free_lists_[static_cast<std::size_t>(node)][class_index(capacity)].push_back(data);
         pooled_bytes_ += capacity;
         HMM_POOL_POISON(data, capacity);
         return;
@@ -113,13 +132,15 @@ void BufferPool::release(std::uint8_t* data, std::size_t capacity) noexcept {
 
 void BufferPool::trim() {
   std::lock_guard lock(mutex_);
-  for (std::size_t i = 0; i < free_lists_.size(); ++i) {
-    const std::size_t size = config_.min_class_bytes << i;
-    for (std::uint8_t* block : free_lists_[i]) {
-      HMM_POOL_UNPOISON(block, size);
-      ::operator delete(block, std::align_val_t{kBufferAlignment});
+  for (auto& per_class : free_lists_) {
+    for (std::size_t i = 0; i < per_class.size(); ++i) {
+      const std::size_t size = config_.min_class_bytes << i;
+      for (std::uint8_t* block : per_class[i]) {
+        HMM_POOL_UNPOISON(block, size);
+        ::operator delete(block, std::align_val_t{kBufferAlignment});
+      }
+      per_class[i].clear();
     }
-    free_lists_[i].clear();
   }
   pooled_bytes_ = 0;
 }

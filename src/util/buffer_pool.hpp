@@ -20,7 +20,17 @@
 ///    classing costs.
 ///  - **Alignment** is fixed at `kBufferAlignment` (128 bytes), the
 ///    same boundary `util::aligned_vector` uses, so pooled scratch is
-///    interchangeable with the kernels' expectations.
+///    interchangeable with the kernels' expectations (and comfortably
+///    above the 64-byte floor the SIMD kernel tier's full-width vector
+///    loads want).
+///  - **NUMA.** Free lists are kept per node: a block released on node
+///    n is only recycled by acquires targeting node n, so its pages —
+///    bound to n's memory when that node's workers first touched them
+///    — never silently migrate a request's scratch across sockets. A
+///    miss allocates fresh (untouched) memory instead of stealing from
+///    a remote node's list, so first-touch by the acquiring node's
+///    pinned workers binds it locally. Single-node machines collapse
+///    to one list set with no extra cost.
 ///  - **Caps.** `max_outstanding_bytes` bounds live (acquired) bytes:
 ///    at the cap `try_acquire` returns an invalid buffer and `acquire`
 ///    throws `std::bad_alloc` (the executor maps either to
@@ -63,6 +73,9 @@ namespace hmm::util {
 /// Alignment of every pooled buffer: matches `util::aligned_vector`'s
 /// 128-byte boundary (two cache lines; SIMD- and DMA-friendly).
 inline constexpr std::size_t kBufferAlignment = 128;
+static_assert(kBufferAlignment >= 64,
+              "pooled buffers guarantee at least 64-byte (vector-width) alignment "
+              "for the SIMD kernel tier");
 
 class BufferPool;
 
@@ -74,10 +87,12 @@ class PooledBuffer {
   ~PooledBuffer() { reset(); }
 
   PooledBuffer(PooledBuffer&& other) noexcept
-      : pool_(other.pool_), data_(other.data_), capacity_(other.capacity_) {
+      : pool_(other.pool_), data_(other.data_), capacity_(other.capacity_),
+        node_(other.node_) {
     other.pool_ = nullptr;
     other.data_ = nullptr;
     other.capacity_ = 0;
+    other.node_ = 0;
   }
   PooledBuffer& operator=(PooledBuffer&& other) noexcept {
     if (this != &other) {
@@ -85,9 +100,11 @@ class PooledBuffer {
       pool_ = other.pool_;
       data_ = other.data_;
       capacity_ = other.capacity_;
+      node_ = other.node_;
       other.pool_ = nullptr;
       other.data_ = nullptr;
       other.capacity_ = 0;
+      other.node_ = 0;
     }
     return *this;
   }
@@ -101,6 +118,9 @@ class PooledBuffer {
   [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
   /// Usable bytes: the size class, >= the requested size.
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// NUMA node this block's free-list home is on (0 on single-node
+  /// machines; the node's pinned workers first-touched its pages).
+  [[nodiscard]] int node() const noexcept { return node_; }
 
   /// View the block as `count` elements of T. The caller asserts the
   /// fit; the pool's class rounding guarantees it for the acquire size.
@@ -115,12 +135,14 @@ class PooledBuffer {
 
  private:
   friend class BufferPool;
-  PooledBuffer(BufferPool* pool, std::uint8_t* data, std::size_t capacity) noexcept
-      : pool_(pool), data_(data), capacity_(capacity) {}
+  PooledBuffer(BufferPool* pool, std::uint8_t* data, std::size_t capacity,
+               int node) noexcept
+      : pool_(pool), data_(data), capacity_(capacity), node_(node) {}
 
   BufferPool* pool_ = nullptr;
   std::uint8_t* data_ = nullptr;
   std::size_t capacity_ = 0;
+  int node_ = 0;
 };
 
 class BufferPool {
@@ -162,8 +184,17 @@ class BufferPool {
   /// Acquire a block of at least `bytes` (rounded up to its size
   /// class). Returns an invalid handle when the outstanding-bytes cap
   /// would be exceeded. `bytes == 0` returns a valid, empty handle
-  /// without touching the pool.
+  /// without touching the pool. On NUMA machines this prefers the
+  /// calling thread's node (see `try_acquire_on_node`).
   [[nodiscard]] PooledBuffer try_acquire(std::size_t bytes);
+
+  /// `try_acquire` targeting a specific NUMA node's free list. A hit
+  /// returns a block whose pages were first-touched (hence bound) by
+  /// that node's workers; a miss allocates fresh memory whose pages
+  /// bind to whichever node first writes them — so callers that pin
+  /// work to `node` get node-local scratch either way. Out-of-range
+  /// nodes clamp to 0; on single-node machines this is `try_acquire`.
+  [[nodiscard]] PooledBuffer try_acquire_on_node(std::size_t bytes, int node);
 
   /// `try_acquire` that throws `std::bad_alloc` on cap exhaustion, for
   /// paths whose error channel is already an exception.
@@ -185,14 +216,16 @@ class BufferPool {
 
  private:
   friend class PooledBuffer;
-  void release(std::uint8_t* data, std::size_t capacity) noexcept;
+  void release(std::uint8_t* data, std::size_t capacity, int node) noexcept;
 
   [[nodiscard]] std::size_t class_index(std::size_t class_size) const noexcept;
 
   Config config_;
   mutable std::mutex mutex_;
-  /// Free lists indexed by size class (class_bytes = min << index).
-  std::vector<std::vector<std::uint8_t*>> free_lists_;
+  /// Free lists indexed [node][class] (class_bytes = min << index).
+  /// Blocks go home to the node they were acquired for, so recycled
+  /// pages stay on the socket that first touched them.
+  std::vector<std::vector<std::vector<std::uint8_t*>>> free_lists_;
   std::size_t pooled_bytes_ = 0;  ///< guarded by mutex_
 
   std::atomic<std::uint64_t> hits_{0};
@@ -204,10 +237,11 @@ class BufferPool {
 };
 
 inline void PooledBuffer::reset() noexcept {
-  if (pool_ != nullptr && data_ != nullptr) pool_->release(data_, capacity_);
+  if (pool_ != nullptr && data_ != nullptr) pool_->release(data_, capacity_, node_);
   pool_ = nullptr;
   data_ = nullptr;
   capacity_ = 0;
+  node_ = 0;
 }
 
 }  // namespace hmm::util

@@ -1,0 +1,126 @@
+#include "util/numa.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace hmm::util::numa {
+namespace {
+
+/// Parse a sysfs cpulist ("0-3,8-11,15") into CPU ids. Returns an
+/// empty list on malformed input (the caller skips the node).
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    char* end = nullptr;
+    const long lo = std::strtol(text.c_str() + pos, &end, 10);
+    if (end == text.c_str() + pos || lo < 0) return {};
+    long hi = lo;
+    pos = static_cast<std::size_t>(end - text.c_str());
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      hi = std::strtol(text.c_str() + pos, &end, 10);
+      if (end == text.c_str() + pos || hi < lo) return {};
+      pos = static_cast<std::size_t>(end - text.c_str());
+    }
+    for (long c = lo; c <= hi; ++c) cpus.push_back(static_cast<int>(c));
+    if (pos < text.size()) {
+      if (text[pos] != ',' && text[pos] != '\n' && text[pos] != ' ') return {};
+      ++pos;
+    }
+  }
+  return cpus;
+}
+
+Topology discover() {
+  Topology topo;
+#if defined(__linux__)
+  for (int node = 0;; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                     "/cpulist");
+    if (!in.is_open()) break;
+    std::string line;
+    std::getline(in, line);
+    std::vector<int> cpus = parse_cpulist(line);
+    // A node can legitimately be memory-only (empty cpulist); keep it
+    // so node ids stay aligned with sysfs numbering.
+    topo.node_cpus.push_back(std::move(cpus));
+  }
+#endif
+  if (topo.node_cpus.empty()) {
+    // Single-node fallback: every CPU on node 0.
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    std::vector<int> cpus(n);
+    for (unsigned i = 0; i < n; ++i) cpus[i] = static_cast<int>(i);
+    topo.node_cpus.push_back(std::move(cpus));
+  }
+  int max_cpu = -1;
+  for (const auto& cpus : topo.node_cpus)
+    for (int c : cpus) max_cpu = std::max(max_cpu, c);
+  topo.cpu_node.assign(static_cast<std::size_t>(max_cpu + 1), -1);
+  for (std::size_t node = 0; node < topo.node_cpus.size(); ++node)
+    for (int c : topo.node_cpus[node])
+      topo.cpu_node[static_cast<std::size_t>(c)] = static_cast<int>(node);
+  return topo;
+}
+
+}  // namespace
+
+const Topology& topology() noexcept {
+  static const Topology topo = discover();
+  return topo;
+}
+
+int node_count() noexcept { return topology().nodes(); }
+
+bool aware() noexcept {
+  static const bool on = [] {
+    if (node_count() <= 1) return false;
+    const char* env = std::getenv("HMM_NUMA");
+    return env == nullptr || std::strcmp(env, "0") != 0;
+  }();
+  return on;
+}
+
+int current_node() noexcept {
+#if defined(__linux__)
+  const int cpu = sched_getcpu();
+  if (cpu >= 0) return node_of_cpu(cpu);
+#endif
+  return 0;
+}
+
+int node_of_cpu(int cpu) noexcept {
+  const Topology& topo = topology();
+  if (cpu < 0 || static_cast<std::size_t>(cpu) >= topo.cpu_node.size()) return 0;
+  const int node = topo.cpu_node[static_cast<std::size_t>(cpu)];
+  return node < 0 ? 0 : node;
+}
+
+bool pin_current_thread_to_node(int node) noexcept {
+#if defined(__linux__)
+  const Topology& topo = topology();
+  if (node < 0 || node >= topo.nodes()) return false;
+  const std::vector<int>& cpus = topo.node_cpus[static_cast<std::size_t>(node)];
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c >= 0 && c < CPU_SETSIZE) CPU_SET(c, &set);
+  }
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+}  // namespace hmm::util::numa

@@ -13,15 +13,33 @@ namespace {
 /// Set while a thread runs a worker_loop; identifies "my" pool so
 /// nested parallel_for calls can help-drain instead of blocking.
 thread_local const ThreadPool* tls_worker_pool = nullptr;
+/// The node the current worker was pinned to (0 when unpinned).
+thread_local int tls_worker_node = 0;
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+ThreadPool::ThreadPool(unsigned num_threads, bool pin_workers) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  pinned_ = pin_workers && numa::node_count() > 1;
+  queues_.resize(pinned_ ? static_cast<std::size_t>(numa::node_count()) : 1);
   workers_.reserve(num_threads);
+  worker_nodes_.reserve(num_threads);
+  const unsigned nodes = static_cast<unsigned>(numa::node_count());
   for (unsigned i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    // Contiguous worker blocks per node, proportional to pool size:
+    // worker i of n lands on node floor(i * nodes / n). Pinning
+    // happens on the worker thread itself, before it takes any task,
+    // so every kernel chunk it runs (and every pool page it
+    // first-touches) stays on its node.
+    const int node = pinned_ ? static_cast<int>((static_cast<std::uint64_t>(i) * nodes) /
+                                                num_threads)
+                             : 0;
+    worker_nodes_.push_back(node);
+    workers_.emplace_back([this, node] {
+      if (pinned_) numa::pin_current_thread_to_node(node);
+      worker_loop(node);
+    });
   }
 }
 
@@ -36,16 +54,39 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() const noexcept { return tls_worker_pool == this; }
 
-void ThreadPool::worker_loop() {
+ThreadPool::Task ThreadPool::pop_locked(int preferred) {
+  const std::size_t n = queues_.size();
+  std::size_t q = static_cast<std::size_t>(preferred) < n
+                      ? static_cast<std::size_t>(preferred)
+                      : 0;
+  // Own node first, then round-robin steal: remote work beats idling.
+  for (std::size_t tried = 0; tried < n; ++tried, q = (q + 1) % n) {
+    if (!queues_[q].empty()) break;
+  }
+  Task task = std::move(queues_[q].front());
+  queues_[q].pop_front();
+  --pending_;
+  return task;
+}
+
+int ThreadPool::submit_node() const noexcept {
+  if (queues_.size() <= 1) return 0;
+  // A pinned worker requeues onto its own node (so fanned-out chunks
+  // stay local); an external thread lands on whichever node it is
+  // currently running on.
+  return tls_worker_pool == this ? tls_worker_node : numa::current_node();
+}
+
+void ThreadPool::worker_loop(int node) {
   tls_worker_pool = this;
+  tls_worker_node = node;
   for (;;) {
     Task task;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+      if (stop_ && pending_ == 0) return;
+      task = pop_locked(node);
     }
     task.fn();
   }
@@ -54,7 +95,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::submit(std::function<void()> fn) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(Task{std::move(fn)});
+    std::size_t q = static_cast<std::size_t>(submit_node());
+    if (q >= queues_.size()) q = 0;
+    queues_[q].push_back(Task{std::move(fn)});
+    ++pending_;
   }
   cv_.notify_one();
 }
@@ -63,9 +107,8 @@ bool ThreadPool::run_one_task() {
   Task task;
   {
     std::lock_guard lock(mutex_);
-    if (queue_.empty()) return false;
-    task = std::move(queue_.front());
-    queue_.pop_front();
+    if (pending_ == 0) return false;
+    task = pop_locked(tls_worker_pool == this ? tls_worker_node : 0);
   }
   task.fn();
   return true;

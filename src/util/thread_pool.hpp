@@ -22,6 +22,16 @@
 /// permutation kernel), the caller helps drain the queue instead of
 /// blocking idle, so submitted tasks that fan out onto the pool cannot
 /// deadlock it.
+///
+/// NUMA placement (multi-node machines only): workers are pinned to
+/// nodes in contiguous blocks, and the queue splits per node. A task
+/// is enqueued under the submitting thread's node — so the chunks a
+/// pinned worker fans out land back on its own node's queue — and
+/// workers pop their node's queue first, stealing from other nodes
+/// only when theirs is empty. Locality is a preference, not a fence:
+/// a saturated node's overflow is stolen by remote workers rather
+/// than left idle. Single-node machines collapse to one queue and the
+/// exact pre-NUMA behavior.
 
 #include <condition_variable>
 #include <cstdint>
@@ -34,18 +44,35 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/numa.hpp"
+
 namespace hmm::util {
 
 class ThreadPool {
  public:
   /// \param num_threads 0 means hardware_concurrency (min 1).
-  explicit ThreadPool(unsigned num_threads = 0);
+  /// \param pin_workers split the workers into contiguous per-node
+  ///   groups and pin each group to its node's CPU set, so a request
+  ///   whose scratch lives on one node is executed by threads that
+  ///   stay there (first-touch then binds fresh pool pages locally).
+  ///   Defaults on only when placement matters (`numa::aware()`:
+  ///   multiple nodes and HMM_NUMA != 0); single-node machines keep
+  ///   today's unpinned behavior.
+  explicit ThreadPool(unsigned num_threads = 0, bool pin_workers = numa::aware());
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// True when workers were pinned per NUMA node at construction.
+  [[nodiscard]] bool workers_pinned() const noexcept { return pinned_; }
+
+  /// Node worker `i` was pinned to (0 when unpinned or out of range).
+  [[nodiscard]] int worker_node(unsigned i) const noexcept {
+    return i < worker_nodes_.size() ? worker_nodes_[i] : 0;
+  }
 
   /// Run fn(i) for i in [begin, end), split into ~`chunks_per_thread`
   /// contiguous chunks per worker; blocks until every index is done.
@@ -86,14 +113,26 @@ class ThreadPool {
     std::function<void()> fn;
   };
 
-  void worker_loop();
+  void worker_loop(int node);
   void submit(std::function<void()> fn);
 
-  /// Pop one queued task and run it; returns false if the queue was empty.
+  /// Pop one queued task and run it; returns false if every queue was
+  /// empty. Prefers the calling worker's node queue.
   bool run_one_task();
 
+  /// Pop from `preferred`'s queue, stealing from the others when it is
+  /// empty. Pre: mutex_ held and pending_ > 0.
+  Task pop_locked(int preferred);
+
+  /// Node hint for a task submitted by the calling thread.
+  [[nodiscard]] int submit_node() const noexcept;
+
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
+  std::vector<int> worker_nodes_;  ///< node per worker (set iff pinned_)
+  bool pinned_ = false;
+  /// One task queue per node (a single queue when unpinned).
+  std::vector<std::deque<Task>> queues_;
+  std::size_t pending_ = 0;  ///< total queued tasks, guarded by mutex_
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -14,6 +14,7 @@
 #include "util/bits.hpp"
 #include "util/buffer_pool.hpp"
 #include "util/cli.hpp"
+#include "util/numa.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -438,6 +439,84 @@ TEST(BufferPool, ConcurrentAcquireReleaseIsRaceFree) {
   EXPECT_EQ(s.hits + s.misses, static_cast<std::uint64_t>(kThreads) * kItersPerThread);
   EXPECT_EQ(s.outstanding_bytes, 0u);
   EXPECT_EQ(s.releases, s.hits + s.misses);
+}
+
+// --- NUMA topology + node-aware pool/worker placement ------------------
+
+TEST(Numa, TopologyHasAtLeastOneNodeAndCoversCpus) {
+  const numa::Topology& topo = numa::topology();
+  ASSERT_GE(topo.nodes(), 1);
+  EXPECT_EQ(numa::node_count(), topo.nodes());
+  // Every CPU listed under a node must map back to that node.
+  for (int node = 0; node < topo.nodes(); ++node) {
+    for (int cpu : topo.node_cpus[static_cast<std::size_t>(node)]) {
+      EXPECT_EQ(numa::node_of_cpu(cpu), node);
+    }
+  }
+  // Unknown CPUs clamp to node 0, never out of range.
+  EXPECT_EQ(numa::node_of_cpu(-1), 0);
+  EXPECT_EQ(numa::node_of_cpu(1 << 20), 0);
+}
+
+TEST(Numa, CurrentNodeIsInRange) {
+  const int node = numa::current_node();
+  EXPECT_GE(node, 0);
+  EXPECT_LT(node, numa::node_count());
+}
+
+TEST(Numa, AwareRequiresMultipleNodes) {
+  // aware() may also be vetoed by HMM_NUMA=0; the invariant that must
+  // hold everywhere is: single-node machines are never "aware".
+  if (numa::node_count() <= 1) {
+    EXPECT_FALSE(numa::aware());
+  }
+}
+
+TEST(BufferPool, AcquireOnNodeTagsAndRoundTrips) {
+  BufferPool pool;
+  PooledBuffer buf = pool.try_acquire_on_node(4096, 0);
+  ASSERT_TRUE(buf.valid());
+  EXPECT_EQ(buf.node(), 0);
+  buf.reset();  // releases back to node 0's free list
+  PooledBuffer again = pool.try_acquire_on_node(4096, 0);
+  ASSERT_TRUE(again.valid());
+  const BufferPool::Stats s = pool.stats();
+  EXPECT_EQ(s.hits, 1u);  // second acquire reuses the released block
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(BufferPool, OutOfRangeNodeClampsToZero) {
+  BufferPool pool;
+  PooledBuffer buf = pool.try_acquire_on_node(1024, 99);
+  ASSERT_TRUE(buf.valid());
+  EXPECT_EQ(buf.node(), 0);
+  buf.reset();
+  // The clamped release lands on node 0, where plain try_acquire (on a
+  // single-node box) finds it again.
+  PooledBuffer again = pool.try_acquire_on_node(1024, 0);
+  ASSERT_TRUE(again.valid());
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(ThreadPool, PinnedConstructionStillRunsWork) {
+  // On a single-node machine pinning degenerates to the unpinned pool;
+  // on a multi-node machine this exercises per-node queues + stealing.
+  ThreadPool pool(2, /*pin_workers=*/true);
+  if (numa::node_count() <= 1) {
+    EXPECT_FALSE(pool.workers_pinned());
+  }
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for_chunks(0, 1000, [&sum](std::uint64_t lo, std::uint64_t hi) {
+    std::uint64_t local = 0;
+    for (std::uint64_t i = lo; i < hi; ++i) local += i;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2u);
+  for (unsigned i = 0; i < pool.size(); ++i) {
+    const int node = pool.worker_node(i);
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, numa::node_count());
+  }
 }
 
 }  // namespace

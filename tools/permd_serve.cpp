@@ -54,12 +54,14 @@
 #include <string>
 #include <thread>
 
+#include "cpu/dispatch.hpp"
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/metrics.hpp"
 #include "runtime/service.hpp"
 #include "util/cli.hpp"
+#include "util/numa.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -172,6 +174,20 @@ int main(int argc, char** argv) {
     std::cout << ", chaos rate=" << fault_rate << " seed=" << fault_seed;
   }
   std::cout << ")" << std::endl;
+
+  // Attribution line: which kernel tier the dispatcher picked (and what
+  // the CPU could have run) plus the NUMA layout, so every bench row or
+  // latency report against this process names the code path that served it.
+  {
+    const cpu::CpuFeatures& feat = cpu::cpu_features();
+    std::cout << "permd_serve: kernels=" << cpu::to_string(cpu::kernel_variant())
+              << " (cpu supports:" << (feat.avx512 ? " avx512" : "")
+              << (feat.avx2 ? " avx2" : "") << " scalar)"
+              << ", numa nodes=" << util::numa::node_count()
+              << (pool.workers_pinned() ? ", workers pinned per node"
+                                        : ", workers unpinned")
+              << std::endl;
+  }
 
   if (!port_file.empty()) {
     std::ofstream pf(port_file);
